@@ -1,0 +1,39 @@
+// Ablation: where ECN bleachers sit (AS-boundary links vs inside stub
+// networks) determines the boundary-attribution share the traceroute study
+// observes. Sweeps the placement mix at a fixed total bleacher count and
+// reports the observed statistics -- the design-space view behind the
+// paper's single 59.1% data point.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ecnprobe/analysis/hops.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecnprobe;
+  auto config = bench::parse_args(argc, argv);
+  if (config.scale > 0.4) config.scale = 0.4;
+  bench::print_header("Ablation: bleacher placement vs observed boundary share",
+                      config, bench::world_params(config));
+
+  constexpr int kTotalBleachers = 28;
+  std::printf("  %-22s %-16s %-14s %-14s\n", "inter:intra placement", "% at boundaries",
+              "strip hops", "% hops passing");
+  for (const double inter_share : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    auto params = bench::world_params(config);
+    params.bleach_inter_as_links = static_cast<int>(kTotalBleachers * inter_share + 0.5);
+    params.bleach_intra_as_links = kTotalBleachers - params.bleach_inter_as_links;
+    scenario::World world(params);
+    const auto observations = world.run_traceroutes(2);
+    const auto analysis = analysis::analyze_hops(observations, world.ip2as());
+    std::printf("  %2d:%-19d %-16.1f %-14zu %-14.2f\n", params.bleach_inter_as_links,
+                params.bleach_intra_as_links, analysis.pct_strips_at_boundary(),
+                static_cast<std::size_t>(analysis.strip_hops),
+                analysis.pct_hops_passing());
+  }
+  std::printf("\nThe observed boundary share tracks the placement mix but is biased\n"
+              "upward: when the true upstream router is silent, the previous\n"
+              "responder often sits in another AS, so intra-AS strips masquerade\n"
+              "as boundary strips. The paper's 59.1%% therefore bounds the true\n"
+              "boundary share from above.\n");
+  return 0;
+}

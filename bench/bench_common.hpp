@@ -1,0 +1,84 @@
+// Shared plumbing for the figure/table reproduction benches: command-line
+// scaling, world construction, campaign execution with wall-clock reporting,
+// and paper-vs-measured comparison lines.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/scenario/world.hpp"
+
+namespace ecnprobe::bench {
+
+struct BenchConfig {
+  double scale = 1.0;     ///< world + campaign scale (1.0 = paper scale)
+  std::uint64_t seed = 42;
+  std::string csv_path;   ///< optional raw-results dump
+};
+
+/// Parses --scale=F --seed=N --csv=PATH; ECNPROBE_SCALE env overrides the
+/// default scale (used to shrink CI runs).
+inline BenchConfig parse_args(int argc, char** argv) {
+  BenchConfig config;
+  if (const char* env = std::getenv("ECNPROBE_SCALE")) config.scale = std::atof(env);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--scale=", 0) == 0) config.scale = std::atof(arg.c_str() + 8);
+    else if (arg.rfind("--seed=", 0) == 0)
+      config.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
+    else if (arg.rfind("--csv=", 0) == 0) config.csv_path = arg.substr(6);
+    else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: %s [--scale=F] [--seed=N] [--csv=PATH]\n", argv[0]);
+      std::exit(0);
+    }
+  }
+  if (config.scale <= 0.0 || config.scale > 1.0) config.scale = 1.0;
+  return config;
+}
+
+inline scenario::WorldParams world_params(const BenchConfig& config) {
+  auto params = scenario::WorldParams::paper().scaled(config.scale);
+  params.seed = config.seed;
+  return params;
+}
+
+/// The paper's 210-trace layout, scaled along with the world.
+inline measure::CampaignPlan campaign_plan(const BenchConfig& config) {
+  auto scaled = [&](int n) {
+    const int v = static_cast<int>(n * config.scale + 0.5);
+    return v < 1 ? 1 : v;
+  };
+  return measure::CampaignPlan::paper_layout(scaled(9), scaled(12), scaled(14));
+}
+
+class Stopwatch {
+public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_header(const char* title, const BenchConfig& config,
+                         const scenario::WorldParams& params) {
+  std::printf("=== %s ===\n", title);
+  std::printf("scale=%.3g seed=%llu servers=%d stub-ASes=%d\n\n", config.scale,
+              static_cast<unsigned long long>(config.seed), params.server_count,
+              params.topology.stub_count);
+}
+
+inline void compare(const char* label, double measured, double paper,
+                    const char* unit = "") {
+  std::printf("  %-44s measured %10.2f%s   paper %10.2f%s\n", label, measured, unit,
+              paper, unit);
+}
+
+}  // namespace ecnprobe::bench

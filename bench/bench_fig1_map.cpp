@@ -1,0 +1,35 @@
+// Figure 1: world map of NTP pool server locations (ASCII rendering of the
+// same lat/lon scatter the paper plots).
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "ecnprobe/analysis/geosummary.hpp"
+#include "ecnprobe/analysis/report.hpp"
+#include "ecnprobe/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecnprobe;
+  const auto config = bench::parse_args(argc, argv);
+  const auto params = bench::world_params(config);
+  bench::print_header("Figure 1: geographic locations of NTP pool servers", config,
+                      params);
+
+  scenario::World world(params);
+  const auto summary = analysis::summarize_geo(world.server_addresses(), world.geodb());
+
+  std::printf("%s\n", analysis::render_figure1(summary).c_str());
+  std::printf("%d servers plotted; %d unmapped (\"Unknown\").\n", summary.total,
+              summary.counts.at(geo::Region::Unknown));
+
+  if (!config.csv_path.empty()) {
+    std::ofstream out(config.csv_path);
+    util::CsvWriter csv(out);
+    csv.write_row({"lat", "lon"});
+    for (const auto& [lat, lon] : summary.locations) {
+      csv.write_row({std::to_string(lat), std::to_string(lon)});
+    }
+    std::printf("scatter data written to %s\n", config.csv_path.c_str());
+  }
+  return 0;
+}

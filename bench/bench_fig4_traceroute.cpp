@@ -1,0 +1,59 @@
+// Figure 4 / Section 4.2: where are ECT(0) marks stripped? Runs TTL-limited
+// ECT(0) traceroutes from every vantage point to every server (twice, to
+// catch "sometimes strips"), compares ICMP quotations against what was sent,
+// and attributes strip locations to AS boundaries via the IP-to-AS map.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ecnprobe/analysis/hops.hpp"
+#include "ecnprobe/analysis/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecnprobe;
+  const auto config = bench::parse_args(argc, argv);
+  const auto params = bench::world_params(config);
+  bench::print_header("Figure 4: ECN mark stripping located by traceroute", config,
+                      params);
+
+  scenario::World world(params);
+  std::printf("tracerouting %d servers from 13 vantage points, 2 repetitions...\n",
+              params.server_count);
+  bench::Stopwatch timer;
+  const auto observations = world.run_traceroutes(2);
+  std::printf("done in %.1fs (%zu traceroutes)\n\n", timer.seconds(),
+              observations.size());
+
+  const auto analysis = analysis::analyze_hops(observations, world.ip2as());
+
+  // Sample paths: prefer ones that show stripping, padded with clean ones.
+  std::vector<measure::TracerouteObservation> samples;
+  for (const auto& obs : observations) {
+    bool strips = false;
+    for (const auto& hop : obs.path.hops) {
+      if (hop.responded && !hop.ecn_intact()) strips = true;
+    }
+    if (strips && samples.size() < 8) samples.push_back(obs);
+  }
+  for (const auto& obs : observations) {
+    if (samples.size() >= 12) break;
+    samples.push_back(obs);
+  }
+
+  std::printf("%s\n", analysis::render_figure4(analysis, samples).c_str());
+
+  std::printf("comparison (hop counts scale with topology size):\n");
+  bench::compare("IP-level hops measured", static_cast<double>(analysis.total_hops),
+                 155439 * config.scale);
+  bench::compare("% of hops passing ECT(0)", analysis.pct_hops_passing(), 99.34, "%");
+  bench::compare("hops observed stripping",
+                 static_cast<double>(analysis.strip_hops), 1143 * config.scale);
+  bench::compare("...of which only sometimes",
+                 static_cast<double>(analysis.sometimes_strip), 125 * config.scale);
+  bench::compare("% strip locations at AS boundaries",
+                 analysis.pct_strips_at_boundary(), 59.1, "%");
+  bench::compare("ECN-CE marks observed", static_cast<double>(analysis.ce_marks_seen),
+                 0);
+  bench::compare("ASes observed", static_cast<double>(analysis.ases_observed),
+                 1400 * config.scale);
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Micro-benchmarks of the wire codecs: the per-packet costs that bound the
+// simulator's campaign throughput and a live prober's packet rates.
+#include <benchmark/benchmark.h>
+
+#include "ecnprobe/util/rng.hpp"
+#include "ecnprobe/wire/bytes.hpp"
+#include "ecnprobe/wire/checksum.hpp"
+#include "ecnprobe/wire/datagram.hpp"
+#include "ecnprobe/wire/dnsmsg.hpp"
+#include "ecnprobe/wire/http.hpp"
+#include "ecnprobe/wire/ntp.hpp"
+#include "ecnprobe/wire/tcp.hpp"
+#include "ecnprobe/wire/udp.hpp"
+
+namespace {
+
+using namespace ecnprobe;
+
+const wire::Ipv4Address kSrc(10, 0, 0, 1);
+const wire::Ipv4Address kDst(11, 0, 0, 2);
+
+void BM_InternetChecksum(benchmark::State& state) {
+  std::vector<std::uint8_t> data(static_cast<std::size_t>(state.range(0)));
+  util::Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::internet_checksum(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_InternetChecksum)->Arg(20)->Arg(48)->Arg(576)->Arg(1500);
+
+void BM_Ipv4HeaderEncode(benchmark::State& state) {
+  wire::Ipv4Header header;
+  header.src = kSrc;
+  header.dst = kDst;
+  header.total_length = 48;
+  for (auto _ : state) {
+    wire::ByteWriter out(wire::Ipv4Header::kSize);
+    header.encode(out);
+    benchmark::DoNotOptimize(out.view().data());
+  }
+}
+BENCHMARK(BM_Ipv4HeaderEncode);
+
+void BM_Ipv4HeaderDecode(benchmark::State& state) {
+  wire::Ipv4Header header;
+  header.src = kSrc;
+  header.dst = kDst;
+  header.total_length = 48;
+  wire::ByteWriter out(wire::Ipv4Header::kSize);
+  header.encode(out);
+  const auto bytes = out.take();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(wire::decode_ipv4_header(bytes));
+  }
+}
+BENCHMARK(BM_Ipv4HeaderDecode);
+
+void BM_UdpDatagramBuild(benchmark::State& state) {
+  const std::vector<std::uint8_t> payload(48, 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        wire::make_udp_datagram(kSrc, kDst, 40000, 123, payload, wire::Ecn::Ect0));
+  }
+}
+BENCHMARK(BM_UdpDatagramBuild);
+
+void BM_TcpSegmentRoundTrip(benchmark::State& state) {
+  wire::TcpHeader header;
+  header.src_port = 40000;
+  header.dst_port = 80;
+  header.flags.ack = true;
+  const std::vector<std::uint8_t> payload(static_cast<std::size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    const auto segment = wire::encode_tcp_segment(kSrc, kDst, header, payload);
+    benchmark::DoNotOptimize(wire::decode_tcp_segment(kSrc, kDst, segment));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_TcpSegmentRoundTrip)->Arg(0)->Arg(512)->Arg(1400);
+
+void BM_NtpPacketRoundTrip(benchmark::State& state) {
+  const auto packet = wire::NtpPacket::make_client_request(
+      wire::NtpTimestamp::from_unix_nanos(1'428'883'200'000'000'000));
+  for (auto _ : state) {
+    const auto bytes = packet.encode();
+    benchmark::DoNotOptimize(wire::NtpPacket::decode(bytes));
+  }
+}
+BENCHMARK(BM_NtpPacketRoundTrip);
+
+void BM_DnsResponseRoundTrip(benchmark::State& state) {
+  const auto query = wire::DnsMessage::make_query(1, "europe.pool.ntp.org");
+  std::vector<wire::DnsRecord> answers;
+  for (int i = 0; i < 4; ++i) {
+    answers.push_back(wire::DnsRecord::make_a(
+        "europe.pool.ntp.org", wire::Ipv4Address(11, 0, 0, static_cast<std::uint8_t>(i)),
+        150));
+  }
+  const auto response = wire::DnsMessage::make_response(query, wire::DnsRcode::NoError,
+                                                        answers);
+  for (auto _ : state) {
+    const auto bytes = response.encode();
+    benchmark::DoNotOptimize(wire::DnsMessage::decode(bytes));
+  }
+}
+BENCHMARK(BM_DnsResponseRoundTrip);
+
+void BM_IcmpQuotationRoundTrip(benchmark::State& state) {
+  const auto probe = wire::make_udp_datagram(kSrc, kDst, 44001, 33435,
+                                             std::vector<std::uint8_t>(8, 0),
+                                             wire::Ecn::Ect0, 3);
+  const auto error = wire::make_time_exceeded(wire::Ipv4Address(12, 0, 0, 1), probe);
+  for (auto _ : state) {
+    const auto decoded = wire::decode_icmp_message(error.payload);
+    benchmark::DoNotOptimize(wire::parse_quotation(decoded->message.body));
+  }
+}
+BENCHMARK(BM_IcmpQuotationRoundTrip);
+
+void BM_HttpResponseParse(benchmark::State& state) {
+  wire::HttpResponse response;
+  response.status = 302;
+  response.headers["Location"] = "http://www.pool.ntp.org/";
+  response.headers["Server"] = "nginx";
+  const auto text = response.serialize();
+  for (auto _ : state) {
+    wire::HttpParser parser(wire::HttpParser::Kind::Response);
+    parser.feed(text);
+    benchmark::DoNotOptimize(parser.complete());
+  }
+}
+BENCHMARK(BM_HttpResponseParse);
+
+}  // namespace

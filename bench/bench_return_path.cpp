@@ -1,0 +1,98 @@
+// Extension: the return-path experiment the paper could not run. "Since we
+// test against unmodified NTP servers, we cannot probe the return path from
+// server to client" (Section 3). With modified (ECN-reflecting) responders
+// deployed across the pool, both directions become measurable: this bench
+// reports how often an ECT(0) mark survives the forward path, the return
+// path, and both -- and whether forward results alone (the paper's view)
+// are a good proxy for bidirectional ECN usability, which is what an RTP
+// session actually needs.
+#include <cstdio>
+#include <functional>
+
+#include "bench_common.hpp"
+#include "ecnprobe/ntp/ntp.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecnprobe;
+  auto config = bench::parse_args(argc, argv);
+  if (config.scale > 0.4) config.scale = 0.4;
+  auto params = bench::world_params(config);
+  params.offline_prob = 0.0;
+  params.greylist_flaky_prob = 0.0;
+  params.greylist_dead_prob = 0.0;
+  bench::print_header("Extension: return-path ECN survival (modified responders)",
+                      config, params);
+
+  scenario::World world(params);
+  // Deploy the modification: every pool server reflects the request's ECN
+  // codepoint onto its response.
+  for (std::size_t i = 0; i < world.servers().size(); ++i) {
+    auto& server = world.server(i);
+    ntp::NtpServerService::Params reflecting;
+    reflecting.stratum = 2;
+    reflecting.reflect_ecn = true;
+    server.ntp_service.reset();  // release UDP/123 before rebinding
+    server.ntp_service = std::make_unique<ntp::NtpServerService>(
+        *server.host, world.clock(), reflecting);
+  }
+
+  struct Counters {
+    int probed = 0;
+    int reachable = 0;
+    int forward_intact = 0;       ///< server saw the request still ECT-marked
+    int bidirectional_intact = 0; ///< response arrived back still ECT-marked
+  };
+
+  auto& vantage = world.vantage("UGla wired");
+  Counters counters;
+  const auto servers = world.server_addresses();
+  std::size_t cursor = 0;
+  std::function<void()> next = [&]() {
+    if (cursor >= servers.size()) return;
+    const auto index = cursor++;
+    ntp::NtpQueryOptions options;
+    options.ecn = wire::Ecn::Ect0;
+    vantage.ntp().query(servers[index], options,
+                        [&, index](const ntp::NtpQueryResult& result) {
+                          ++counters.probed;
+                          if (result.success) {
+                            ++counters.reachable;
+                            // Ground truth from the server side: did the
+                            // request arrive with its ECT mark intact?
+                            if (world.servers()[index]
+                                    .ntp_service->stats()
+                                    .ect_marked_requests > 0) {
+                              ++counters.forward_intact;
+                            }
+                            if (result.response_ecn == wire::Ecn::Ect0) {
+                              ++counters.bidirectional_intact;
+                            }
+                          }
+                          next();
+                        });
+  };
+  bench::Stopwatch timer;
+  next();
+  world.sim().run();
+
+  std::printf("probed %d servers with ECT(0), reflecting responders, in %.1fs\n\n",
+              counters.probed, timer.seconds());
+  std::printf("  reachable with ECT(0) requests:          %d (%.2f%%)\n",
+              counters.reachable, 100.0 * counters.reachable / counters.probed);
+  std::printf("  forward path kept the mark (server saw ECT): %d (%.2f%% of reachable)\n",
+              counters.forward_intact,
+              counters.reachable ? 100.0 * counters.forward_intact / counters.reachable
+                                 : 0.0);
+  std::printf("  both directions kept the mark:           %d (%.2f%% of reachable)\n",
+              counters.bidirectional_intact,
+              counters.reachable
+                  ? 100.0 * counters.bidirectional_intact / counters.reachable
+                  : 0.0);
+  std::printf("  return-path-only bleaching:              %d servers\n",
+              counters.forward_intact - counters.bidirectional_intact);
+  std::printf("\nThe paper's traceroute sees only the forward number; an RTP session\n"
+              "needs the bidirectional one (its feedback travels the return path).\n"
+              "The gap between the two columns is exactly what RFC 6679's\n"
+              "receiver-side ECN counting exists to detect at session setup.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Extension bench: quantifies what the paper's result buys an interactive
+// media application. Runs many RTP sessions across path conditions drawn
+// from the calibrated world's middlebox mix and reports, per condition:
+// verification/fallback rates, delivered bitrate, media loss, and CE usage.
+// The "firewall" row is the paper's ~0.5% of paths; the fallback column is
+// why probing-then-enabling (RFC 6679) makes ECN safe to attempt anyway.
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "ecnprobe/rtp/media.hpp"
+#include "ecnprobe/util/stats.hpp"
+
+namespace {
+
+using namespace ecnprobe;
+
+struct ConditionResult {
+  int sessions = 0;
+  int verified = 0;
+  int fell_back = 0;
+  util::RunningStats bitrate_kbps;
+  util::RunningStats loss_pct;
+  util::RunningStats ce_marks;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ecnprobe;
+  auto config = bench::parse_args(argc, argv);
+  bench::print_header("Extension: RTP media sessions with RFC 6679 ECN", config,
+                      scenario::WorldParams::small(config.seed));
+
+  struct Condition {
+    const char* label;
+    std::function<netsim::PolicyPtr()> make_policy;
+  };
+  const std::vector<Condition> conditions = {
+      {"clean path", [] { return netsim::PolicyPtr{}; }},
+      {"AQM, CE marking",
+       [] { return std::make_shared<netsim::CongestionPolicy>(0.15, 0.15); }},
+      {"ECN bleacher", [] { return std::make_shared<netsim::EcnBleachPolicy>(1.0); }},
+      {"sometimes-bleacher",
+       [] { return std::make_shared<netsim::EcnBleachPolicy>(0.5); }},
+      {"ECT-UDP firewall", [] { return std::make_shared<netsim::EctUdpDropPolicy>(); }},
+  };
+
+  constexpr int kSessionsPerCondition = 12;
+  bench::Stopwatch timer;
+  std::printf("  %-20s %9s %9s %10s %9s %8s\n", "path condition", "verified",
+              "fellback", "kb/s", "loss %", "CE");
+  for (const auto& condition : conditions) {
+    ConditionResult result;
+    for (int s = 0; s < kSessionsPerCondition; ++s) {
+      auto params = scenario::WorldParams::small(config.seed + static_cast<unsigned>(s));
+  params.bleach_inter_as_links = 0;   // path conditions are injected explicitly
+  params.bleach_intra_as_links = 0;
+  params.ect_udp_firewalled_servers = 0;
+  params.ect_required_servers = 0;
+  params.ec2_sensitive_servers = 0;
+  params.greylist_flaky_prob = 0.0;
+  params.greylist_dead_prob = 0.0;
+  params.offline_prob = 0.0;
+      params.server_count = 4;
+      scenario::World world(params);
+      auto& caller = world.vantage("Perkins home").host();
+      auto& callee = *world.server(0).host;
+      if (auto policy = condition.make_policy()) {
+        const auto& att = world.server(0).attachment;
+        world.net().add_egress_policy(att.router, att.router_if, std::move(policy));
+      }
+      rtp::MediaReceiver receiver(callee, rtp::MediaReceiver::Config{});
+      rtp::MediaSender sender(caller, callee.address(), 5004,
+                              rtp::MediaSender::Config{});
+      sender.start();
+      world.sim().run_until(world.sim().now() + util::SimDuration::seconds(10));
+      sender.stop();
+      receiver.stop();
+      world.sim().run();  // drain
+
+      ++result.sessions;
+      result.verified += sender.stats().verified ? 1 : 0;
+      result.fell_back += sender.stats().fell_back ? 1 : 0;
+      result.bitrate_kbps.add(sender.current_bitrate_bps() / 1e3);
+      const auto& rx = receiver.stats();
+      const double total = static_cast<double>(rx.packets_received + rx.lost);
+      result.loss_pct.add(total > 0 ? 100.0 * static_cast<double>(rx.lost) / total : 0);
+      result.ce_marks.add(rx.ce);
+    }
+    std::printf("  %-20s %6d/%-2d %6d/%-2d %10.0f %9.2f %8.0f\n", condition.label,
+                result.verified, result.sessions, result.fell_back, result.sessions,
+                result.bitrate_kbps.mean(), result.loss_pct.mean(),
+                result.ce_marks.mean());
+  }
+  std::printf("\n%d sessions simulated in %.1fs\n",
+              static_cast<int>(conditions.size()) * kSessionsPerCondition,
+              timer.seconds());
+  std::printf("\nTakeaways: ECN verifies on clean/congested paths and converts loss\n"
+              "into CE marks; bleached paths fall back (feedback would be blind);\n"
+              "firewalled paths -- the paper's ~0.5%% -- fall back on timeout and\n"
+              "the session survives. Attempting ECN is safe exactly as the paper\n"
+              "concludes.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Table 1: geographic distribution of the NTP pool servers. Reproduces the
+// paper's Section 3 pipeline: discover servers via repeated round-robin DNS
+// queries of pool.ntp.org and its sub-domains, geolocate them with the
+// GeoLite2-like database, and tabulate per region.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ecnprobe/analysis/geosummary.hpp"
+#include "ecnprobe/analysis/report.hpp"
+
+namespace {
+
+struct PaperRow {
+  ecnprobe::geo::Region region;
+  int count;
+};
+constexpr PaperRow kPaperTable1[] = {
+    {ecnprobe::geo::Region::Africa, 22},
+    {ecnprobe::geo::Region::Asia, 190},
+    {ecnprobe::geo::Region::Australia, 68},
+    {ecnprobe::geo::Region::Europe, 1664},
+    {ecnprobe::geo::Region::NorthAmerica, 522},
+    {ecnprobe::geo::Region::SouthAmerica, 32},
+    {ecnprobe::geo::Region::Unknown, 2},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ecnprobe;
+  const auto config = bench::parse_args(argc, argv);
+  const auto params = bench::world_params(config);
+  bench::print_header("Table 1: geographic distribution of NTP pool servers", config,
+                      params);
+
+  bench::Stopwatch build_timer;
+  scenario::World world(params);
+  std::printf("world built in %.1fs (%zu nodes, %zu zones)\n", build_timer.seconds(),
+              world.net().node_count(), world.pool_zone_names().size());
+
+  // Discovery crawl, as the paper's script did for several weeks. Enough
+  // rounds to cycle the round-robin through the largest zone.
+  bench::Stopwatch crawl_timer;
+  const int rounds = 40 + params.server_count / 12;
+  const auto discovered = world.run_discovery("UGla wired", rounds);
+  std::printf("DNS crawl: %d rounds over %zu zones found %zu of %d servers in %.1fs\n\n",
+              rounds, world.pool_zone_names().size(), discovered.size(),
+              params.server_count, crawl_timer.seconds());
+
+  const auto summary = analysis::summarize_geo(discovered, world.geodb());
+  std::printf("%s\n", analysis::render_table1(summary).c_str());
+
+  std::printf("paper-vs-measured (paper column at full scale):\n");
+  for (const auto& row : kPaperTable1) {
+    bench::compare(std::string(geo::to_string(row.region)).c_str(),
+                   summary.counts.at(row.region), row.count * config.scale);
+  }
+  bench::compare("Total", summary.total, 2500 * config.scale);
+  return 0;
+}

@@ -1,0 +1,82 @@
+// End-to-end reproduction of the paper at a configurable scale: discover
+// the pool via DNS, run the measurement campaign from all 13 vantage
+// points, run the ECN traceroutes, and print every figure and table.
+//
+//   $ ./ntp_pool_study            # 10% scale (250 servers), quick
+//   $ ./ntp_pool_study 1.0        # full paper scale (2500 servers, 210 traces)
+//
+#include <cstdio>
+#include <cstdlib>
+
+#include "ecnprobe/analysis/differential.hpp"
+#include "ecnprobe/analysis/geosummary.hpp"
+#include "ecnprobe/analysis/hops.hpp"
+#include "ecnprobe/analysis/reachability.hpp"
+#include "ecnprobe/analysis/report.hpp"
+#include "ecnprobe/analysis/trend.hpp"
+#include "ecnprobe/scenario/world.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecnprobe;
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+
+  auto params = scenario::WorldParams::paper().scaled(scale);
+  std::printf("== ECN-with-UDP measurement study (scale %.2f: %d servers) ==\n\n",
+              scale, params.server_count);
+  scenario::World world(params);
+
+  // -- Section 3: discovery ------------------------------------------------
+  std::printf("[1/4] discovering the pool via round-robin DNS...\n");
+  const auto discovered =
+      world.run_discovery("UGla wired", 40 + params.server_count / 12);
+  std::printf("      %zu servers discovered\n\n", discovered.size());
+
+  std::printf("Table 1 / Figure 1: geographic distribution\n");
+  const auto geo_summary = analysis::summarize_geo(discovered, world.geodb());
+  std::printf("%s\n%s\n", analysis::render_table1(geo_summary).c_str(),
+              analysis::render_figure1(geo_summary, 72, 20).c_str());
+
+  // -- Section 4.1 / 4.3: the campaign --------------------------------------
+  const auto plan = measure::CampaignPlan::paper_layout(
+      std::max(1, static_cast<int>(9 * scale)), std::max(1, static_cast<int>(12 * scale)),
+      std::max(1, static_cast<int>(14 * scale)));
+  std::printf("[2/4] running the measurement campaign (%d traces)...\n",
+              plan.total_traces());
+  const auto traces = world.run_campaign(plan);
+
+  const auto per_trace = analysis::per_trace_reachability(traces);
+  std::printf("\nFigure 2a: ECT(0)-reachability of not-ECT-reachable servers\n%s\n",
+              analysis::render_figure2a(per_trace).c_str());
+  std::printf("Figure 2b: converse\n%s\n",
+              analysis::render_figure2b(per_trace).c_str());
+
+  const auto diffs = analysis::per_server_differential(traces);
+  std::printf("Figure 3a: per-server differential reachability (aggregate)\n%s\n",
+              analysis::render_figure3a(diffs).c_str());
+  std::printf("Figure 3b: converse\n%s\n",
+              analysis::render_figure3b(diffs).c_str());
+
+  std::printf("Figure 5: TCP reachability and ECN negotiation\n%s\n",
+              analysis::render_figure5(per_trace, params.server_count).c_str());
+
+  const auto summary = analysis::summarize_reachability(traces);
+  std::printf("Figure 6: adoption trend with our measured point\n%s\n",
+              analysis::render_figure6(
+                  analysis::trend_with_measurement(summary.pct_tcp_negotiating_ecn))
+                  .c_str());
+
+  std::printf("Table 2: UDP vs TCP ECN failure correlation\n%s\n",
+              analysis::render_table2(analysis::correlation_table(traces)).c_str());
+
+  // -- Section 4.2: traceroutes ---------------------------------------------
+  std::printf("[3/4] running ECN traceroutes from all vantages...\n");
+  const auto observations = world.run_traceroutes(2);
+  const auto hops = analysis::analyze_hops(observations, world.ip2as());
+  std::printf("\n%s\n",
+              analysis::render_figure4(hops, observations, 10).c_str());
+
+  // -- headline summary ------------------------------------------------------
+  std::printf("[4/4] headline numbers vs the paper:\n%s\n",
+              analysis::render_summary(summary).c_str());
+  return 0;
+}

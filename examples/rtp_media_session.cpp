@@ -1,0 +1,93 @@
+// The paper's motivating application, end to end: an interactive media
+// session (RTP over UDP with RFC 6679 ECN) between two hosts on the
+// simulated Internet. Runs the same session over four path conditions and
+// shows the RFC 6679 lifecycle doing its job: verify, then use ECN -- or
+// fall back and keep the call alive.
+//
+//   $ ./rtp_media_session
+//
+#include <cstdio>
+#include <memory>
+
+#include "ecnprobe/rtp/media.hpp"
+#include "ecnprobe/scenario/world.hpp"
+
+namespace {
+
+using namespace ecnprobe;
+
+const char* state_name(rtp::MediaSender::EcnState s) {
+  switch (s) {
+    case rtp::MediaSender::EcnState::Disabled: return "disabled";
+    case rtp::MediaSender::EcnState::Initiating: return "initiating";
+    case rtp::MediaSender::EcnState::Capable: return "capable";
+    case rtp::MediaSender::EcnState::Failed: return "fell back";
+  }
+  return "?";
+}
+
+void run_session(const char* label, netsim::PolicyPtr bottleneck_policy) {
+  auto params = scenario::WorldParams::small(99);
+  params.bleach_inter_as_links = 0;   // path conditions are injected explicitly
+  params.bleach_intra_as_links = 0;
+  params.ect_udp_firewalled_servers = 0;
+  params.ect_required_servers = 0;
+  params.ec2_sensitive_servers = 0;
+  params.greylist_flaky_prob = 0.0;
+  params.greylist_dead_prob = 0.0;
+  params.offline_prob = 0.0;
+  params.server_count = 4;
+  scenario::World world(params);
+
+  // Caller at Perkins home, callee = the first pool host's machine (any
+  // host works; media uses its own port).
+  auto& caller = world.vantage("Perkins home").host();
+  auto& callee = *world.server(0).host;
+  if (bottleneck_policy) {
+    const auto& att = world.server(0).attachment;
+    // Congest/filter the callee's access link in the caller->callee
+    // direction.
+    world.net().add_egress_policy(att.router, att.router_if, bottleneck_policy);
+  }
+
+  rtp::MediaReceiver receiver(callee, rtp::MediaReceiver::Config{});
+  rtp::MediaSender sender(caller, callee.address(), 5004, rtp::MediaSender::Config{});
+  sender.start();
+  world.sim().run_until(world.sim().now() + util::SimDuration::seconds(8));
+  sender.stop();
+  receiver.stop();
+  world.sim().run();  // drain
+
+  const auto& tx = sender.stats();
+  const auto& rx = receiver.stats();
+  std::printf("%-28s ECN: %-10s rate %4.0f kb/s  delivered %5llu  lost %4u  "
+              "CE %4u  jitter %4u us\n",
+              label, state_name(sender.ecn_state()),
+              sender.current_bitrate_bps() / 1e3,
+              static_cast<unsigned long long>(rx.packets_received), rx.lost, rx.ce,
+              rx.jitter_us);
+  (void)tx;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RTP/UDP media sessions with RFC 6679 ECN across four path types\n"
+              "(8 simulated seconds each):\n\n");
+  run_session("clean path", nullptr);
+  run_session("congested AQM (marks CE)",
+              std::make_shared<netsim::CongestionPolicy>(0.15, 0.15));
+  run_session("ECN bleacher on path", std::make_shared<netsim::EcnBleachPolicy>(1.0));
+  run_session("ECT-UDP firewall on path", std::make_shared<netsim::EctUdpDropPolicy>());
+
+  std::printf("\nReading the rows:\n"
+              " * clean: verification passes, rate ramps up;\n"
+              " * congested: ECN stays usable -- CE marks throttle the sender with\n"
+              "   zero media loss;\n"
+              " * bleacher: marks arrive as not-ECT, so the sender falls back\n"
+              "   (ECN feedback would be blind) but media flows;\n"
+              " * firewall: every ECT probe is eaten; the verification timeout\n"
+              "   falls back to not-ECT and rescues the call -- the exact failure\n"
+              "   the paper set out to measure the prevalence of.\n");
+  return 0;
+}

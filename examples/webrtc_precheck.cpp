@@ -1,0 +1,90 @@
+// The paper's motivating use case: an interactive-media application (think
+// WebRTC / RTP-over-UDP with RFC 6679 ECN) wants to know whether it is safe
+// to send ECT(0)-marked media to a peer before enabling ECN. This example
+// implements that pre-flight check against the simulated Internet: probe the
+// path with both markings, compare, and recommend.
+//
+//   $ ./webrtc_precheck
+//
+#include <cstdio>
+#include <functional>
+
+#include "ecnprobe/scenario/world.hpp"
+
+namespace {
+
+using namespace ecnprobe;
+
+struct PrecheckResult {
+  bool plain_ok = false;
+  bool ect_ok = false;
+  double plain_rtt_ms = 0;
+  double ect_rtt_ms = 0;
+};
+
+// Probes `peer` with both markings (media apps would use STUN-style probes;
+// we reuse the NTP responder as the UDP echo service).
+void precheck(scenario::World& world, measure::Vantage& vantage,
+              wire::Ipv4Address peer, std::function<void(PrecheckResult)> done) {
+  auto result = std::make_shared<PrecheckResult>();
+  ntp::NtpQueryOptions plain;
+  plain.max_attempts = 3;
+  vantage.ntp().query(peer, plain, [&world, &vantage, peer, result,
+                                    done = std::move(done)](const ntp::NtpQueryResult& r) {
+    result->plain_ok = r.success;
+    result->plain_rtt_ms = r.rtt.to_millis();
+    ntp::NtpQueryOptions ect;
+    ect.max_attempts = 3;
+    ect.ecn = wire::Ecn::Ect0;
+    vantage.ntp().query(peer, ect, [result, done](const ntp::NtpQueryResult& r2) {
+      result->ect_ok = r2.success;
+      result->ect_rtt_ms = r2.rtt.to_millis();
+      done(*result);
+    });
+  });
+}
+
+const char* verdict(const PrecheckResult& r) {
+  if (r.plain_ok && r.ect_ok) return "ENABLE ECN: path passes ECT(0)";
+  if (r.plain_ok && !r.ect_ok) return "DISABLE ECN: ECT(0) is blocked on this path";
+  if (!r.plain_ok && r.ect_ok) return "ODD PATH: only ECT(0) passes (enable ECN)";
+  return "PEER UNREACHABLE: hold off entirely";
+}
+
+}  // namespace
+
+int main() {
+  auto params = scenario::WorldParams::small(7);
+  params.server_count = 40;
+  params.offline_prob = 0.0;
+  scenario::World world(params);
+  auto& vantage = world.vantage("Perkins home");
+
+  std::printf("WebRTC-style ECN pre-flight checks from '%s'\n", vantage.name().c_str());
+  std::printf("(RFC 6679 requires exactly this kind of probe before an RTP session\n"
+              " may send ECT-marked media)\n\n");
+
+  // Check a few peers, including one behind an ECT-dropping firewall.
+  std::vector<wire::Ipv4Address> peers = {world.servers()[0].address,
+                                          world.servers()[1].address,
+                                          world.ground_truth_firewalled()[0]};
+  std::size_t cursor = 0;
+  std::function<void()> next = [&]() {
+    if (cursor >= peers.size()) return;
+    const auto peer = peers[cursor++];
+    precheck(world, vantage, peer, [&, peer](PrecheckResult r) {
+      std::printf("peer %-15s  not-ECT: %-12s ECT(0): %-12s -> %s\n",
+                  peer.to_string().c_str(),
+                  r.plain_ok ? "ok" : "unreachable",
+                  r.ect_ok ? "ok" : "unreachable", verdict(r));
+      next();
+    });
+  };
+  next();
+  world.sim().run();
+
+  std::printf("\nPer the paper's conclusion, most paths pass ECT(0) and the check\n"
+              "comes back ENABLE; the firewalled peer is the exception the\n"
+              "pre-flight probe exists to catch.\n");
+  return 0;
+}

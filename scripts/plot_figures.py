@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as PNGs from the bench harness's CSV output.
+
+Usage:
+    build/bench/bench_fig2_udp_reachability --csv=traces.csv
+    scripts/plot_figures.py traces.csv out/
+
+Produces matplotlib versions of Figures 2a, 2b, 3a, 3b, and 5 from the raw
+per-trace CSV (the same file format `ecnprobe campaign` writes and
+`ecnprobe analyze` reads). Requires matplotlib + pandas.
+"""
+import collections
+import csv
+import os
+import sys
+
+
+def load(path):
+    traces = collections.OrderedDict()  # (vantage, index) -> list of rows
+    with open(path, newline="") as f:
+        for row in csv.DictReader(f):
+            key = (row["vantage"], int(row["trace"]))
+            traces.setdefault(key, []).append(row)
+    return traces
+
+
+def per_trace_stats(traces):
+    out = []
+    for (vantage, index), rows in traces.items():
+        plain = sum(r["udp_plain"] == "1" for r in rows)
+        ect = sum(r["udp_ect0"] == "1" for r in rows)
+        both = sum(r["udp_plain"] == "1" and r["udp_ect0"] == "1" for r in rows)
+        tcp = sum(r["tcp_resp"] == "1" for r in rows)
+        ecn = sum(r["tcpecn_conn"] == "1" and r["tcpecn_negotiated"] == "1"
+                  for r in rows)
+        out.append(dict(
+            vantage=vantage, index=index,
+            fig2a=100.0 * both / plain if plain else 0.0,
+            fig2b=100.0 * both / ect if ect else 0.0,
+            tcp=tcp, ecn=ecn))
+    return out
+
+
+def per_server_differential(traces):
+    plain = collections.Counter()
+    plain_not_ect = collections.Counter()
+    ect = collections.Counter()
+    ect_not_plain = collections.Counter()
+    for rows in traces.values():
+        for r in rows:
+            s = r["server"]
+            if r["udp_plain"] == "1":
+                plain[s] += 1
+                if r["udp_ect0"] != "1":
+                    plain_not_ect[s] += 1
+            if r["udp_ect0"] == "1":
+                ect[s] += 1
+                if r["udp_plain"] != "1":
+                    ect_not_plain[s] += 1
+    servers = sorted(plain.keys() | ect.keys())
+    fig3a = [100.0 * plain_not_ect[s] / plain[s] if plain[s] else 0.0
+             for s in servers]
+    fig3b = [100.0 * ect_not_plain[s] / ect[s] if ect[s] else 0.0
+             for s in servers]
+    return fig3a, fig3b
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    import matplotlib
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    traces_path, out_dir = sys.argv[1], sys.argv[2]
+    os.makedirs(out_dir, exist_ok=True)
+    traces = load(traces_path)
+    stats = per_trace_stats(traces)
+
+    def bar_figure(name, values, ylabel, ylim=None):
+        fig, ax = plt.subplots(figsize=(10, 3))
+        ax.bar(range(len(values)), values, width=0.8)
+        ax.set_xlabel("trace")
+        ax.set_ylabel(ylabel)
+        if ylim:
+            ax.set_ylim(*ylim)
+        fig.tight_layout()
+        fig.savefig(os.path.join(out_dir, name), dpi=150)
+        plt.close(fig)
+        print("wrote", os.path.join(out_dir, name))
+
+    bar_figure("fig2a.png", [s["fig2a"] for s in stats],
+               "% ECT(0)-reachable of not-ECT-reachable", (90, 100))
+    bar_figure("fig2b.png", [s["fig2b"] for s in stats],
+               "% not-ECT-reachable of ECT(0)-reachable", (90, 100))
+
+    fig3a, fig3b = per_server_differential(traces)
+    bar_figure("fig3a.png", fig3a, "differential reachability %  (plain, not ECT)")
+    bar_figure("fig3b.png", fig3b, "differential reachability %  (ECT, not plain)")
+
+    fig, ax = plt.subplots(figsize=(10, 3))
+    xs = range(len(stats))
+    ax.bar(xs, [s["tcp"] for s in stats], width=0.8, label="reachable via TCP")
+    ax.bar(xs, [s["ecn"] for s in stats], width=0.8,
+           label="negotiated ECN", color="tab:green")
+    ax.set_xlabel("trace")
+    ax.set_ylabel("web servers")
+    ax.legend()
+    fig.tight_layout()
+    fig.savefig(os.path.join(out_dir, "fig5.png"), dpi=150)
+    print("wrote", os.path.join(out_dir, "fig5.png"))
+
+
+if __name__ == "__main__":
+    main()

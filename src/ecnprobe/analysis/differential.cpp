@@ -1,0 +1,103 @@
+#include "ecnprobe/analysis/differential.hpp"
+
+#include <algorithm>
+
+namespace ecnprobe::analysis {
+
+std::vector<ServerDifferential> per_server_differential(
+    const std::vector<measure::Trace>& traces) {
+  struct Counters {
+    std::map<std::string, int> plain;          ///< traces reachable plain
+    std::map<std::string, int> plain_not_ect;  ///< ...of which ECT failed
+    std::map<std::string, int> ect;
+    std::map<std::string, int> ect_not_plain;
+  };
+  std::map<std::uint32_t, Counters> by_server;
+  std::vector<std::uint32_t> order;
+
+  for (const auto& trace : traces) {
+    for (const auto& s : trace.servers) {
+      if (!by_server.contains(s.server.value())) order.push_back(s.server.value());
+      Counters& c = by_server[s.server.value()];
+      if (s.udp_plain.reachable) {
+        ++c.plain[trace.vantage];
+        if (!s.udp_ect0.reachable) ++c.plain_not_ect[trace.vantage];
+      }
+      if (s.udp_ect0.reachable) {
+        ++c.ect[trace.vantage];
+        if (!s.udp_plain.reachable) ++c.ect_not_plain[trace.vantage];
+      }
+    }
+  }
+
+  std::vector<ServerDifferential> out;
+  out.reserve(order.size());
+  for (const auto addr : order) {
+    const Counters& c = by_server.at(addr);
+    ServerDifferential d;
+    d.server = wire::Ipv4Address{addr};
+    int plain_total = 0;
+    int plain_not_ect_total = 0;
+    for (const auto& [vantage, n] : c.plain) {
+      const auto it = c.plain_not_ect.find(vantage);
+      const int failed = it == c.plain_not_ect.end() ? 0 : it->second;
+      d.plain_not_ect_pct[vantage] = 100.0 * failed / n;
+      plain_total += n;
+      plain_not_ect_total += failed;
+    }
+    int ect_total = 0;
+    int ect_not_plain_total = 0;
+    for (const auto& [vantage, n] : c.ect) {
+      const auto it = c.ect_not_plain.find(vantage);
+      const int failed = it == c.ect_not_plain.end() ? 0 : it->second;
+      d.ect_not_plain_pct[vantage] = 100.0 * failed / n;
+      ect_total += n;
+      ect_not_plain_total += failed;
+    }
+    d.overall_plain_not_ect_pct =
+        plain_total == 0 ? 0.0 : 100.0 * plain_not_ect_total / plain_total;
+    d.overall_ect_not_plain_pct =
+        ect_total == 0 ? 0.0 : 100.0 * ect_not_plain_total / ect_total;
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<DifferentialCounts> count_over_threshold(
+    const std::vector<ServerDifferential>& differentials,
+    const std::vector<std::string>& vantages, double threshold_pct) {
+  std::vector<DifferentialCounts> out;
+  for (const auto& vantage : vantages) {
+    DifferentialCounts counts;
+    counts.vantage = vantage;
+    for (const auto& d : differentials) {
+      const auto a = d.plain_not_ect_pct.find(vantage);
+      if (a != d.plain_not_ect_pct.end() && a->second > threshold_pct) {
+        ++counts.plain_not_ect_over_threshold;
+      }
+      const auto b = d.ect_not_plain_pct.find(vantage);
+      if (b != d.ect_not_plain_pct.end() && b->second > threshold_pct) {
+        ++counts.ect_not_plain_over_threshold;
+      }
+    }
+    out.push_back(std::move(counts));
+  }
+  return out;
+}
+
+std::vector<wire::Ipv4Address> persistent_failures(
+    const std::vector<ServerDifferential>& differentials,
+    const std::vector<std::string>& vantages, double threshold_pct) {
+  std::vector<wire::Ipv4Address> out;
+  for (const auto& d : differentials) {
+    const bool everywhere = std::all_of(
+        vantages.begin(), vantages.end(), [&](const std::string& vantage) {
+          const auto it = d.plain_not_ect_pct.find(vantage);
+          return it != d.plain_not_ect_pct.end() && it->second > threshold_pct;
+        });
+    if (everywhere) out.push_back(d.server);
+  }
+  return out;
+}
+
+}  // namespace ecnprobe::analysis

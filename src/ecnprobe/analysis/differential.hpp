@@ -1,0 +1,50 @@
+// Figure 3: per-server differential reachability. For each server and each
+// vantage point, the fraction of traces in which the server was reachable
+// with one marking but not the other. Servers behind ECT-dropping firewalls
+// show ~100% differential reachability from every location; transient loss
+// shows up as small nonzero values.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/measure/results.hpp"
+
+namespace ecnprobe::analysis {
+
+struct ServerDifferential {
+  wire::Ipv4Address server;
+  /// Per vantage: 100 * |traces reachable plain but not ECT| / |traces
+  /// reachable plain| (Figure 3a).
+  std::map<std::string, double> plain_not_ect_pct;
+  /// The converse (Figure 3b).
+  std::map<std::string, double> ect_not_plain_pct;
+  /// Aggregates across all vantages.
+  double overall_plain_not_ect_pct = 0.0;
+  double overall_ect_not_plain_pct = 0.0;
+};
+
+std::vector<ServerDifferential> per_server_differential(
+    const std::vector<measure::Trace>& traces);
+
+/// Servers whose differential reachability exceeds `threshold_pct` from a
+/// given vantage (the paper counts 9-14 per location in Figure 3a and at
+/// most 3 in Figure 3b).
+struct DifferentialCounts {
+  std::string vantage;
+  int plain_not_ect_over_threshold = 0;
+  int ect_not_plain_over_threshold = 0;
+};
+std::vector<DifferentialCounts> count_over_threshold(
+    const std::vector<ServerDifferential>& differentials,
+    const std::vector<std::string>& vantages, double threshold_pct = 50.0);
+
+/// Servers above threshold from *every* vantage -- the paper's observation
+/// that the same servers fail everywhere, implying drops near the
+/// destination.
+std::vector<wire::Ipv4Address> persistent_failures(
+    const std::vector<ServerDifferential>& differentials,
+    const std::vector<std::string>& vantages, double threshold_pct = 50.0);
+
+}  // namespace ecnprobe::analysis

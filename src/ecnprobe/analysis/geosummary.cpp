@@ -1,0 +1,22 @@
+#include "ecnprobe/analysis/geosummary.hpp"
+
+namespace ecnprobe::analysis {
+
+GeoSummary summarize_geo(const std::vector<wire::Ipv4Address>& servers,
+                         const geo::GeoDatabase& db) {
+  GeoSummary out;
+  for (const auto region : geo::all_regions()) out.counts[region] = 0;
+  for (const auto& addr : servers) {
+    ++out.total;
+    const auto record = db.lookup(addr);
+    if (!record) {
+      ++out.counts[geo::Region::Unknown];
+      continue;
+    }
+    ++out.counts[record->region];
+    out.locations.emplace_back(record->latitude, record->longitude);
+  }
+  return out;
+}
+
+}  // namespace ecnprobe::analysis

@@ -1,0 +1,24 @@
+// Table 1 / Figure 1: geographic distribution of the discovered servers via
+// GeoDatabase lookups; unmapped addresses land in the Unknown row exactly as
+// in the paper.
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "ecnprobe/geo/geo.hpp"
+#include "ecnprobe/wire/ipv4.hpp"
+
+namespace ecnprobe::analysis {
+
+struct GeoSummary {
+  std::map<geo::Region, int> counts;                 ///< Table 1 rows
+  std::vector<std::pair<double, double>> locations;  ///< (lat, lon) for Figure 1
+  int total = 0;
+};
+
+GeoSummary summarize_geo(const std::vector<wire::Ipv4Address>& servers,
+                         const geo::GeoDatabase& db);
+
+}  // namespace ecnprobe::analysis

@@ -1,0 +1,51 @@
+// Figure 4 / Section 4.2: where do ECT(0) marks get stripped? Hops are
+// identified as (vantage, destination, responder) tuples, matching the
+// paper's counting (155439 hops). A hop is classified by the ECN field its
+// ICMP quotation reported across repeated traceroutes: always intact,
+// always stripped, or sometimes stripped (the paper's 125 flapping hops).
+// Strip *locations* are the transitions from an intact hop to a stripped
+// one along a path, attributed to an AS boundary when the two responders
+// map to different ASNs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ecnprobe/measure/results.hpp"
+#include "ecnprobe/topology/ip2as.hpp"
+
+namespace ecnprobe::analysis {
+
+struct HopAnalysis {
+  std::uint64_t total_hops = 0;        ///< unique (vantage, dest, responder)
+  std::uint64_t pass_hops = 0;         ///< quoted ECN intact in every repetition
+  std::uint64_t strip_hops = 0;        ///< quoted not-ECT at least once
+  std::uint64_t sometimes_strip = 0;   ///< subset of strip_hops seen both ways
+  std::uint64_t ce_marks_seen = 0;     ///< quotations showing CE (paper saw none)
+
+  std::uint64_t strip_locations = 0;           ///< unique intact->stripped edges
+  std::uint64_t strip_locations_at_boundary = 0;
+  std::uint64_t strip_locations_unattributed = 0;  ///< no upstream responder / no AS
+
+  std::uint64_t ases_observed = 0;     ///< distinct ASNs among responders
+  std::uint64_t paths = 0;
+  double mean_responding_hops_per_path = 0.0;
+
+  double pct_hops_passing() const {
+    return total_hops == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(pass_hops + sometimes_strip) /
+                     static_cast<double>(total_hops);
+  }
+  double pct_strips_at_boundary() const {
+    const auto attributed = strip_locations - strip_locations_unattributed;
+    return attributed == 0 ? 0.0
+                           : 100.0 * static_cast<double>(strip_locations_at_boundary) /
+                                 static_cast<double>(attributed);
+  }
+};
+
+HopAnalysis analyze_hops(const std::vector<measure::TracerouteObservation>& observations,
+                         const topology::IpToAsMap& ip2as);
+
+}  // namespace ecnprobe::analysis

@@ -1,0 +1,36 @@
+#include "ecnprobe/analysis/trend.hpp"
+
+namespace ecnprobe::analysis {
+
+std::vector<TrendPoint> historical_trend() {
+  // Values from the paper's Section 4.3 and related-work discussion.
+  return {
+      {2000.5, 0.2, "Medina 2000", false},
+      {2004.3, 0.5, "Medina 2004", false},
+      {2008.7, 1.0, "Langley 2008", false},
+      {2011.5, 17.2, "Bauer 2011", false},
+      {2012.3, 25.16, "Kuehlewind Apr 2012", false},
+      {2012.6, 29.48, "Kuehlewind Aug 2012", false},
+      {2014.7, 56.17, "Trammell 2014", false},
+  };
+}
+
+std::vector<TrendPoint> trend_with_measurement(double measured_pct, double year) {
+  auto points = historical_trend();
+  points.push_back({year, measured_pct, "measured", true});
+  return points;
+}
+
+util::LogisticFit fit_trend(const std::vector<TrendPoint>& points) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const auto& p : points) {
+    xs.push_back(p.year);
+    ys.push_back(p.pct_negotiating);
+  }
+  return util::logistic_fit(xs, ys, 100.0);
+}
+
+}  // namespace ecnprobe::analysis

@@ -1,0 +1,32 @@
+// Figure 6: ECN-with-TCP capability over time. Historical data points come
+// from the prior studies the paper cites (Medina 2000/2004, Langley 2008,
+// Bauer 2011, Kuehlewind 2012, Trammell 2014); the measured 2015 value comes
+// from the campaign. A logistic growth fit shows the measured point landing
+// on the adoption curve.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ecnprobe/util/stats.hpp"
+
+namespace ecnprobe::analysis {
+
+struct TrendPoint {
+  double year = 0.0;
+  double pct_negotiating = 0.0;
+  std::string label;
+  bool measured = false;  ///< true for this study's own data point
+};
+
+/// The prior-study series as cited in Section 4.3 / Figure 6.
+std::vector<TrendPoint> historical_trend();
+
+/// Historical points plus the campaign's measured value.
+std::vector<TrendPoint> trend_with_measurement(double measured_pct,
+                                               double year = 2015.6);
+
+/// Logistic adoption-curve fit over a trend series.
+util::LogisticFit fit_trend(const std::vector<TrendPoint>& points);
+
+}  // namespace ecnprobe::analysis

@@ -1,0 +1,176 @@
+#include "ecnprobe/dns/pool_dns.hpp"
+
+#include <algorithm>
+
+#include "ecnprobe/util/log.hpp"
+#include "ecnprobe/util/strings.hpp"
+
+namespace ecnprobe::dns {
+
+void PoolZones::add_member(const std::string& zone, wire::Ipv4Address addr) {
+  zones_[util::to_lower(zone)].members.push_back(addr);
+}
+
+void PoolZones::remove_member(const std::string& zone, wire::Ipv4Address addr) {
+  const auto it = zones_.find(util::to_lower(zone));
+  if (it == zones_.end()) return;
+  auto& members = it->second.members;
+  members.erase(std::remove(members.begin(), members.end(), addr), members.end());
+  if (it->second.cursor >= members.size()) it->second.cursor = 0;
+}
+
+std::vector<std::string> PoolZones::zone_names() const {
+  std::vector<std::string> out;
+  out.reserve(zones_.size());
+  for (const auto& [name, _] : zones_) out.push_back(name);
+  return out;
+}
+
+std::size_t PoolZones::member_count(const std::string& zone) const {
+  const auto it = zones_.find(util::to_lower(zone));
+  return it == zones_.end() ? 0 : it->second.members.size();
+}
+
+std::vector<wire::Ipv4Address> PoolZones::next_answers(const std::string& zone) {
+  const auto it = zones_.find(util::to_lower(zone));
+  if (it == zones_.end()) return {};
+  Zone& z = it->second;
+  std::vector<wire::Ipv4Address> out;
+  const std::size_t n = std::min(answers_per_query_, z.members.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(z.members[z.cursor]);
+    z.cursor = (z.cursor + 1) % z.members.size();
+  }
+  return out;
+}
+
+DnsServerService::DnsServerService(netsim::Host& host, std::shared_ptr<PoolZones> zones)
+    : host_(host), zones_(std::move(zones)) {
+  socket_ = host_.open_udp(wire::kDnsPort);
+  socket_->set_receive_handler([this](const netsim::UdpDelivery& delivery) {
+    const auto query = wire::DnsMessage::decode(delivery.payload);
+    if (!query || query->is_response || query->questions.empty()) return;
+    ++stats_.queries;
+    const auto& question = query->questions.front();
+    const std::string zone = util::to_lower(question.name);
+    wire::DnsMessage response;
+    if (question.qtype == wire::DnsType::A && zones_->has_zone(zone)) {
+      std::vector<wire::DnsRecord> answers;
+      for (const auto addr : zones_->next_answers(zone)) {
+        answers.push_back(wire::DnsRecord::make_a(question.name, addr, 150));
+      }
+      response = wire::DnsMessage::make_response(*query, wire::DnsRcode::NoError,
+                                                 std::move(answers));
+    } else {
+      ++stats_.nxdomain;
+      response = wire::DnsMessage::make_response(*query, wire::DnsRcode::NxDomain, {});
+    }
+    const auto bytes = response.encode();
+    socket_->send(delivery.src, delivery.src_port, bytes, wire::Ecn::NotEct);
+  });
+}
+
+struct DnsClient::Pending : std::enable_shared_from_this<DnsClient::Pending> {
+  netsim::Host& host;
+  wire::Ipv4Address resolver;
+  std::string name;
+  Handler handler;
+  util::SimDuration timeout;
+  int attempts_left;
+  std::uint16_t id;
+
+  std::shared_ptr<netsim::UdpSocket> socket;
+  netsim::EventHandle timer;
+  bool done = false;
+
+  Pending(netsim::Host& h, wire::Ipv4Address r, std::string n, Handler cb,
+          util::SimDuration t, int attempts, std::uint16_t query_id)
+      : host(h), resolver(r), name(std::move(n)), handler(std::move(cb)), timeout(t),
+        attempts_left(attempts), id(query_id) {}
+
+  void start() {
+    socket = host.open_udp();
+    auto self = shared_from_this();
+    socket->set_receive_handler(
+        [self](const netsim::UdpDelivery& delivery) { self->on_response(delivery); });
+    send_attempt();
+  }
+
+  void send_attempt() {
+    --attempts_left;
+    const auto query = wire::DnsMessage::make_query(id, name);
+    const auto bytes = query.encode();
+    socket->send(resolver, wire::kDnsPort, bytes, wire::Ecn::NotEct);
+    auto self = shared_from_this();
+    timer = host.network().sim().schedule(timeout, [self]() { self->on_timeout(); });
+  }
+
+  void on_response(const netsim::UdpDelivery& delivery) {
+    if (done) return;
+    const auto response = wire::DnsMessage::decode(delivery.payload);
+    if (!response || !response->is_response || response->id != id) return;
+    done = true;
+    timer.cancel();
+    DnsQueryResult result;
+    result.rcode = response->rcode;
+    result.success = response->rcode == wire::DnsRcode::NoError;
+    for (const auto& rr : response->answers) {
+      if (const auto addr = rr.a_address()) result.addresses.push_back(*addr);
+    }
+    finish(result);
+  }
+
+  void on_timeout() {
+    if (done) return;
+    if (attempts_left <= 0) {
+      done = true;
+      finish(DnsQueryResult{});
+      return;
+    }
+    send_attempt();
+  }
+
+  void finish(const DnsQueryResult& result) {
+    socket->close();
+    if (handler) handler(result);
+  }
+};
+
+void DnsClient::query(const std::string& name, Handler handler, util::SimDuration timeout,
+                      int attempts) {
+  auto pending = std::make_shared<Pending>(host_, resolver_, name, std::move(handler),
+                                           timeout, attempts, next_id_++);
+  pending->start();
+}
+
+DiscoveryCrawler::DiscoveryCrawler(netsim::Host& host, wire::Ipv4Address resolver,
+                                   std::vector<std::string> zones, Params params)
+    : host_(host), client_(host, resolver), zones_(std::move(zones)), params_(params) {}
+
+void DiscoveryCrawler::start(DoneHandler done) {
+  done_ = std::move(done);
+  zone_index_ = 0;
+  rounds_completed_ = 0;
+  query_next();
+}
+
+void DiscoveryCrawler::query_next() {
+  if (zone_index_ >= zones_.size()) {
+    zone_index_ = 0;
+    ++rounds_completed_;
+    if (rounds_completed_ >= params_.rounds) {
+      if (done_) done_(discovered_);
+      return;
+    }
+    // Wait out the remainder of the round interval, then start over.
+    host_.network().sim().schedule(params_.round_interval, [this]() { query_next(); });
+    return;
+  }
+  const std::string zone = zones_[zone_index_++];
+  client_.query(zone, [this](const DnsQueryResult& result) {
+    for (const auto addr : result.addresses) discovered_.insert(addr.value());
+    host_.network().sim().schedule(params_.inter_query_gap, [this]() { query_next(); });
+  });
+}
+
+}  // namespace ecnprobe::dns

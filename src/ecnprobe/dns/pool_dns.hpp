@@ -1,0 +1,125 @@
+// The pool.ntp.org discovery machinery. The pool runs round-robin DNS that
+// returns a different small answer set every few minutes; the paper's
+// discovery script queried pool.ntp.org and every country/region sub-domain
+// at ~10 minute intervals for several weeks to enumerate 2500 servers
+// (Section 3). This module provides all three pieces: the authoritative
+// zone data, a DNS server service answering over simulated UDP, a stub
+// resolver client, and the discovery crawler.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/netsim/host.hpp"
+#include "ecnprobe/util/rng.hpp"
+#include "ecnprobe/wire/dnsmsg.hpp"
+
+namespace ecnprobe::dns {
+
+/// Authoritative data: zone name -> member servers, with a rotating cursor
+/// per zone implementing the pool's round-robin behaviour.
+class PoolZones {
+public:
+  explicit PoolZones(std::size_t answers_per_query = 4)
+      : answers_per_query_(answers_per_query) {}
+
+  void add_member(const std::string& zone, wire::Ipv4Address addr);
+  void remove_member(const std::string& zone, wire::Ipv4Address addr);
+
+  bool has_zone(const std::string& zone) const { return zones_.contains(zone); }
+  std::vector<std::string> zone_names() const;
+  std::size_t member_count(const std::string& zone) const;
+
+  /// The next answer set for `zone` (advances the round-robin cursor).
+  std::vector<wire::Ipv4Address> next_answers(const std::string& zone);
+
+private:
+  struct Zone {
+    std::vector<wire::Ipv4Address> members;
+    std::size_t cursor = 0;
+  };
+  std::map<std::string, Zone> zones_;
+  std::size_t answers_per_query_;
+};
+
+/// DNS service bound to UDP port 53 of a Host, answering A queries from a
+/// PoolZones database.
+class DnsServerService {
+public:
+  DnsServerService(netsim::Host& host, std::shared_ptr<PoolZones> zones);
+
+  struct Stats {
+    std::uint64_t queries = 0;
+    std::uint64_t nxdomain = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+private:
+  netsim::Host& host_;
+  std::shared_ptr<PoolZones> zones_;
+  std::shared_ptr<netsim::UdpSocket> socket_;
+  Stats stats_;
+};
+
+struct DnsQueryResult {
+  bool success = false;
+  wire::DnsRcode rcode = wire::DnsRcode::ServFail;
+  std::vector<wire::Ipv4Address> addresses;
+};
+
+/// Stub resolver: one query, bounded retries.
+class DnsClient {
+public:
+  using Handler = std::function<void(const DnsQueryResult&)>;
+
+  DnsClient(netsim::Host& host, wire::Ipv4Address resolver)
+      : host_(host), resolver_(resolver) {}
+
+  void query(const std::string& name, Handler handler,
+             util::SimDuration timeout = util::SimDuration::seconds(2), int attempts = 3);
+
+private:
+  struct Pending;
+  netsim::Host& host_;
+  wire::Ipv4Address resolver_;
+  std::uint16_t next_id_ = 1;
+};
+
+/// The discovery crawl: every `round_interval`, query each zone in turn with
+/// `inter_query_gap` between queries, accumulating unique addresses.
+class DiscoveryCrawler {
+public:
+  struct Params {
+    util::SimDuration round_interval = util::SimDuration::minutes(10);
+    util::SimDuration inter_query_gap = util::SimDuration::seconds(1);
+    int rounds = 100;
+  };
+  using DoneHandler = std::function<void(const std::set<std::uint32_t>&)>;
+
+  DiscoveryCrawler(netsim::Host& host, wire::Ipv4Address resolver,
+                   std::vector<std::string> zones, Params params);
+
+  /// Starts crawling; `done` fires after the last round.
+  void start(DoneHandler done);
+
+  const std::set<std::uint32_t>& discovered() const { return discovered_; }
+  int rounds_completed() const { return rounds_completed_; }
+
+private:
+  void query_next();
+
+  netsim::Host& host_;
+  DnsClient client_;
+  std::vector<std::string> zones_;
+  Params params_;
+  DoneHandler done_;
+  std::set<std::uint32_t> discovered_;
+  std::size_t zone_index_ = 0;
+  int rounds_completed_ = 0;
+};
+
+}  // namespace ecnprobe::dns

@@ -1,0 +1,127 @@
+#include "ecnprobe/geo/geo.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace ecnprobe::geo {
+
+std::string_view to_string(Region r) {
+  switch (r) {
+    case Region::Africa: return "Africa";
+    case Region::Asia: return "Asia";
+    case Region::Australia: return "Australia";
+    case Region::Europe: return "Europe";
+    case Region::NorthAmerica: return "North America";
+    case Region::SouthAmerica: return "South America";
+    case Region::Unknown: return "Unknown";
+  }
+  return "?";
+}
+
+std::span<const Region> all_regions() {
+  static constexpr std::array<Region, kRegionCount> kAll = {
+      Region::Africa,       Region::Asia,         Region::Australia, Region::Europe,
+      Region::NorthAmerica, Region::SouthAmerica, Region::Unknown,
+  };
+  return kAll;
+}
+
+namespace {
+std::uint32_t prefix_mask(int len) {
+  if (len <= 0) return 0;
+  if (len >= 32) return 0xffffffffu;
+  return ~((1u << (32 - len)) - 1u);
+}
+}  // namespace
+
+void GeoDatabase::add(wire::Ipv4Address prefix, int prefix_len, GeoRecord record) {
+  prefix_len = std::clamp(prefix_len, 0, 32);
+  by_len_[static_cast<std::size_t>(prefix_len)].push_back(
+      Entry{prefix.value() & prefix_mask(prefix_len), std::move(record)});
+  ++entries_;
+}
+
+std::optional<GeoRecord> GeoDatabase::lookup(wire::Ipv4Address addr) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_len_[static_cast<std::size_t>(len)];
+    if (bucket.empty()) continue;
+    const std::uint32_t masked = addr.value() & prefix_mask(len);
+    for (const auto& entry : bucket) {
+      if (entry.base == masked) return entry.record;
+    }
+  }
+  return std::nullopt;
+}
+
+std::span<const CountryInfo> country_table() {
+  // Weights are within-region shares; lat/lon are rough national centroids
+  // with a scatter box sized to the country.
+  static const std::array<CountryInfo, 36> kCountries = {{
+      // Europe (paper: 1664 servers; pool heavily concentrated in DE/UK/FR/NL)
+      {"de", Region::Europe, 51.0, 10.0, 3.0, 4.0, 0.22},
+      {"uk", Region::Europe, 53.0, -1.5, 3.0, 2.5, 0.14},
+      {"fr", Region::Europe, 46.5, 2.5, 3.5, 3.5, 0.11},
+      {"nl", Region::Europe, 52.2, 5.5, 1.2, 1.5, 0.10},
+      {"se", Region::Europe, 60.0, 15.0, 4.0, 3.0, 0.06},
+      {"ch", Region::Europe, 46.8, 8.2, 1.0, 1.5, 0.05},
+      {"pl", Region::Europe, 52.0, 19.0, 2.5, 3.5, 0.05},
+      {"it", Region::Europe, 42.8, 12.5, 3.5, 2.5, 0.05},
+      {"ru", Region::Europe, 55.7, 37.6, 4.0, 12.0, 0.05},
+      {"es", Region::Europe, 40.3, -3.7, 3.0, 3.5, 0.04},
+      {"fi", Region::Europe, 61.9, 25.7, 3.0, 3.0, 0.03},
+      {"cz", Region::Europe, 49.8, 15.5, 1.0, 2.0, 0.03},
+      {"at", Region::Europe, 47.5, 14.5, 1.0, 2.0, 0.03},
+      {"dk", Region::Europe, 56.2, 9.5, 1.0, 2.0, 0.02},
+      {"no", Region::Europe, 60.5, 8.5, 3.0, 3.0, 0.02},
+
+      // North America (paper: 522)
+      {"us", Region::NorthAmerica, 39.8, -98.6, 8.0, 22.0, 0.80},
+      {"ca", Region::NorthAmerica, 49.5, -96.0, 4.0, 20.0, 0.16},
+      {"mx", Region::NorthAmerica, 23.6, -102.5, 4.0, 6.0, 0.04},
+
+      // Asia (paper: 190)
+      {"jp", Region::Asia, 36.2, 138.3, 4.0, 4.0, 0.25},
+      {"cn", Region::Asia, 35.9, 104.2, 8.0, 14.0, 0.17},
+      {"in", Region::Asia, 20.6, 79.0, 7.0, 7.0, 0.12},
+      {"sg", Region::Asia, 1.35, 103.8, 0.2, 0.2, 0.11},
+      {"kr", Region::Asia, 36.5, 127.9, 1.5, 1.5, 0.10},
+      {"hk", Region::Asia, 22.3, 114.2, 0.3, 0.3, 0.08},
+      {"tw", Region::Asia, 23.7, 121.0, 1.2, 0.8, 0.07},
+      {"id", Region::Asia, -2.5, 118.0, 5.0, 10.0, 0.05},
+      {"th", Region::Asia, 15.9, 100.9, 4.0, 3.0, 0.05},
+
+      // Australia / Oceania (paper: 68)
+      {"au", Region::Australia, -25.3, 133.8, 10.0, 14.0, 0.82},
+      {"nz", Region::Australia, -41.0, 174.0, 4.0, 3.0, 0.18},
+
+      // South America (paper: 32)
+      {"br", Region::SouthAmerica, -14.2, -51.9, 10.0, 10.0, 0.60},
+      {"ar", Region::SouthAmerica, -38.4, -63.6, 8.0, 5.0, 0.20},
+      {"cl", Region::SouthAmerica, -35.7, -71.5, 8.0, 1.5, 0.10},
+      {"co", Region::SouthAmerica, 4.6, -74.1, 3.0, 3.0, 0.10},
+
+      // Africa (paper: 22)
+      {"za", Region::Africa, -30.6, 22.9, 5.0, 6.0, 0.55},
+      {"ke", Region::Africa, -0.02, 37.9, 2.0, 2.0, 0.20},
+      {"eg", Region::Africa, 26.8, 30.8, 3.0, 3.0, 0.25},
+  }};
+  return kCountries;
+}
+
+std::vector<const CountryInfo*> countries_in(Region region) {
+  std::vector<const CountryInfo*> out;
+  for (const auto& country : country_table()) {
+    if (country.region == region) out.push_back(&country);
+  }
+  return out;
+}
+
+std::pair<double, double> sample_location(const CountryInfo& country, util::Rng& rng) {
+  const double lat =
+      country.latitude + rng.uniform(-country.lat_spread, country.lat_spread);
+  const double lon =
+      country.longitude + rng.uniform(-country.lon_spread, country.lon_spread);
+  return {std::clamp(lat, -85.0, 85.0), std::clamp(lon, -180.0, 180.0)};
+}
+
+}  // namespace ecnprobe::geo

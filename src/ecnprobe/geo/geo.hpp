@@ -1,0 +1,87 @@
+// Geolocation of measurement targets. The paper locates its 2500 NTP pool
+// servers with the MaxMind GeoLite2 City database (as of 25 April 2015) to
+// produce Figure 1 (world map) and Table 1 (per-region counts). We build the
+// same lookup structure -- a longest-prefix-match table from address blocks
+// to (region, country, lat/lon) -- populated synthetically by the scenario
+// module with the paper's regional distribution.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ecnprobe/util/rng.hpp"
+#include "ecnprobe/wire/ipv4.hpp"
+
+namespace ecnprobe::geo {
+
+/// The continental regions of the paper's Table 1.
+enum class Region : std::uint8_t {
+  Africa,
+  Asia,
+  Australia,  // the paper's label for Oceania
+  Europe,
+  NorthAmerica,
+  SouthAmerica,
+  Unknown,
+};
+inline constexpr std::size_t kRegionCount = 7;
+
+std::string_view to_string(Region r);
+std::span<const Region> all_regions();
+
+struct GeoRecord {
+  Region region = Region::Unknown;
+  std::string country;  ///< ISO 3166-1 alpha-2, lower case ("uk" per pool zones)
+  double latitude = 0.0;
+  double longitude = 0.0;
+};
+
+/// Longest-prefix-match IP -> GeoRecord database (GeoLite2-City-like).
+class GeoDatabase {
+public:
+  void add(wire::Ipv4Address prefix, int prefix_len, GeoRecord record);
+
+  /// Longest matching prefix, or nullopt when the address is unmapped
+  /// (Table 1's "Unknown" row).
+  std::optional<GeoRecord> lookup(wire::Ipv4Address addr) const;
+
+  std::size_t size() const { return entries_; }
+
+private:
+  struct Entry {
+    std::uint32_t base;
+    GeoRecord record;
+  };
+  // One sorted-by-insertion bucket per prefix length; lookup scans from the
+  // most specific length down.
+  std::vector<std::vector<Entry>> by_len_ = std::vector<std::vector<Entry>>(33);
+  std::size_t entries_ = 0;
+};
+
+/// One synthetic country: where its servers cluster on the map and how much
+/// of its region's pool it hosts. The weights are loosely modelled on the
+/// 2015 NTP pool (Europe dominated by DE/UK/FR/NL; North America by US).
+struct CountryInfo {
+  std::string code;
+  Region region;
+  double latitude;    ///< country centroid
+  double longitude;
+  double lat_spread;  ///< servers scatter uniformly within +/- spread
+  double lon_spread;
+  double weight;      ///< share of the region's servers
+};
+
+/// The built-in country table used to synthesise the pool.
+std::span<const CountryInfo> country_table();
+
+/// Countries of one region, in table order.
+std::vector<const CountryInfo*> countries_in(Region region);
+
+/// Draws a plausible (lat, lon) for a server in `country`.
+std::pair<double, double> sample_location(const CountryInfo& country, util::Rng& rng);
+
+}  // namespace ecnprobe::geo

@@ -1,0 +1,82 @@
+// The HTTP side of the study. Pool operators are encouraged to run a web
+// server that redirects to www.pool.ntp.org; the paper probes it twice per
+// server per trace -- once with a normal SYN and once with an ECN-setup SYN
+// -- recording whether the server responds and whether the SYN-ACK is an
+// ECN-setup SYN-ACK (Section 3). HttpServerService is the pool-side
+// redirector; HttpGetClient is the probing side.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ecnprobe/tcp/tcp.hpp"
+#include "ecnprobe/wire/http.hpp"
+
+namespace ecnprobe::http {
+
+/// Minimal pool web server: answers any request with a configurable status
+/// (default 302 redirect to the pool website), then closes.
+class HttpServerService {
+public:
+  struct Config {
+    int status = 302;
+    std::string reason = "Found";
+    std::string location = "http://www.pool.ntp.org/";
+    std::string body;
+    std::string server_header = "nginx";
+  };
+
+  HttpServerService(tcp::TcpStack& stack, Config config,
+                    std::uint16_t port = wire::kHttpPort);
+
+  /// Withdraw/restore the listener (pool churn: host up, web server down).
+  void set_enabled(bool enabled);
+  bool enabled() const { return enabled_; }
+
+  struct Stats {
+    std::uint64_t connections = 0;
+    std::uint64_t requests_served = 0;
+    std::uint64_t ecn_connections = 0;  ///< connections that negotiated ECN
+  };
+  const Stats& stats() const { return stats_; }
+
+private:
+  struct Session;
+  void install_listener();
+
+  tcp::TcpStack& stack_;
+  Config config_;
+  std::uint16_t port_;
+  bool enabled_ = true;
+  Stats stats_;
+};
+
+struct HttpGetResult {
+  bool connected = false;        ///< handshake completed
+  bool ecn_negotiated = false;   ///< SYN-ACK was an ECN-setup SYN-ACK
+  bool got_response = false;     ///< a parseable HTTP response arrived
+  int status = 0;
+  std::string location;          ///< Location header if present
+  tcp::CloseReason close_reason = tcp::CloseReason::Graceful;
+};
+
+/// One-shot `GET /` with optional ECN negotiation and an overall deadline.
+class HttpGetClient {
+public:
+  using Handler = std::function<void(const HttpGetResult&)>;
+
+  explicit HttpGetClient(tcp::TcpStack& stack) : stack_(stack) {}
+
+  void get(wire::Ipv4Address server, bool want_ecn, Handler handler,
+           std::uint16_t port = wire::kHttpPort,
+           util::SimDuration deadline = util::SimDuration::seconds(15));
+
+private:
+  struct Pending;
+  tcp::TcpStack& stack_;
+};
+
+}  // namespace ecnprobe::http

@@ -1,0 +1,134 @@
+#include "ecnprobe/live/live_probe.hpp"
+
+#include <chrono>
+#include <random>
+
+#include "ecnprobe/wire/tcp.hpp"
+#include "ecnprobe/wire/udp.hpp"
+
+namespace ecnprobe::live {
+
+namespace {
+
+std::int64_t unix_nanos_now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+LiveNtpResult live_ntp_probe(wire::Ipv4Address server, wire::Ecn ecn, int max_attempts,
+                             int timeout_ms) {
+  LiveNtpResult result;
+  auto socket = EcnUdpSocket::open();
+  if (!socket) {
+    result.error = socket.error().message;
+    return result;
+  }
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    ++result.attempts;
+    const auto request = wire::NtpPacket::make_client_request(
+        wire::NtpTimestamp::from_unix_nanos(unix_nanos_now()));
+    const auto bytes = request.encode();
+    const auto sent = socket->send(server, wire::kNtpPort, bytes, ecn);
+    if (!sent) {
+      result.error = sent.error().message;
+      return result;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    int remaining = timeout_ms;
+    while (remaining > 0) {
+      auto received = socket->recv(remaining);
+      if (!received) {
+        result.error = received.error().message;
+        return result;
+      }
+      if (!received->has_value()) break;  // timeout
+      const auto& packet = **received;
+      if (packet.src != server || packet.src_port != wire::kNtpPort) {
+        const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+        remaining = timeout_ms - static_cast<int>(elapsed);
+        continue;
+      }
+      const auto response = wire::NtpPacket::decode(packet.payload);
+      if (response && response->answers(request)) {
+        const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+        result.reachable = true;
+        result.rtt_ms = static_cast<double>(elapsed) / 1e3;
+        result.response_ecn = packet.ecn;
+        return result;
+      }
+    }
+  }
+  return result;
+}
+
+LiveTcpEcnResult live_tcp_ecn_probe(wire::Ipv4Address server, std::uint16_t port,
+                                    int timeout_ms) {
+  LiveTcpEcnResult result;
+  auto sender = RawSender::open();
+  if (!sender) {
+    result.error = "raw socket unavailable (need CAP_NET_RAW): " + sender.error().message;
+    return result;
+  }
+  auto receiver = RawReceiver::open(wire::IpProto::Tcp);
+  if (!receiver) {
+    result.error = receiver.error().message;
+    return result;
+  }
+  const auto local = local_address_for(server);
+  if (!local) {
+    result.error = local.error().message;
+    return result;
+  }
+
+  std::random_device rd;
+  const auto src_port = static_cast<std::uint16_t>(49152 + (rd() % 16000));
+  const std::uint32_t iss = rd();
+
+  wire::TcpHeader syn;
+  syn.src_port = src_port;
+  syn.dst_port = port;
+  syn.seq = iss;
+  syn.flags.syn = true;
+  syn.flags.ece = true;  // ECN-setup SYN
+  syn.flags.cwr = true;
+  const auto dgram = wire::make_tcp_datagram(*local, server, syn, {}, wire::Ecn::NotEct);
+  const auto sent = sender->send(dgram);
+  if (!sent) {
+    result.error = sent.error().message;
+    return result;
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+                               deadline - std::chrono::steady_clock::now())
+                               .count();
+    auto received = receiver->recv(static_cast<int>(std::max<long long>(1, remaining)));
+    if (!received) {
+      result.error = received.error().message;
+      return result;
+    }
+    if (!received->has_value()) break;
+    const auto& reply = **received;
+    if (reply.ip.src != server) continue;
+    const auto seg = wire::decode_tcp_segment(reply.ip.src, reply.ip.dst, reply.payload);
+    if (!seg || seg->header.dst_port != src_port || seg->header.src_port != port) continue;
+    if (seg->header.flags.rst) return result;  // refused
+    if (seg->header.flags.syn && seg->header.flags.ack && seg->header.ack == iss + 1) {
+      result.syn_acked = true;
+      result.ecn_negotiated = seg->header.is_ecn_setup_syn_ack();
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ecnprobe::live

@@ -1,0 +1,41 @@
+// Live (real-network) versions of the paper's probes, built from the same
+// wire codecs as the simulator path. The NTP probe runs unprivileged; the
+// ECN-setup-SYN probe needs CAP_NET_RAW and degrades gracefully without it.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "ecnprobe/live/live_socket.hpp"
+#include "ecnprobe/wire/ntp.hpp"
+
+namespace ecnprobe::live {
+
+struct LiveNtpResult {
+  bool reachable = false;
+  int attempts = 0;
+  double rtt_ms = 0.0;
+  wire::Ecn response_ecn = wire::Ecn::NotEct;
+  std::string error;  ///< non-empty on socket-level failure
+};
+
+/// Synchronous NTP reachability probe: up to `max_attempts` requests with
+/// `timeout_ms` each, marked with `ecn` -- the paper's UDP experiment
+/// against a real server.
+LiveNtpResult live_ntp_probe(wire::Ipv4Address server, wire::Ecn ecn,
+                             int max_attempts = 5, int timeout_ms = 1000);
+
+struct LiveTcpEcnResult {
+  bool syn_acked = false;
+  bool ecn_negotiated = false;  ///< ECN-setup SYN-ACK observed
+  std::string error;            ///< e.g. missing CAP_NET_RAW
+};
+
+/// Crafted ECN-setup SYN probe (privileged). Sends a SYN with ECE+CWR from
+/// a random high port and classifies the SYN-ACK. The kernel, which has no
+/// socket for the flow, answers the SYN-ACK with a RST -- conveniently
+/// tearing the half-open connection down for us.
+LiveTcpEcnResult live_tcp_ecn_probe(wire::Ipv4Address server,
+                                    std::uint16_t port = 80, int timeout_ms = 3000);
+
+}  // namespace ecnprobe::live

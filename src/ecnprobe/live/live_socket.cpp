@@ -1,0 +1,177 @@
+#include "ecnprobe/live/live_socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ecnprobe/util/strings.hpp"
+
+namespace ecnprobe::live {
+
+namespace {
+
+util::Error errno_error(const char* what) {
+  return util::make_error("live.errno",
+                          util::strf("%s: %s", what, std::strerror(errno)));
+}
+
+sockaddr_in make_sockaddr(wire::Ipv4Address addr, std::uint16_t port) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_port = htons(port);
+  sa.sin_addr.s_addr = htonl(addr.value());
+  return sa;
+}
+
+}  // namespace
+
+Fd::~Fd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Fd& Fd::operator=(Fd&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool has_raw_capability() {
+  const int fd = ::socket(AF_INET, SOCK_RAW, IPPROTO_ICMP);
+  if (fd < 0) return false;
+  ::close(fd);
+  return true;
+}
+
+util::Expected<EcnUdpSocket> EcnUdpSocket::open(std::uint16_t local_port) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) return errno_error("socket(UDP)");
+  const int on = 1;
+  if (::setsockopt(fd.get(), IPPROTO_IP, IP_RECVTOS, &on, sizeof(on)) < 0) {
+    return errno_error("setsockopt(IP_RECVTOS)");
+  }
+  sockaddr_in local = make_sockaddr(wire::Ipv4Address{}, local_port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&local), sizeof(local)) < 0) {
+    return errno_error("bind");
+  }
+  socklen_t len = sizeof(local);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&local), &len) < 0) {
+    return errno_error("getsockname");
+  }
+  return EcnUdpSocket(std::move(fd), ntohs(local.sin_port));
+}
+
+util::Expected<bool> EcnUdpSocket::send(wire::Ipv4Address dst, std::uint16_t dst_port,
+                                        std::span<const std::uint8_t> payload,
+                                        wire::Ecn ecn) {
+  // For UDP the kernel copies IP_TOS -- including the two ECN bits -- into
+  // the IP header, which is exactly how a deployable UDP application would
+  // set ECT(0) (RFC 3168 and RFC 6679 both assume this interface).
+  const int tos = wire::to_bits(ecn);
+  if (::setsockopt(fd_.get(), IPPROTO_IP, IP_TOS, &tos, sizeof(tos)) < 0) {
+    return errno_error("setsockopt(IP_TOS)");
+  }
+  const sockaddr_in sa = make_sockaddr(dst, dst_port);
+  const ssize_t n = ::sendto(fd_.get(), payload.data(), payload.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (n < 0) return errno_error("sendto");
+  return true;
+}
+
+util::Expected<std::optional<EcnUdpSocket::Received>> EcnUdpSocket::recv(int timeout_ms) {
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) return errno_error("poll");
+  if (ready == 0) return std::optional<Received>{};
+
+  std::uint8_t buffer[2048];
+  std::uint8_t control[256];
+  sockaddr_in src{};
+  iovec iov{buffer, sizeof(buffer)};
+  msghdr msg{};
+  msg.msg_name = &src;
+  msg.msg_namelen = sizeof(src);
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+  const ssize_t n = ::recvmsg(fd_.get(), &msg, 0);
+  if (n < 0) return errno_error("recvmsg");
+
+  Received received;
+  received.src = wire::Ipv4Address{ntohl(src.sin_addr.s_addr)};
+  received.src_port = ntohs(src.sin_port);
+  received.payload.assign(buffer, buffer + n);
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == IPPROTO_IP &&
+        (cmsg->cmsg_type == IP_TOS || cmsg->cmsg_type == IP_RECVTOS)) {
+      const auto tos = *reinterpret_cast<const std::uint8_t*>(CMSG_DATA(cmsg));
+      received.ecn = wire::ecn_from_bits(tos);
+    }
+  }
+  return std::optional<Received>{std::move(received)};
+}
+
+util::Expected<RawSender> RawSender::open() {
+  Fd fd(::socket(AF_INET, SOCK_RAW, IPPROTO_RAW));
+  if (!fd.valid()) return errno_error("socket(RAW)");
+  const int on = 1;
+  if (::setsockopt(fd.get(), IPPROTO_IP, IP_HDRINCL, &on, sizeof(on)) < 0) {
+    return errno_error("setsockopt(IP_HDRINCL)");
+  }
+  return RawSender(std::move(fd));
+}
+
+util::Expected<bool> RawSender::send(const wire::Datagram& dgram) {
+  const auto bytes = dgram.encode();
+  const sockaddr_in sa = make_sockaddr(dgram.ip.dst, 0);
+  const ssize_t n = ::sendto(fd_.get(), bytes.data(), bytes.size(), 0,
+                             reinterpret_cast<const sockaddr*>(&sa), sizeof(sa));
+  if (n < 0) return errno_error("sendto(raw)");
+  return true;
+}
+
+util::Expected<RawReceiver> RawReceiver::open(wire::IpProto proto) {
+  Fd fd(::socket(AF_INET, SOCK_RAW, static_cast<int>(proto)));
+  if (!fd.valid()) return errno_error("socket(RAW recv)");
+  return RawReceiver(std::move(fd));
+}
+
+util::Expected<std::optional<wire::Datagram>> RawReceiver::recv(int timeout_ms) {
+  pollfd pfd{fd_.get(), POLLIN, 0};
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready < 0) return errno_error("poll(raw)");
+  if (ready == 0) return std::optional<wire::Datagram>{};
+  std::uint8_t buffer[4096];
+  const ssize_t n = ::recv(fd_.get(), buffer, sizeof(buffer), 0);
+  if (n < 0) return errno_error("recv(raw)");
+  auto decoded = wire::Datagram::decode(
+      std::span<const std::uint8_t>(buffer, static_cast<std::size_t>(n)));
+  if (!decoded) return std::optional<wire::Datagram>{};  // not for us / garbled
+  return std::optional<wire::Datagram>{std::move(*decoded)};
+}
+
+util::Expected<wire::Ipv4Address> local_address_for(wire::Ipv4Address dst) {
+  Fd fd(::socket(AF_INET, SOCK_DGRAM, 0));
+  if (!fd.valid()) return errno_error("socket");
+  const sockaddr_in sa = make_sockaddr(dst, 53);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&sa), sizeof(sa)) < 0) {
+    return errno_error("connect");
+  }
+  sockaddr_in local{};
+  socklen_t len = sizeof(local);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&local), &len) < 0) {
+    return errno_error("getsockname");
+  }
+  return wire::Ipv4Address{ntohl(local.sin_addr.s_addr)};
+}
+
+}  // namespace ecnprobe::live

@@ -1,0 +1,101 @@
+// Thin RAII layer over the Linux sockets the live prober needs.
+//
+// Unprivileged path: a UDP socket can set the ECN codepoint on outgoing
+// packets through IP_TOS (the kernel writes the ToS octet verbatim for UDP)
+// and read the received ToS octet with IP_RECVTOS -- enough to reproduce the
+// paper's UDP experiment against real NTP servers without CAP_NET_RAW.
+//
+// Privileged path: raw sockets with IP_HDRINCL send fully crafted datagrams
+// (ECN-setup SYNs, TTL-limited probes) and receive ICMP for the traceroute
+// quotation analysis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/util/expected.hpp"
+#include "ecnprobe/wire/datagram.hpp"
+
+namespace ecnprobe::live {
+
+/// RAII file descriptor.
+class Fd {
+public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd();
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept;
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+private:
+  int fd_ = -1;
+};
+
+/// True if this process can open raw IPv4 sockets (root or CAP_NET_RAW).
+bool has_raw_capability();
+
+/// Unprivileged UDP socket with per-send ECN marking and received-ToS
+/// visibility.
+class EcnUdpSocket {
+public:
+  static util::Expected<EcnUdpSocket> open(std::uint16_t local_port = 0);
+
+  /// Sends `payload` to dst:port with the given ECN codepoint (via IP_TOS).
+  util::Expected<bool> send(wire::Ipv4Address dst, std::uint16_t dst_port,
+                            std::span<const std::uint8_t> payload, wire::Ecn ecn);
+
+  struct Received {
+    wire::Ipv4Address src;
+    std::uint16_t src_port = 0;
+    std::vector<std::uint8_t> payload;
+    wire::Ecn ecn = wire::Ecn::NotEct;  ///< from the received ToS octet
+  };
+
+  /// Waits up to timeout_ms for a datagram; nullopt on timeout.
+  util::Expected<std::optional<Received>> recv(int timeout_ms);
+
+  std::uint16_t local_port() const { return local_port_; }
+
+private:
+  EcnUdpSocket(Fd fd, std::uint16_t port) : fd_(std::move(fd)), local_port_(port) {}
+  Fd fd_;
+  std::uint16_t local_port_ = 0;
+};
+
+/// Privileged raw sender: IP_HDRINCL, ships wire::Datagram::encode() bytes.
+class RawSender {
+public:
+  static util::Expected<RawSender> open();
+  util::Expected<bool> send(const wire::Datagram& dgram);
+
+private:
+  explicit RawSender(Fd fd) : fd_(std::move(fd)) {}
+  Fd fd_;
+};
+
+/// Privileged raw receiver for one IP protocol (ICMP or TCP).
+class RawReceiver {
+public:
+  static util::Expected<RawReceiver> open(wire::IpProto proto);
+
+  /// Waits up to timeout_ms; returns the decoded datagram or nullopt.
+  util::Expected<std::optional<wire::Datagram>> recv(int timeout_ms);
+
+private:
+  explicit RawReceiver(Fd fd) : fd_(std::move(fd)) {}
+  Fd fd_;
+};
+
+/// The primary local source address used to reach `dst` (via a connected
+/// UDP socket; no packets are sent).
+util::Expected<wire::Ipv4Address> local_address_for(wire::Ipv4Address dst);
+
+}  // namespace ecnprobe::live

@@ -1,0 +1,87 @@
+#include "ecnprobe/measure/campaign.hpp"
+
+#include <stdexcept>
+
+namespace ecnprobe::measure {
+
+int CampaignPlan::total_traces() const {
+  int total = 0;
+  for (const auto& entry : entries) total += entry.count;
+  return total;
+}
+
+const std::vector<std::string>& paper_vantage_names() {
+  static const std::vector<std::string> kNames = {
+      "Perkins home", "McQuistin home", "UGla wired", "UGla wless",
+      "EC2 Cal",      "EC2 Fra",        "EC2 Ire",    "EC2 Ore",
+      "EC2 Sao",      "EC2 Sin",        "EC2 Syd",    "EC2 Tok",
+      "EC2 Vir",
+  };
+  return kNames;
+}
+
+CampaignPlan CampaignPlan::paper_layout(int home_batch1, int home_batch2, int ec2_traces) {
+  // 4 home/campus vantages x (9 + 12) + 9 EC2 regions x 14 = 84 + 126 = 210.
+  CampaignPlan plan;
+  const auto& names = paper_vantage_names();
+  for (int i = 0; i < 4; ++i) {
+    plan.entries.push_back({names[static_cast<std::size_t>(i)], 1, home_batch1});
+  }
+  for (int i = 0; i < 4; ++i) {
+    plan.entries.push_back({names[static_cast<std::size_t>(i)], 2, home_batch2});
+  }
+  for (std::size_t i = 4; i < names.size(); ++i) {
+    plan.entries.push_back({names[i], 2, ec2_traces});
+  }
+  return plan;
+}
+
+Campaign::Campaign(std::map<std::string, Vantage*> vantages,
+                   std::vector<wire::Ipv4Address> servers, ProbeOptions options)
+    : vantages_(std::move(vantages)), servers_(std::move(servers)), options_(options) {}
+
+void Campaign::run(const CampaignPlan& plan, DoneHandler done) {
+  done_ = std::move(done);
+  schedule_.clear();
+  results_.clear();
+  cursor_ = 0;
+  // Batch 1 runs before batch 2, interleaving vantages within a batch the
+  // way the paper alternated collection locations.
+  for (int batch = 1; batch <= 2; ++batch) {
+    bool added = true;
+    int round = 0;
+    while (added) {
+      added = false;
+      for (const auto& entry : plan.entries) {
+        if (entry.batch != batch || round >= entry.count) continue;
+        if (!vantages_.contains(entry.vantage)) {
+          throw std::invalid_argument("Campaign: unknown vantage " + entry.vantage);
+        }
+        schedule_.push_back({entry.vantage, batch});
+        added = true;
+      }
+      ++round;
+    }
+  }
+  next_trace();
+}
+
+void Campaign::next_trace() {
+  if (cursor_ >= schedule_.size()) {
+    if (done_) done_(std::move(results_));
+    return;
+  }
+  const auto& planned = schedule_[cursor_];
+  const int index = static_cast<int>(cursor_);
+  ++cursor_;
+  if (before_trace_) before_trace_(planned.vantage, planned.batch, index);
+  Vantage* vantage = vantages_.at(planned.vantage);
+  vantage->capture().clear();
+  runner_ = std::make_unique<TraceRunner>(*vantage, servers_, options_);
+  runner_->run(planned.batch, index, [this](Trace trace) {
+    results_.push_back(std::move(trace));
+    next_trace();
+  });
+}
+
+}  // namespace ecnprobe::measure

@@ -1,0 +1,75 @@
+// Campaign orchestration: the paper's 210 traces across 13 vantage points in
+// two batches (authors' homes + University of Glasgow in April/May 2015,
+// then those plus nine EC2 regions in July/August 2015). A hook fires before
+// each trace so the scenario can advance world state -- pool churn between
+// batches, per-trace server availability.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/measure/probe.hpp"
+
+namespace ecnprobe::measure {
+
+struct CampaignPlan {
+  struct Entry {
+    std::string vantage;
+    int batch = 1;
+    int count = 1;  ///< traces from this vantage in this batch
+  };
+  std::vector<Entry> entries;
+
+  int total_traces() const;
+
+  /// The paper's layout: `home_traces` per home/campus vantage split across
+  /// both batches, `ec2_traces` per EC2 region in batch 2 only, totalling
+  /// 210 with the defaults.
+  static CampaignPlan paper_layout(int home_batch1 = 9, int home_batch2 = 12,
+                                   int ec2_traces = 14);
+};
+
+/// Names of the paper's 13 vantage points, in Figure 2's order.
+const std::vector<std::string>& paper_vantage_names();
+
+class Campaign {
+public:
+  /// Called before each trace starts; lets the scenario re-roll
+  /// availability or apply batch churn.
+  using BeforeTraceHook = std::function<void(const std::string& vantage, int batch,
+                                             int index)>;
+  using DoneHandler = std::function<void(std::vector<Trace>)>;
+
+  Campaign(std::map<std::string, Vantage*> vantages,
+           std::vector<wire::Ipv4Address> servers, ProbeOptions options);
+
+  void set_before_trace(BeforeTraceHook hook) { before_trace_ = std::move(hook); }
+
+  /// Runs every trace in the plan sequentially; `done` fires at the end.
+  void run(const CampaignPlan& plan, DoneHandler done);
+
+  /// Progress introspection for long campaigns.
+  int traces_completed() const { return static_cast<int>(results_.size()); }
+
+private:
+  void next_trace();
+
+  std::map<std::string, Vantage*> vantages_;
+  std::vector<wire::Ipv4Address> servers_;
+  ProbeOptions options_;
+  BeforeTraceHook before_trace_;
+
+  struct PlannedTrace {
+    std::string vantage;
+    int batch;
+  };
+  std::vector<PlannedTrace> schedule_;
+  std::size_t cursor_ = 0;
+  std::vector<Trace> results_;
+  std::unique_ptr<TraceRunner> runner_;
+  DoneHandler done_;
+};
+
+}  // namespace ecnprobe::measure

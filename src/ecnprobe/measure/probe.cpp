@@ -1,0 +1,165 @@
+#include "ecnprobe/measure/probe.hpp"
+
+#include <memory>
+
+namespace ecnprobe::measure {
+
+namespace {
+
+// Sequential four-step probe of one server. Self-owning via shared_ptr.
+struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
+  Vantage& vantage;
+  wire::Ipv4Address server;
+  ProbeOptions options;
+  std::function<void(const ServerResult&)> handler;
+  ServerResult result;
+
+  ServerProbe(Vantage& v, wire::Ipv4Address s, ProbeOptions o,
+              std::function<void(const ServerResult&)> cb)
+      : vantage(v), server(s), options(o), handler(std::move(cb)) {
+    result.server = s;
+  }
+
+  ntp::NtpQueryOptions udp_options(wire::Ecn ecn) const {
+    ntp::NtpQueryOptions q;
+    q.ecn = ecn;
+    q.max_attempts = options.udp_attempts;
+    q.timeout = options.udp_timeout;
+    return q;
+  }
+
+  static UdpProbeOutcome to_outcome(const ntp::NtpQueryResult& r) {
+    UdpProbeOutcome o;
+    o.reachable = r.success;
+    o.attempts = r.attempts;
+    o.rtt_ms = r.rtt.to_millis();
+    return o;
+  }
+
+  static TcpProbeOutcome to_outcome(const http::HttpGetResult& r) {
+    TcpProbeOutcome o;
+    o.connected = r.connected;
+    o.ecn_negotiated = r.ecn_negotiated;
+    o.got_response = r.got_response;
+    o.http_status = r.status;
+    return o;
+  }
+
+  void after_gap(std::function<void()> fn) {
+    vantage.host().network().sim().schedule(options.inter_test_gap, std::move(fn));
+  }
+
+  void start() {
+    auto self = shared_from_this();
+    // Step 1: NTP request in a not-ECT marked UDP packet.
+    vantage.ntp().query(server, udp_options(wire::Ecn::NotEct),
+                        [self](const ntp::NtpQueryResult& r) {
+                          self->result.udp_plain = to_outcome(r);
+                          self->after_gap([self]() { self->step_udp_ect(); });
+                        });
+  }
+
+  void step_udp_ect() {
+    auto self = shared_from_this();
+    // Step 2: the same request in an ECT(0) marked packet.
+    vantage.ntp().query(server, udp_options(wire::Ecn::Ect0),
+                        [self](const ntp::NtpQueryResult& r) {
+                          self->result.udp_ect0 = to_outcome(r);
+                          self->after_gap([self]() { self->step_tcp_plain(); });
+                        });
+  }
+
+  void step_tcp_plain() {
+    auto self = shared_from_this();
+    // Step 3: HTTP GET without attempting to negotiate ECN.
+    vantage.http().get(server, /*want_ecn=*/false,
+                       [self](const http::HttpGetResult& r) {
+                         self->result.tcp_plain = to_outcome(r);
+                         self->after_gap([self]() { self->step_tcp_ecn(); });
+                       },
+                       wire::kHttpPort, options.http_deadline);
+  }
+
+  void step_tcp_ecn() {
+    auto self = shared_from_this();
+    // Step 4: HTTP GET with an ECN-setup SYN.
+    vantage.http().get(server, /*want_ecn=*/true,
+                       [self](const http::HttpGetResult& r) {
+                         self->result.tcp_ecn = to_outcome(r);
+                         if (self->handler) self->handler(self->result);
+                       },
+                       wire::kHttpPort, options.http_deadline);
+  }
+};
+
+}  // namespace
+
+void probe_server(Vantage& vantage, wire::Ipv4Address server, const ProbeOptions& options,
+                  std::function<void(const ServerResult&)> handler) {
+  std::make_shared<ServerProbe>(vantage, server, options, std::move(handler))->start();
+}
+
+TraceRunner::TraceRunner(Vantage& vantage, std::vector<wire::Ipv4Address> servers,
+                         ProbeOptions options)
+    : vantage_(vantage), servers_(std::move(servers)), options_(options) {}
+
+void TraceRunner::run(int batch, int index, Handler handler) {
+  trace_ = Trace{};
+  trace_.vantage = vantage_.name();
+  trace_.batch = batch;
+  trace_.index = index;
+  trace_.servers.reserve(servers_.size());
+  cursor_ = 0;
+  handler_ = std::move(handler);
+  next_server();
+}
+
+void TraceRunner::next_server() {
+  if (cursor_ >= servers_.size()) {
+    if (handler_) handler_(std::move(trace_));
+    return;
+  }
+  const auto server = servers_[cursor_++];
+  probe_server(vantage_, server, options_, [this](const ServerResult& result) {
+    trace_.servers.push_back(result);
+    next_server();
+  });
+}
+
+TracerouteRunner::TracerouteRunner(Vantage& vantage,
+                                   std::vector<wire::Ipv4Address> servers,
+                                   traceroute::TracerouteOptions options, int repetitions)
+    : vantage_(vantage),
+      servers_(std::move(servers)),
+      options_(options),
+      repetitions_(repetitions) {}
+
+void TracerouteRunner::run(Handler handler) {
+  handler_ = std::move(handler);
+  cursor_ = 0;
+  repetition_ = 0;
+  observations_.clear();
+  next();
+}
+
+void TracerouteRunner::next() {
+  if (cursor_ >= servers_.size()) {
+    if (handler_) handler_(std::move(observations_));
+    return;
+  }
+  const auto server = servers_[cursor_];
+  vantage_.tracer().trace(server, options_, [this](const traceroute::PathRecord& path) {
+    TracerouteObservation obs;
+    obs.vantage = vantage_.name();
+    obs.repetition = repetition_;
+    obs.path = path;
+    observations_.push_back(std::move(obs));
+    if (++repetition_ >= repetitions_) {
+      repetition_ = 0;
+      ++cursor_;
+    }
+    next();
+  });
+}
+
+}  // namespace ecnprobe::measure

@@ -1,0 +1,73 @@
+// The measurement application core (Section 3): for each server, probe
+// reachability four ways in sequence -- NTP over not-ECT UDP, NTP over
+// ECT(0) UDP, HTTP over TCP with a normal SYN, HTTP over TCP with an
+// ECN-setup SYN -- and record the outcomes. TraceRunner iterates a full
+// server list to produce one Trace.
+#pragma once
+
+#include <functional>
+
+#include "ecnprobe/measure/results.hpp"
+#include "ecnprobe/measure/vantage.hpp"
+
+namespace ecnprobe::measure {
+
+struct ProbeOptions {
+  int udp_attempts = 5;  ///< paper: up to five requests...
+  util::SimDuration udp_timeout = util::SimDuration::seconds(1);  ///< ...1 s apart
+  util::SimDuration http_deadline = util::SimDuration::seconds(15);
+  util::SimDuration inter_test_gap = util::SimDuration::millis(50);
+};
+
+/// Probes one server all four ways; the handler fires once with the
+/// complete result.
+void probe_server(Vantage& vantage, wire::Ipv4Address server, const ProbeOptions& options,
+                  std::function<void(const ServerResult&)> handler);
+
+/// Runs one complete trace: every server in turn, four probes each.
+class TraceRunner {
+public:
+  using Handler = std::function<void(Trace)>;
+
+  TraceRunner(Vantage& vantage, std::vector<wire::Ipv4Address> servers,
+              ProbeOptions options);
+
+  /// Starts the trace; `handler` fires when the last server completes.
+  /// `batch`/`index` are stamped into the resulting Trace.
+  void run(int batch, int index, Handler handler);
+
+private:
+  void next_server();
+
+  Vantage& vantage_;
+  std::vector<wire::Ipv4Address> servers_;
+  ProbeOptions options_;
+  Trace trace_;
+  std::size_t cursor_ = 0;
+  Handler handler_;
+};
+
+/// Repeated ECN traceroutes to a server list (Section 4.2's dataset).
+class TracerouteRunner {
+public:
+  using Handler = std::function<void(std::vector<TracerouteObservation>)>;
+
+  TracerouteRunner(Vantage& vantage, std::vector<wire::Ipv4Address> servers,
+                   traceroute::TracerouteOptions options, int repetitions);
+
+  void run(Handler handler);
+
+private:
+  void next();
+
+  Vantage& vantage_;
+  std::vector<wire::Ipv4Address> servers_;
+  traceroute::TracerouteOptions options_;
+  int repetitions_;
+  std::size_t cursor_ = 0;
+  int repetition_ = 0;
+  std::vector<TracerouteObservation> observations_;
+  Handler handler_;
+};
+
+}  // namespace ecnprobe::measure

@@ -1,0 +1,25 @@
+#include "ecnprobe/netsim/capture.hpp"
+
+#include "ecnprobe/wire/udp.hpp"
+
+namespace ecnprobe::netsim {
+
+void PacketCapture::record(SimTime time, Direction dir, const wire::Datagram& dgram) {
+  if (filter_ && !filter_(dgram)) return;
+  packets_.push_back(CapturedPacket{time, dir, dgram});
+}
+
+PacketCapture::Filter PacketCapture::proto_filter(wire::IpProto proto) {
+  return [proto](const wire::Datagram& d) { return d.ip.protocol == proto; };
+}
+
+PacketCapture::Filter PacketCapture::udp_port_filter(std::uint16_t port) {
+  return [port](const wire::Datagram& d) {
+    if (d.ip.protocol != wire::IpProto::Udp) return false;
+    const auto header = wire::UdpHeader::decode(d.payload);
+    if (!header) return false;
+    return header->src_port == port || header->dst_port == port;
+  };
+}
+
+}  // namespace ecnprobe::netsim

@@ -1,0 +1,123 @@
+#include "ecnprobe/netsim/network.hpp"
+
+#include <stdexcept>
+
+#include "ecnprobe/util/log.hpp"
+
+namespace ecnprobe::netsim {
+
+void Node::on_attached(Network& net, NodeId id) {
+  net_ = &net;
+  id_ = id;
+}
+
+void Node::set_address(wire::Ipv4Address addr) {
+  address_ = addr;
+  if (net_ != nullptr && !addr.is_unspecified()) net_->register_address(addr, id_);
+}
+
+Network::Network(Simulator& sim, util::Rng rng) : sim_(sim), rng_(rng) {}
+
+NodeId Network::add_node(std::unique_ptr<Node> node) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  ifaces_.emplace_back();
+  nodes_.back()->on_attached(*this, id);
+  if (!nodes_.back()->address().is_unspecified()) {
+    register_address(nodes_.back()->address(), id);
+  }
+  return id;
+}
+
+std::pair<int, int> Network::connect(NodeId a, NodeId b, const LinkParams& link) {
+  if (a >= nodes_.size() || b >= nodes_.size() || a == b) {
+    throw std::invalid_argument("Network::connect: bad node ids");
+  }
+  const auto if_a = static_cast<int>(ifaces_[a].size());
+  const auto if_b = static_cast<int>(ifaces_[b].size());
+  Interface ia;
+  ia.peer = b;
+  ia.peer_if = if_b;
+  ia.link = link;
+  Interface ib;
+  ib.peer = a;
+  ib.peer_if = if_a;
+  ib.link = link;
+  ifaces_[a].push_back(std::move(ia));
+  ifaces_[b].push_back(std::move(ib));
+  return {if_a, if_b};
+}
+
+Interface& Network::interface(NodeId id, int if_index) {
+  return ifaces_.at(id).at(static_cast<std::size_t>(if_index));
+}
+
+void Network::add_egress_policy(NodeId id, int if_index, PolicyPtr policy) {
+  interface(id, if_index).egress_policies.push_back(std::move(policy));
+}
+
+void Network::add_ingress_policy(NodeId id, int if_index, PolicyPtr policy) {
+  interface(id, if_index).ingress_policies.push_back(std::move(policy));
+}
+
+void Network::set_link_up(NodeId id, int if_index, bool up) {
+  Interface& iface = interface(id, if_index);
+  iface.up = up;
+  // Links are symmetric: mirror onto the peer side.
+  interface(iface.peer, iface.peer_if).up = up;
+}
+
+void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
+  Interface& iface = interface(from, egress_if);
+  ++stats_.packets_transmitted;
+  if (!iface.up) {
+    ++stats_.dropped_link_down;
+    return;
+  }
+  SimDuration policy_delay;
+  for (auto& policy : iface.egress_policies) {
+    if (policy->apply(dgram, rng_, sim_.now()) == PolicyAction::Drop) {
+      ++stats_.dropped_policy;
+      return;
+    }
+    policy_delay += policy->take_extra_delay();  // queuing policies
+  }
+  if (iface.link.loss_rate > 0.0 && rng_.bernoulli(iface.link.loss_rate)) {
+    ++stats_.dropped_loss;
+    return;
+  }
+  SimDuration delay = iface.link.delay + policy_delay;
+  if (iface.link.jitter > SimDuration{}) {
+    delay += SimDuration::nanos(static_cast<std::int64_t>(
+        rng_.next_double() * static_cast<double>(iface.link.jitter.count_nanos())));
+  }
+  const NodeId to = iface.peer;
+  const int ingress_if = iface.peer_if;
+  sim_.schedule(delay, [this, to, ingress_if, d = std::move(dgram)]() mutable {
+    Interface& rx = interface(to, ingress_if);
+    for (auto& policy : rx.ingress_policies) {
+      if (policy->apply(d, rng_, sim_.now()) == PolicyAction::Drop) {
+        ++stats_.dropped_policy;
+        return;
+      }
+    }
+    ++stats_.delivered;
+    nodes_[to]->on_receive(std::move(d), ingress_if);
+  });
+}
+
+int Network::route(NodeId at, wire::Ipv4Address dst) const {
+  if (!oracle_) return kNoInterface;
+  return oracle_(at, dst);
+}
+
+NodeId Network::find_by_address(wire::Ipv4Address addr) const {
+  const auto it = by_address_.find(addr.value());
+  return it == by_address_.end() ? kInvalidNode : it->second;
+}
+
+void Network::register_address(wire::Ipv4Address addr, NodeId id) {
+  by_address_[addr.value()] = id;
+}
+
+}  // namespace ecnprobe::netsim

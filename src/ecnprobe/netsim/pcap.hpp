@@ -1,0 +1,21 @@
+// Export PacketCapture contents as a pcap file (the classic libpcap format,
+// LINKTYPE_RAW: packets begin at the IPv4 header), so simulated captures --
+// the stand-in for the paper's "parallel tcpdump session" -- open directly
+// in tcpdump/Wireshark for inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ecnprobe/netsim/capture.hpp"
+
+namespace ecnprobe::netsim {
+
+/// Writes `capture` to `os` in pcap format (magic 0xa1b2c3d4, microsecond
+/// timestamps, LINKTYPE_RAW = 101). Returns the number of packets written.
+std::size_t write_pcap(std::ostream& os, const PacketCapture& capture);
+
+/// Convenience: writes straight to a file; returns false on I/O failure.
+bool write_pcap_file(const std::string& path, const PacketCapture& capture);
+
+}  // namespace ecnprobe::netsim

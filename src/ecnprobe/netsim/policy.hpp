@@ -1,0 +1,251 @@
+// Middlebox packet policies. The paper's central question is behavioural:
+// do middleboxes on the path (a) strip ECT marks from the IP header, or
+// (b) drop ECT-marked UDP outright? These policies model exactly those
+// behaviours, plus the AQM CE-marking routers perform when ECN works as
+// intended. Policies attach to interface ingress/egress chains in the
+// Network and keep counters the analysis and ablation benches read back.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ecnprobe/util/rng.hpp"
+#include "ecnprobe/util/stats.hpp"
+#include "ecnprobe/util/time.hpp"
+#include "ecnprobe/wire/datagram.hpp"
+
+namespace ecnprobe::netsim {
+
+enum class PolicyAction : std::uint8_t {
+  Pass,  ///< forward (possibly modified)
+  Drop,  ///< silently discard
+};
+
+/// Counters every policy maintains; read by the analysis/ablation benches.
+struct PolicyStats {
+  std::uint64_t seen = 0;
+  std::uint64_t modified = 0;
+  std::uint64_t dropped = 0;
+};
+
+class PacketPolicy {
+public:
+  virtual ~PacketPolicy() = default;
+
+  /// Inspects and possibly rewrites the datagram. `rng` is the owning
+  /// interface's deterministic stream; `now` is the simulation clock
+  /// (stateful policies use it for idle timeouts).
+  PolicyAction apply(wire::Datagram& dgram, util::Rng& rng,
+                     util::SimTime now = util::SimTime::zero());
+
+  virtual std::string name() const = 0;
+  const PolicyStats& stats() const { return stats_; }
+
+  /// Extra forwarding delay imposed on the packet just passed (queuing
+  /// policies). The datapath reads this once per apply(); stateless
+  /// policies return zero.
+  virtual util::SimDuration take_extra_delay() { return {}; }
+
+protected:
+  virtual PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
+                                util::SimTime now) = 0;
+
+private:
+  PolicyStats stats_;
+};
+
+/// Rewrites ECT(0)/ECT(1)/CE to not-ECT with probability `prob` -- the
+/// "ECN bleaching" the traceroute study localises (Section 4.2). prob < 1
+/// models the 125 hops the paper saw "sometimes" stripping.
+class EcnBleachPolicy final : public PacketPolicy {
+public:
+  explicit EcnBleachPolicy(double prob = 1.0) : prob_(prob) {}
+  std::string name() const override;
+  double probability() const { return prob_; }
+
+protected:
+  PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
+
+private:
+  double prob_;
+};
+
+/// Drops ECT-marked UDP while passing everything else -- the firewall
+/// behaviour behind the paper's persistently ECT-unreachable NTP servers
+/// (Section 4.1) and behind the UDP/TCP asymmetry of Section 4.4.
+class EctUdpDropPolicy final : public PacketPolicy {
+public:
+  explicit EctUdpDropPolicy(double prob = 1.0) : prob_(prob) {}
+  std::string name() const override;
+
+protected:
+  PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
+
+private:
+  double prob_;
+};
+
+/// Drops ECT-marked packets of *any* protocol (firewalls that key on the IP
+/// ECN field alone; used by ablations and by servers that also refuse TCP
+/// ECN data).
+class EctAnyDropPolicy final : public PacketPolicy {
+public:
+  explicit EctAnyDropPolicy(double prob = 1.0) : prob_(prob) {}
+  std::string name() const override;
+
+protected:
+  PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
+
+private:
+  double prob_;
+};
+
+/// Drops packets with a non-zero ToS octet with some probability -- the
+/// paper's conjecture for McQuistin-home behaviour: "routers treating the
+/// ECN bits as part of the type-of-service field and preferentially
+/// dropping such packets".
+class TosSensitiveDropPolicy final : public PacketPolicy {
+public:
+  explicit TosSensitiveDropPolicy(double prob) : prob_(prob) {}
+  std::string name() const override;
+
+protected:
+  PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
+
+private:
+  double prob_;
+};
+
+/// Generic match-and-drop: the escape hatch for odd observed behaviours,
+/// e.g. the two "Phoenix Public Library" servers that were unreachable with
+/// *not-ECT* UDP from EC2 vantage points only (Figure 3b).
+class MatchDropPolicy final : public PacketPolicy {
+public:
+  struct Match {
+    std::optional<wire::IpProto> protocol;
+    std::optional<bool> ect;  ///< true: ECT/CE only; false: not-ECT only
+    std::optional<std::pair<wire::Ipv4Address, int>> src_prefix;
+    double drop_prob = 1.0;
+  };
+
+  explicit MatchDropPolicy(Match match, std::string label = "match-drop")
+      : match_(match), label_(std::move(label)) {}
+  std::string name() const override { return label_; }
+
+protected:
+  PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
+
+private:
+  Match match_;
+  std::string label_;
+};
+
+/// RFC 3168 AQM behaviour at a congested queue: ECT packets are CE-marked
+/// with `mark_prob`; not-ECT packets are dropped with `drop_prob` (the loss
+/// ECN exists to avoid). Also drops ECT packets with `overload_drop_prob`
+/// to model queues beyond the marking threshold.
+class CongestionPolicy final : public PacketPolicy {
+public:
+  CongestionPolicy(double mark_prob, double drop_prob, double overload_drop_prob = 0.0)
+      : mark_prob_(mark_prob), drop_prob_(drop_prob), overload_drop_prob_(overload_drop_prob) {}
+  std::string name() const override;
+
+protected:
+  PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
+
+private:
+  double mark_prob_;
+  double drop_prob_;
+  double overload_drop_prob_;
+};
+
+/// Stateful conntrack-style greylisting in front of a server: a new source
+/// must send several UDP packets before the firewall starts passing them,
+/// and the per-source state resets after an idle period. Because the
+/// measurement application probes each server with not-ECT NTP *first* and
+/// ECT(0) NTP immediately after (Section 3's test order), a greylist
+/// threshold of 5-9 packets makes the plain test fail while the ECT test --
+/// whose packets arrive with the counter already warm -- succeeds. This is
+/// the mechanism behind the paper's Figure 2b observation that ~0.5% of
+/// servers per trace are reachable with ECT(0) but not with not-ECT UDP,
+/// with different servers affected in each trace.
+class GreylistUdpPolicy final : public PacketPolicy {
+public:
+  struct Params {
+    /// Per idle-reset draw: probability the firewall demands 5-9 packets.
+    double flaky_prob = 0.006;
+    /// ...or is effectively wedged (threshold far above any probe count).
+    double dead_prob = 0.001;
+    util::SimDuration idle_reset = util::SimDuration::seconds(60);
+  };
+
+  explicit GreylistUdpPolicy(Params params) : params_(params) {}
+  std::string name() const override { return "greylist-udp"; }
+
+protected:
+  PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
+                        util::SimTime now) override;
+
+private:
+  struct SourceState {
+    std::uint32_t packets = 0;
+    util::SimTime last;
+    std::uint32_t threshold = 0;
+  };
+  Params params_;
+  std::map<std::uint32_t, SourceState> sources_;
+};
+
+/// A bottleneck link queue with RED-style AQM (the router behaviour RFC 3168
+/// section 4 assumes): a token-bucket drain at `rate_bps`, a finite queue,
+/// and an occupancy-proportional early-action ramp that CE-marks ECT packets
+/// and drops not-ECT ones. Passing packets pick up the queuing delay they
+/// would experience -- making the latency benefit of ECN (the paper's
+/// interactive-media motivation) directly measurable.
+class BottleneckAqmPolicy final : public PacketPolicy {
+public:
+  struct Params {
+    double rate_bps = 2e6;
+    std::size_t queue_capacity_bytes = 48 * 1024;
+    double red_min_fraction = 0.25;  ///< start marking/dropping above this
+    double red_max_fraction = 0.85;  ///< certain action above this
+    bool ecn_enabled = true;         ///< CE-mark ECT instead of dropping
+  };
+
+  explicit BottleneckAqmPolicy(Params params) : params_(params) {}
+  std::string name() const override;
+
+  util::SimDuration take_extra_delay() override {
+    const auto delay = pending_delay_;
+    pending_delay_ = {};
+    return delay;
+  }
+
+  struct QueueStats {
+    std::uint64_t enqueued = 0;
+    std::uint64_t ce_marked = 0;
+    std::uint64_t dropped_early = 0;     ///< RED action on not-ECT
+    std::uint64_t dropped_overflow = 0;  ///< hard queue overflow
+    double peak_occupancy = 0.0;         ///< fraction of capacity
+    util::RunningStats delay_ms;         ///< per-enqueued-packet queue delay
+  };
+  const QueueStats& queue_stats() const { return queue_stats_; }
+
+protected:
+  PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
+                        util::SimTime now) override;
+
+private:
+  Params params_;
+  double backlog_bytes_ = 0.0;
+  util::SimTime last_drain_;
+  util::SimDuration pending_delay_;
+  QueueStats queue_stats_;
+};
+
+using PolicyPtr = std::shared_ptr<PacketPolicy>;
+
+}  // namespace ecnprobe::netsim

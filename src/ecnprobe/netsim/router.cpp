@@ -1,0 +1,48 @@
+#include "ecnprobe/netsim/router.hpp"
+
+#include "ecnprobe/util/log.hpp"
+
+namespace ecnprobe::netsim {
+
+void Router::on_receive(wire::Datagram dgram, int /*ingress_if*/) {
+  if (dgram.ip.dst == address()) {
+    // Routers are not probe targets in this study; traffic addressed to a
+    // router (other than our ICMP) is absorbed.
+    ++stats_.delivered_local;
+    return;
+  }
+
+  // RFC 791: decrement TTL at each hop; expire at zero.
+  if (dgram.ip.ttl <= 1) {
+    ++stats_.ttl_expired;
+    if (rng_.bernoulli(params_.icmp_response_prob)) {
+      // Quote the datagram exactly as received -- including any ECN mark an
+      // upstream middlebox stripped -- per RFC 1812 section 4.3.2.3.
+      send_icmp(wire::make_time_exceeded(address(), dgram));
+    }
+    return;
+  }
+  dgram.ip.ttl = static_cast<std::uint8_t>(dgram.ip.ttl - 1);
+
+  const int egress = net_->route(id(), dgram.ip.dst);
+  if (egress == kNoInterface) {
+    ++stats_.unroutable;
+    if (rng_.bernoulli(params_.icmp_response_prob)) {
+      send_icmp(wire::make_dest_unreachable(address(), dgram,
+                                            wire::IcmpUnreachCode::Net));
+    }
+    return;
+  }
+  ++stats_.forwarded;
+  net_->transmit(id(), egress, std::move(dgram));
+}
+
+void Router::send_icmp(wire::Datagram&& icmp) {
+  icmp.ip.identification = net_->next_ip_id();
+  const int egress = net_->route(id(), icmp.ip.dst);
+  if (egress == kNoInterface) return;
+  ++stats_.icmp_sent;
+  net_->transmit(id(), egress, std::move(icmp));
+}
+
+}  // namespace ecnprobe::netsim

@@ -1,0 +1,43 @@
+// IP router: forwards by the network's routing oracle, decrements TTL, and
+// generates ICMP Time-Exceeded errors quoting the datagram *as received*
+// (RFC 1812), which is the mechanism the traceroute study exploits to
+// detect upstream ECN stripping. Routers answer TTL expiry probabilistically
+// to model the ICMP rate limiting that keeps real traceroutes sparse.
+#pragma once
+
+#include "ecnprobe/netsim/network.hpp"
+#include "ecnprobe/util/rng.hpp"
+
+namespace ecnprobe::netsim {
+
+class Router final : public Node {
+public:
+  struct Params {
+    /// Probability a TTL-expired packet earns an ICMP Time-Exceeded reply
+    /// (ICMP generation is commonly rate-limited or disabled).
+    double icmp_response_prob = 1.0;
+  };
+
+  Router(std::string name, Params params, util::Rng rng)
+      : Node(std::move(name)), params_(params), rng_(rng) {}
+
+  void on_receive(wire::Datagram dgram, int ingress_if) override;
+
+  struct Stats {
+    std::uint64_t forwarded = 0;
+    std::uint64_t ttl_expired = 0;
+    std::uint64_t icmp_sent = 0;
+    std::uint64_t unroutable = 0;
+    std::uint64_t delivered_local = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+private:
+  void send_icmp(wire::Datagram&& icmp);
+
+  Params params_;
+  util::Rng rng_;
+  Stats stats_;
+};
+
+}  // namespace ecnprobe::netsim

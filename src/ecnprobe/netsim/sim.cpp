@@ -1,0 +1,59 @@
+#include "ecnprobe/netsim/sim.hpp"
+
+namespace ecnprobe::netsim {
+
+void EventHandle::cancel() {
+  if (cancelled_) *cancelled_ = true;
+}
+
+bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
+
+EventHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
+  if (delay < SimDuration{}) delay = SimDuration{};
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  if (when < now_) when = now_;
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  ++live_;
+  return EventHandle{std::move(cancelled)};
+}
+
+bool Simulator::fire_next() {
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the event is copied out, which is cheap
+    // relative to simulated work and keeps the queue invariant simple.
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) {
+      --live_;  // reap an event cancelled via its handle
+      continue;
+    }
+    --live_;
+    now_ = ev.when;
+    *ev.cancelled = true;  // marks "fired" so EventHandle::pending() is false
+    ev.fn();
+    ++processed_;
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t fired = 0;
+  while (fired < limit && fire_next()) ++fired;
+  return fired;
+}
+
+std::size_t Simulator::run_until(SimTime until) {
+  std::size_t fired = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    if (fire_next()) ++fired;
+  }
+  if (now_ < until) now_ = until;
+  return fired;
+}
+
+}  // namespace ecnprobe::netsim

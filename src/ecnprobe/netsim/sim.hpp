@@ -1,0 +1,81 @@
+// Discrete-event simulation engine. A single-threaded event queue with
+// deterministic FIFO tie-breaking: two events scheduled for the same instant
+// fire in scheduling order, so a campaign replays identically for a given
+// seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "ecnprobe/util/time.hpp"
+
+namespace ecnprobe::netsim {
+
+using util::SimDuration;
+using util::SimTime;
+
+/// Handle for cancelling a scheduled event (protocol timers).
+class EventHandle {
+public:
+  EventHandle() = default;
+
+  /// Cancels the event if it has not fired; safe to call repeatedly.
+  void cancel();
+  bool pending() const;
+
+private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> cancelled) : cancelled_(std::move(cancelled)) {}
+  std::shared_ptr<bool> cancelled_;
+};
+
+class Simulator {
+public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run at `now() + delay` (delays clamp to zero).
+  EventHandle schedule(SimDuration delay, std::function<void()> fn);
+  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+
+  /// Runs events until the queue empties or `limit` events have fired.
+  /// Returns the number of events processed.
+  std::size_t run(std::size_t limit = SIZE_MAX);
+
+  /// Runs events with a timestamp <= `until`. Time advances to `until` even
+  /// if the queue drains early.
+  std::size_t run_until(SimTime until);
+
+  std::size_t events_processed() const { return processed_; }
+  std::size_t events_pending() const { return live_; }
+
+private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool fire_next();
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t processed_ = 0;
+  std::size_t live_ = 0;  ///< queued events not yet cancelled
+};
+
+}  // namespace ecnprobe::netsim

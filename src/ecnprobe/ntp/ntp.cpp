@@ -1,0 +1,112 @@
+#include "ecnprobe/ntp/ntp.hpp"
+
+#include "ecnprobe/util/log.hpp"
+
+namespace ecnprobe::ntp {
+
+struct NtpClient::Pending : std::enable_shared_from_this<NtpClient::Pending> {
+  netsim::Host& host;
+  SimClock clock;
+  wire::Ipv4Address server;
+  NtpQueryOptions options;
+  Handler handler;
+
+  std::shared_ptr<netsim::UdpSocket> socket;
+  wire::NtpPacket request;
+  netsim::EventHandle timer;
+  util::SimTime last_send;
+  int attempts = 0;
+  bool done = false;
+
+  Pending(netsim::Host& h, SimClock c, wire::Ipv4Address s, NtpQueryOptions o, Handler cb)
+      : host(h), clock(c), server(s), options(o), handler(std::move(cb)) {}
+
+  void start() {
+    socket = host.open_udp();
+    auto self = shared_from_this();
+    socket->set_receive_handler(
+        [self](const netsim::UdpDelivery& delivery) { self->on_response(delivery); });
+    send_attempt();
+  }
+
+  void send_attempt() {
+    ++attempts;
+    last_send = host.network().sim().now();
+    // A fresh transmit timestamp per attempt: responses are matched to the
+    // attempt that elicited them.
+    request = wire::NtpPacket::make_client_request(clock.at(last_send));
+    const auto bytes = request.encode();
+    socket->send(server, wire::kNtpPort, bytes, options.ecn, options.ttl);
+    auto self = shared_from_this();
+    timer = host.network().sim().schedule(options.timeout, [self]() { self->on_timeout(); });
+  }
+
+  void on_response(const netsim::UdpDelivery& delivery) {
+    if (done) return;
+    if (delivery.src != server || delivery.src_port != wire::kNtpPort) return;
+    const auto packet = wire::NtpPacket::decode(delivery.payload);
+    if (!packet || !packet->answers(request)) return;
+    done = true;
+    timer.cancel();
+    NtpQueryResult result;
+    result.success = true;
+    result.attempts = attempts;
+    result.rtt = host.network().sim().now() - last_send;
+    result.response_ecn = delivery.ecn;
+    result.server_stratum = packet->stratum;
+    finish(result);
+  }
+
+  void on_timeout() {
+    if (done) return;
+    if (attempts >= options.max_attempts) {
+      done = true;
+      NtpQueryResult result;
+      result.success = false;
+      result.attempts = attempts;
+      finish(result);
+      return;
+    }
+    send_attempt();
+  }
+
+  void finish(const NtpQueryResult& result) {
+    socket->close();
+    if (handler) handler(result);
+  }
+};
+
+void NtpClient::query(wire::Ipv4Address server, const NtpQueryOptions& options,
+                      Handler handler) {
+  auto pending =
+      std::make_shared<Pending>(host_, clock_, server, options, std::move(handler));
+  pending->start();
+}
+
+NtpServerService::NtpServerService(netsim::Host& host, SimClock clock, Params params)
+    : host_(host), clock_(clock), params_(params) {
+  socket_ = host_.open_udp(wire::kNtpPort);
+  socket_->set_receive_handler([this](const netsim::UdpDelivery& delivery) {
+    ++stats_.requests;
+    if (wire::is_ect(delivery.ecn)) ++stats_.ect_marked_requests;
+    if (!online_) return;  // left the pool / host down: silence
+    if (params_.response_prob < 1.0 && !host_.rng().bernoulli(params_.response_prob)) {
+      return;  // rate-limited: drop this request
+    }
+    const auto request = wire::NtpPacket::decode(delivery.payload);
+    if (!request || request->mode != wire::NtpMode::Client) return;
+    const auto now = clock_.at(host_.network().sim().now());
+    const auto response = wire::NtpPacket::make_server_response(
+        *request, params_.stratum, 0x47505300 /* "GPS" refid */, now, now);
+    const auto bytes = response.encode();
+    // NTP servers do not participate in ECN: responses are not-ECT --
+    // unless configured as a reflecting responder for return-path studies.
+    const auto response_ecn =
+        params_.reflect_ecn && wire::is_ect(delivery.ecn) ? delivery.ecn
+                                                          : wire::Ecn::NotEct;
+    socket_->send(delivery.src, delivery.src_port, bytes, response_ecn);
+    ++stats_.responses;
+  });
+}
+
+}  // namespace ecnprobe::ntp

@@ -1,0 +1,254 @@
+#include "ecnprobe/rtp/media.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ecnprobe/util/log.hpp"
+
+namespace ecnprobe::rtp {
+
+// ---------------------------------------------------------------------------
+// MediaReceiver
+// ---------------------------------------------------------------------------
+
+MediaReceiver::MediaReceiver(netsim::Host& host, Config config)
+    : host_(host), config_(config) {
+  socket_ = host_.open_udp(config_.rtp_port);
+  socket_->set_receive_handler(
+      [this](const netsim::UdpDelivery& delivery) { on_rtp(delivery); });
+}
+
+MediaReceiver::~MediaReceiver() { stop(); }
+
+void MediaReceiver::stop() {
+  stopped_ = true;
+  report_timer_.cancel();
+}
+
+void MediaReceiver::on_rtp(const netsim::UdpDelivery& delivery) {
+  const auto packet = RtpPacket::decode(delivery.payload);
+  if (!packet) return;
+
+  if (!saw_sender_) {
+    saw_sender_ = true;
+    sender_addr_ = delivery.src;
+    sender_port_ = delivery.src_port;
+    media_ssrc_ = packet->header.ssrc;
+    // Feedback cadence starts with the first media packet.
+    if (!stopped_) {
+      report_timer_ = host_.network().sim().schedule(config_.report_interval,
+                                                     [this]() { send_report(); });
+    }
+  }
+
+  ++stats_.packets_received;
+  stats_.bytes_received += delivery.payload.size();
+  switch (delivery.ecn) {
+    case wire::Ecn::Ect0: ++stats_.ect0; break;
+    case wire::Ecn::Ect1: ++stats_.ect1; break;
+    case wire::Ecn::Ce: ++stats_.ce; break;
+    case wire::Ecn::NotEct: ++stats_.not_ect; break;
+  }
+
+  // Extended sequence bookkeeping (RFC 3550 A.1, simplified: assumes no
+  // restarts).
+  const std::uint16_t seq = packet->header.sequence;
+  if (first_packet_) {
+    first_packet_ = false;
+    highest_seq_ = seq;
+    base_ext_seq_ = seq;
+  } else {
+    const auto delta = static_cast<std::uint16_t>(seq - highest_seq_);
+    if (delta != 0 && delta < 0x8000) {
+      if (seq < highest_seq_) ++seq_cycles_;  // wrapped forward
+      highest_seq_ = seq;
+    }
+  }
+  const std::uint32_t ext_seq = (seq_cycles_ << 16) | highest_seq_;
+  const std::uint32_t expected = ext_seq - base_ext_seq_ + 1;
+  stats_.lost = expected > stats_.packets_received
+                    ? static_cast<std::uint32_t>(expected - stats_.packets_received)
+                    : 0;
+
+  // Interarrival jitter (RFC 3550 section 6.4.1) in media-clock ticks.
+  const double arrival_s = host_.network().sim().now().to_seconds();
+  const auto arrival_ticks =
+      static_cast<std::int64_t>(arrival_s * static_cast<double>(kMediaClockHz));
+  const std::int64_t transit =
+      arrival_ticks - static_cast<std::int64_t>(packet->header.timestamp);
+  if (have_transit_) {
+    const double d = std::abs(static_cast<double>(transit - last_transit_ticks_));
+    jitter_ticks_ += (d - jitter_ticks_) / 16.0;
+  }
+  have_transit_ = true;
+  last_transit_ticks_ = transit;
+  stats_.jitter_us = static_cast<std::uint32_t>(jitter_ticks_ * 1e6 /
+                                                static_cast<double>(kMediaClockHz));
+}
+
+EcnSummary MediaReceiver::build_summary() const {
+  EcnSummary summary;
+  summary.ssrc = media_ssrc_;
+  summary.ext_highest_seq = (seq_cycles_ << 16) | highest_seq_;
+  summary.ect0_count = stats_.ect0;
+  summary.ect1_count = stats_.ect1;
+  summary.ce_count = stats_.ce;
+  summary.not_ect_count = stats_.not_ect;
+  summary.lost_packets = stats_.lost;
+  summary.jitter_us = stats_.jitter_us;
+  return summary;
+}
+
+void MediaReceiver::send_report() {
+  if (stopped_) return;
+  const auto bytes = build_summary().encode();
+  // RTCP is not ECT-marked (RFC 6679 section 7.2).
+  socket_->send(sender_addr_, sender_port_, bytes, wire::Ecn::NotEct);
+  ++stats_.reports_sent;
+  report_timer_ = host_.network().sim().schedule(config_.report_interval,
+                                                 [this]() { send_report(); });
+}
+
+// ---------------------------------------------------------------------------
+// MediaSender
+// ---------------------------------------------------------------------------
+
+MediaSender::MediaSender(netsim::Host& host, wire::Ipv4Address dst,
+                         std::uint16_t dst_port, Config config)
+    : host_(host),
+      dst_(dst),
+      dst_port_(dst_port),
+      config_(config),
+      bitrate_bps_(config.start_bitrate_bps),
+      ssrc_(static_cast<std::uint32_t>(host.rng().next_u64())) {
+  socket_ = host_.open_udp();
+  socket_->set_receive_handler(
+      [this](const netsim::UdpDelivery& delivery) { on_feedback(delivery); });
+  sequence_ = static_cast<std::uint16_t>(host.rng().next_u64());
+}
+
+MediaSender::~MediaSender() { stop(); }
+
+void MediaSender::start() {
+  if (running_) return;
+  running_ = true;
+  state_ = config_.attempt_ecn ? EcnState::Initiating : EcnState::Disabled;
+  if (state_ == EcnState::Initiating) {
+    verify_timer_ = host_.network().sim().schedule(
+        config_.verification_timeout, [this]() { on_verification_timeout(); });
+  }
+  send_next_packet();
+}
+
+void MediaSender::stop() {
+  running_ = false;
+  send_timer_.cancel();
+  verify_timer_.cancel();
+}
+
+wire::Ecn MediaSender::current_marking() const {
+  switch (state_) {
+    case EcnState::Initiating:
+    case EcnState::Capable:
+      return wire::Ecn::Ect0;
+    case EcnState::Disabled:
+    case EcnState::Failed:
+      return wire::Ecn::NotEct;
+  }
+  return wire::Ecn::NotEct;
+}
+
+void MediaSender::send_next_packet() {
+  if (!running_) return;
+  RtpPacket packet;
+  packet.header.sequence = sequence_++;
+  packet.header.timestamp = timestamp_;
+  packet.header.ssrc = ssrc_;
+  packet.payload.assign(config_.payload_bytes, 0x5a);
+  const auto bytes = packet.encode();
+  socket_->send(dst_, dst_port_, bytes, current_marking());
+  ++stats_.packets_sent;
+  stats_.bytes_sent += bytes.size();
+
+  // Pace at the current bitrate; advance the media clock accordingly.
+  const double interval_s =
+      static_cast<double>(bytes.size() * 8) / std::max(bitrate_bps_, 1.0);
+  timestamp_ += static_cast<std::uint32_t>(interval_s *
+                                           static_cast<double>(kMediaClockHz));
+  send_timer_ = host_.network().sim().schedule(
+      util::SimDuration::from_seconds(interval_s), [this]() { send_next_packet(); });
+}
+
+void MediaSender::on_feedback(const netsim::UdpDelivery& delivery) {
+  const auto summary = EcnSummary::decode(delivery.payload);
+  if (!summary || summary->ssrc != ssrc_) return;
+  ++stats_.feedback_reports;
+  stats_.last_jitter_us = summary->jitter_us;
+
+  std::uint32_t d_ce = summary->ce_count;
+  std::uint32_t d_loss = summary->lost_packets;
+  std::uint32_t d_received = summary->received_total();
+  if (have_summary_) {
+    d_ce -= last_summary_.ce_count;
+    d_loss = summary->lost_packets >= last_summary_.lost_packets
+                 ? summary->lost_packets - last_summary_.lost_packets
+                 : 0;
+    d_received -= last_summary_.received_total();
+  }
+  stats_.ce_reported += d_ce;
+  stats_.loss_reported = summary->lost_packets;
+
+  if (state_ == EcnState::Initiating) {
+    // RFC 6679 verification: did the marks survive?
+    const double received = summary->received_total();
+    if (received > 0) {
+      const double ect_fraction =
+          (summary->ect0_count + summary->ect1_count + summary->ce_count) / received;
+      verify_timer_.cancel();
+      if (ect_fraction >= config_.verify_min_ect_fraction) {
+        state_ = EcnState::Capable;
+        stats_.verified = true;
+      } else {
+        // Marks are being bleached: ECN feedback would be blind. Fall back.
+        state_ = EcnState::Failed;
+        stats_.fell_back = true;
+      }
+    }
+  }
+
+  apply_rate_control(d_ce, d_loss, d_received);
+  last_summary_ = *summary;
+  have_summary_ = true;
+  stats_.rate_history.emplace_back(host_.network().sim().now().to_seconds(),
+                                   bitrate_bps_);
+}
+
+void MediaSender::on_verification_timeout() {
+  if (state_ != EcnState::Initiating) return;
+  // Nothing usable came back while probing with ECT(0): the path (or a
+  // firewall on it) is eating marked packets. Fall back to not-ECT -- the
+  // session survives exactly because the application probed first.
+  state_ = EcnState::Failed;
+  stats_.fell_back = true;
+}
+
+void MediaSender::apply_rate_control(std::uint32_t d_ce, std::uint32_t d_loss,
+                                     std::uint32_t d_received) {
+  // NADA-flavoured: a congestion signal blending loss and CE marks drives
+  // multiplicative decrease; quiet intervals earn a gentle increase.
+  const double total = static_cast<double>(d_received + d_loss);
+  if (total <= 0.0) return;
+  const double loss_rate = static_cast<double>(d_loss) / total;
+  const double ce_rate = static_cast<double>(d_ce) / total;
+  const double congestion = loss_rate + 0.5 * ce_rate;
+  if (congestion > 0.0) {
+    const double factor = std::max(0.5, 1.0 - 1.5 * congestion);
+    bitrate_bps_ = std::max(config_.min_bitrate_bps, bitrate_bps_ * factor);
+    ++stats_.rate_decreases;
+  } else {
+    bitrate_bps_ = std::min(config_.max_bitrate_bps, bitrate_bps_ * 1.05);
+    ++stats_.rate_increases;
+  }
+}
+
+}  // namespace ecnprobe::rtp

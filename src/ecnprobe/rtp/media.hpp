@@ -1,0 +1,170 @@
+// An interactive-media session over simulated UDP with RFC 6679 ECN
+// semantics -- the application the paper's measurements are meant to enable.
+//
+// The sender implements the RFC 6679 lifecycle:
+//   1. *Initiation*: mark the first packets ECT(0) while the path is
+//      unproven (the spec's "ECN initiation phase").
+//   2. *Verification*: the receiver's ECN summary reports say how packets
+//      actually arrived. If ECT survives, ECN becomes Capable; if marks
+//      come back bleached -- or nothing arrives at all, e.g. an
+//      ECT-dropping firewall ate the probes -- the sender *falls back* to
+//      not-ECT so the session keeps working (the failure mode the paper
+//      quantifies).
+//   3. *Operation*: CE counts in feedback drive a NADA-flavoured rate
+//      controller (multiplicative decrease on loss+CE, gentle increase
+//      otherwise).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ecnprobe/netsim/host.hpp"
+#include "ecnprobe/rtp/rtp_packet.hpp"
+
+namespace ecnprobe::rtp {
+
+inline constexpr std::uint32_t kMediaClockHz = 90'000;  // video clock
+
+/// Receiver side: counts arriving RTP per ECN codepoint, tracks loss and
+/// RFC 3550 interarrival jitter, and returns an EcnSummary to the sender's
+/// source address on a fixed cadence (rtcp-mux style: RTP and feedback share
+/// the socket pair).
+class MediaReceiver {
+public:
+  struct Config {
+    std::uint16_t rtp_port = 5004;
+    util::SimDuration report_interval = util::SimDuration::millis(100);
+  };
+
+  MediaReceiver(netsim::Host& host, Config config);
+  ~MediaReceiver();
+
+  /// Stops the feedback cadence (the timer otherwise re-arms forever, which
+  /// keeps an event-driven simulation alive). Receiving continues.
+  void stop();
+
+  struct Stats {
+    std::uint64_t packets_received = 0;
+    std::uint64_t bytes_received = 0;
+    std::uint32_t ect0 = 0;
+    std::uint32_t ect1 = 0;
+    std::uint32_t ce = 0;
+    std::uint32_t not_ect = 0;
+    std::uint32_t lost = 0;
+    std::uint32_t jitter_us = 0;
+    std::uint64_t reports_sent = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+private:
+  void on_rtp(const netsim::UdpDelivery& delivery);
+  void send_report();
+  EcnSummary build_summary() const;
+
+  netsim::Host& host_;
+  Config config_;
+  std::shared_ptr<netsim::UdpSocket> socket_;
+  netsim::EventHandle report_timer_;
+
+  bool saw_sender_ = false;
+  bool stopped_ = false;
+  wire::Ipv4Address sender_addr_;
+  std::uint16_t sender_port_ = 0;
+  std::uint32_t media_ssrc_ = 0;
+
+  // Sequence tracking (RFC 3550 appendix A style, simplified).
+  bool first_packet_ = true;
+  std::uint16_t highest_seq_ = 0;
+  std::uint32_t seq_cycles_ = 0;
+  std::uint32_t base_ext_seq_ = 0;
+
+  // Jitter state.
+  bool have_transit_ = false;
+  std::int64_t last_transit_ticks_ = 0;
+  double jitter_ticks_ = 0.0;
+
+  Stats stats_;
+};
+
+/// Sender side: paced RTP at an adaptive bitrate with the RFC 6679 ECN
+/// lifecycle described above.
+class MediaSender {
+public:
+  enum class EcnState : std::uint8_t {
+    Disabled,    ///< never attempted (config.attempt_ecn == false)
+    Initiating,  ///< probing with ECT(0), waiting for verification
+    Capable,     ///< path verified; ECT(0) + CE-driven rate control
+    Failed,      ///< verification failed; fell back to not-ECT
+  };
+
+  struct Config {
+    bool attempt_ecn = true;
+    double start_bitrate_bps = 600'000;
+    double min_bitrate_bps = 150'000;
+    double max_bitrate_bps = 2'500'000;
+    std::size_t payload_bytes = 1000;
+    /// Initiation gives up if no usable feedback arrives in this window
+    /// (covers the firewall case where every ECT probe is eaten).
+    util::SimDuration verification_timeout = util::SimDuration::millis(1500);
+    /// Fraction of *received* initiation packets that must still carry ECT
+    /// for the path to verify (RFC 6679 tolerates a little remarking).
+    double verify_min_ect_fraction = 0.9;
+  };
+
+  MediaSender(netsim::Host& host, wire::Ipv4Address dst, std::uint16_t dst_port,
+              Config config);
+  ~MediaSender();
+
+  void start();
+  void stop();
+
+  EcnState ecn_state() const { return state_; }
+  double current_bitrate_bps() const { return bitrate_bps_; }
+
+  struct Stats {
+    std::uint64_t packets_sent = 0;
+    std::uint64_t bytes_sent = 0;
+    std::uint64_t feedback_reports = 0;
+    std::uint32_t ce_reported = 0;
+    std::uint32_t loss_reported = 0;
+    std::uint32_t last_jitter_us = 0;
+    int rate_increases = 0;
+    int rate_decreases = 0;
+    bool fell_back = false;          ///< entered Failed after attempting ECN
+    bool verified = false;           ///< reached Capable
+    /// (sim-seconds, bps) samples, one per feedback report.
+    std::vector<std::pair<double, double>> rate_history;
+  };
+  const Stats& stats() const { return stats_; }
+
+private:
+  void send_next_packet();
+  void on_feedback(const netsim::UdpDelivery& delivery);
+  void on_verification_timeout();
+  void apply_rate_control(std::uint32_t d_ce, std::uint32_t d_loss,
+                          std::uint32_t d_received);
+  wire::Ecn current_marking() const;
+
+  netsim::Host& host_;
+  wire::Ipv4Address dst_;
+  std::uint16_t dst_port_;
+  Config config_;
+  std::shared_ptr<netsim::UdpSocket> socket_;
+  netsim::EventHandle send_timer_;
+  netsim::EventHandle verify_timer_;
+  bool running_ = false;
+
+  EcnState state_ = EcnState::Disabled;
+  double bitrate_bps_;
+  std::uint32_t ssrc_;
+  std::uint16_t sequence_ = 0;
+  std::uint32_t timestamp_ = 0;
+
+  EcnSummary last_summary_;
+  bool have_summary_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace ecnprobe::rtp

@@ -1,0 +1,85 @@
+#include "ecnprobe/rtp/rtp_packet.hpp"
+
+#include "ecnprobe/wire/bytes.hpp"
+
+namespace ecnprobe::rtp {
+
+namespace {
+// Magic first byte for our reduced RTCP ECN summary (RTCP PT 205 /
+// transport-layer feedback would carry this in full RTCP; the simulator
+// needs only an unambiguous self-describing encoding).
+constexpr std::uint8_t kEcnSummaryTag = 0xEC;
+}  // namespace
+
+void RtpHeader::encode(wire::ByteWriter& out) const {
+  out.u8(static_cast<std::uint8_t>(kVersion << 6));  // no padding/extension/CSRC
+  out.u8(static_cast<std::uint8_t>((marker ? 0x80 : 0x00) | (payload_type & 0x7f)));
+  out.u16(sequence);
+  out.u32(timestamp);
+  out.u32(ssrc);
+}
+
+std::vector<std::uint8_t> RtpPacket::encode() const {
+  wire::ByteWriter out(RtpHeader::kSize + payload.size());
+  header.encode(out);
+  out.bytes(payload);
+  return out.take();
+}
+
+util::Expected<RtpPacket> RtpPacket::decode(std::span<const std::uint8_t> data) {
+  if (data.size() < RtpHeader::kSize) {
+    return util::make_error("rtp.decode", "below fixed header size");
+  }
+  wire::ByteReader in(data);
+  const std::uint8_t vpxcc = in.u8();
+  if ((vpxcc >> 6) != RtpHeader::kVersion) {
+    return util::make_error("rtp.decode", "bad RTP version");
+  }
+  const std::uint8_t csrc_count = vpxcc & 0x0f;
+  RtpPacket packet;
+  const std::uint8_t mpt = in.u8();
+  packet.header.marker = (mpt & 0x80) != 0;
+  packet.header.payload_type = mpt & 0x7f;
+  packet.header.sequence = in.u16();
+  packet.header.timestamp = in.u32();
+  packet.header.ssrc = in.u32();
+  in.skip(static_cast<std::size_t>(csrc_count) * 4);
+  if (!in.ok()) return util::make_error("rtp.decode", "truncated CSRC list");
+  const auto rest = in.rest();
+  packet.payload.assign(rest.begin(), rest.end());
+  return packet;
+}
+
+std::vector<std::uint8_t> EcnSummary::encode() const {
+  wire::ByteWriter out(33);
+  out.u8(kEcnSummaryTag);
+  out.u32(ssrc);
+  out.u32(ext_highest_seq);
+  out.u32(ect0_count);
+  out.u32(ect1_count);
+  out.u32(ce_count);
+  out.u32(not_ect_count);
+  out.u32(lost_packets);
+  out.u32(jitter_us);
+  return out.take();
+}
+
+util::Expected<EcnSummary> EcnSummary::decode(std::span<const std::uint8_t> data) {
+  wire::ByteReader in(data);
+  if (in.u8() != kEcnSummaryTag) {
+    return util::make_error("rtcp.decode", "not an ECN summary");
+  }
+  EcnSummary summary;
+  summary.ssrc = in.u32();
+  summary.ext_highest_seq = in.u32();
+  summary.ect0_count = in.u32();
+  summary.ect1_count = in.u32();
+  summary.ce_count = in.u32();
+  summary.not_ect_count = in.u32();
+  summary.lost_packets = in.u32();
+  summary.jitter_us = in.u32();
+  if (!in.ok()) return util::make_error("rtcp.decode", "truncated summary");
+  return summary;
+}
+
+}  // namespace ecnprobe::rtp

@@ -1,0 +1,197 @@
+// The calibrated study world: the synthetic Internet, the NTP pool with its
+// co-located web servers, the DNS discovery infrastructure, the 13 vantage
+// points, and every middlebox behaviour the paper observed or inferred:
+//
+//   * ~12 servers behind firewalls that drop ECT-marked UDP (Figure 3a's
+//     persistent spikes; placed on the servers' access links, i.e. "near the
+//     destination" as Section 4.1 infers);
+//   * one server reachable only with ECT(0)-marked UDP and two "Phoenix
+//     Public Library" servers that drop not-ECT UDP from EC2 source
+//     prefixes only (Figure 3b);
+//   * ECN bleaching on a small set of links, mostly at AS boundaries
+//     (Section 4.2's 59.1%), a tenth of them probabilistic ("sometimes
+//     strips");
+//   * per-vantage access pathologies: a congested, ToS-sensitive home
+//     access for McQuistin, a noisy wireless campus network;
+//   * pool churn: servers leave between the April/May and July/August
+//     batches, and a few percent are offline for any given trace; a small
+//     minority rate-limit NTP responses (transient false unreachability).
+//
+// All randomness derives from WorldParams::seed: the same seed reproduces
+// the same world, campaign, and numbers.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/dns/pool_dns.hpp"
+#include "ecnprobe/geo/geo.hpp"
+#include "ecnprobe/http/http_service.hpp"
+#include "ecnprobe/measure/campaign.hpp"
+#include "ecnprobe/measure/vantage.hpp"
+#include "ecnprobe/ntp/ntp.hpp"
+#include "ecnprobe/tcp/tcp.hpp"
+#include "ecnprobe/topology/internet.hpp"
+
+namespace ecnprobe::scenario {
+
+struct WorldParams {
+  std::uint64_t seed = 42;
+
+  // -- pool composition ----------------------------------------------------
+  int server_count = 2500;
+  /// Fraction of pool hosts running the encouraged web server (calibrated
+  /// so ~1334 of 2500 respond to HTTP given availability).
+  double web_server_fraction = 0.565;
+  /// Fraction of web servers willing to negotiate ECN (paper: 82.0%).
+  double web_ecn_fraction = 0.82;
+  /// Servers rate-limiting NTP responses (transient unreachability).
+  double rate_limited_fraction = 0.03;
+  double rate_limited_response_prob = 0.70;
+  /// Conntrack-style greylisting firewalls in front of every server: the
+  /// per-window probability of demanding a warm-up burst (causing the
+  /// Figure 2b "reachable with ECT(0) but not not-ECT" transients) or of
+  /// being wedged for the whole probe sequence.
+  double greylist_flaky_prob = 0.006;
+  double greylist_dead_prob = 0.001;
+
+  // -- observed middlebox pathologies --------------------------------------
+  int ect_udp_firewalled_servers = 12;  ///< drop ECT UDP near destination
+  int ect_required_servers = 1;         ///< drop not-ECT UDP (Figure 3b oddity)
+  int ec2_sensitive_servers = 2;        ///< drop not-ECT UDP from EC2 prefixes
+  int bleach_inter_as_links = 12;       ///< ECN bleachers on AS-boundary links
+  int bleach_intra_as_links = 60;       ///< ...and inside ASes
+  double bleach_sometimes_fraction = 0.30;  ///< of bleachers, probabilistic
+  double bleach_sometimes_prob = 0.5;
+
+  // -- availability / churn -------------------------------------------------
+  double offline_prob = 0.055;             ///< per server per trace
+  double batch2_departed_fraction = 0.05;  ///< leave the pool between batches
+
+  // -- topology -------------------------------------------------------------
+  topology::TopologyParams topology;
+
+  /// Paper-scale world (2500 servers, 400 stub ASes). The default.
+  static WorldParams paper();
+  /// Small world for unit/integration tests (fast to build and probe).
+  static WorldParams small(std::uint64_t seed = 42);
+  /// Linearly scales server and AS counts by `factor` in (0, 1].
+  WorldParams scaled(double factor) const;
+};
+
+/// One pool member with everything attached to it.
+struct PoolServer {
+  wire::Ipv4Address address;
+  topology::Internet::Attachment attachment;
+  netsim::Host* host = nullptr;
+  const geo::CountryInfo* country = nullptr;  ///< null for "Unknown" servers
+  std::unique_ptr<ntp::NtpServerService> ntp_service;
+  std::unique_ptr<tcp::TcpStack> tcp_stack;
+  std::unique_ptr<http::HttpServerService> web;
+
+  bool runs_web = false;
+  bool web_ecn = false;
+  bool rate_limited = false;
+  bool firewalled_ect_udp = false;
+  bool ect_required = false;
+  bool ec2_sensitive = false;
+  bool departed = false;  ///< left the pool before batch 2
+  bool online = true;     ///< current trace's availability
+};
+
+class World {
+public:
+  explicit World(WorldParams params);
+  ~World();
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  netsim::Simulator& sim() { return sim_; }
+  topology::Internet& internet() { return *internet_; }
+  netsim::Network& net() { return internet_->net(); }
+  const geo::GeoDatabase& geodb() const { return geodb_; }
+  const WorldParams& params() const { return params_; }
+  ntp::SimClock clock() const { return clock_; }
+
+  // -- pool ---------------------------------------------------------------
+  std::vector<wire::Ipv4Address> server_addresses() const;
+  const std::vector<PoolServer>& servers() const { return servers_; }
+  PoolServer& server(std::size_t i) { return servers_[i]; }
+
+  // -- vantage points -------------------------------------------------------
+  measure::Vantage& vantage(const std::string& name);
+  std::map<std::string, measure::Vantage*> vantage_map();
+  const std::vector<std::string>& vantage_names() const { return vantage_names_; }
+  /// Address of a vantage host (for reverse-path experiments).
+  wire::Ipv4Address vantage_address(const std::string& name);
+
+  // -- DNS ------------------------------------------------------------------
+  wire::Ipv4Address resolver_address() const { return resolver_address_; }
+  std::shared_ptr<dns::PoolZones> zones() { return zones_; }
+  std::vector<std::string> pool_zone_names() const;
+
+  // -- campaign support -----------------------------------------------------
+  /// Campaign hook: advances availability state (batch churn, per-trace
+  /// offline draws).
+  void before_trace(const std::string& vantage, int batch, int index);
+
+  /// Convenience: wires up a Campaign with the world's hook, runs the
+  /// simulator to completion, returns the traces.
+  std::vector<measure::Trace> run_campaign(const measure::CampaignPlan& plan,
+                                           const measure::ProbeOptions& options = {});
+
+  /// Runs `repetitions` ECN traceroutes from each vantage to every server.
+  std::vector<measure::TracerouteObservation> run_traceroutes(
+      int repetitions = 2, traceroute::TracerouteOptions options = {});
+
+  /// Runs the DNS discovery crawl from the given vantage; returns the
+  /// discovered addresses.
+  std::vector<wire::Ipv4Address> run_discovery(const std::string& vantage,
+                                               int rounds = 160);
+
+  // -- ground truth (for tests and EXPERIMENTS.md validation) ----------------
+  std::vector<wire::Ipv4Address> ground_truth_firewalled() const;
+  const topology::IpToAsMap& ip2as() const { return internet_->ip2as(); }
+
+  /// Enables an RFC 3168 AQM (CE-marking) on the access link of server `i`
+  /// in the server->vantage direction -- used by the ECN-usability
+  /// extension experiment.
+  void enable_congestion_at_server(std::size_t i, double mark_prob, double drop_prob);
+
+private:
+  void build_pool();
+  void build_vantages();
+  void build_dns();
+  void place_middleboxes();
+  void apply_availability(int batch);
+
+  WorldParams params_;
+  util::Rng rng_;
+  netsim::Simulator sim_;
+  std::unique_ptr<topology::Internet> internet_;
+  geo::GeoDatabase geodb_;
+  ntp::SimClock clock_;
+
+  std::vector<PoolServer> servers_;
+  std::map<topology::Asn, const geo::CountryInfo*> as_country_;
+
+  struct VantageEntry {
+    std::string name;
+    netsim::Host* host = nullptr;
+    std::unique_ptr<measure::Vantage> vantage;
+  };
+  std::vector<VantageEntry> vantages_;
+  std::vector<std::string> vantage_names_;
+
+  std::shared_ptr<dns::PoolZones> zones_;
+  netsim::Host* resolver_host_ = nullptr;
+  std::unique_ptr<dns::DnsServerService> resolver_service_;
+  wire::Ipv4Address resolver_address_;
+
+  int current_batch_ = 0;
+};
+
+}  // namespace ecnprobe::scenario

@@ -1,0 +1,58 @@
+#include "ecnprobe/topology/ip2as.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace ecnprobe::topology {
+
+namespace {
+std::uint32_t mask_for(int len) {
+  if (len <= 0) return 0;
+  if (len >= 32) return 0xffffffffu;
+  return ~((1u << (32 - len)) - 1u);
+}
+}  // namespace
+
+void IpToAsMap::add(wire::Ipv4Address prefix, int prefix_len, Asn asn) {
+  prefix_len = std::clamp(prefix_len, 0, 32);
+  auto& bucket = by_len_[prefix_len];
+  const auto key = prefix.value() & mask_for(prefix_len);
+  if (!bucket.contains(key)) ++entries_;
+  bucket[key] = asn;
+}
+
+std::optional<Asn> IpToAsMap::lookup(wire::Ipv4Address addr) const {
+  for (int len = 32; len >= 0; --len) {
+    const auto& bucket = by_len_[len];
+    if (bucket.empty()) continue;
+    const auto it = bucket.find(addr.value() & mask_for(len));
+    if (it != bucket.end()) return it->second;
+  }
+  return std::nullopt;
+}
+
+IpToAsMap IpToAsMap::with_errors(double error_rate, util::Rng& rng) const {
+  // Collect the distinct ASNs so errors remap to a real (but wrong) AS.
+  std::vector<Asn> asns;
+  for (const auto& bucket : by_len_) {
+    for (const auto& [_, asn] : bucket) asns.push_back(asn);
+  }
+  std::sort(asns.begin(), asns.end());
+  asns.erase(std::unique(asns.begin(), asns.end()), asns.end());
+
+  IpToAsMap out;
+  for (int len = 0; len <= 32; ++len) {
+    for (const auto& [base, asn] : by_len_[len]) {
+      Asn mapped = asn;
+      if (asns.size() > 1 && rng.bernoulli(error_rate)) {
+        do {
+          mapped = asns[rng.next_below(asns.size())];
+        } while (mapped == asn);
+      }
+      out.add(wire::Ipv4Address{base}, len, mapped);
+    }
+  }
+  return out;
+}
+
+}  // namespace ecnprobe::topology

@@ -1,0 +1,41 @@
+// IP-to-AS mapping. The paper attributes 59.1% of ECN-stripping locations
+// to AS boundaries by mapping traceroute responder addresses to AS numbers
+// -- "subject to the usual limitations of IP to AS mapping accuracy" (their
+// ref [16], Zhang et al.). We reproduce both the mechanism and its
+// fallibility: the table is built from ground-truth allocations, and an
+// error rate can be injected to study how inference noise moves the
+// boundary-attribution figure (ablation bench).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "ecnprobe/util/rng.hpp"
+#include "ecnprobe/wire/ipv4.hpp"
+
+namespace ecnprobe::topology {
+
+using Asn = std::uint32_t;
+
+class IpToAsMap {
+public:
+  /// Registers prefix/len -> asn.
+  void add(wire::Ipv4Address prefix, int prefix_len, Asn asn);
+
+  /// Longest-prefix-match lookup.
+  std::optional<Asn> lookup(wire::Ipv4Address addr) const;
+
+  std::size_t size() const { return entries_; }
+
+  /// A derived map where a fraction of prefixes is remapped to a wrong,
+  /// neighbouring AS -- the inference error model for the ablation study.
+  IpToAsMap with_errors(double error_rate, util::Rng& rng) const;
+
+private:
+  // by_len_[len] maps masked prefix -> asn.
+  std::map<std::uint32_t, Asn> by_len_[33];
+  std::size_t entries_ = 0;
+};
+
+}  // namespace ecnprobe::topology

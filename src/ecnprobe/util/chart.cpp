@@ -1,0 +1,175 @@
+#include "ecnprobe/util/chart.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+#include "ecnprobe/util/strings.hpp"
+
+namespace ecnprobe::util {
+
+namespace {
+
+// Left gutter showing y-axis tick values on the top, middle, and bottom rows.
+std::string y_tick(double y_min, double y_max, int row, int height,
+                   const std::string& unit) {
+  const double frac = 1.0 - static_cast<double>(row) / static_cast<double>(height - 1);
+  const double v = y_min + (y_max - y_min) * frac;
+  if (row == 0 || row == height - 1 || row == (height - 1) / 2) {
+    return strf("%6.1f%s |", v, unit.c_str());
+  }
+  return strf("%*s |", static_cast<int>(6 + unit.size()), "");
+}
+
+}  // namespace
+
+std::string render_bar_chart(std::span<const double> values,
+                             std::span<const std::string> labels,
+                             const BarChartOptions& opts) {
+  assert(labels.empty() || labels.size() == values.size());
+  const int h = std::max(opts.height, 2);
+  const int bw = std::max(opts.bar_width, 1);
+  const int gap = std::max(opts.gap, 0);
+  const double lo = opts.y_min;
+  const double hi = opts.y_max > lo ? opts.y_max : lo + 1.0;
+
+  // Height (in rows) of each bar, clamped into the plot range.
+  std::vector<int> bar_rows(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double frac = std::clamp((values[i] - lo) / (hi - lo), 0.0, 1.0);
+    bar_rows[i] = static_cast<int>(std::lround(frac * h));
+    if (values[i] > lo && bar_rows[i] == 0) bar_rows[i] = 1;  // visible sliver
+  }
+
+  std::ostringstream out;
+  for (int row = 0; row < h; ++row) {
+    out << y_tick(lo, hi, row, h, opts.y_unit);
+    const int rows_from_bottom = h - row;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i) out << std::string(static_cast<std::size_t>(gap), ' ');
+      const char c = bar_rows[i] >= rows_from_bottom ? '#' : ' ';
+      out << std::string(static_cast<std::size_t>(bw), c);
+    }
+    out << '\n';
+  }
+  // x-axis rule.
+  const std::size_t plot_w =
+      values.empty() ? 0
+                     : values.size() * static_cast<std::size_t>(bw) +
+                           (values.size() - 1) * static_cast<std::size_t>(gap);
+  out << strf("%*s +", static_cast<int>(6 + opts.y_unit.size()), "")
+      << std::string(plot_w, '-') << '\n';
+
+  // Label rows: labels are printed vertically if longer than the bar width.
+  if (!labels.empty()) {
+    std::size_t max_label = 0;
+    for (const auto& l : labels) max_label = std::max(max_label, l.size());
+    for (std::size_t lr = 0; lr < max_label; ++lr) {
+      out << strf("%*s  ", static_cast<int>(6 + opts.y_unit.size()), "");
+      for (std::size_t i = 0; i < labels.size(); ++i) {
+        if (i) out << std::string(static_cast<std::size_t>(gap), ' ');
+        const char c = lr < labels[i].size() ? labels[i][lr] : ' ';
+        std::string cell(static_cast<std::size_t>(bw), ' ');
+        cell[cell.size() / 2] = c;
+        out << cell;
+      }
+      out << '\n';
+    }
+  }
+  return out.str();
+}
+
+std::string render_spike_plot(std::span<const double> values,
+                              const SpikePlotOptions& opts) {
+  const int w = std::max(opts.width, 1);
+  const int h = std::max(opts.height, 2);
+  std::vector<double> col_max(static_cast<std::size_t>(w), 0.0);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const auto col = values.empty()
+                         ? std::size_t{0}
+                         : std::min<std::size_t>(
+                               static_cast<std::size_t>(w) - 1,
+                               i * static_cast<std::size_t>(w) / values.size());
+    col_max[col] = std::max(col_max[col], values[i]);
+  }
+  std::ostringstream out;
+  for (int row = 0; row < h; ++row) {
+    out << y_tick(0.0, opts.y_max, row, h, "%");
+    const int rows_from_bottom = h - row;
+    for (int c = 0; c < w; ++c) {
+      const double frac = std::clamp(col_max[static_cast<std::size_t>(c)] / opts.y_max, 0.0, 1.0);
+      int rows = static_cast<int>(std::lround(frac * h));
+      if (col_max[static_cast<std::size_t>(c)] > 0.0 && rows == 0) rows = 1;
+      out << (rows >= rows_from_bottom ? '|' : ' ');
+    }
+    out << '\n';
+  }
+  out << strf("%7s +", "") << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  return out.str();
+}
+
+std::string render_scatter(std::span<const ScatterPoint> points,
+                           const ScatterOptions& opts,
+                           std::span<const ScatterPoint> curve) {
+  const int w = std::max(opts.width, 2);
+  const int h = std::max(opts.height, 2);
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  auto plot = [&](const ScatterPoint& p) {
+    if (opts.x_max <= opts.x_min || opts.y_max <= opts.y_min) return;
+    const double fx = (p.x - opts.x_min) / (opts.x_max - opts.x_min);
+    const double fy = (p.y - opts.y_min) / (opts.y_max - opts.y_min);
+    if (fx < 0.0 || fx > 1.0 || fy < 0.0 || fy > 1.0) return;
+    const auto col = std::min<std::size_t>(static_cast<std::size_t>(fx * (w - 1)),
+                                           static_cast<std::size_t>(w - 1));
+    const auto row = static_cast<std::size_t>(h - 1) -
+                     std::min<std::size_t>(static_cast<std::size_t>(fy * (h - 1)),
+                                           static_cast<std::size_t>(h - 1));
+    grid[row][col] = p.glyph;
+  };
+  for (const auto& p : curve) plot(p);
+  for (const auto& p : points) plot(p);  // points draw over the curve
+
+  std::ostringstream out;
+  for (int row = 0; row < h; ++row) {
+    out << y_tick(opts.y_min, opts.y_max, row, h, "") << grid[static_cast<std::size_t>(row)]
+        << '\n';
+  }
+  out << strf("%7s+", "") << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  out << strf("%7s%-8.0f%*.0f\n", "", opts.x_min, w - 8, opts.x_max);
+  return out.str();
+}
+
+std::string render_world_map(std::span<const std::pair<double, double>> lat_lon,
+                             int width, int height) {
+  const int w = std::max(width, 10);
+  const int h = std::max(height, 5);
+  std::vector<std::vector<int>> counts(static_cast<std::size_t>(h),
+                                       std::vector<int>(static_cast<std::size_t>(w), 0));
+  for (const auto& [lat, lon] : lat_lon) {
+    if (lat < -90.0 || lat > 90.0 || lon < -180.0 || lon > 180.0) continue;
+    const auto col = std::min<std::size_t>(
+        static_cast<std::size_t>((lon + 180.0) / 360.0 * w), static_cast<std::size_t>(w - 1));
+    const auto row = std::min<std::size_t>(
+        static_cast<std::size_t>((90.0 - lat) / 180.0 * h), static_cast<std::size_t>(h - 1));
+    ++counts[row][col];
+  }
+  static constexpr char kShades[] = {' ', '.', ':', '*', '#', '@'};
+  std::ostringstream out;
+  out << '+' << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  for (int r = 0; r < h; ++r) {
+    out << '|';
+    for (int c = 0; c < w; ++c) {
+      const int n = counts[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)];
+      std::size_t shade = 0;
+      if (n > 0) shade = std::min<std::size_t>(5, 1 + static_cast<std::size_t>(std::log2(n + 1)));
+      out << kShades[shade];
+    }
+    out << "|\n";
+  }
+  out << '+' << std::string(static_cast<std::size_t>(w), '-') << "+\n";
+  return out.str();
+}
+
+}  // namespace ecnprobe::util

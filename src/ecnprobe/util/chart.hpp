@@ -1,0 +1,64 @@
+// ASCII chart rendering used by the bench harness to draw terminal versions
+// of the paper's figures: grouped vertical bars (Figs 2 and 5), dense
+// per-server spike plots binned to terminal width (Fig 3), scatter/time
+// series (Fig 6), and a crude world map (Fig 1).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ecnprobe::util {
+
+/// A labelled vertical bar chart with a configurable y-range (the paper's
+/// Figure 2 uses 90-100%). Bars are drawn as columns of '#'.
+struct BarChartOptions {
+  double y_min = 0.0;
+  double y_max = 100.0;
+  int height = 12;        ///< rows of the plot area
+  int bar_width = 1;      ///< columns per bar
+  int gap = 1;            ///< columns between bars
+  std::string y_unit = "%";
+};
+
+std::string render_bar_chart(std::span<const double> values,
+                             std::span<const std::string> labels,
+                             const BarChartOptions& opts = {});
+
+/// Dense spike plot for thousands of per-item values (Figure 3): items are
+/// binned to `width` columns and each column shows the *maximum* value in
+/// its bin, which preserves the tall isolated spikes the paper highlights.
+struct SpikePlotOptions {
+  int width = 100;
+  int height = 10;
+  double y_max = 100.0;
+};
+
+std::string render_spike_plot(std::span<const double> values,
+                              const SpikePlotOptions& opts = {});
+
+/// Scatter plot for the Figure 6 time series. Points are plotted as 'o';
+/// an optional fitted curve is drawn with '.'.
+struct ScatterOptions {
+  int width = 64;
+  int height = 16;
+  double x_min = 0.0, x_max = 1.0;
+  double y_min = 0.0, y_max = 100.0;
+};
+
+struct ScatterPoint {
+  double x = 0.0;
+  double y = 0.0;
+  char glyph = 'o';
+};
+
+std::string render_scatter(std::span<const ScatterPoint> points,
+                           const ScatterOptions& opts,
+                           std::span<const ScatterPoint> curve = {});
+
+/// Equirectangular world map: bins (lat, lon) points into a character grid
+/// (Figure 1). Counts render as ' .:*#@' by density.
+std::string render_world_map(std::span<const std::pair<double, double>> lat_lon,
+                             int width = 96, int height = 28);
+
+}  // namespace ecnprobe::util

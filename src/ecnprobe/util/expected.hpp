@@ -1,0 +1,54 @@
+// Minimal expected<T, Error> for parse paths. Wire-format decoding rejects
+// malformed input as a value, not an exception: malformed packets arrive from
+// the network in normal operation and are not programming errors.
+#pragma once
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace ecnprobe::util {
+
+/// Error payload carried by Expected. A short machine-matchable code plus a
+/// human-readable message.
+struct Error {
+  std::string code;
+  std::string message;
+};
+
+inline Error make_error(std::string code, std::string message) {
+  return Error{std::move(code), std::move(message)};
+}
+
+/// Holds either a T or an Error. Deliberately tiny: just what the decoders
+/// need (C++23 std::expected is not available on this toolchain).
+template <typename T>
+class Expected {
+public:
+  Expected(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Expected(Error error) : v_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool has_value() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & { assert(has_value()); return std::get<T>(v_); }
+  const T& value() const& { assert(has_value()); return std::get<T>(v_); }
+  T&& value() && { assert(has_value()); return std::get<T>(std::move(v_)); }
+
+  const Error& error() const { assert(!has_value()); return std::get<Error>(v_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const {
+    return has_value() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+private:
+  std::variant<T, Error> v_;
+};
+
+}  // namespace ecnprobe::util

@@ -1,0 +1,55 @@
+#include "ecnprobe/util/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace ecnprobe::util {
+
+namespace {
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+void vlog(LogLevel level, const char* fmt, va_list args) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] ", level_name(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void detail::log_line(LogLevel level, const std::string& msg) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+#define ECNPROBE_DEFINE_LOG_FN(name, level)       \
+  void name(const char* fmt, ...) {               \
+    va_list args;                                 \
+    va_start(args, fmt);                          \
+    vlog(level, fmt, args);                       \
+    va_end(args);                                 \
+  }
+
+ECNPROBE_DEFINE_LOG_FN(log_trace, LogLevel::Trace)
+ECNPROBE_DEFINE_LOG_FN(log_debug, LogLevel::Debug)
+ECNPROBE_DEFINE_LOG_FN(log_info, LogLevel::Info)
+ECNPROBE_DEFINE_LOG_FN(log_warn, LogLevel::Warn)
+ECNPROBE_DEFINE_LOG_FN(log_error, LogLevel::Error)
+
+#undef ECNPROBE_DEFINE_LOG_FN
+
+}  // namespace ecnprobe::util

@@ -1,0 +1,24 @@
+// Leveled logging to stderr. Default level is Warn so tests and benches stay
+// quiet; examples raise it for narrative output.
+#pragma once
+
+#include <string>
+
+namespace ecnprobe::util {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+[[gnu::format(printf, 1, 2)]] void log_trace(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_debug(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_info(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_warn(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void log_error(const char* fmt, ...);
+
+}  // namespace ecnprobe::util

@@ -1,0 +1,159 @@
+#include "ecnprobe/util/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace ecnprobe::util {
+
+namespace {
+
+// splitmix64: seeds the xoshiro state and implements seed derivation.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+// FNV-1a over the label bytes, mixed with the parent seed.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (char ch : s) {
+    h ^= static_cast<unsigned char>(ch);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label) {
+  std::uint64_t x = seed ^ fnv1a(label);
+  return splitmix64(x);
+}
+
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt) {
+  std::uint64_t x = seed ^ (salt * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  return splitmix64(x);
+}
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t x = seed;
+  for (auto& s : s_) s = splitmix64(x);
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Lemire's nearly-divisionless bounded generation with rejection to keep
+  // the distribution exactly uniform.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = span == 0 ? next_u64() : next_below(span);
+  return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + draw);
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * next_double();
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box-Muller; draws exactly two uniforms per call.
+  double u1 = next_double();
+  const double u2 = next_double();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;  // avoid log(0)
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double mean) {
+  assert(mean > 0.0);
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+int Rng::geometric(double p, int cap) {
+  if (p >= 1.0) return 0;
+  if (p <= 0.0) return cap;
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  const double k = std::floor(std::log(u) / std::log1p(-p));
+  if (k >= static_cast<double>(cap)) return cap;
+  return static_cast<int>(k);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  assert(xm > 0.0 && alpha > 0.0);
+  double u = next_double();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted_index(std::span<const double> weights) {
+  if (weights.empty()) throw std::invalid_argument("weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) total += w > 0.0 ? w : 0.0;
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: non-positive sum");
+  double target = next_double() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const double w = weights[i] > 0.0 ? weights[i] : 0.0;
+    if (target < w) return i;
+    target -= w;
+  }
+  return weights.size() - 1;  // floating-point slack lands on the last item
+}
+
+Rng Rng::fork(std::string_view label) const {
+  return Rng{derive_seed(seed_, label)};
+}
+
+Rng Rng::fork(std::uint64_t salt) const {
+  return Rng{derive_seed(seed_, salt)};
+}
+
+}  // namespace ecnprobe::util

@@ -1,0 +1,90 @@
+// Deterministic random number generation for reproducible measurement
+// campaigns. Every stochastic decision in the simulator draws from an Rng
+// seeded from the campaign seed, so a campaign is a pure function of its
+// parameters.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace ecnprobe::util {
+
+/// Hashes a seed and a label into a new seed. Used to derive independent
+/// sub-streams ("fork" an Rng per server, per trace, per link) so that adding
+/// a consumer of randomness does not perturb unrelated streams.
+std::uint64_t derive_seed(std::uint64_t seed, std::string_view label);
+std::uint64_t derive_seed(std::uint64_t seed, std::uint64_t salt);
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, 2^256-1 period, and -- unlike
+/// std::mt19937 -- guaranteed to produce identical output on every platform,
+/// which matters for reproducing the campaign numbers in EXPERIMENTS.md.
+class Rng {
+public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform on [0, 2^64).
+  std::uint64_t next_u64();
+
+  /// Uniform on [0, bound). bound == 0 returns 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform integer on [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real on [0, 1).
+  double next_double();
+
+  /// Uniform real on [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Normal deviate via Box-Muller (no cached spare: keeps the stream
+  /// position a pure function of the number of calls).
+  double normal(double mean, double stddev);
+
+  /// Exponential deviate with the given mean. Requires mean > 0.
+  double exponential(double mean);
+
+  /// Geometric-like: number of failures before first success with prob p.
+  /// Capped at `cap` to bound pathological small-p draws.
+  int geometric(double p, int cap = 1 << 20);
+
+  /// Pareto deviate with minimum xm and shape alpha (heavy-tailed hop
+  /// counts, server popularity, ...).
+  double pareto(double xm, double alpha);
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Requires a non-empty span with a positive sum.
+  std::size_t weighted_index(std::span<const double> weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[next_below(i)]);
+    }
+  }
+
+  /// Uniformly chosen element. Requires a non-empty vector.
+  template <typename T>
+  const T& choice(const std::vector<T>& v) {
+    return v[next_below(v.size())];
+  }
+
+  /// Derives an independent child stream identified by a label.
+  Rng fork(std::string_view label) const;
+  Rng fork(std::uint64_t salt) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;
+};
+
+}  // namespace ecnprobe::util

@@ -1,0 +1,88 @@
+// Streaming and batch statistics used by the analysis module: Welford
+// running moments, order statistics, and simple linear/logistic trend fits
+// for the Figure 6 time series.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ecnprobe::util {
+
+/// Numerically stable streaming mean/variance/min/max (Welford).
+class RunningStats {
+public:
+  void add(double x);
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// q-th quantile (q in [0,1]) with linear interpolation between order
+/// statistics. Copies and sorts; fine for analysis-sized inputs.
+double quantile(std::span<const double> xs, double q);
+
+double mean(std::span<const double> xs);
+double median(std::span<const double> xs);
+
+/// Least-squares fit y = a + b*x. Returns {a, b}; b = 0 for fewer than two
+/// distinct x values.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r2 = 0.0;
+  double predict(double x) const { return intercept + slope * x; }
+};
+LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Logistic growth fit y = L / (1 + exp(-k (x - x0))) with fixed ceiling L
+/// (fraction scale: L = 100 for percentages). Fitted by transforming to the
+/// logit domain and running a linear fit; points at 0 or L are nudged
+/// inward. Used for the Figure 6 ECN-adoption growth curve.
+struct LogisticFit {
+  double ceiling = 100.0;
+  double midpoint = 0.0;  // x0
+  double rate = 0.0;      // k
+  double predict(double x) const;
+};
+LogisticFit logistic_fit(std::span<const double> xs, std::span<const double> ys,
+                         double ceiling = 100.0);
+
+/// Pearson correlation coefficient; 0 if either side has no variance.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Fixed-width histogram over [lo, hi); values outside clamp to the end bins.
+class Histogram {
+public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  std::size_t bin_count(std::size_t i) const { return counts_[i]; }
+  std::size_t bins() const { return counts_.size(); }
+  std::size_t total() const { return total_; }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+
+private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace ecnprobe::util

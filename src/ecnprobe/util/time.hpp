@@ -1,0 +1,90 @@
+// Simulated time. The event engine, timers, and all protocol timeouts use
+// SimTime / SimDuration: 64-bit nanosecond counts wrapped in strong types so
+// that a raw integer can never be confused for a time, and so wall-clock
+// std::chrono types cannot leak into the deterministic simulation.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace ecnprobe::util {
+
+/// A span of simulated time, in nanoseconds. Signed so arithmetic on
+/// differences behaves naturally.
+class SimDuration {
+public:
+  constexpr SimDuration() = default;
+  constexpr static SimDuration nanos(std::int64_t n) { return SimDuration{n}; }
+  constexpr static SimDuration micros(std::int64_t us) { return SimDuration{us * 1'000}; }
+  constexpr static SimDuration millis(std::int64_t ms) { return SimDuration{ms * 1'000'000}; }
+  constexpr static SimDuration seconds(std::int64_t s) { return SimDuration{s * 1'000'000'000}; }
+  constexpr static SimDuration minutes(std::int64_t m) { return seconds(m * 60); }
+  constexpr static SimDuration hours(std::int64_t h) { return seconds(h * 3600); }
+  constexpr static SimDuration days(std::int64_t d) { return seconds(d * 86'400); }
+  /// From a floating-point second count (e.g. RTT computations).
+  constexpr static SimDuration from_seconds(double s) {
+    return SimDuration{static_cast<std::int64_t>(s * 1e9)};
+  }
+
+  constexpr std::int64_t count_nanos() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr auto operator<=>(const SimDuration&) const = default;
+  constexpr SimDuration operator+(SimDuration o) const { return SimDuration{ns_ + o.ns_}; }
+  constexpr SimDuration operator-(SimDuration o) const { return SimDuration{ns_ - o.ns_}; }
+  constexpr SimDuration operator*(std::int64_t k) const { return SimDuration{ns_ * k}; }
+  constexpr SimDuration operator/(std::int64_t k) const { return SimDuration{ns_ / k}; }
+  constexpr SimDuration& operator+=(SimDuration o) { ns_ += o.ns_; return *this; }
+  constexpr SimDuration& operator-=(SimDuration o) { ns_ -= o.ns_; return *this; }
+
+  std::string to_string() const;
+
+private:
+  constexpr explicit SimDuration(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+/// An instant of simulated time: nanoseconds since the start of the
+/// simulation epoch.
+class SimTime {
+public:
+  constexpr SimTime() = default;
+  constexpr static SimTime from_nanos(std::int64_t n) { return SimTime{n}; }
+  constexpr static SimTime zero() { return SimTime{0}; }
+
+  constexpr std::int64_t count_nanos() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+  constexpr SimTime operator+(SimDuration d) const { return SimTime{ns_ + d.count_nanos()}; }
+  constexpr SimTime operator-(SimDuration d) const { return SimTime{ns_ - d.count_nanos()}; }
+  constexpr SimDuration operator-(SimTime o) const {
+    return SimDuration::nanos(ns_ - o.ns_);
+  }
+  constexpr SimTime& operator+=(SimDuration d) { ns_ += d.count_nanos(); return *this; }
+
+  std::string to_string() const;
+
+private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+namespace literals {
+constexpr SimDuration operator""_ns(unsigned long long n) {
+  return SimDuration::nanos(static_cast<std::int64_t>(n));
+}
+constexpr SimDuration operator""_us(unsigned long long n) {
+  return SimDuration::micros(static_cast<std::int64_t>(n));
+}
+constexpr SimDuration operator""_ms(unsigned long long n) {
+  return SimDuration::millis(static_cast<std::int64_t>(n));
+}
+constexpr SimDuration operator""_s(unsigned long long n) {
+  return SimDuration::seconds(static_cast<std::int64_t>(n));
+}
+}  // namespace literals
+
+}  // namespace ecnprobe::util

@@ -1,0 +1,34 @@
+// The Internet checksum (RFC 1071) and the UDP/TCP pseudo-header variant
+// (RFC 768 / RFC 793). Used by every header codec and verified on receive in
+// both the simulator host stack and the live raw-socket driver.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace ecnprobe::wire {
+
+/// One's-complement sum of 16-bit words (RFC 1071), without final inversion.
+/// Odd trailing byte is padded with zero. Exposed for incremental use.
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc = 0);
+
+/// Folds a 32-bit accumulator to 16 bits and inverts. 0 maps to 0xffff per
+/// UDP convention handled by callers.
+std::uint16_t checksum_finish(std::uint32_t acc);
+
+/// Complete Internet checksum over a buffer.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+/// Pseudo-header seed for UDP/TCP checksums: src/dst address, protocol, and
+/// transport length, as RFC 768/793 require.
+std::uint32_t pseudo_header_sum(std::uint32_t src_addr, std::uint32_t dst_addr,
+                                std::uint8_t protocol, std::uint16_t transport_len);
+
+/// Checksum of a full transport segment (header+payload bytes with the
+/// checksum field zeroed) including the pseudo-header.
+std::uint16_t transport_checksum(std::uint32_t src_addr, std::uint32_t dst_addr,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment);
+
+}  // namespace ecnprobe::wire

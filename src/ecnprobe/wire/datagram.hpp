@@ -1,0 +1,60 @@
+// A Datagram is the unit that traverses the simulated network: a decoded
+// IPv4 header plus the raw transport-segment bytes. Keeping the header
+// decoded lets routers and middleboxes inspect/modify TTL and ECN cheaply;
+// `encode()` produces the bit-accurate wire bytes whenever they are needed
+// (packet capture, ICMP quotations, the live driver).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/util/expected.hpp"
+#include "ecnprobe/wire/icmp.hpp"
+#include "ecnprobe/wire/ipv4.hpp"
+
+namespace ecnprobe::wire {
+
+struct Datagram {
+  Ipv4Header ip;
+  std::vector<std::uint8_t> payload;  ///< transport segment (UDP/TCP/ICMP bytes)
+
+  /// Full wire serialisation (header checksum recomputed).
+  std::vector<std::uint8_t> encode() const;
+
+  /// Parses wire bytes back into a Datagram. Fails on truncation or a bad
+  /// IP checksum.
+  static util::Expected<Datagram> decode(std::span<const std::uint8_t> bytes);
+
+  std::string summary() const;
+};
+
+/// Builds a UDP datagram with the given ECN mark; fills in lengths and all
+/// checksums.
+Datagram make_udp_datagram(Ipv4Address src, Ipv4Address dst, std::uint16_t src_port,
+                           std::uint16_t dst_port, std::span<const std::uint8_t> payload,
+                           Ecn ecn, std::uint8_t ttl = Ipv4Header::kDefaultTtl);
+
+/// Builds a TCP datagram around an already-populated TCP header. Data
+/// segments on a negotiated-ECN connection pass Ecn::Ect0; SYNs must be
+/// not-ECT (RFC 3168 section 6.1.1).
+Datagram make_tcp_datagram(Ipv4Address src, Ipv4Address dst,
+                           const struct TcpHeader& tcp,
+                           std::span<const std::uint8_t> payload, Ecn ecn,
+                           std::uint8_t ttl = Ipv4Header::kDefaultTtl);
+
+/// Builds an ICMP datagram (errors and echo). ICMP is always not-ECT.
+Datagram make_icmp_datagram(Ipv4Address src, Ipv4Address dst, const IcmpMessage& msg,
+                            std::uint8_t ttl = Ipv4Header::kDefaultTtl);
+
+/// Builds the ICMP Time-Exceeded error a router sends when TTL expires,
+/// quoting the received datagram per RFC 792/1812.
+Datagram make_time_exceeded(Ipv4Address router_addr, const Datagram& received);
+
+/// Builds an ICMP Destination-Unreachable error quoting the received
+/// datagram.
+Datagram make_dest_unreachable(Ipv4Address sender_addr, const Datagram& received,
+                               IcmpUnreachCode code);
+
+}  // namespace ecnprobe::wire

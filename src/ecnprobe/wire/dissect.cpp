@@ -1,0 +1,110 @@
+#include "ecnprobe/wire/dissect.hpp"
+
+#include "ecnprobe/util/strings.hpp"
+#include "ecnprobe/wire/dnsmsg.hpp"
+#include "ecnprobe/wire/ntp.hpp"
+#include "ecnprobe/wire/tcp.hpp"
+#include "ecnprobe/wire/udp.hpp"
+
+namespace ecnprobe::wire {
+
+namespace {
+
+std::string dissect_ntp(std::span<const std::uint8_t> payload) {
+  const auto packet = NtpPacket::decode(payload);
+  if (!packet) return "NTP (malformed)";
+  const char* mode = "?";
+  switch (packet->mode) {
+    case NtpMode::Client: mode = "client"; break;
+    case NtpMode::Server: mode = "server"; break;
+    case NtpMode::Broadcast: mode = "broadcast"; break;
+    default: mode = "other"; break;
+  }
+  return util::strf("NTPv%u %s stratum %u", packet->version, mode, packet->stratum);
+}
+
+std::string dissect_dns(std::span<const std::uint8_t> payload) {
+  const auto message = DnsMessage::decode(payload);
+  if (!message) return "DNS (malformed)";
+  if (!message->is_response) {
+    return message->questions.empty()
+               ? "DNS query"
+               : util::strf("DNS query %s", message->questions[0].name.c_str());
+  }
+  return util::strf("DNS response %zu answer%s rcode %d", message->answers.size(),
+                    message->answers.size() == 1 ? "" : "s",
+                    static_cast<int>(message->rcode));
+}
+
+std::string dissect_udp(const Datagram& dgram) {
+  const auto segment = decode_udp_segment(dgram.ip.src, dgram.ip.dst, dgram.payload);
+  if (!segment) return "UDP (malformed)";
+  std::string app;
+  if (segment->header.dst_port == kNtpPort || segment->header.src_port == kNtpPort) {
+    app = " " + dissect_ntp(segment->payload);
+  } else if (segment->header.dst_port == kDnsPort ||
+             segment->header.src_port == kDnsPort) {
+    app = " " + dissect_dns(segment->payload);
+  }
+  return util::strf("%s.%u > %s.%u: UDP len %zu%s%s",
+                    dgram.ip.src.to_string().c_str(), segment->header.src_port,
+                    dgram.ip.dst.to_string().c_str(), segment->header.dst_port,
+                    segment->payload.size(), app.c_str(),
+                    segment->checksum_ok ? "" : " (bad cksum)");
+}
+
+std::string dissect_tcp(const Datagram& dgram) {
+  const auto segment = decode_tcp_segment(dgram.ip.src, dgram.ip.dst, dgram.payload);
+  if (!segment) return "TCP (malformed)";
+  std::string extra;
+  if (segment->header.is_ecn_setup_syn()) extra = " [ECN-setup SYN]";
+  else if (segment->header.is_ecn_setup_syn_ack()) extra = " [ECN-setup SYN-ACK]";
+  return util::strf("%s.%u > %s.%u: TCP %s seq %u ack %u len %zu%s",
+                    dgram.ip.src.to_string().c_str(), segment->header.src_port,
+                    dgram.ip.dst.to_string().c_str(), segment->header.dst_port,
+                    segment->header.flags.to_string().c_str(), segment->header.seq,
+                    segment->header.ack, segment->payload.size(), extra.c_str());
+}
+
+std::string dissect_icmp(const Datagram& dgram) {
+  const auto decoded = decode_icmp_message(dgram.payload);
+  if (!decoded) return "ICMP (malformed)";
+  const char* type = "other";
+  switch (decoded->message.type) {
+    case IcmpType::EchoRequest: type = "echo request"; break;
+    case IcmpType::EchoReply: type = "echo reply"; break;
+    case IcmpType::TimeExceeded: type = "time exceeded"; break;
+    case IcmpType::DestUnreachable: type = "destination unreachable"; break;
+  }
+  std::string quoted;
+  if (decoded->message.is_error()) {
+    if (const auto quotation = parse_quotation(decoded->message.body)) {
+      quoted = util::strf(" quoting [%s > %s %s ttl %u]",
+                          quotation->inner_header.src.to_string().c_str(),
+                          quotation->inner_header.dst.to_string().c_str(),
+                          std::string(to_string(quotation->inner_header.ecn)).c_str(),
+                          quotation->inner_header.ttl);
+    }
+  }
+  return util::strf("%s > %s: ICMP %s%s", dgram.ip.src.to_string().c_str(),
+                    dgram.ip.dst.to_string().c_str(), type, quoted.c_str());
+}
+
+}  // namespace
+
+std::string dissect(const Datagram& dgram) {
+  std::string line;
+  switch (dgram.ip.protocol) {
+    case IpProto::Udp: line = dissect_udp(dgram); break;
+    case IpProto::Tcp: line = dissect_tcp(dgram); break;
+    case IpProto::Icmp: line = dissect_icmp(dgram); break;
+    default:
+      line = util::strf("%s > %s: proto %u len %zu", dgram.ip.src.to_string().c_str(),
+                        dgram.ip.dst.to_string().c_str(),
+                        static_cast<unsigned>(dgram.ip.protocol), dgram.payload.size());
+  }
+  return util::strf("%s %s ttl %u", line.c_str(),
+                    std::string(to_string(dgram.ip.ecn)).c_str(), dgram.ip.ttl);
+}
+
+}  // namespace ecnprobe::wire

@@ -1,0 +1,16 @@
+// One-line tcpdump-style dissection of a datagram: IP metadata (including
+// the ECN field, always), then the recognised transport and application
+// payloads (UDP/TCP/ICMP; NTP/DNS on well-known ports; ICMP quotations).
+// Used by examples and debugging output.
+#pragma once
+
+#include <string>
+
+#include "ecnprobe/wire/datagram.hpp"
+
+namespace ecnprobe::wire {
+
+/// e.g. "10.0.0.1.44001 > 11.0.0.2.123: UDP ECT(0) ttl 64 NTPv4 client len 48"
+std::string dissect(const Datagram& dgram);
+
+}  // namespace ecnprobe::wire

@@ -1,0 +1,176 @@
+#include "ecnprobe/wire/dnsmsg.hpp"
+
+#include "ecnprobe/util/strings.hpp"
+#include "ecnprobe/wire/bytes.hpp"
+
+namespace ecnprobe::wire {
+
+DnsRecord DnsRecord::make_a(std::string name, Ipv4Address addr, std::uint32_t ttl) {
+  DnsRecord r;
+  r.name = std::move(name);
+  r.rtype = DnsType::A;
+  r.ttl = ttl;
+  r.rdata.resize(4);
+  const std::uint32_t v = addr.value();
+  for (int i = 0; i < 4; ++i) r.rdata[static_cast<std::size_t>(i)] =
+      static_cast<std::uint8_t>(v >> (8 * (3 - i)));
+  return r;
+}
+
+util::Expected<Ipv4Address> DnsRecord::a_address() const {
+  if (rtype != DnsType::A || rdata.size() != 4) {
+    return util::make_error("dns.a", "record is not a well-formed A record");
+  }
+  std::uint32_t v = 0;
+  for (auto b : rdata) v = (v << 8) | b;
+  return Ipv4Address{v};
+}
+
+util::Expected<std::vector<std::uint8_t>> encode_dns_name(const std::string& name) {
+  std::vector<std::uint8_t> out;
+  const auto labels = util::split(name, '.');
+  std::size_t total = 0;
+  for (const auto& label : labels) {
+    if (label.empty()) return util::make_error("dns.name", "empty label");
+    if (label.size() > 63) return util::make_error("dns.name", "label over 63 octets");
+    out.push_back(static_cast<std::uint8_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+    total += label.size() + 1;
+    if (total > 255) return util::make_error("dns.name", "name over 255 octets");
+  }
+  out.push_back(0);
+  return out;
+}
+
+namespace {
+
+// Decodes a possibly-compressed name starting at the reader's position.
+// Follows at most 32 pointers to reject loops.
+util::Expected<std::string> decode_dns_name(ByteReader& in) {
+  std::string out;
+  int pointers = 0;
+  std::size_t resume = 0;
+  bool jumped = false;
+  while (true) {
+    const std::uint8_t len = in.u8();
+    if (!in.ok()) return util::make_error("dns.name", "truncated name");
+    if ((len & 0xc0) == 0xc0) {
+      const std::uint8_t low = in.u8();
+      if (!in.ok()) return util::make_error("dns.name", "truncated pointer");
+      if (++pointers > 32) return util::make_error("dns.name", "pointer loop");
+      if (!jumped) {
+        resume = in.offset();
+        jumped = true;
+      }
+      const std::size_t target = (static_cast<std::size_t>(len & 0x3f) << 8) | low;
+      in.seek(target);
+      continue;
+    }
+    if (len == 0) break;
+    if (len > 63) return util::make_error("dns.name", "bad label length");
+    const auto label = in.bytes(len);
+    if (!in.ok()) return util::make_error("dns.name", "truncated label");
+    if (!out.empty()) out.push_back('.');
+    out.append(label.begin(), label.end());
+    if (out.size() > 255) return util::make_error("dns.name", "name over 255 octets");
+  }
+  if (jumped) in.seek(resume);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> DnsMessage::encode() const {
+  ByteWriter out(64);
+  out.u16(id);
+  std::uint16_t flags = 0;
+  if (is_response) flags |= 0x8000;
+  if (recursion_desired) flags |= 0x0100;
+  if (recursion_available) flags |= 0x0080;
+  flags = static_cast<std::uint16_t>(flags | static_cast<std::uint16_t>(rcode));
+  out.u16(flags);
+  out.u16(static_cast<std::uint16_t>(questions.size()));
+  out.u16(static_cast<std::uint16_t>(answers.size()));
+  out.u16(0);  // authority
+  out.u16(0);  // additional
+  for (const auto& q : questions) {
+    auto name = encode_dns_name(q.name);
+    out.bytes(name ? *name : std::vector<std::uint8_t>{0});
+    out.u16(static_cast<std::uint16_t>(q.qtype));
+    out.u16(1);  // class IN
+  }
+  for (const auto& rr : answers) {
+    auto name = encode_dns_name(rr.name);
+    out.bytes(name ? *name : std::vector<std::uint8_t>{0});
+    out.u16(static_cast<std::uint16_t>(rr.rtype));
+    out.u16(1);  // class IN
+    out.u32(rr.ttl);
+    out.u16(static_cast<std::uint16_t>(rr.rdata.size()));
+    out.bytes(rr.rdata);
+  }
+  return out.take();
+}
+
+util::Expected<DnsMessage> DnsMessage::decode(std::span<const std::uint8_t> data) {
+  ByteReader in(data);
+  DnsMessage m;
+  m.id = in.u16();
+  const std::uint16_t flags = in.u16();
+  m.is_response = (flags & 0x8000) != 0;
+  m.recursion_desired = (flags & 0x0100) != 0;
+  m.recursion_available = (flags & 0x0080) != 0;
+  m.rcode = static_cast<DnsRcode>(flags & 0x000f);
+  const std::uint16_t qd = in.u16();
+  const std::uint16_t an = in.u16();
+  in.u16();  // authority count (ignored)
+  in.u16();  // additional count (ignored)
+  if (!in.ok()) return util::make_error("dns.decode", "truncated header");
+
+  for (std::uint16_t i = 0; i < qd; ++i) {
+    auto name = decode_dns_name(in);
+    if (!name) return name.error();
+    DnsQuestion q;
+    q.name = std::move(*name);
+    q.qtype = static_cast<DnsType>(in.u16());
+    in.u16();  // class
+    if (!in.ok()) return util::make_error("dns.decode", "truncated question");
+    m.questions.push_back(std::move(q));
+  }
+  for (std::uint16_t i = 0; i < an; ++i) {
+    auto name = decode_dns_name(in);
+    if (!name) return name.error();
+    DnsRecord rr;
+    rr.name = std::move(*name);
+    rr.rtype = static_cast<DnsType>(in.u16());
+    in.u16();  // class
+    rr.ttl = in.u32();
+    const std::uint16_t rdlen = in.u16();
+    const auto rdata = in.bytes(rdlen);
+    if (!in.ok()) return util::make_error("dns.decode", "truncated record");
+    rr.rdata.assign(rdata.begin(), rdata.end());
+    m.answers.push_back(std::move(rr));
+  }
+  return m;
+}
+
+DnsMessage DnsMessage::make_query(std::uint16_t id, std::string name, DnsType qtype) {
+  DnsMessage m;
+  m.id = id;
+  m.questions.push_back(DnsQuestion{std::move(name), qtype});
+  return m;
+}
+
+DnsMessage DnsMessage::make_response(const DnsMessage& query, DnsRcode rcode,
+                                     std::vector<DnsRecord> answers) {
+  DnsMessage m;
+  m.id = query.id;
+  m.is_response = true;
+  m.recursion_desired = query.recursion_desired;
+  m.recursion_available = true;
+  m.rcode = rcode;
+  m.questions = query.questions;
+  m.answers = std::move(answers);
+  return m;
+}
+
+}  // namespace ecnprobe::wire

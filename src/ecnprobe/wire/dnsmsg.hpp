@@ -1,0 +1,72 @@
+// DNS message codec (RFC 1035): enough to implement the pool.ntp.org
+// discovery crawl -- A queries for the pool domains and responses carrying a
+// rotating set of A records. Name decompression (11-style pointers) is
+// supported on decode; encoding writes uncompressed names.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/util/expected.hpp"
+#include "ecnprobe/wire/ipv4.hpp"
+
+namespace ecnprobe::wire {
+
+constexpr std::uint16_t kDnsPort = 53;
+
+enum class DnsType : std::uint16_t {
+  A = 1,
+  Ns = 2,
+  Cname = 5,
+  Txt = 16,
+};
+
+enum class DnsRcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+};
+
+struct DnsQuestion {
+  std::string name;  ///< presentation form, e.g. "uk.pool.ntp.org"
+  DnsType qtype = DnsType::A;
+
+  bool operator==(const DnsQuestion&) const = default;
+};
+
+struct DnsRecord {
+  std::string name;
+  DnsType rtype = DnsType::A;
+  std::uint32_t ttl = 0;
+  std::vector<std::uint8_t> rdata;
+
+  static DnsRecord make_a(std::string name, Ipv4Address addr, std::uint32_t ttl);
+  util::Expected<Ipv4Address> a_address() const;
+};
+
+struct DnsMessage {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  DnsRcode rcode = DnsRcode::NoError;
+  std::vector<DnsQuestion> questions;
+  std::vector<DnsRecord> answers;
+
+  std::vector<std::uint8_t> encode() const;
+  static util::Expected<DnsMessage> decode(std::span<const std::uint8_t> data);
+
+  static DnsMessage make_query(std::uint16_t id, std::string name,
+                               DnsType qtype = DnsType::A);
+  static DnsMessage make_response(const DnsMessage& query, DnsRcode rcode,
+                                  std::vector<DnsRecord> answers);
+};
+
+/// Validates and encodes a presentation-form name into wire labels. Rejects
+/// empty labels, labels over 63 octets, and names over 255 octets.
+util::Expected<std::vector<std::uint8_t>> encode_dns_name(const std::string& name);
+
+}  // namespace ecnprobe::wire

@@ -1,0 +1,15 @@
+#include "ecnprobe/wire/ecn.hpp"
+
+namespace ecnprobe::wire {
+
+std::string_view to_string(Ecn e) {
+  switch (e) {
+    case Ecn::NotEct: return "not-ECT";
+    case Ecn::Ect1: return "ECT(1)";
+    case Ecn::Ect0: return "ECT(0)";
+    case Ecn::Ce: return "CE";
+  }
+  return "invalid";
+}
+
+}  // namespace ecnprobe::wire

@@ -1,0 +1,31 @@
+// The ECN field of the IPv4 header (RFC 3168): the two least significant
+// bits of the former type-of-service octet. This tiny type is the heart of
+// the study -- every probe, middlebox, and analysis keys on it.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ecnprobe::wire {
+
+/// RFC 3168 ECN codepoints.
+enum class Ecn : std::uint8_t {
+  NotEct = 0b00,  ///< not ECN-capable transport
+  Ect1 = 0b01,    ///< ECN-capable transport, codepoint 1
+  Ect0 = 0b10,    ///< ECN-capable transport, codepoint 0 (used by the paper)
+  Ce = 0b11,      ///< congestion experienced
+};
+
+/// True for ECT(0), ECT(1), and CE -- packets a router may CE-mark.
+constexpr bool is_ect(Ecn e) { return e != Ecn::NotEct; }
+
+/// True for the two ECT codepoints (excludes CE).
+constexpr bool is_ect_codepoint(Ecn e) { return e == Ecn::Ect0 || e == Ecn::Ect1; }
+
+constexpr std::uint8_t to_bits(Ecn e) { return static_cast<std::uint8_t>(e); }
+
+constexpr Ecn ecn_from_bits(std::uint8_t bits) { return static_cast<Ecn>(bits & 0b11); }
+
+std::string_view to_string(Ecn e);
+
+}  // namespace ecnprobe::wire

@@ -1,0 +1,151 @@
+#include "ecnprobe/wire/http.hpp"
+
+#include <algorithm>
+
+#include "ecnprobe/util/strings.hpp"
+
+namespace ecnprobe::wire {
+
+bool CaseInsensitiveLess::operator()(const std::string& a, const std::string& b) const {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(), [](char x, char y) {
+        return std::tolower(static_cast<unsigned char>(x)) <
+               std::tolower(static_cast<unsigned char>(y));
+      });
+}
+
+std::string HttpRequest::serialize() const {
+  std::string out = method + " " + target + " " + version + "\r\n";
+  for (const auto& [name, value] : headers) out += name + ": " + value + "\r\n";
+  out += "\r\n";
+  return out;
+}
+
+std::string HttpResponse::serialize() const {
+  std::string out = version + " " + std::to_string(status) + " " + reason + "\r\n";
+  HttpHeaders h = headers;
+  if (!body.empty() && !h.contains("Content-Length")) {
+    h["Content-Length"] = std::to_string(body.size());
+  }
+  for (const auto& [name, value] : h) out += name + ": " + value + "\r\n";
+  out += "\r\n";
+  out += body;
+  return out;
+}
+
+bool HttpParser::feed(std::span<const std::uint8_t> bytes) {
+  if (failed_) return false;
+  buffer_.append(reinterpret_cast<const char*>(bytes.data()), bytes.size());
+  try_parse();
+  return !failed_;
+}
+
+bool HttpParser::feed(std::string_view text) {
+  return feed(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
+}
+
+void HttpParser::try_parse() {
+  if (complete_ || failed_) return;
+  if (!head_done_) {
+    const std::size_t end = buffer_.find("\r\n\r\n");
+    if (end == std::string::npos) {
+      if (buffer_.size() > 64 * 1024) {
+        failed_ = true;
+        error_ = "head over 64KiB";
+      }
+      return;
+    }
+    if (!parse_head(std::string_view(buffer_).substr(0, end))) {
+      failed_ = true;
+      return;
+    }
+    buffer_.erase(0, end + 4);
+    head_done_ = true;
+    if (kind_ == Kind::Request) {
+      complete_ = true;  // GET has no body in this subset
+      return;
+    }
+    const auto it = response_.headers.find("Content-Length");
+    if (it == response_.headers.end()) {
+      // No length: HTTP/1.0 body runs to connection close; we treat the head
+      // as the completion point (the probe only needs the status line).
+      complete_ = true;
+      return;
+    }
+    char* endp = nullptr;
+    const unsigned long long len = std::strtoull(it->second.c_str(), &endp, 10);
+    if (endp == it->second.c_str() || *endp != '\0') {
+      failed_ = true;
+      error_ = "bad Content-Length";
+      return;
+    }
+    body_needed_ = static_cast<std::size_t>(len);
+  }
+  if (kind_ == Kind::Response && head_done_ && !complete_) {
+    if (buffer_.size() >= body_needed_) {
+      response_.body = buffer_.substr(0, body_needed_);
+      complete_ = true;
+    }
+  }
+}
+
+bool HttpParser::parse_head(std::string_view head) {
+  const auto lines = util::split(head, '\n');
+  if (lines.empty()) {
+    error_ = "empty head";
+    return false;
+  }
+  const auto strip_cr = [](std::string_view s) {
+    if (!s.empty() && s.back() == '\r') s.remove_suffix(1);
+    return s;
+  };
+  const std::string_view start_line = strip_cr(lines[0]);
+  const auto parts = util::split(start_line, ' ');
+  if (kind_ == Kind::Request) {
+    if (parts.size() != 3) {
+      error_ = "malformed request line";
+      return false;
+    }
+    request_.method = parts[0];
+    request_.target = parts[1];
+    request_.version = parts[2];
+    if (!util::istarts_with(request_.version, "HTTP/")) {
+      error_ = "bad version token";
+      return false;
+    }
+  } else {
+    if (parts.size() < 2 || !util::istarts_with(parts[0], "HTTP/")) {
+      error_ = "malformed status line";
+      return false;
+    }
+    response_.version = parts[0];
+    char* endp = nullptr;
+    const long status = std::strtol(parts[1].c_str(), &endp, 10);
+    if (endp == parts[1].c_str() || *endp != '\0' || status < 100 || status > 599) {
+      error_ = "bad status code";
+      return false;
+    }
+    response_.status = static_cast<int>(status);
+    response_.reason.clear();
+    for (std::size_t i = 2; i < parts.size(); ++i) {
+      if (i > 2) response_.reason += ' ';
+      response_.reason += parts[i];
+    }
+  }
+  HttpHeaders& headers = kind_ == Kind::Request ? request_.headers : response_.headers;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const std::string_view line = strip_cr(lines[i]);
+    if (line.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string_view::npos) {
+      error_ = "header line without colon";
+      return false;
+    }
+    headers[std::string(util::trim(line.substr(0, colon)))] =
+        std::string(util::trim(line.substr(colon + 1)));
+  }
+  return true;
+}
+
+}  // namespace ecnprobe::wire

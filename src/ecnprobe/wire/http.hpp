@@ -1,0 +1,81 @@
+// Minimal HTTP/1.0-style codec: the TCP probe issues `GET /` against the web
+// server the NTP pool encourages operators to run, and records the status
+// line (usually a 302 redirect to www.pool.ntp.org). Parsing is incremental
+// so it composes with the byte-stream TCP layer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/util/expected.hpp"
+
+namespace ecnprobe::wire {
+
+constexpr std::uint16_t kHttpPort = 80;
+
+/// Case-insensitive header map (HTTP field names are case-insensitive).
+struct CaseInsensitiveLess {
+  bool operator()(const std::string& a, const std::string& b) const;
+};
+using HttpHeaders = std::map<std::string, std::string, CaseInsensitiveLess>;
+
+struct HttpRequest {
+  std::string method = "GET";
+  std::string target = "/";
+  std::string version = "HTTP/1.0";
+  HttpHeaders headers;
+
+  std::string serialize() const;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string reason = "OK";
+  std::string version = "HTTP/1.0";
+  HttpHeaders headers;
+  std::string body;
+
+  std::string serialize() const;
+};
+
+/// Incremental parser: feed() bytes as they arrive from TCP; `request()` /
+/// `response()` become available once the head (and, for responses with a
+/// Content-Length, the body) is complete. Any syntax error is sticky.
+class HttpParser {
+public:
+  enum class Kind { Request, Response };
+
+  explicit HttpParser(Kind kind) : kind_(kind) {}
+
+  /// Appends bytes; returns false once the parser is in an error state.
+  bool feed(std::span<const std::uint8_t> bytes);
+  bool feed(std::string_view text);
+
+  bool complete() const { return complete_; }
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  /// Valid only when complete() and the corresponding kind.
+  const HttpRequest& request() const { return request_; }
+  const HttpResponse& response() const { return response_; }
+
+private:
+  void try_parse();
+  bool parse_head(std::string_view head);
+
+  Kind kind_;
+  std::string buffer_;
+  bool complete_ = false;
+  bool failed_ = false;
+  bool head_done_ = false;
+  std::size_t body_needed_ = 0;
+  std::string error_;
+  HttpRequest request_;
+  HttpResponse response_;
+};
+
+}  // namespace ecnprobe::wire

@@ -1,0 +1,56 @@
+#include "ecnprobe/wire/icmp.hpp"
+
+#include <algorithm>
+
+#include "ecnprobe/wire/bytes.hpp"
+#include "ecnprobe/wire/checksum.hpp"
+
+namespace ecnprobe::wire {
+
+std::vector<std::uint8_t> IcmpMessage::encode() const {
+  ByteWriter out(kHeaderSize + body.size());
+  out.u8(static_cast<std::uint8_t>(type));
+  out.u8(code);
+  out.u16(0);  // checksum placeholder
+  out.u32(rest_of_header);
+  out.bytes(body);
+  out.patch_u16(2, internet_checksum(out.view()));
+  return out.take();
+}
+
+util::Expected<IcmpDecoded> decode_icmp_message(std::span<const std::uint8_t> data) {
+  if (data.size() < IcmpMessage::kHeaderSize) {
+    return util::make_error("icmp.decode", "truncated header");
+  }
+  IcmpDecoded out;
+  ByteReader in(data);
+  out.message.type = static_cast<IcmpType>(in.u8());
+  out.message.code = in.u8();
+  in.u16();  // checksum, verified over the whole message below
+  out.message.rest_of_header = in.u32();
+  const auto body = in.rest();
+  out.message.body.assign(body.begin(), body.end());
+  out.checksum_ok = internet_checksum(data) == 0;
+  return out;
+}
+
+std::vector<std::uint8_t> make_error_quotation(const Ipv4Header& received_header,
+                                               std::span<const std::uint8_t> transport_bytes) {
+  ByteWriter out(Ipv4Header::kSize + 8);
+  received_header.encode(out);
+  const std::size_t quoted = std::min<std::size_t>(transport_bytes.size(), 8);
+  out.bytes(transport_bytes.subspan(0, quoted));
+  return out.take();
+}
+
+util::Expected<Quotation> parse_quotation(std::span<const std::uint8_t> body) {
+  auto inner = decode_ipv4_header(body);
+  if (!inner) return util::make_error("icmp.quotation", "undecodable inner IP header");
+  Quotation q;
+  q.inner_header = inner->header;
+  const auto rest = body.subspan(inner->header_len);
+  q.transport_prefix.assign(rest.begin(), rest.end());
+  return q;
+}
+
+}  // namespace ecnprobe::wire

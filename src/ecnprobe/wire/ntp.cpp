@@ -1,0 +1,102 @@
+#include "ecnprobe/wire/ntp.hpp"
+
+#include "ecnprobe/wire/bytes.hpp"
+
+namespace ecnprobe::wire {
+
+NtpTimestamp NtpTimestamp::from_unix_nanos(std::int64_t unix_ns) {
+  NtpTimestamp ts;
+  const auto secs = static_cast<std::uint64_t>(unix_ns / 1'000'000'000);
+  const auto nanos = static_cast<std::uint64_t>(unix_ns % 1'000'000'000);
+  ts.seconds = static_cast<std::uint32_t>(secs + kUnixEpochOffset);
+  ts.fraction = static_cast<std::uint32_t>((nanos << 32) / 1'000'000'000);
+  return ts;
+}
+
+double NtpTimestamp::to_unix_seconds() const {
+  return static_cast<double>(seconds) - static_cast<double>(kUnixEpochOffset) +
+         static_cast<double>(fraction) / 4294967296.0;
+}
+
+namespace {
+void put_ts(ByteWriter& out, const NtpTimestamp& ts) {
+  out.u32(ts.seconds);
+  out.u32(ts.fraction);
+}
+NtpTimestamp get_ts(ByteReader& in) {
+  NtpTimestamp ts;
+  ts.seconds = in.u32();
+  ts.fraction = in.u32();
+  return ts;
+}
+}  // namespace
+
+std::vector<std::uint8_t> NtpPacket::encode() const {
+  ByteWriter out(kSize);
+  out.u8(static_cast<std::uint8_t>((static_cast<std::uint8_t>(leap) << 6) |
+                                   ((version & 0x7) << 3) |
+                                   static_cast<std::uint8_t>(mode)));
+  out.u8(stratum);
+  out.u8(static_cast<std::uint8_t>(poll));
+  out.u8(static_cast<std::uint8_t>(precision));
+  out.u32(root_delay);
+  out.u32(root_dispersion);
+  out.u32(reference_id);
+  put_ts(out, reference_ts);
+  put_ts(out, origin_ts);
+  put_ts(out, receive_ts);
+  put_ts(out, transmit_ts);
+  return out.take();
+}
+
+util::Expected<NtpPacket> NtpPacket::decode(std::span<const std::uint8_t> data) {
+  if (data.size() < kSize) return util::make_error("ntp.decode", "packet below 48 bytes");
+  ByteReader in(data);
+  NtpPacket p;
+  const std::uint8_t li_vn_mode = in.u8();
+  p.leap = static_cast<NtpLeap>(li_vn_mode >> 6);
+  p.version = (li_vn_mode >> 3) & 0x7;
+  p.mode = static_cast<NtpMode>(li_vn_mode & 0x7);
+  p.stratum = in.u8();
+  p.poll = static_cast<std::int8_t>(in.u8());
+  p.precision = static_cast<std::int8_t>(in.u8());
+  p.root_delay = in.u32();
+  p.root_dispersion = in.u32();
+  p.reference_id = in.u32();
+  p.reference_ts = get_ts(in);
+  p.origin_ts = get_ts(in);
+  p.receive_ts = get_ts(in);
+  p.transmit_ts = get_ts(in);
+  if (p.version < 1 || p.version > 4) return util::make_error("ntp.decode", "bad version");
+  return p;
+}
+
+NtpPacket NtpPacket::make_client_request(NtpTimestamp transmit_time) {
+  NtpPacket p;
+  p.mode = NtpMode::Client;
+  p.transmit_ts = transmit_time;
+  return p;
+}
+
+NtpPacket NtpPacket::make_server_response(const NtpPacket& request, std::uint8_t stratum,
+                                          std::uint32_t reference_id, NtpTimestamp rx_time,
+                                          NtpTimestamp tx_time) {
+  NtpPacket p;
+  p.mode = NtpMode::Server;
+  p.stratum = stratum;
+  p.poll = request.poll;
+  p.precision = -20;
+  p.reference_id = reference_id;
+  p.reference_ts = rx_time;
+  p.origin_ts = request.transmit_ts;
+  p.receive_ts = rx_time;
+  p.transmit_ts = tx_time;
+  return p;
+}
+
+bool NtpPacket::answers(const NtpPacket& request) const {
+  return mode == NtpMode::Server && stratum >= 1 && stratum <= 15 &&
+         origin_ts == request.transmit_ts;
+}
+
+}  // namespace ecnprobe::wire

@@ -1,0 +1,86 @@
+// NTP packet format (RFC 5905, the 48-byte header used by SNTP clients like
+// the paper's custom measurement tool). The probe sends a mode-3 (client)
+// request; a pool server answers with mode 4 (server), copying the request's
+// transmit timestamp into the origin timestamp field.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ecnprobe/util/expected.hpp"
+
+namespace ecnprobe::wire {
+
+constexpr std::uint16_t kNtpPort = 123;
+
+/// 64-bit NTP timestamp: seconds since 1900-01-01 plus a 2^-32 fraction.
+struct NtpTimestamp {
+  std::uint32_t seconds = 0;
+  std::uint32_t fraction = 0;
+
+  /// Offset between the NTP era (1900) and the Unix epoch (1970).
+  static constexpr std::uint32_t kUnixEpochOffset = 2'208'988'800u;
+
+  static NtpTimestamp from_unix_nanos(std::int64_t unix_ns);
+  double to_unix_seconds() const;
+  bool is_zero() const { return seconds == 0 && fraction == 0; }
+
+  bool operator==(const NtpTimestamp&) const = default;
+};
+
+enum class NtpMode : std::uint8_t {
+  Reserved = 0,
+  SymmetricActive = 1,
+  SymmetricPassive = 2,
+  Client = 3,
+  Server = 4,
+  Broadcast = 5,
+  ControlMessage = 6,
+  Private = 7,
+};
+
+enum class NtpLeap : std::uint8_t {
+  NoWarning = 0,
+  LastMinute61 = 1,
+  LastMinute59 = 2,
+  Unsynchronized = 3,
+};
+
+struct NtpPacket {
+  static constexpr std::size_t kSize = 48;
+  static constexpr std::uint8_t kVersion = 4;
+
+  NtpLeap leap = NtpLeap::NoWarning;
+  std::uint8_t version = kVersion;
+  NtpMode mode = NtpMode::Client;
+  std::uint8_t stratum = 0;
+  std::int8_t poll = 0;
+  std::int8_t precision = 0;
+  std::uint32_t root_delay = 0;
+  std::uint32_t root_dispersion = 0;
+  std::uint32_t reference_id = 0;
+  NtpTimestamp reference_ts;
+  NtpTimestamp origin_ts;
+  NtpTimestamp receive_ts;
+  NtpTimestamp transmit_ts;
+
+  std::vector<std::uint8_t> encode() const;
+  static util::Expected<NtpPacket> decode(std::span<const std::uint8_t> data);
+
+  /// A client (mode 3) request as the measurement application sends it: only
+  /// the version/mode octet and the transmit timestamp are populated.
+  static NtpPacket make_client_request(NtpTimestamp transmit_time);
+
+  /// A server (mode 4) response per RFC 5905: origin <- request transmit,
+  /// receive/transmit from the server clock.
+  static NtpPacket make_server_response(const NtpPacket& request, std::uint8_t stratum,
+                                        std::uint32_t reference_id, NtpTimestamp rx_time,
+                                        NtpTimestamp tx_time);
+
+  /// True for a response that plausibly answers `request` (mode 4, stratum
+  /// 1..15, origin timestamp echoes the request's transmit timestamp).
+  bool answers(const NtpPacket& request) const;
+};
+
+}  // namespace ecnprobe::wire

@@ -1,0 +1,116 @@
+#include "ecnprobe/analysis/reachability.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::analysis {
+namespace {
+
+using measure::ServerResult;
+using measure::Trace;
+
+ServerResult server(int id, bool plain, bool ect, bool tcp, bool tcp_ecn) {
+  ServerResult s;
+  s.server = wire::Ipv4Address(11, 0, 0, static_cast<std::uint8_t>(id));
+  s.udp_plain.reachable = plain;
+  s.udp_ect0.reachable = ect;
+  s.tcp_plain.connected = tcp;
+  s.tcp_plain.got_response = tcp;
+  s.tcp_ecn.connected = tcp;
+  s.tcp_ecn.got_response = tcp;
+  s.tcp_ecn.ecn_negotiated = tcp_ecn;
+  return s;
+}
+
+std::vector<Trace> two_vantage_traces() {
+  // Vantage A: 4 servers plain-reachable, 3 also ECT; 2 TCP, 1 negotiates.
+  Trace a;
+  a.vantage = "A";
+  a.index = 0;
+  a.servers = {server(1, true, true, true, true), server(2, true, true, true, false),
+               server(3, true, true, false, false), server(4, true, false, false, false),
+               server(5, false, false, false, false)};
+  // Vantage B: all reachable both ways; 2 TCP, 2 negotiate.
+  Trace b;
+  b.vantage = "B";
+  b.index = 1;
+  b.servers = {server(1, true, true, true, true), server(2, true, true, true, true),
+               server(3, true, true, false, false), server(4, true, true, false, false),
+               server(5, true, true, false, false)};
+  return {a, b};
+}
+
+TEST(PerTraceReachability, ComputesPercentages) {
+  const auto rows = per_trace_reachability(two_vantage_traces());
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].vantage, "A");
+  EXPECT_EQ(rows[0].reachable_udp_plain, 4);
+  EXPECT_EQ(rows[0].reachable_udp_ect0, 3);
+  EXPECT_DOUBLE_EQ(rows[0].pct_ect_given_plain, 75.0);
+  EXPECT_DOUBLE_EQ(rows[0].pct_plain_given_ect, 100.0);
+  EXPECT_EQ(rows[0].reachable_tcp, 2);
+  EXPECT_EQ(rows[0].negotiated_ecn_tcp, 1);
+  EXPECT_DOUBLE_EQ(rows[1].pct_ect_given_plain, 100.0);
+}
+
+TEST(Summary, AveragesAcrossTraces) {
+  const auto summary = summarize_reachability(two_vantage_traces());
+  EXPECT_DOUBLE_EQ(summary.mean_reachable_udp_plain, 4.5);
+  EXPECT_DOUBLE_EQ(summary.mean_pct_ect_given_plain, 87.5);
+  EXPECT_DOUBLE_EQ(summary.min_pct_ect_given_plain, 75.0);
+  EXPECT_DOUBLE_EQ(summary.mean_reachable_tcp, 2.0);
+  EXPECT_DOUBLE_EQ(summary.mean_negotiated_ecn_tcp, 1.5);
+  EXPECT_DOUBLE_EQ(summary.pct_tcp_negotiating_ecn, 75.0);
+}
+
+TEST(Summary, EmptyInputIsZeros) {
+  const auto summary = summarize_reachability({});
+  EXPECT_EQ(summary.mean_reachable_udp_plain, 0.0);
+  EXPECT_EQ(summary.pct_tcp_negotiating_ecn, 0.0);
+}
+
+TEST(PerVantage, GroupsByVantagePreservingOrder) {
+  auto traces = two_vantage_traces();
+  traces.push_back(traces[0]);  // second trace from A
+  traces.back().index = 2;
+  const auto rows = per_vantage_reachability(traces);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].vantage, "A");
+  EXPECT_EQ(rows[0].traces, 2);
+  EXPECT_DOUBLE_EQ(rows[0].mean_pct_ect_given_plain, 75.0);
+  EXPECT_EQ(rows[1].vantage, "B");
+  EXPECT_EQ(rows[1].traces, 1);
+}
+
+TEST(CorrelationTable, CountsEctFailuresAndTcpEcnFailures) {
+  // Server 4 in vantage A is plain-but-not-ECT reachable and has no TCP at
+  // all (doesn't count as failing negotiation); make another that fails
+  // negotiation while responding to TCP.
+  Trace t;
+  t.vantage = "X";
+  t.servers = {
+      server(1, true, false, true, false),  // ECT-unreachable, TCP yes, no ECN
+      server(2, true, false, false, false), // ECT-unreachable, no TCP
+      server(3, true, false, true, true),   // ECT-unreachable, TCP ECN fine
+      server(4, true, true, true, false),   // reachable: not counted
+  };
+  const auto rows = correlation_table({t});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].vantage, "X");
+  EXPECT_DOUBLE_EQ(rows[0].avg_unreachable_udp_with_ect, 3.0);
+  EXPECT_DOUBLE_EQ(rows[0].avg_also_fail_tcp_ecn, 1.0);
+}
+
+TEST(CorrelationTable, AveragesOverTraces) {
+  Trace t1;
+  t1.vantage = "Y";
+  t1.servers = {server(1, true, false, false, false)};
+  Trace t2;
+  t2.vantage = "Y";
+  t2.servers = {server(1, true, true, false, false)};
+  const auto rows = correlation_table({t1, t2});
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(rows[0].avg_unreachable_udp_with_ect, 0.5);
+}
+
+}  // namespace
+}  // namespace ecnprobe::analysis

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "ecnprobe/analysis/geosummary.hpp"
+#include "ecnprobe/analysis/report.hpp"
+#include "ecnprobe/analysis/trend.hpp"
+
+namespace ecnprobe::analysis {
+namespace {
+
+TEST(Trend, HistoricalSeriesMatchesPaper) {
+  const auto points = historical_trend();
+  ASSERT_EQ(points.size(), 7u);
+  EXPECT_EQ(points.front().label, "Medina 2000");
+  EXPECT_DOUBLE_EQ(points[3].pct_negotiating, 17.2);   // Bauer 2011
+  EXPECT_DOUBLE_EQ(points.back().pct_negotiating, 56.17);  // Trammell 2014
+  for (const auto& p : points) EXPECT_FALSE(p.measured);
+}
+
+TEST(Trend, MeasurementAppendsAsMeasuredPoint) {
+  const auto points = trend_with_measurement(82.0);
+  ASSERT_EQ(points.size(), 8u);
+  EXPECT_TRUE(points.back().measured);
+  EXPECT_DOUBLE_EQ(points.back().pct_negotiating, 82.0);
+}
+
+TEST(Trend, LogisticFitPutsMidpointInTheTwentyTens) {
+  const auto fit = fit_trend(trend_with_measurement(82.0));
+  // Adoption crosses 50% somewhere around 2014 and is rising.
+  EXPECT_GT(fit.midpoint, 2010.0);
+  EXPECT_LT(fit.midpoint, 2018.0);
+  EXPECT_GT(fit.rate, 0.0);
+  // The measured point should land near the fitted curve (the paper's
+  // "growth curve in line with previous results").
+  EXPECT_NEAR(fit.predict(2015.6), 82.0, 25.0);
+}
+
+TEST(GeoSummary, CountsPerRegionWithUnknown) {
+  geo::GeoDatabase db;
+  db.add(wire::Ipv4Address(11, 0, 0, 1), 32, {geo::Region::Europe, "de", 51, 10});
+  db.add(wire::Ipv4Address(11, 0, 0, 2), 32, {geo::Region::Asia, "jp", 36, 138});
+  const std::vector<wire::Ipv4Address> servers = {
+      wire::Ipv4Address(11, 0, 0, 1), wire::Ipv4Address(11, 0, 0, 2),
+      wire::Ipv4Address(11, 0, 0, 3)};  // last one unmapped
+  const auto summary = summarize_geo(servers, db);
+  EXPECT_EQ(summary.total, 3);
+  EXPECT_EQ(summary.counts.at(geo::Region::Europe), 1);
+  EXPECT_EQ(summary.counts.at(geo::Region::Asia), 1);
+  EXPECT_EQ(summary.counts.at(geo::Region::Unknown), 1);
+  EXPECT_EQ(summary.locations.size(), 2u);  // unknown has no coordinates
+}
+
+TEST(Report, Table1ListsAllRegionsAndTotal) {
+  geo::GeoDatabase db;
+  db.add(wire::Ipv4Address(11, 0, 0, 1), 32, {geo::Region::Europe, "de", 51, 10});
+  const auto summary = summarize_geo({wire::Ipv4Address(11, 0, 0, 1)}, db);
+  const auto table = render_table1(summary);
+  EXPECT_NE(table.find("Europe"), std::string::npos);
+  EXPECT_NE(table.find("Unknown"), std::string::npos);
+  EXPECT_NE(table.find("Total"), std::string::npos);
+}
+
+TEST(Report, Figure6MentionsStudiesAndFit) {
+  const auto out = render_figure6(trend_with_measurement(82.0));
+  EXPECT_NE(out.find("Trammell 2014"), std::string::npos);
+  EXPECT_NE(out.find("measured"), std::string::npos);
+  EXPECT_NE(out.find("logistic fit"), std::string::npos);
+  EXPECT_NE(out.find('@'), std::string::npos);  // the measured point glyph
+}
+
+TEST(Report, SummaryQuotesPaperNumbers) {
+  ReachabilitySummary s;
+  s.mean_pct_ect_given_plain = 98.8;
+  s.pct_tcp_negotiating_ecn = 81.5;
+  const auto out = render_summary(s);
+  EXPECT_NE(out.find("98.80%"), std::string::npos);
+  EXPECT_NE(out.find("(paper: 98.97%)"), std::string::npos);
+  EXPECT_NE(out.find("(paper: 82.0%)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnprobe::analysis

@@ -1,0 +1,73 @@
+#include "ecnprobe/geo/geo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::geo {
+namespace {
+
+TEST(GeoDatabase, LongestPrefixLookup) {
+  GeoDatabase db;
+  db.add(wire::Ipv4Address(11, 0, 0, 0), 8, {Region::Europe, "de", 51.0, 10.0});
+  db.add(wire::Ipv4Address(11, 5, 0, 0), 16, {Region::Asia, "jp", 36.0, 138.0});
+
+  const auto broad = db.lookup(wire::Ipv4Address(11, 1, 2, 3));
+  ASSERT_TRUE(broad);
+  EXPECT_EQ(broad->region, Region::Europe);
+  EXPECT_EQ(broad->country, "de");
+
+  const auto narrow = db.lookup(wire::Ipv4Address(11, 5, 6, 7));
+  ASSERT_TRUE(narrow);
+  EXPECT_EQ(narrow->region, Region::Asia);
+
+  EXPECT_FALSE(db.lookup(wire::Ipv4Address(12, 0, 0, 1)));
+}
+
+TEST(GeoDatabase, HostRouteBeatsEverything) {
+  GeoDatabase db;
+  db.add(wire::Ipv4Address(11, 0, 0, 0), 8, {Region::Europe, "de", 0, 0});
+  db.add(wire::Ipv4Address(11, 1, 1, 1), 32, {Region::Africa, "za", -30, 22});
+  const auto hit = db.lookup(wire::Ipv4Address(11, 1, 1, 1));
+  ASSERT_TRUE(hit);
+  EXPECT_EQ(hit->region, Region::Africa);
+}
+
+TEST(CountryTable, WeightsSumToOnePerRegion) {
+  for (const auto region : {Region::Europe, Region::NorthAmerica, Region::Asia,
+                            Region::Australia, Region::SouthAmerica, Region::Africa}) {
+    double total = 0.0;
+    for (const auto* c : countries_in(region)) total += c->weight;
+    EXPECT_NEAR(total, 1.0, 0.02) << to_string(region);
+  }
+}
+
+TEST(CountryTable, AllRegionsCovered) {
+  for (const auto region : {Region::Europe, Region::NorthAmerica, Region::Asia,
+                            Region::Australia, Region::SouthAmerica, Region::Africa}) {
+    EXPECT_FALSE(countries_in(region).empty());
+  }
+  EXPECT_TRUE(countries_in(Region::Unknown).empty());
+}
+
+TEST(SampleLocation, StaysNearCentroidAndValid) {
+  util::Rng rng(9);
+  for (const auto& country : country_table()) {
+    for (int i = 0; i < 20; ++i) {
+      const auto [lat, lon] = sample_location(country, rng);
+      EXPECT_GE(lat, -85.0);
+      EXPECT_LE(lat, 85.0);
+      EXPECT_GE(lon, -180.0);
+      EXPECT_LE(lon, 180.0);
+      EXPECT_LE(std::abs(lat - country.latitude), country.lat_spread + 1e-9);
+    }
+  }
+}
+
+TEST(Region, NamesMatchPaperTable1) {
+  EXPECT_EQ(to_string(Region::Australia), "Australia");
+  EXPECT_EQ(to_string(Region::NorthAmerica), "North America");
+  EXPECT_EQ(to_string(Region::Unknown), "Unknown");
+  EXPECT_EQ(all_regions().size(), kRegionCount);
+}
+
+}  // namespace
+}  // namespace ecnprobe::geo

@@ -1,0 +1,117 @@
+// Live-socket tests. The unprivileged UDP/ECN path is exercised over
+// loopback (setting ECN bits with IP_TOS and reading them back with
+// IP_RECVTOS); raw-socket paths are skipped without CAP_NET_RAW.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "ecnprobe/live/live_probe.hpp"
+#include "ecnprobe/live/live_socket.hpp"
+
+namespace ecnprobe::live {
+namespace {
+
+const wire::Ipv4Address kLoopback(127, 0, 0, 1);
+
+TEST(LiveSocket, OpensAndBindsEphemeral) {
+  auto socket = EcnUdpSocket::open();
+  ASSERT_TRUE(socket) << socket.error().message;
+  EXPECT_GT(socket->local_port(), 0);
+}
+
+TEST(LiveSocket, LoopbackRoundTripPreservesEcnBits) {
+  auto receiver = EcnUdpSocket::open();
+  ASSERT_TRUE(receiver) << receiver.error().message;
+  auto sender = EcnUdpSocket::open();
+  ASSERT_TRUE(sender) << sender.error().message;
+
+  const std::uint8_t payload[] = {'e', 'c', 'n'};
+  for (const auto ecn : {wire::Ecn::NotEct, wire::Ecn::Ect0, wire::Ecn::Ect1}) {
+    const auto sent = sender->send(kLoopback, receiver->local_port(), payload, ecn);
+    ASSERT_TRUE(sent) << sent.error().message;
+    const auto received = receiver->recv(2000);
+    ASSERT_TRUE(received) << received.error().message;
+    ASSERT_TRUE(received->has_value()) << "timeout waiting for loopback datagram";
+    EXPECT_EQ((*received)->ecn, ecn) << "ECN codepoint " << static_cast<int>(ecn);
+    EXPECT_EQ((*received)->payload.size(), 3u);
+    EXPECT_EQ((*received)->src, kLoopback);
+  }
+}
+
+TEST(LiveSocket, RecvTimesOutCleanly) {
+  auto socket = EcnUdpSocket::open();
+  ASSERT_TRUE(socket) << socket.error().message;
+  const auto received = socket->recv(50);
+  ASSERT_TRUE(received) << received.error().message;
+  EXPECT_FALSE(received->has_value());
+}
+
+TEST(LiveSocket, LocalAddressForLoopback) {
+  const auto addr = local_address_for(kLoopback);
+  ASSERT_TRUE(addr) << addr.error().message;
+  EXPECT_EQ(*addr, kLoopback);
+}
+
+TEST(LiveProbe, NtpAgainstLocalResponder) {
+  // Stand up a local "NTP server" on an EcnUdpSocket; because the real NTP
+  // port needs privileges, bind an ephemeral port and aim the prober's
+  // packets at it by running the responder on port 123 only when possible.
+  auto server = EcnUdpSocket::open(0);
+  ASSERT_TRUE(server) << server.error().message;
+
+  // live_ntp_probe targets port 123 specifically; without privileges we
+  // can't bind it, so only run the full probe when the bind succeeds.
+  auto ntp_port = EcnUdpSocket::open(wire::kNtpPort);
+  if (!ntp_port) {
+    GTEST_SKIP() << "cannot bind UDP/123 (" << ntp_port.error().message
+                 << "); skipping live NTP probe test";
+  }
+
+  std::thread responder([&ntp_port] {
+    auto received = ntp_port->recv(3000);
+    if (!received || !received->has_value()) return;
+    const auto request = wire::NtpPacket::decode((*received)->payload);
+    if (!request) return;
+    const auto response = wire::NtpPacket::make_server_response(
+        *request, 2, 0x47505300, request->transmit_ts, request->transmit_ts);
+    const auto bytes = response.encode();
+    (void)ntp_port->send((*received)->src, (*received)->src_port, bytes,
+                         wire::Ecn::NotEct);
+  });
+
+  const auto result = live_ntp_probe(kLoopback, wire::Ecn::Ect0, 2, 1500);
+  responder.join();
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_TRUE(result.reachable);
+  EXPECT_EQ(result.attempts, 1);
+}
+
+TEST(LiveProbe, UnreachableHostExhaustsAttempts) {
+  // 127.1.2.3 loopback-range address with nothing listening: silent drop.
+  const auto result =
+      live_ntp_probe(wire::Ipv4Address(127, 1, 2, 3), wire::Ecn::Ect0, 2, 100);
+  EXPECT_TRUE(result.error.empty()) << result.error;
+  EXPECT_FALSE(result.reachable);
+  EXPECT_EQ(result.attempts, 2);
+}
+
+TEST(LiveRaw, CapabilityProbeDoesNotCrash) {
+  // Just exercises the code path; result depends on the environment.
+  const bool has_raw = has_raw_capability();
+  if (!has_raw) {
+    const auto sender = RawSender::open();
+    EXPECT_FALSE(sender);
+  }
+}
+
+TEST(LiveRaw, TcpEcnProbeDegradesGracefullyWithoutPrivilege) {
+  if (has_raw_capability()) {
+    GTEST_SKIP() << "raw sockets available; degradation path not applicable";
+  }
+  const auto result = live_tcp_ecn_probe(kLoopback, 80, 100);
+  EXPECT_FALSE(result.syn_acked);
+  EXPECT_FALSE(result.error.empty());
+}
+
+}  // namespace
+}  // namespace ecnprobe::live

@@ -1,0 +1,75 @@
+#include "ecnprobe/measure/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ecnprobe/scenario/world.hpp"
+
+namespace ecnprobe::measure {
+namespace {
+
+TEST(CampaignPlan, PaperLayoutTotals210) {
+  const auto plan = CampaignPlan::paper_layout();
+  EXPECT_EQ(plan.total_traces(), 210);
+  // 4 home/campus vantages appear in both batches; 9 EC2 in batch 2 only.
+  int batch1 = 0;
+  int batch2 = 0;
+  for (const auto& entry : plan.entries) {
+    (entry.batch == 1 ? batch1 : batch2) += entry.count;
+  }
+  EXPECT_EQ(batch1, 36);
+  EXPECT_EQ(batch2, 174);
+}
+
+TEST(CampaignPlan, VantageNamesMatchFigureOrder) {
+  const auto& names = paper_vantage_names();
+  ASSERT_EQ(names.size(), 13u);
+  EXPECT_EQ(names.front(), "Perkins home");
+  EXPECT_EQ(names.back(), "EC2 Vir");
+}
+
+TEST(Campaign, RunsPlanAndStampsTraces) {
+  auto params = scenario::WorldParams::small(11);
+  params.server_count = 8;
+  params.offline_prob = 0.0;
+  scenario::World world(params);
+
+  CampaignPlan plan;
+  plan.entries.push_back({"UGla wired", 1, 2});
+  plan.entries.push_back({"EC2 Sin", 2, 1});
+
+  std::vector<std::pair<std::string, int>> hook_calls;
+  Campaign campaign(world.vantage_map(), world.server_addresses(), ProbeOptions{});
+  campaign.set_before_trace([&](const std::string& vantage, int batch, int) {
+    hook_calls.emplace_back(vantage, batch);
+  });
+  std::vector<Trace> traces;
+  campaign.run(plan, [&](std::vector<Trace> t) { traces = std::move(t); });
+  world.sim().run();
+
+  ASSERT_EQ(traces.size(), 3u);
+  EXPECT_EQ(traces[0].vantage, "UGla wired");
+  EXPECT_EQ(traces[0].batch, 1);
+  EXPECT_EQ(traces[1].vantage, "UGla wired");
+  EXPECT_EQ(traces[2].vantage, "EC2 Sin");
+  EXPECT_EQ(traces[2].batch, 2);
+  // Indices are sequential.
+  EXPECT_EQ(traces[0].index, 0);
+  EXPECT_EQ(traces[2].index, 2);
+  // The before-trace hook fired once per trace, batch 1 before batch 2.
+  ASSERT_EQ(hook_calls.size(), 3u);
+  EXPECT_EQ(hook_calls[0].second, 1);
+  EXPECT_EQ(hook_calls[2].second, 2);
+}
+
+TEST(Campaign, UnknownVantageThrows) {
+  auto params = scenario::WorldParams::small(12);
+  params.server_count = 4;
+  scenario::World world(params);
+  CampaignPlan plan;
+  plan.entries.push_back({"Atlantis", 1, 1});
+  Campaign campaign(world.vantage_map(), world.server_addresses(), ProbeOptions{});
+  EXPECT_THROW(campaign.run(plan, [](std::vector<Trace>) {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ecnprobe::measure

@@ -1,0 +1,73 @@
+// Shared fixture for netsim tests: a linear chain
+//   hostA -- r1 -- r2 -- ... -- rN -- hostB
+// with a static routing oracle, no loss, and 1 ms links.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ecnprobe/netsim/host.hpp"
+#include "ecnprobe/netsim/network.hpp"
+#include "ecnprobe/netsim/router.hpp"
+
+namespace ecnprobe::netsim::testutil {
+
+struct Chain {
+  Simulator sim;
+  Network net{sim, util::Rng(1)};
+  Host* host_a = nullptr;
+  Host* host_b = nullptr;
+  NodeId host_a_id = kInvalidNode;
+  NodeId host_b_id = kInvalidNode;
+  std::vector<NodeId> routers;
+  std::vector<Router*> router_ptrs;
+
+  explicit Chain(int n_routers, double icmp_prob = 1.0,
+                 LinkParams link = LinkParams{}) {
+    auto a = std::make_unique<Host>("hostA", Host::Params{}, util::Rng(10));
+    host_a = a.get();
+    host_a_id = net.add_node(std::move(a));
+    host_a->set_address(wire::Ipv4Address(10, 0, 0, 1));
+
+    NodeId prev = host_a_id;
+    for (int i = 0; i < n_routers; ++i) {
+      Router::Params params;
+      params.icmp_response_prob = icmp_prob;
+      auto router = std::make_unique<Router>("r" + std::to_string(i), params,
+                                             util::Rng(100 + static_cast<unsigned>(i)));
+      router_ptrs.push_back(router.get());
+      const NodeId id = net.add_node(std::move(router));
+      net.node(id).set_address(
+          wire::Ipv4Address(12, 0, 0, static_cast<std::uint8_t>(i + 1)));
+      net.connect(prev, id, link);
+      routers.push_back(id);
+      prev = id;
+    }
+
+    auto b = std::make_unique<Host>("hostB", Host::Params{}, util::Rng(20));
+    host_b = b.get();
+    host_b_id = net.add_node(std::move(b));
+    host_b->set_address(wire::Ipv4Address(11, 0, 0, 1));
+    net.connect(prev, host_b_id, link);
+
+    // Static oracle for the chain: routers[i]'s interfaces are
+    // 0 = toward A-side, 1 = toward B-side (plus interface order quirks for
+    // the first router, whose interface 0 connects to host A).
+    net.set_routing_oracle([this](NodeId at, wire::Ipv4Address dst) -> int {
+      for (std::size_t i = 0; i < routers.size(); ++i) {
+        if (routers[i] != at) continue;
+        if (dst == host_a->address()) return 0;  // first link added on router
+        if (dst == host_b->address()) return 1;
+        // Router addresses: route toward the side the router sits on.
+        const NodeId target = net.find_by_address(dst);
+        for (std::size_t j = 0; j < routers.size(); ++j) {
+          if (routers[j] == target) return j < i ? 0 : 1;
+        }
+        return kNoInterface;
+      }
+      return kNoInterface;
+    });
+  }
+};
+
+}  // namespace ecnprobe::netsim::testutil

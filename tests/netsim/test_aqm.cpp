@@ -1,0 +1,165 @@
+// The bottleneck AQM queue: drain arithmetic, the RED action ramp, ECN
+// mark-instead-of-drop, overflow behaviour, and the end-to-end latency
+// difference that motivates ECN for interactive media.
+#include <gtest/gtest.h>
+
+#include "ecnprobe/netsim/policy.hpp"
+#include "ecnprobe/rtp/media.hpp"
+#include "ecnprobe/wire/udp.hpp"
+#include "mini_net.hpp"
+
+namespace ecnprobe::netsim {
+namespace {
+
+using namespace ecnprobe::util::literals;
+
+wire::Datagram packet(wire::Ecn ecn, std::size_t payload = 1000) {
+  return wire::make_udp_datagram(wire::Ipv4Address(10, 0, 0, 1),
+                                 wire::Ipv4Address(11, 0, 0, 2), 1, 2,
+                                 std::vector<std::uint8_t>(payload, 0), ecn);
+}
+
+BottleneckAqmPolicy::Params params_1mbps() {
+  BottleneckAqmPolicy::Params p;
+  p.rate_bps = 1e6;
+  p.queue_capacity_bytes = 16 * 1024;
+  return p;
+}
+
+TEST(BottleneckAqm, EmptyQueuePassesWithTinyDelay) {
+  BottleneckAqmPolicy policy(params_1mbps());
+  util::Rng rng(1);
+  auto d = packet(wire::Ecn::NotEct);
+  EXPECT_EQ(policy.apply(d, rng, util::SimTime::zero()), PolicyAction::Pass);
+  // One ~1kB packet at 1 Mbps: ~8 ms serialisation delay.
+  const auto delay = policy.take_extra_delay();
+  EXPECT_NEAR(delay.to_seconds(), 0.0083, 0.002);
+}
+
+TEST(BottleneckAqm, BurstBuildsDelayAndDrains) {
+  BottleneckAqmPolicy policy(params_1mbps());
+  util::Rng rng(2);
+  // A burst at t=0 stacks up.
+  util::SimDuration last_delay;
+  for (int i = 0; i < 8; ++i) {
+    auto d = packet(wire::Ecn::NotEct);
+    if (policy.apply(d, rng, util::SimTime::zero()) == PolicyAction::Pass) {
+      last_delay = policy.take_extra_delay();
+    }
+  }
+  EXPECT_GT(last_delay.to_seconds(), 0.05);  // ~8kB backlog at 1 Mbps
+  // After 200 ms the queue has fully drained.
+  auto d = packet(wire::Ecn::NotEct);
+  ASSERT_EQ(policy.apply(d, rng, util::SimTime::zero() + 200_ms), PolicyAction::Pass);
+  EXPECT_LT(policy.take_extra_delay().to_seconds(), 0.01);
+}
+
+TEST(BottleneckAqm, OverflowDropsEverything) {
+  auto params = params_1mbps();
+  params.queue_capacity_bytes = 3000;
+  BottleneckAqmPolicy policy(params);
+  util::Rng rng(3);
+  int dropped = 0;
+  for (int i = 0; i < 6; ++i) {
+    auto d = packet(wire::Ecn::Ect0);  // even ECT drops on hard overflow
+    dropped += policy.apply(d, rng, util::SimTime::zero()) == PolicyAction::Drop;
+  }
+  EXPECT_GE(dropped, 3);
+  EXPECT_GT(policy.queue_stats().dropped_overflow, 0u);
+}
+
+TEST(BottleneckAqm, RedRampMarksEctDropsNotEct) {
+  for (const bool use_ect : {true, false}) {
+    BottleneckAqmPolicy policy(params_1mbps());
+    util::Rng rng(4);
+    int ce = 0;
+    int drops = 0;
+    // Saturate: a packet every 2 ms at 1 Mbps input ~ 4x the drain rate.
+    auto t = util::SimTime::zero();
+    for (int i = 0; i < 200; ++i) {
+      auto d = packet(use_ect ? wire::Ecn::Ect0 : wire::Ecn::NotEct, 900);
+      const auto action = policy.apply(d, rng, t);
+      if (action == PolicyAction::Pass && d.ip.ecn == wire::Ecn::Ce) ++ce;
+      if (action == PolicyAction::Drop) ++drops;
+      t += 2_ms;
+    }
+    if (use_ect) {
+      EXPECT_GT(ce, 20);
+      EXPECT_EQ(policy.queue_stats().dropped_early, 0u);  // marks replace drops
+    } else {
+      EXPECT_EQ(ce, 0);
+      EXPECT_GT(drops, 20);
+    }
+  }
+}
+
+TEST(BottleneckAqm, EcnDisabledQueueDropsEctToo) {
+  auto params = params_1mbps();
+  params.ecn_enabled = false;
+  BottleneckAqmPolicy policy(params);
+  util::Rng rng(5);
+  int drops = 0;
+  auto t = util::SimTime::zero();
+  for (int i = 0; i < 200; ++i) {
+    auto d = packet(wire::Ecn::Ect0, 900);
+    drops += policy.apply(d, rng, t) == PolicyAction::Drop;
+    t += 2_ms;
+  }
+  EXPECT_GT(drops, 20);
+  EXPECT_EQ(policy.queue_stats().ce_marked, 0u);
+}
+
+TEST(BottleneckAqm, NeverMarksNotEctAsCe) {
+  BottleneckAqmPolicy policy(params_1mbps());
+  util::Rng rng(6);
+  auto t = util::SimTime::zero();
+  for (int i = 0; i < 300; ++i) {
+    auto d = packet(wire::Ecn::NotEct, 900);
+    policy.apply(d, rng, t);
+    EXPECT_NE(d.ip.ecn, wire::Ecn::Ce);  // RFC 3168 section 5
+    t += 2_ms;
+  }
+}
+
+// End-to-end: an adaptive RTP session over a real bottleneck. With ECN the
+// controller converges on CE marks with almost no loss; without it, the
+// same convergence costs drops. This is the paper's interactive-media
+// motivation, measured.
+TEST(BottleneckAqm, MediaSessionLosesLessWithEcn) {
+  auto run = [](bool attempt_ecn) {
+    testutil::Chain chain(2);
+    BottleneckAqmPolicy::Params params;
+    params.rate_bps = 800e3;
+    params.queue_capacity_bytes = 24 * 1024;
+    auto aqm = std::make_shared<BottleneckAqmPolicy>(params);
+    chain.net.add_egress_policy(chain.routers[0], 1, aqm);
+
+    rtp::MediaReceiver receiver(*chain.host_b, rtp::MediaReceiver::Config{});
+    rtp::MediaSender::Config config;
+    config.attempt_ecn = attempt_ecn;
+    config.start_bitrate_bps = 1.2e6;  // above the bottleneck: must adapt
+    rtp::MediaSender sender(*chain.host_a, chain.host_b->address(), 5004, config);
+    sender.start();
+    chain.sim.run_until(chain.sim.now() + util::SimDuration::seconds(10));
+    sender.stop();
+    receiver.stop();
+    chain.sim.run();
+    struct Outcome {
+      std::uint32_t lost;
+      std::uint32_t ce;
+      std::uint64_t received;
+    };
+    return Outcome{receiver.stats().lost, receiver.stats().ce,
+                   receiver.stats().packets_received};
+  };
+
+  const auto with_ecn = run(true);
+  const auto without_ecn = run(false);
+  EXPECT_GT(with_ecn.ce, 0u);
+  EXPECT_GT(without_ecn.lost, with_ecn.lost);  // ECN converted loss to marks
+  EXPECT_GT(with_ecn.received, 100u);
+  EXPECT_GT(without_ecn.received, 100u);
+}
+
+}  // namespace
+}  // namespace ecnprobe::netsim

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "ecnprobe/netsim/policy.hpp"
+#include "ecnprobe/wire/tcp.hpp"
+#include "ecnprobe/wire/udp.hpp"
+
+namespace ecnprobe::netsim {
+namespace {
+
+using namespace ecnprobe::util::literals;
+
+wire::Datagram udp_from(std::uint8_t src_octet) {
+  return wire::make_udp_datagram(wire::Ipv4Address(10, 0, 0, src_octet),
+                                 wire::Ipv4Address(11, 0, 0, 2), 1000, 123,
+                                 std::vector<std::uint8_t>{1}, wire::Ecn::NotEct);
+}
+
+TEST(GreylistUdpPolicy, CleanWindowPassesImmediately) {
+  GreylistUdpPolicy::Params params;
+  params.flaky_prob = 0.0;
+  params.dead_prob = 0.0;
+  GreylistUdpPolicy policy(params);
+  util::Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    auto d = udp_from(1);
+    EXPECT_EQ(policy.apply(d, rng, util::SimTime::zero()), PolicyAction::Pass);
+  }
+}
+
+TEST(GreylistUdpPolicy, FlakyWindowDemandsWarmup) {
+  GreylistUdpPolicy::Params params;
+  params.flaky_prob = 1.0;  // every window greylists (threshold 5..9)
+  GreylistUdpPolicy policy(params);
+  util::Rng rng(2);
+  // First 5 packets (a full not-ECT probe burst) are always dropped.
+  int passed_in_first_five = 0;
+  auto t = util::SimTime::zero();
+  for (int i = 0; i < 5; ++i) {
+    auto d = udp_from(1);
+    passed_in_first_five +=
+        policy.apply(d, rng, t) == PolicyAction::Pass ? 1 : 0;
+    t += 1_s;
+  }
+  EXPECT_EQ(passed_in_first_five, 0);
+  // Within the next five (the ECT burst of the paper's probe sequence) the
+  // counter crosses any threshold in [5, 9].
+  int passed_in_next_five = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto d = udp_from(1);
+    passed_in_next_five += policy.apply(d, rng, t) == PolicyAction::Pass ? 1 : 0;
+    t += 1_s;
+  }
+  EXPECT_GT(passed_in_next_five, 0);
+}
+
+TEST(GreylistUdpPolicy, IdleResetRedrawsBehaviour) {
+  GreylistUdpPolicy::Params params;
+  params.flaky_prob = 1.0;
+  params.idle_reset = 60_s;
+  GreylistUdpPolicy policy(params);
+  util::Rng rng(3);
+  auto t = util::SimTime::zero();
+  // Warm the filter fully.
+  for (int i = 0; i < 12; ++i) {
+    auto d = udp_from(1);
+    policy.apply(d, rng, t);
+    t += 1_s;
+  }
+  auto warm = udp_from(1);
+  EXPECT_EQ(policy.apply(warm, rng, t), PolicyAction::Pass);
+  // After a long idle period the conntrack entry expires: cold again.
+  t += 10_s * 60;
+  auto cold = udp_from(1);
+  EXPECT_EQ(policy.apply(cold, rng, t), PolicyAction::Drop);
+}
+
+TEST(GreylistUdpPolicy, SourcesAreIndependent) {
+  GreylistUdpPolicy::Params params;
+  params.flaky_prob = 1.0;
+  GreylistUdpPolicy policy(params);
+  util::Rng rng(4);
+  auto t = util::SimTime::zero();
+  // Warm source 1 fully.
+  for (int i = 0; i < 12; ++i) {
+    auto d = udp_from(1);
+    policy.apply(d, rng, t);
+    t += 1_s;
+  }
+  // Source 2 still starts cold.
+  auto other = udp_from(2);
+  EXPECT_EQ(policy.apply(other, rng, t), PolicyAction::Drop);
+}
+
+TEST(GreylistUdpPolicy, DeadWindowNeverPasses) {
+  GreylistUdpPolicy::Params params;
+  params.flaky_prob = 0.0;
+  params.dead_prob = 1.0;
+  GreylistUdpPolicy policy(params);
+  util::Rng rng(5);
+  auto t = util::SimTime::zero();
+  for (int i = 0; i < 20; ++i) {
+    auto d = udp_from(1);
+    EXPECT_EQ(policy.apply(d, rng, t), PolicyAction::Drop);
+    t += 1_s;
+  }
+}
+
+TEST(GreylistUdpPolicy, IgnoresNonUdp) {
+  GreylistUdpPolicy::Params params;
+  params.dead_prob = 1.0;
+  GreylistUdpPolicy policy(params);
+  util::Rng rng(6);
+  wire::TcpHeader h;
+  h.flags.syn = true;
+  auto d = wire::make_tcp_datagram(wire::Ipv4Address(10, 0, 0, 1),
+                                   wire::Ipv4Address(11, 0, 0, 2), h, {},
+                                   wire::Ecn::NotEct);
+  EXPECT_EQ(policy.apply(d, rng, util::SimTime::zero()), PolicyAction::Pass);
+}
+
+}  // namespace
+}  // namespace ecnprobe::netsim

@@ -1,0 +1,122 @@
+#include "ecnprobe/netsim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mini_net.hpp"
+
+namespace ecnprobe::netsim {
+namespace {
+
+using namespace ecnprobe::util::literals;
+using testutil::Chain;
+
+TEST(Network, DeliversAcrossChainWithLinkDelay) {
+  LinkParams link;
+  link.delay = 2_ms;
+  Chain chain(3, 1.0, link);
+  auto socket_b = chain.host_b->open_udp(123);
+  bool received = false;
+  SimTime arrival;
+  socket_b->set_receive_handler([&](const UdpDelivery& delivery) {
+    received = true;
+    arrival = chain.sim.now();
+    EXPECT_EQ(delivery.src, chain.host_a->address());
+    EXPECT_EQ(delivery.ecn, wire::Ecn::Ect0);
+  });
+
+  auto socket_a = chain.host_a->open_udp();
+  const std::uint8_t payload[] = {1, 2, 3};
+  socket_a->send(chain.host_b->address(), 123, payload, wire::Ecn::Ect0);
+  chain.sim.run();
+  ASSERT_TRUE(received);
+  // 4 links x 2 ms each.
+  EXPECT_EQ((arrival - SimTime::zero()).count_nanos(), (8_ms).count_nanos());
+}
+
+TEST(Network, LossyLinkDropsApproximatelyAtRate) {
+  LinkParams link;
+  link.loss_rate = 0.3;
+  Chain chain(1, 1.0, link);
+  auto socket_b = chain.host_b->open_udp(123);
+  int received = 0;
+  socket_b->set_receive_handler([&](const UdpDelivery&) { ++received; });
+  auto socket_a = chain.host_a->open_udp();
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    socket_a->send(chain.host_b->address(), 123, {}, wire::Ecn::NotEct);
+  }
+  chain.sim.run();
+  // Two lossy links in series: survival = 0.7^2 = 0.49.
+  EXPECT_NEAR(static_cast<double>(received) / n, 0.49, 0.05);
+  EXPECT_GT(chain.net.stats().dropped_loss, 0u);
+}
+
+TEST(Network, EgressPolicyAppliesBeforeDelivery) {
+  Chain chain(1);
+  auto policy = std::make_shared<EctUdpDropPolicy>();
+  // Egress of the last router toward host B (interface 1).
+  chain.net.add_egress_policy(chain.routers[0], 1, policy);
+
+  auto socket_b = chain.host_b->open_udp(123);
+  int received = 0;
+  socket_b->set_receive_handler([&](const UdpDelivery&) { ++received; });
+  auto socket_a = chain.host_a->open_udp();
+  socket_a->send(chain.host_b->address(), 123, {}, wire::Ecn::Ect0);   // dropped
+  socket_a->send(chain.host_b->address(), 123, {}, wire::Ecn::NotEct); // passes
+  chain.sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(policy->stats().dropped, 1u);
+  EXPECT_EQ(chain.net.stats().dropped_policy, 1u);
+}
+
+TEST(Network, IngressPolicyAppliesAtReceiver) {
+  Chain chain(1);
+  // Ingress policy on host B's interface (0).
+  chain.net.add_ingress_policy(chain.host_b_id, 0,
+                               std::make_shared<EcnBleachPolicy>(1.0));
+  auto socket_b = chain.host_b->open_udp(123);
+  wire::Ecn seen = wire::Ecn::Ce;
+  socket_b->set_receive_handler([&](const UdpDelivery& d) { seen = d.ecn; });
+  auto socket_a = chain.host_a->open_udp();
+  socket_a->send(chain.host_b->address(), 123, {}, wire::Ecn::Ect0);
+  chain.sim.run();
+  EXPECT_EQ(seen, wire::Ecn::NotEct);
+}
+
+TEST(Network, DownLinkDropsEverything) {
+  Chain chain(1);
+  chain.net.set_link_up(chain.host_a_id, 0, false);
+  auto socket_b = chain.host_b->open_udp(123);
+  int received = 0;
+  socket_b->set_receive_handler([&](const UdpDelivery&) { ++received; });
+  auto socket_a = chain.host_a->open_udp();
+  socket_a->send(chain.host_b->address(), 123, {}, wire::Ecn::NotEct);
+  chain.sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(chain.net.stats().dropped_link_down, 1u);
+}
+
+TEST(Network, AddressDirectoryFindsNodes) {
+  Chain chain(2);
+  EXPECT_EQ(chain.net.find_by_address(chain.host_a->address()), chain.host_a_id);
+  EXPECT_EQ(chain.net.find_by_address(wire::Ipv4Address(99, 9, 9, 9)), kInvalidNode);
+}
+
+TEST(Network, ConnectRejectsBadIds) {
+  Simulator sim;
+  Network net(sim, util::Rng(1));
+  auto host = std::make_unique<Host>("h", Host::Params{}, util::Rng(2));
+  const NodeId id = net.add_node(std::move(host));
+  EXPECT_THROW(net.connect(id, id, LinkParams{}), std::invalid_argument);
+  EXPECT_THROW(net.connect(id, 42, LinkParams{}), std::invalid_argument);
+}
+
+TEST(Network, IpIdMonotone) {
+  Simulator sim;
+  Network net(sim, util::Rng(1));
+  const auto first = net.next_ip_id();
+  EXPECT_EQ(net.next_ip_id(), static_cast<std::uint16_t>(first + 1));
+}
+
+}  // namespace
+}  // namespace ecnprobe::netsim

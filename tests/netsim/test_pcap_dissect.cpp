@@ -1,0 +1,126 @@
+// pcap export and the tcpdump-style dissector.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ecnprobe/netsim/pcap.hpp"
+#include "ecnprobe/wire/dissect.hpp"
+#include "ecnprobe/wire/dnsmsg.hpp"
+#include "ecnprobe/wire/ntp.hpp"
+#include "ecnprobe/wire/tcp.hpp"
+#include "ecnprobe/wire/udp.hpp"
+
+namespace ecnprobe::netsim {
+namespace {
+
+wire::Datagram ntp_probe() {
+  const auto request = wire::NtpPacket::make_client_request({1, 2});
+  const auto bytes = request.encode();
+  return wire::make_udp_datagram(wire::Ipv4Address(10, 0, 0, 1),
+                                 wire::Ipv4Address(11, 0, 0, 2), 40001, wire::kNtpPort,
+                                 bytes, wire::Ecn::Ect0);
+}
+
+TEST(Pcap, WritesValidHeaderAndRecords) {
+  PacketCapture capture;
+  capture.record(util::SimTime::from_nanos(1'500'000'000), Direction::Tx, ntp_probe());
+  capture.record(util::SimTime::from_nanos(2'000'123'000), Direction::Rx, ntp_probe());
+
+  std::ostringstream os(std::ios::binary);
+  const auto written = write_pcap(os, capture);
+  EXPECT_EQ(written, 2u);
+  const std::string data = os.str();
+
+  // Global header: 24 bytes, little-endian magic, linktype RAW (101).
+  ASSERT_GE(data.size(), 24u);
+  EXPECT_EQ(static_cast<unsigned char>(data[0]), 0xd4);
+  EXPECT_EQ(static_cast<unsigned char>(data[1]), 0xc3);
+  EXPECT_EQ(static_cast<unsigned char>(data[2]), 0xb2);
+  EXPECT_EQ(static_cast<unsigned char>(data[3]), 0xa1);
+  EXPECT_EQ(static_cast<unsigned char>(data[20]), 101);
+
+  // First record header: ts_sec = 1, ts_usec = 500000.
+  const auto u32_at = [&](std::size_t off) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(data[off])) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(data[off + 1])) << 8) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(data[off + 2])) << 16) |
+           (static_cast<std::uint32_t>(static_cast<unsigned char>(data[off + 3])) << 24);
+  };
+  EXPECT_EQ(u32_at(24), 1u);
+  EXPECT_EQ(u32_at(28), 500'000u);
+  const auto caplen = u32_at(32);
+  EXPECT_EQ(caplen, u32_at(36));
+  // The packet bytes start with an IPv4 version nibble.
+  EXPECT_EQ(static_cast<unsigned char>(data[40]) >> 4, 4);
+  // Total size: 24 + 2 * (16 + caplen).
+  EXPECT_EQ(data.size(), 24 + 2 * (16 + caplen));
+}
+
+TEST(Pcap, RoundTripThroughDatagramDecode) {
+  PacketCapture capture;
+  capture.record(util::SimTime::zero(), Direction::Tx, ntp_probe());
+  std::ostringstream os(std::ios::binary);
+  write_pcap(os, capture);
+  const std::string data = os.str();
+  const auto payload = std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(data.data()) + 40, data.size() - 40);
+  const auto decoded = wire::Datagram::decode(payload);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ip.ecn, wire::Ecn::Ect0);
+  EXPECT_EQ(decoded->ip.dst, wire::Ipv4Address(11, 0, 0, 2));
+}
+
+TEST(Dissect, NtpOverUdpWithEcn) {
+  const auto line = wire::dissect(ntp_probe());
+  EXPECT_NE(line.find("10.0.0.1.40001 > 11.0.0.2.123"), std::string::npos);
+  EXPECT_NE(line.find("UDP"), std::string::npos);
+  EXPECT_NE(line.find("NTPv4 client"), std::string::npos);
+  EXPECT_NE(line.find("ECT(0)"), std::string::npos);
+}
+
+TEST(Dissect, EcnSetupSynLabelled) {
+  wire::TcpHeader syn;
+  syn.src_port = 40000;
+  syn.dst_port = 80;
+  syn.flags.syn = true;
+  syn.flags.ece = true;
+  syn.flags.cwr = true;
+  const auto dgram = wire::make_tcp_datagram(wire::Ipv4Address(10, 0, 0, 1),
+                                             wire::Ipv4Address(11, 0, 0, 2), syn, {},
+                                             wire::Ecn::NotEct);
+  const auto line = wire::dissect(dgram);
+  EXPECT_NE(line.find("[ECN-setup SYN]"), std::string::npos);
+  EXPECT_NE(line.find("not-ECT"), std::string::npos);
+}
+
+TEST(Dissect, IcmpErrorShowsQuotation) {
+  auto probe = ntp_probe();
+  probe.ip.ecn = wire::Ecn::NotEct;  // as a bleached packet would arrive
+  const auto error = wire::make_time_exceeded(wire::Ipv4Address(12, 0, 0, 1), probe);
+  const auto line = wire::dissect(error);
+  EXPECT_NE(line.find("time exceeded"), std::string::npos);
+  EXPECT_NE(line.find("quoting [10.0.0.1 > 11.0.0.2 not-ECT"), std::string::npos);
+}
+
+TEST(Dissect, DnsQueryNamed) {
+  const auto query = wire::DnsMessage::make_query(7, "uk.pool.ntp.org");
+  const auto bytes = query.encode();
+  const auto dgram = wire::make_udp_datagram(wire::Ipv4Address(10, 0, 0, 1),
+                                             wire::Ipv4Address(11, 0, 0, 2), 5555,
+                                             wire::kDnsPort, bytes, wire::Ecn::NotEct);
+  const auto line = wire::dissect(dgram);
+  EXPECT_NE(line.find("DNS query uk.pool.ntp.org"), std::string::npos);
+}
+
+TEST(Dissect, MalformedPayloadStillDissects) {
+  wire::Datagram dgram;
+  dgram.ip.src = wire::Ipv4Address(1, 1, 1, 1);
+  dgram.ip.dst = wire::Ipv4Address(2, 2, 2, 2);
+  dgram.ip.protocol = wire::IpProto::Tcp;
+  dgram.payload = {1, 2, 3};  // too short for a TCP header
+  const auto line = wire::dissect(dgram);
+  EXPECT_NE(line.find("malformed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnprobe::netsim

@@ -1,0 +1,150 @@
+#include "ecnprobe/netsim/policy.hpp"
+
+#include "ecnprobe/wire/tcp.hpp"
+#include "ecnprobe/wire/udp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::netsim {
+namespace {
+
+wire::Datagram udp_dgram(wire::Ecn ecn) {
+  return wire::make_udp_datagram(wire::Ipv4Address(10, 0, 0, 1),
+                                 wire::Ipv4Address(11, 0, 0, 2), 1000, 123,
+                                 std::vector<std::uint8_t>{1, 2}, ecn);
+}
+
+wire::Datagram tcp_dgram(wire::Ecn ecn) {
+  wire::TcpHeader h;
+  h.src_port = 1;
+  h.dst_port = 80;
+  h.flags.ack = true;
+  return wire::make_tcp_datagram(wire::Ipv4Address(10, 0, 0, 1),
+                                 wire::Ipv4Address(11, 0, 0, 2), h, {}, ecn);
+}
+
+TEST(EcnBleachPolicy, AlwaysBleachesEctAndCe) {
+  EcnBleachPolicy policy(1.0);
+  util::Rng rng(1);
+  for (const auto ecn : {wire::Ecn::Ect0, wire::Ecn::Ect1, wire::Ecn::Ce}) {
+    auto d = udp_dgram(ecn);
+    EXPECT_EQ(policy.apply(d, rng), PolicyAction::Pass);
+    EXPECT_EQ(d.ip.ecn, wire::Ecn::NotEct);
+  }
+  EXPECT_EQ(policy.stats().modified, 3u);
+  EXPECT_EQ(policy.stats().dropped, 0u);
+}
+
+TEST(EcnBleachPolicy, NeverTouchesNotEct) {
+  EcnBleachPolicy policy(1.0);
+  util::Rng rng(1);
+  auto d = udp_dgram(wire::Ecn::NotEct);
+  policy.apply(d, rng);
+  EXPECT_EQ(d.ip.ecn, wire::Ecn::NotEct);
+  EXPECT_EQ(policy.stats().modified, 0u);
+}
+
+TEST(EcnBleachPolicy, ProbabilisticBleachSometimesPasses) {
+  EcnBleachPolicy policy(0.5);
+  util::Rng rng(99);
+  int bleached = 0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    auto d = udp_dgram(wire::Ecn::Ect0);
+    policy.apply(d, rng);
+    bleached += d.ip.ecn == wire::Ecn::NotEct ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(bleached) / n, 0.5, 0.05);
+}
+
+TEST(EctUdpDropPolicy, DropsOnlyEctUdp) {
+  EctUdpDropPolicy policy;
+  util::Rng rng(1);
+  auto ect_udp = udp_dgram(wire::Ecn::Ect0);
+  EXPECT_EQ(policy.apply(ect_udp, rng), PolicyAction::Drop);
+  auto ce_udp = udp_dgram(wire::Ecn::Ce);
+  EXPECT_EQ(policy.apply(ce_udp, rng), PolicyAction::Drop);
+  auto plain_udp = udp_dgram(wire::Ecn::NotEct);
+  EXPECT_EQ(policy.apply(plain_udp, rng), PolicyAction::Pass);
+  // The Section 4.4 asymmetry: ECT TCP passes where ECT UDP is dropped.
+  auto ect_tcp = tcp_dgram(wire::Ecn::Ect0);
+  EXPECT_EQ(policy.apply(ect_tcp, rng), PolicyAction::Pass);
+  EXPECT_EQ(policy.stats().dropped, 2u);
+  EXPECT_EQ(policy.stats().seen, 4u);
+}
+
+TEST(EctAnyDropPolicy, DropsEctOfAnyProtocol) {
+  EctAnyDropPolicy policy;
+  util::Rng rng(1);
+  auto ect_tcp = tcp_dgram(wire::Ecn::Ect0);
+  EXPECT_EQ(policy.apply(ect_tcp, rng), PolicyAction::Drop);
+  auto plain_tcp = tcp_dgram(wire::Ecn::NotEct);
+  EXPECT_EQ(policy.apply(plain_tcp, rng), PolicyAction::Pass);
+}
+
+TEST(TosSensitiveDropPolicy, DropsNonZeroTosProportionally) {
+  TosSensitiveDropPolicy policy(0.6);
+  util::Rng rng(7);
+  int dropped = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    auto d = udp_dgram(wire::Ecn::Ect0);  // non-zero ToS octet
+    dropped += policy.apply(d, rng) == PolicyAction::Drop ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(dropped) / n, 0.6, 0.04);
+  auto plain = udp_dgram(wire::Ecn::NotEct);  // ToS == 0
+  EXPECT_EQ(policy.apply(plain, rng), PolicyAction::Pass);
+}
+
+TEST(MatchDropPolicy, MatchesProtocolEctAndPrefix) {
+  MatchDropPolicy::Match match;
+  match.protocol = wire::IpProto::Udp;
+  match.ect = false;  // only not-ECT
+  match.src_prefix = {wire::Ipv4Address(10, 0, 0, 0), 24};
+  MatchDropPolicy policy(match, "ec2-filter");
+  util::Rng rng(1);
+
+  auto in_prefix_plain = udp_dgram(wire::Ecn::NotEct);
+  EXPECT_EQ(policy.apply(in_prefix_plain, rng), PolicyAction::Drop);
+
+  auto in_prefix_ect = udp_dgram(wire::Ecn::Ect0);
+  EXPECT_EQ(policy.apply(in_prefix_ect, rng), PolicyAction::Pass);
+
+  auto other_src = udp_dgram(wire::Ecn::NotEct);
+  other_src.ip.src = wire::Ipv4Address(10, 0, 1, 1);  // outside /24
+  EXPECT_EQ(policy.apply(other_src, rng), PolicyAction::Pass);
+
+  auto tcp = tcp_dgram(wire::Ecn::NotEct);
+  EXPECT_EQ(policy.apply(tcp, rng), PolicyAction::Pass);
+  EXPECT_EQ(policy.name(), "ec2-filter");
+}
+
+TEST(CongestionPolicy, MarksEctDropsNotEct) {
+  CongestionPolicy policy(1.0, 1.0);
+  util::Rng rng(1);
+  auto ect = udp_dgram(wire::Ecn::Ect0);
+  EXPECT_EQ(policy.apply(ect, rng), PolicyAction::Pass);
+  EXPECT_EQ(ect.ip.ecn, wire::Ecn::Ce);  // RFC 3168: mark instead of drop
+  auto plain = udp_dgram(wire::Ecn::NotEct);
+  EXPECT_EQ(policy.apply(plain, rng), PolicyAction::Drop);
+}
+
+TEST(CongestionPolicy, NeverMarksNotEctAsCe) {
+  CongestionPolicy policy(1.0, 0.0);
+  util::Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    auto plain = udp_dgram(wire::Ecn::NotEct);
+    policy.apply(plain, rng);
+    EXPECT_NE(plain.ip.ecn, wire::Ecn::Ce);  // RFC 3168 section 5 invariant
+  }
+}
+
+TEST(CongestionPolicy, OverloadDropsEct) {
+  CongestionPolicy policy(1.0, 0.0, 1.0);
+  util::Rng rng(4);
+  auto ect = udp_dgram(wire::Ecn::Ect0);
+  EXPECT_EQ(policy.apply(ect, rng), PolicyAction::Drop);
+}
+
+}  // namespace
+}  // namespace ecnprobe::netsim

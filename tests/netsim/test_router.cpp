@@ -1,0 +1,124 @@
+#include "ecnprobe/netsim/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mini_net.hpp"
+
+namespace ecnprobe::netsim {
+namespace {
+
+using testutil::Chain;
+
+TEST(Router, TtlExpiryGeneratesQuotingTimeExceeded) {
+  Chain chain(3);
+  std::optional<wire::Datagram> icmp;
+  chain.host_a->set_protocol_handler(wire::IpProto::Icmp,
+                                     [&](const wire::Datagram& d) { icmp = d; });
+
+  // TTL 2 expires at the second router.
+  auto probe = wire::make_udp_datagram(chain.host_a->address(), chain.host_b->address(),
+                                       40000, 33435, {}, wire::Ecn::Ect0, 2);
+  chain.host_a->send_datagram(std::move(probe));
+  chain.sim.run();
+
+  ASSERT_TRUE(icmp.has_value());
+  EXPECT_EQ(icmp->ip.src, chain.net.node(chain.routers[1]).address());
+  const auto decoded = wire::decode_icmp_message(icmp->payload);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->message.type, wire::IcmpType::TimeExceeded);
+  const auto quotation = wire::parse_quotation(decoded->message.body);
+  ASSERT_TRUE(quotation);
+  // Quoted as received: TTL 1 (sender's 2, minus first router's decrement)
+  // and the ECT(0) mark intact.
+  EXPECT_EQ(quotation->inner_header.ttl, 1);
+  EXPECT_EQ(quotation->inner_header.ecn, wire::Ecn::Ect0);
+  EXPECT_EQ(chain.router_ptrs[1]->stats().ttl_expired, 1u);
+  EXPECT_EQ(chain.router_ptrs[1]->stats().icmp_sent, 1u);
+}
+
+TEST(Router, QuotationReflectsUpstreamBleaching) {
+  Chain chain(3);
+  // Bleacher on the first router's egress toward the B side.
+  chain.net.add_egress_policy(chain.routers[0], 1,
+                              std::make_shared<EcnBleachPolicy>(1.0));
+  std::optional<wire::Ecn> quoted;
+  chain.host_a->set_protocol_handler(wire::IpProto::Icmp, [&](const wire::Datagram& d) {
+    const auto decoded = wire::decode_icmp_message(d.payload);
+    ASSERT_TRUE(decoded);
+    const auto quotation = wire::parse_quotation(decoded->message.body);
+    ASSERT_TRUE(quotation);
+    quoted = quotation->inner_header.ecn;
+  });
+  // Expires at router 2, downstream of the bleacher.
+  auto probe = wire::make_udp_datagram(chain.host_a->address(), chain.host_b->address(),
+                                       40001, 33436, {}, wire::Ecn::Ect0, 2);
+  chain.host_a->send_datagram(std::move(probe));
+  chain.sim.run();
+  ASSERT_TRUE(quoted.has_value());
+  EXPECT_EQ(*quoted, wire::Ecn::NotEct);  // the strip is visible in the quote
+}
+
+TEST(Router, SilentWhenIcmpDisabled) {
+  Chain chain(2, /*icmp_prob=*/0.0);
+  bool got_icmp = false;
+  chain.host_a->set_protocol_handler(wire::IpProto::Icmp,
+                                     [&](const wire::Datagram&) { got_icmp = true; });
+  auto probe = wire::make_udp_datagram(chain.host_a->address(), chain.host_b->address(),
+                                       40002, 33437, {}, wire::Ecn::Ect0, 1);
+  chain.host_a->send_datagram(std::move(probe));
+  chain.sim.run();
+  EXPECT_FALSE(got_icmp);
+  EXPECT_EQ(chain.router_ptrs[0]->stats().ttl_expired, 1u);
+  EXPECT_EQ(chain.router_ptrs[0]->stats().icmp_sent, 0u);
+}
+
+TEST(Router, ForwardsAndDecrementsTtl) {
+  Chain chain(2);
+  auto sock = chain.host_b->open_udp(123);
+  PacketCapture capture;
+  chain.host_b->add_capture(&capture);
+  sock->set_receive_handler([&](const UdpDelivery&) {});
+  auto probe = wire::make_udp_datagram(chain.host_a->address(), chain.host_b->address(),
+                                       40003, 123, {}, wire::Ecn::NotEct, 64);
+  chain.host_a->send_datagram(std::move(probe));
+  chain.sim.run();
+  ASSERT_EQ(capture.packets().size(), 1u);
+  EXPECT_EQ(capture.packets()[0].dgram.ip.ttl, 62);  // two routers decremented
+  EXPECT_EQ(chain.router_ptrs[0]->stats().forwarded, 1u);
+  EXPECT_EQ(chain.router_ptrs[1]->stats().forwarded, 1u);
+  chain.host_b->remove_capture(&capture);
+}
+
+TEST(Router, UnroutableDestinationTriggersNetUnreachable) {
+  Chain chain(2);
+  std::optional<std::uint8_t> code;
+  chain.host_a->set_protocol_handler(wire::IpProto::Icmp, [&](const wire::Datagram& d) {
+    const auto decoded = wire::decode_icmp_message(d.payload);
+    ASSERT_TRUE(decoded);
+    if (decoded->message.type == wire::IcmpType::DestUnreachable) {
+      code = decoded->message.code;
+    }
+  });
+  auto probe = wire::make_udp_datagram(chain.host_a->address(),
+                                       wire::Ipv4Address(99, 99, 99, 99), 40004, 123, {},
+                                       wire::Ecn::NotEct, 64);
+  chain.host_a->send_datagram(std::move(probe));
+  chain.sim.run();
+  ASSERT_TRUE(code.has_value());
+  EXPECT_EQ(*code, static_cast<std::uint8_t>(wire::IcmpUnreachCode::Net));
+  EXPECT_EQ(chain.router_ptrs[0]->stats().unroutable, 1u);
+}
+
+TEST(Router, TrafficToRouterAddressIsAbsorbed) {
+  Chain chain(2);
+  auto probe = wire::make_udp_datagram(chain.host_a->address(),
+                                       chain.net.node(chain.routers[0]).address(), 1, 2,
+                                       {}, wire::Ecn::NotEct, 64);
+  chain.host_a->send_datagram(std::move(probe));
+  chain.sim.run();
+  EXPECT_EQ(chain.router_ptrs[0]->stats().delivered_local, 1u);
+  EXPECT_EQ(chain.router_ptrs[0]->stats().forwarded, 0u);
+}
+
+}  // namespace
+}  // namespace ecnprobe::netsim

@@ -1,0 +1,118 @@
+#include "ecnprobe/netsim/sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ecnprobe::netsim {
+namespace {
+
+using namespace ecnprobe::util::literals;
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30_ms, [&] { order.push_back(3); });
+  sim.schedule(10_ms, [&] { order.push_back(1); });
+  sim.schedule(20_ms, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), SimTime::zero() + 30_ms);
+}
+
+TEST(Simulator, SameTimestampFiresFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5_ms, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, NestedSchedulingAdvancesTime) {
+  Simulator sim;
+  SimTime inner_time;
+  sim.schedule(10_ms, [&] {
+    sim.schedule(15_ms, [&] { inner_time = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(inner_time, SimTime::zero() + 25_ms);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  auto handle = sim.schedule(10_ms, [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireIsHarmless) {
+  Simulator sim;
+  int fires = 0;
+  auto handle = sim.schedule(1_ms, [&] { ++fires; });
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();
+  sim.run();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(Simulator, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(10_ms, [&] { order.push_back(1); });
+  sim.schedule(20_ms, [&] { order.push_back(2); });
+  sim.schedule(30_ms, [&] { order.push_back(3); });
+  sim.run_until(SimTime::zero() + 20_ms);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(sim.now(), SimTime::zero() + 20_ms);
+  sim.run();
+  EXPECT_EQ(order.size(), 3u);
+}
+
+TEST(Simulator, RunUntilAdvancesTimeOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(SimTime::zero() + 5_s);
+  EXPECT_EQ(sim.now(), SimTime::zero() + 5_s);
+}
+
+TEST(Simulator, RunLimitBoundsWork) {
+  Simulator sim;
+  int count = 0;
+  // Self-perpetuating event chain.
+  std::function<void()> tick = [&] {
+    ++count;
+    sim.schedule(1_ms, tick);
+  };
+  sim.schedule(1_ms, tick);
+  const auto fired = sim.run(100);
+  EXPECT_EQ(fired, 100u);
+  EXPECT_EQ(count, 100);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(SimDuration::millis(-5), [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(Simulator, CountsProcessedAndPending) {
+  Simulator sim;
+  sim.schedule(1_ms, [] {});
+  sim.schedule(2_ms, [] {});
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 2u);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+}  // namespace
+}  // namespace ecnprobe::netsim

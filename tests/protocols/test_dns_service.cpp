@@ -1,0 +1,142 @@
+#include "ecnprobe/dns/pool_dns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../netsim/mini_net.hpp"
+
+namespace ecnprobe::dns {
+namespace {
+
+using netsim::testutil::Chain;
+
+TEST(PoolZones, RoundRobinRotates) {
+  PoolZones zones(2);
+  for (int i = 1; i <= 5; ++i) {
+    zones.add_member("pool.ntp.org", wire::Ipv4Address(11, 0, 0, static_cast<std::uint8_t>(i)));
+  }
+  const auto first = zones.next_answers("pool.ntp.org");
+  const auto second = zones.next_answers("pool.ntp.org");
+  ASSERT_EQ(first.size(), 2u);
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_NE(first[0], second[0]);  // cursor advanced
+  // Five queries of two answers cycle through all five members.
+  std::set<std::uint32_t> seen;
+  for (const auto& a : first) seen.insert(a.value());
+  for (const auto& a : second) seen.insert(a.value());
+  for (int i = 0; i < 3; ++i) {
+    for (const auto& a : zones.next_answers("pool.ntp.org")) seen.insert(a.value());
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(PoolZones, CaseInsensitiveZoneNames) {
+  PoolZones zones;
+  zones.add_member("Pool.NTP.org", wire::Ipv4Address(1, 2, 3, 4));
+  EXPECT_TRUE(zones.has_zone("pool.ntp.org"));
+  EXPECT_EQ(zones.member_count("POOL.ntp.ORG"), 1u);
+}
+
+TEST(PoolZones, RemoveMemberShrinksZone) {
+  PoolZones zones;
+  zones.add_member("uk.pool.ntp.org", wire::Ipv4Address(1, 1, 1, 1));
+  zones.add_member("uk.pool.ntp.org", wire::Ipv4Address(2, 2, 2, 2));
+  zones.remove_member("uk.pool.ntp.org", wire::Ipv4Address(1, 1, 1, 1));
+  EXPECT_EQ(zones.member_count("uk.pool.ntp.org"), 1u);
+  const auto answers = zones.next_answers("uk.pool.ntp.org");
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0], wire::Ipv4Address(2, 2, 2, 2));
+}
+
+struct DnsFixture : ::testing::Test {
+  Chain chain{1};
+  std::shared_ptr<PoolZones> zones = std::make_shared<PoolZones>(4);
+  void SetUp() override {
+    for (int i = 1; i <= 10; ++i) {
+      zones->add_member("pool.ntp.org",
+                        wire::Ipv4Address(11, 0, 1, static_cast<std::uint8_t>(i)));
+    }
+    zones->add_member("uk.pool.ntp.org", wire::Ipv4Address(11, 0, 2, 1));
+    service = std::make_unique<DnsServerService>(*chain.host_b, zones);
+  }
+  std::unique_ptr<DnsServerService> service;
+};
+
+TEST_F(DnsFixture, ResolvesKnownZone) {
+  DnsClient client(*chain.host_a, chain.host_b->address());
+  std::optional<DnsQueryResult> result;
+  client.query("pool.ntp.org", [&](const DnsQueryResult& r) { result = r; });
+  chain.sim.run();
+  ASSERT_TRUE(result);
+  EXPECT_TRUE(result->success);
+  EXPECT_EQ(result->addresses.size(), 4u);
+  EXPECT_EQ(service->stats().queries, 1u);
+}
+
+TEST_F(DnsFixture, UnknownZoneGivesNxdomain) {
+  DnsClient client(*chain.host_a, chain.host_b->address());
+  std::optional<DnsQueryResult> result;
+  client.query("nosuch.example", [&](const DnsQueryResult& r) { result = r; });
+  chain.sim.run();
+  ASSERT_TRUE(result);
+  EXPECT_FALSE(result->success);
+  EXPECT_EQ(result->rcode, wire::DnsRcode::NxDomain);
+  EXPECT_EQ(service->stats().nxdomain, 1u);
+}
+
+TEST_F(DnsFixture, ClientRetriesThroughLoss) {
+  // Make both directions of the path lossy (loss applies at the sender's
+  // interface of each link).
+  chain.net.interface(chain.host_a_id, 0).link.loss_rate = 0.4;
+  chain.net.interface(chain.routers[0], 0).link.loss_rate = 0.4;
+  DnsClient client(*chain.host_a, chain.host_b->address());
+  int successes = 0;
+  int done = 0;
+  const int n = 30;
+  std::function<void(int)> next = [&](int remaining) {
+    if (remaining == 0) return;
+    client.query("pool.ntp.org",
+                 [&, remaining](const DnsQueryResult& r) {
+                   ++done;
+                   successes += r.success ? 1 : 0;
+                   next(remaining - 1);
+                 },
+                 util::SimDuration::millis(500), 5);
+  };
+  next(n);
+  chain.sim.run();
+  EXPECT_EQ(done, n);
+  EXPECT_GT(successes, n / 2);  // retries recover most queries
+}
+
+TEST_F(DnsFixture, DiscoveryCrawlerEnumeratesPool) {
+  DiscoveryCrawler::Params params;
+  params.rounds = 4;
+  params.round_interval = util::SimDuration::seconds(30);
+  DiscoveryCrawler crawler(*chain.host_a, chain.host_b->address(),
+                           {"pool.ntp.org", "uk.pool.ntp.org"}, params);
+  std::optional<std::set<std::uint32_t>> found;
+  crawler.start([&](const std::set<std::uint32_t>& addrs) { found = addrs; });
+  chain.sim.run();
+  ASSERT_TRUE(found);
+  // 4 rounds x 4 answers round-robin over 10 members finds all 10 + the UK one.
+  EXPECT_EQ(found->size(), 11u);
+  EXPECT_EQ(crawler.rounds_completed(), 4);
+}
+
+TEST_F(DnsFixture, CrawlerPacesQueries) {
+  DiscoveryCrawler::Params params;
+  params.rounds = 2;
+  params.round_interval = util::SimDuration::minutes(10);
+  params.inter_query_gap = util::SimDuration::seconds(1);
+  DiscoveryCrawler crawler(*chain.host_a, chain.host_b->address(),
+                           {"pool.ntp.org", "uk.pool.ntp.org"}, params);
+  bool done = false;
+  crawler.start([&](const std::set<std::uint32_t>&) { done = true; });
+  chain.sim.run();
+  EXPECT_TRUE(done);
+  // Two rounds separated by the 10-minute interval.
+  EXPECT_GE(chain.sim.now().to_seconds(), 600.0);
+}
+
+}  // namespace
+}  // namespace ecnprobe::dns

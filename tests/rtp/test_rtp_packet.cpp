@@ -1,0 +1,117 @@
+#include "ecnprobe/rtp/rtp_packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ecnprobe/util/rng.hpp"
+
+namespace ecnprobe::rtp {
+namespace {
+
+TEST(RtpPacket, EncodeDecodeRoundTrip) {
+  RtpPacket packet;
+  packet.header.marker = true;
+  packet.header.payload_type = 111;
+  packet.header.sequence = 0xBEEF;
+  packet.header.timestamp = 0x12345678;
+  packet.header.ssrc = 0xCAFEBABE;
+  packet.payload = {1, 2, 3, 4, 5};
+
+  const auto bytes = packet.encode();
+  ASSERT_EQ(bytes.size(), RtpHeader::kSize + 5);
+  EXPECT_EQ(bytes[0] >> 6, 2);  // version
+
+  const auto decoded = RtpPacket::decode(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->header.marker);
+  EXPECT_EQ(decoded->header.payload_type, 111);
+  EXPECT_EQ(decoded->header.sequence, 0xBEEF);
+  EXPECT_EQ(decoded->header.timestamp, 0x12345678u);
+  EXPECT_EQ(decoded->header.ssrc, 0xCAFEBABEu);
+  EXPECT_EQ(decoded->payload, packet.payload);
+}
+
+TEST(RtpPacket, DecodeRejectsTruncatedAndWrongVersion) {
+  std::vector<std::uint8_t> tiny(11, 0);
+  EXPECT_FALSE(RtpPacket::decode(tiny));
+
+  RtpPacket packet;
+  auto bytes = packet.encode();
+  bytes[0] = 0x40;  // version 1
+  EXPECT_FALSE(RtpPacket::decode(bytes));
+}
+
+TEST(RtpPacket, DecodeSkipsCsrcList) {
+  RtpPacket packet;
+  packet.payload = {0xAA};
+  auto bytes = packet.encode();
+  // Rewrite CC = 2 and splice in two CSRCs before the payload.
+  bytes[0] = static_cast<std::uint8_t>(bytes[0] | 0x02);
+  std::vector<std::uint8_t> csrcs(8, 0x11);
+  bytes.insert(bytes.begin() + RtpHeader::kSize, csrcs.begin(), csrcs.end());
+  const auto decoded = RtpPacket::decode(bytes);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->payload.size(), 1u);
+  EXPECT_EQ(decoded->payload[0], 0xAA);
+}
+
+TEST(RtpPacket, EmptyPayloadLegal) {
+  RtpPacket packet;
+  const auto decoded = RtpPacket::decode(packet.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->payload.empty());
+}
+
+TEST(EcnSummary, RoundTrip) {
+  EcnSummary summary;
+  summary.ssrc = 42;
+  summary.ext_highest_seq = 100000;
+  summary.ect0_count = 900;
+  summary.ect1_count = 1;
+  summary.ce_count = 17;
+  summary.not_ect_count = 3;
+  summary.lost_packets = 12;
+  summary.jitter_us = 2500;
+
+  const auto decoded = EcnSummary::decode(summary.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ssrc, 42u);
+  EXPECT_EQ(decoded->ext_highest_seq, 100000u);
+  EXPECT_EQ(decoded->ect0_count, 900u);
+  EXPECT_EQ(decoded->ce_count, 17u);
+  EXPECT_EQ(decoded->not_ect_count, 3u);
+  EXPECT_EQ(decoded->lost_packets, 12u);
+  EXPECT_EQ(decoded->jitter_us, 2500u);
+  EXPECT_EQ(decoded->received_total(), 921u);
+}
+
+TEST(EcnSummary, DecodeRejectsWrongTagAndTruncation) {
+  EcnSummary summary;
+  auto bytes = summary.encode();
+  auto wrong_tag = bytes;
+  wrong_tag[0] = 0x00;
+  EXPECT_FALSE(EcnSummary::decode(wrong_tag));
+  bytes.pop_back();
+  EXPECT_FALSE(EcnSummary::decode(bytes));
+}
+
+TEST(RtpPacket, PropertyRandomHeadersRoundTrip) {
+  util::Rng rng(404);
+  for (int i = 0; i < 200; ++i) {
+    RtpPacket packet;
+    packet.header.marker = rng.bernoulli(0.5);
+    packet.header.payload_type = static_cast<std::uint8_t>(rng.next_below(128));
+    packet.header.sequence = static_cast<std::uint16_t>(rng.next_u64());
+    packet.header.timestamp = static_cast<std::uint32_t>(rng.next_u64());
+    packet.header.ssrc = static_cast<std::uint32_t>(rng.next_u64());
+    packet.payload.resize(rng.next_below(64));
+    for (auto& b : packet.payload) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto decoded = RtpPacket::decode(packet.encode());
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->header.sequence, packet.header.sequence);
+    EXPECT_EQ(decoded->header.ssrc, packet.header.ssrc);
+    EXPECT_EQ(decoded->payload, packet.payload);
+  }
+}
+
+}  // namespace
+}  // namespace ecnprobe::rtp

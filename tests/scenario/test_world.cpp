@@ -1,0 +1,137 @@
+#include "ecnprobe/scenario/world.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ecnprobe/analysis/geosummary.hpp"
+
+namespace ecnprobe::scenario {
+namespace {
+
+TEST(WorldParams, ScaledShrinksProportionally) {
+  const auto full = WorldParams::paper();
+  const auto tenth = full.scaled(0.1);
+  EXPECT_EQ(tenth.server_count, 250);
+  EXPECT_EQ(tenth.topology.stub_count, 40);
+  EXPECT_GE(tenth.ect_udp_firewalled_servers, 1);
+}
+
+struct WorldTest : ::testing::Test {
+  static WorldParams params() {
+    auto p = WorldParams::small(21);
+    p.server_count = 40;
+    return p;
+  }
+  World world{params()};
+};
+
+TEST_F(WorldTest, BuildsRequestedServerCount) {
+  EXPECT_EQ(world.servers().size(), 40u);
+  EXPECT_EQ(world.server_addresses().size(), 40u);
+  // Every server has an NTP service and a TCP stack.
+  for (const auto& server : world.servers()) {
+    EXPECT_NE(server.ntp_service, nullptr);
+    EXPECT_NE(server.tcp_stack, nullptr);
+    EXPECT_EQ(server.web != nullptr, server.runs_web);
+    EXPECT_FALSE(server.address.is_unspecified());
+  }
+}
+
+TEST_F(WorldTest, AllThirteenVantagesExist) {
+  EXPECT_EQ(world.vantage_names().size(), 13u);
+  for (const auto& name : world.vantage_names()) {
+    EXPECT_EQ(world.vantage(name).name(), name);
+    EXPECT_FALSE(world.vantage_address(name).is_unspecified());
+  }
+  EXPECT_THROW(world.vantage("nowhere"), std::out_of_range);
+}
+
+TEST_F(WorldTest, GeoDistributionScalesFromTable1) {
+  const auto summary =
+      analysis::summarize_geo(world.server_addresses(), world.geodb());
+  EXPECT_EQ(summary.total, 40);
+  // Europe dominates (paper: 1664/2500 ~= 2/3).
+  EXPECT_GT(summary.counts.at(geo::Region::Europe), 15);
+  EXPECT_GT(summary.counts.at(geo::Region::NorthAmerica), 2);
+}
+
+TEST_F(WorldTest, MiddleboxGroundTruthMatchesParams) {
+  EXPECT_EQ(world.ground_truth_firewalled().size(), 3u);
+  int ect_required = 0;
+  int ec2_sensitive = 0;
+  for (const auto& server : world.servers()) {
+    ect_required += server.ect_required ? 1 : 0;
+    ec2_sensitive += server.ec2_sensitive ? 1 : 0;
+    // A server has at most one special role.
+    EXPECT_LE(static_cast<int>(server.firewalled_ect_udp) +
+                  static_cast<int>(server.ect_required) +
+                  static_cast<int>(server.ec2_sensitive),
+              1);
+  }
+  EXPECT_EQ(ect_required, 1);
+  EXPECT_EQ(ec2_sensitive, 1);
+}
+
+TEST_F(WorldTest, DnsDiscoveryFindsMostOfThePool) {
+  const auto discovered = world.run_discovery("UGla wired", /*rounds=*/40);
+  // Round-robin of 4 answers per query across the global + regional +
+  // country zones reaches the whole pool given enough rounds.
+  EXPECT_GE(discovered.size(), world.servers().size() * 9 / 10);
+  std::set<std::uint32_t> truth;
+  for (const auto& s : world.servers()) truth.insert(s.address.value());
+  for (const auto& addr : discovered) {
+    EXPECT_TRUE(truth.contains(addr.value())) << addr.to_string();
+  }
+}
+
+TEST_F(WorldTest, BeforeTraceTogglesAvailability) {
+  world.before_trace("UGla wired", 1, 0);
+  int online_batch1 = 0;
+  for (const auto& server : world.servers()) online_batch1 += server.online ? 1 : 0;
+  EXPECT_GT(online_batch1, 0);
+
+  // Batch 2 applies pool departures permanently.
+  world.before_trace("UGla wired", 2, 50);
+  int departed = 0;
+  for (const auto& server : world.servers()) {
+    departed += server.departed ? 1 : 0;
+    if (server.departed) EXPECT_FALSE(server.online);
+  }
+  // With 5% departure probability on 40 servers, usually > 0; allow zero but
+  // require the flag mechanics to hold via a forced second application.
+  world.before_trace("UGla wired", 2, 51);
+  for (const auto& server : world.servers()) {
+    if (server.departed) EXPECT_FALSE(server.online);
+  }
+  SUCCEED();
+}
+
+TEST_F(WorldTest, DeterministicGivenSeed) {
+  World other{WorldTest::params()};
+  ASSERT_EQ(other.servers().size(), world.servers().size());
+  for (std::size_t i = 0; i < other.servers().size(); ++i) {
+    EXPECT_EQ(other.servers()[i].address, world.servers()[i].address);
+    EXPECT_EQ(other.servers()[i].runs_web, world.servers()[i].runs_web);
+    EXPECT_EQ(other.servers()[i].web_ecn, world.servers()[i].web_ecn);
+    EXPECT_EQ(other.servers()[i].firewalled_ect_udp,
+              world.servers()[i].firewalled_ect_udp);
+  }
+}
+
+TEST(World, DifferentSeedsDifferentWorlds) {
+  auto p1 = WorldParams::small(1);
+  p1.server_count = 30;
+  auto p2 = WorldParams::small(2);
+  p2.server_count = 30;
+  World w1(p1);
+  World w2(p2);
+  int differences = 0;
+  for (std::size_t i = 0; i < 30; ++i) {
+    if (w1.servers()[i].runs_web != w2.servers()[i].runs_web) ++differences;
+  }
+  EXPECT_GT(differences, 0);
+}
+
+}  // namespace
+}  // namespace ecnprobe::scenario

@@ -1,0 +1,162 @@
+// Additional world-level behaviours: discovery determinism, the congestion
+// hook, vantage pathologies, zone membership, and the return-path
+// (ECN-reflecting) extension.
+#include <gtest/gtest.h>
+
+#include "ecnprobe/ntp/ntp.hpp"
+#include "ecnprobe/scenario/world.hpp"
+
+namespace ecnprobe::scenario {
+namespace {
+
+WorldParams tiny_params(std::uint64_t seed = 61) {
+  auto p = WorldParams::small(seed);
+  p.server_count = 24;
+  p.offline_prob = 0.0;
+  p.rate_limited_fraction = 0.0;
+  p.greylist_flaky_prob = 0.0;
+  p.greylist_dead_prob = 0.0;
+  return p;
+}
+
+// First pool member with no pathological middlebox in front of it.
+std::size_t plain_server(const World& world) {
+  for (std::size_t i = 0; i < world.servers().size(); ++i) {
+    const auto& s = world.servers()[i];
+    if (!s.firewalled_ect_udp && !s.ect_required && !s.ec2_sensitive) return i;
+  }
+  return 0;
+}
+
+TEST(WorldExtras, DiscoveryIsDeterministicPerSeed) {
+  World a(tiny_params());
+  World b(tiny_params());
+  const auto found_a = a.run_discovery("UGla wired", 20);
+  const auto found_b = b.run_discovery("UGla wired", 20);
+  ASSERT_EQ(found_a.size(), found_b.size());
+  for (std::size_t i = 0; i < found_a.size(); ++i) EXPECT_EQ(found_a[i], found_b[i]);
+}
+
+TEST(WorldExtras, PoolZonesCoverEveryServer) {
+  World world(tiny_params());
+  auto zones = world.zones();
+  // The global zone holds the full pool.
+  EXPECT_EQ(zones->member_count("pool.ntp.org"), world.servers().size());
+  // Region/country zones exist and are non-empty.
+  std::size_t regional_members = 0;
+  for (const auto& name : zones->zone_names()) {
+    if (name == "pool.ntp.org") continue;
+    regional_members += zones->member_count(name);
+  }
+  // Each geolocated server appears in a continent zone and a country zone.
+  EXPECT_GE(regional_members, (world.servers().size() - 1) * 2 - 2);
+}
+
+TEST(WorldExtras, McQuistinAccessDropsEctPreferentially) {
+  World world(tiny_params(62));
+  auto& mcquistin = world.vantage("McQuistin home");
+  auto& perkins = world.vantage("Perkins home");
+  const auto target = world.servers()[plain_server(world)].address;
+
+  auto count_failures = [&](measure::Vantage& vantage) {
+    int failures = 0;
+    int done = 0;
+    std::function<void(int)> go = [&](int remaining) {
+      if (remaining == 0) return;
+      ntp::NtpQueryOptions options;
+      options.ecn = wire::Ecn::Ect0;
+      options.max_attempts = 1;  // amplify per-packet differences
+      vantage.ntp().query(target, options, [&, remaining](const ntp::NtpQueryResult& r) {
+        ++done;
+        failures += r.success ? 0 : 1;
+        go(remaining - 1);
+      });
+    };
+    go(60);
+    world.sim().run();
+    EXPECT_EQ(done, 60);
+    return failures;
+  };
+
+  const int mcq = count_failures(mcquistin);
+  const int perk = count_failures(perkins);
+  // The ToS-sensitive home access drops a large share of single-shot ECT
+  // probes; Perkins' clean access almost none.
+  EXPECT_GT(mcq, perk + 10);
+}
+
+TEST(WorldExtras, CongestionHookMarksEctTraffic) {
+  World world(tiny_params(63));
+  const auto target_index = plain_server(world);
+  world.enable_congestion_at_server(target_index, /*mark_prob=*/1.0, /*drop_prob=*/0.0);
+  // Make the server a reflecting responder so marks are measurable
+  // end-to-end on the return path (where the congestion sits).
+  auto& server = world.server(target_index);
+  ntp::NtpServerService::Params reflecting;
+  reflecting.reflect_ecn = true;
+  server.ntp_service.reset();
+  server.ntp_service = std::make_unique<ntp::NtpServerService>(*server.host,
+                                                               world.clock(), reflecting);
+
+  auto& vantage = world.vantage("UGla wired");
+  ntp::NtpQueryOptions options;
+  options.ecn = wire::Ecn::Ect0;
+  std::optional<ntp::NtpQueryResult> result;
+  vantage.ntp().query(server.address, options,
+                      [&](const ntp::NtpQueryResult& r) { result = r; });
+  world.sim().run();
+  ASSERT_TRUE(result);
+  ASSERT_TRUE(result->success);
+  // The reflected ECT(0) response crossed the congested uplink: CE-marked,
+  // not dropped -- ECN working as designed.
+  EXPECT_EQ(result->response_ecn, wire::Ecn::Ce);
+}
+
+TEST(WorldExtras, ReflectingResponderRevealsReturnPath) {
+  World world(tiny_params(64));
+  auto& server = world.server(plain_server(world));
+  ntp::NtpServerService::Params reflecting;
+  reflecting.reflect_ecn = true;
+  server.ntp_service.reset();
+  server.ntp_service = std::make_unique<ntp::NtpServerService>(*server.host,
+                                                               world.clock(), reflecting);
+  auto& vantage = world.vantage("EC2 Vir");
+  ntp::NtpQueryOptions options;
+  options.ecn = wire::Ecn::Ect0;
+  std::optional<ntp::NtpQueryResult> result;
+  vantage.ntp().query(server.address, options,
+                      [&](const ntp::NtpQueryResult& r) { result = r; });
+  world.sim().run();
+  ASSERT_TRUE(result && result->success);
+  // No bleacher between them in this tiny world: the mark survives both
+  // directions.
+  EXPECT_EQ(result->response_ecn, wire::Ecn::Ect0);
+}
+
+TEST(WorldExtras, UnmodifiedResponderStaysNotEct) {
+  World world(tiny_params(65));
+  auto& vantage = world.vantage("EC2 Tok");
+  ntp::NtpQueryOptions options;
+  options.ecn = wire::Ecn::Ect0;
+  std::optional<ntp::NtpQueryResult> result;
+  vantage.ntp().query(world.servers()[plain_server(world)].address, options,
+                      [&](const ntp::NtpQueryResult& r) { result = r; });
+  world.sim().run();
+  ASSERT_TRUE(result && result->success);
+  EXPECT_EQ(result->response_ecn, wire::Ecn::NotEct);  // real NTP behaviour
+}
+
+TEST(WorldExtras, ScaledParamsAreMonotonic) {
+  const auto full = WorldParams::paper();
+  int last_servers = 0;
+  for (const double f : {0.05, 0.2, 0.5, 1.0}) {
+    const auto scaled = full.scaled(f);
+    EXPECT_GT(scaled.server_count, last_servers);
+    last_servers = scaled.server_count;
+    EXPECT_LE(scaled.server_count, full.server_count);
+    EXPECT_GE(scaled.ect_udp_firewalled_servers, 1);
+  }
+}
+
+}  // namespace
+}  // namespace ecnprobe::scenario

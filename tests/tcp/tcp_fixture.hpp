@@ -1,0 +1,44 @@
+// Two hosts joined by a configurable link, each with a TCP stack: the
+// fixture for handshake, transfer, teardown, and ECN-feedback tests.
+#pragma once
+
+#include <memory>
+
+#include "ecnprobe/netsim/host.hpp"
+#include "ecnprobe/netsim/network.hpp"
+#include "ecnprobe/tcp/tcp.hpp"
+
+namespace ecnprobe::tcp::testutil {
+
+struct TcpPair {
+  netsim::Simulator sim;
+  netsim::Network net{sim, util::Rng(1)};
+  netsim::Host* client_host = nullptr;
+  netsim::Host* server_host = nullptr;
+  netsim::NodeId client_id = netsim::kInvalidNode;
+  netsim::NodeId server_id = netsim::kInvalidNode;
+  std::unique_ptr<TcpStack> client;
+  std::unique_ptr<TcpStack> server;
+
+  explicit TcpPair(bool server_ecn = true, netsim::LinkParams link = {},
+                   TcpConfig client_config = {}) {
+    auto a = std::make_unique<netsim::Host>("client", netsim::Host::Params{},
+                                            util::Rng(11));
+    auto b = std::make_unique<netsim::Host>("server", netsim::Host::Params{},
+                                            util::Rng(22));
+    client_host = a.get();
+    server_host = b.get();
+    client_id = net.add_node(std::move(a));
+    server_id = net.add_node(std::move(b));
+    client_host->set_address(wire::Ipv4Address(10, 0, 0, 1));
+    server_host->set_address(wire::Ipv4Address(11, 0, 0, 1));
+    net.connect(client_id, server_id, link);
+
+    client = std::make_unique<TcpStack>(*client_host, client_config);
+    TcpConfig server_config;
+    server_config.ecn_enabled = server_ecn;
+    server = std::make_unique<TcpStack>(*server_host, server_config);
+  }
+};
+
+}  // namespace ecnprobe::tcp::testutil

@@ -1,0 +1,211 @@
+// TCP state-machine corner cases beyond the happy path.
+#include <gtest/gtest.h>
+
+#include "ecnprobe/tcp/tcp.hpp"
+#include "tcp_fixture.hpp"
+
+namespace ecnprobe::tcp {
+namespace {
+
+using namespace ecnprobe::util::literals;
+using testutil::TcpPair;
+
+TEST(TcpEdge, SimultaneousCloseReachesClosedOnBothEnds) {
+  TcpPair pair;
+  std::shared_ptr<TcpConnection> accepted;
+  pair.server->listen(80, [&](std::shared_ptr<TcpConnection> conn) { accepted = conn; });
+  auto conn = pair.client->connect(pair.server_host->address(), 80, false, [](bool) {});
+  pair.sim.run();
+  ASSERT_TRUE(accepted);
+
+  bool client_closed = false;
+  bool server_closed = false;
+  conn->set_close_handler([&](CloseReason r) {
+    client_closed = true;
+    EXPECT_EQ(r, CloseReason::Graceful);
+  });
+  accepted->set_close_handler([&](CloseReason r) {
+    server_closed = true;
+    EXPECT_EQ(r, CloseReason::Graceful);
+  });
+  // Both FINs race each other.
+  conn->close();
+  accepted->close();
+  pair.sim.run();
+  EXPECT_TRUE(client_closed);
+  EXPECT_TRUE(server_closed);
+  EXPECT_EQ(conn->state(), TcpState::Closed);
+  EXPECT_EQ(accepted->state(), TcpState::Closed);
+}
+
+TEST(TcpEdge, FinRetransmittedThroughLoss) {
+  netsim::LinkParams lossy;
+  lossy.loss_rate = 0.4;
+  TcpPair pair(true, lossy);
+  std::shared_ptr<TcpConnection> accepted;
+  pair.server->listen(80, [&](std::shared_ptr<TcpConnection> conn) {
+    accepted = conn;
+    conn->set_receive_handler([](std::span<const std::uint8_t>) {});
+  });
+  auto conn = pair.client->connect(pair.server_host->address(), 80, false, [](bool) {});
+  pair.sim.run();
+  ASSERT_TRUE(accepted);
+  bool closed = false;
+  conn->set_close_handler([&](CloseReason) { closed = true; });
+  conn->close();
+  accepted->close();
+  pair.sim.run();
+  // 40% loss per direction: teardown completes only thanks to FIN/ACK
+  // retransmission.
+  EXPECT_TRUE(closed);
+}
+
+TEST(TcpEdge, DuplicateSegmentsDeliveredOnce) {
+  // Duplicate at the network level by replaying a captured data segment.
+  TcpPair pair;
+  std::string received;
+  std::shared_ptr<TcpConnection> accepted;
+  pair.server->listen(80, [&](std::shared_ptr<TcpConnection> conn) {
+    accepted = conn;
+    conn->set_receive_handler([&received](std::span<const std::uint8_t> data) {
+      received.append(data.begin(), data.end());
+    });
+  });
+  netsim::PacketCapture capture;
+  pair.client_host->add_capture(&capture);
+  auto conn = pair.client->connect(pair.server_host->address(), 80, false, [](bool) {});
+  conn->send(std::string_view("once"));
+  pair.sim.run();
+  ASSERT_EQ(received, "once");
+
+  // Replay every captured outbound data segment verbatim.
+  for (const auto& pkt : capture.packets()) {
+    if (pkt.dir != netsim::Direction::Tx) continue;
+    const auto seg =
+        wire::decode_tcp_segment(pkt.dgram.ip.src, pkt.dgram.ip.dst, pkt.dgram.payload);
+    if (!seg || seg->payload.empty()) continue;
+    pair.client_host->send_datagram(pkt.dgram);
+  }
+  pair.sim.run();
+  EXPECT_EQ(received, "once");  // duplicates ACKed but not re-delivered
+  pair.client_host->remove_capture(&capture);
+}
+
+TEST(TcpEdge, HalfCloseAllowsServerToKeepSending) {
+  TcpPair pair;
+  std::shared_ptr<TcpConnection> accepted;
+  pair.server->listen(80, [&](std::shared_ptr<TcpConnection> conn) {
+    accepted = conn;
+    conn->set_receive_handler([](std::span<const std::uint8_t>) {});
+  });
+  std::string client_received;
+  auto conn = pair.client->connect(pair.server_host->address(), 80, false, [](bool) {});
+  conn->set_receive_handler([&](std::span<const std::uint8_t> data) {
+    client_received.append(data.begin(), data.end());
+  });
+  pair.sim.run();
+  ASSERT_TRUE(accepted);
+
+  conn->close();  // client FIN: half-close
+  pair.sim.run();
+  EXPECT_EQ(conn->state(), TcpState::FinWait2);
+  EXPECT_EQ(accepted->state(), TcpState::CloseWait);
+
+  accepted->send(std::string_view("late data"));
+  pair.sim.run();
+  EXPECT_EQ(client_received, "late data");  // receiving in FIN-WAIT-2 works
+
+  accepted->close();
+  pair.sim.run();
+  EXPECT_EQ(conn->state(), TcpState::Closed);
+}
+
+TEST(TcpEdge, ListenerClosedStopsNewConnections) {
+  TcpPair pair;
+  pair.server->listen(80, [](std::shared_ptr<TcpConnection>) {});
+  pair.server->close_listener(80);
+  bool connected = true;
+  pair.client->connect(pair.server_host->address(), 80, false,
+                       [&](bool ok) { connected = ok; });
+  pair.sim.run();
+  EXPECT_FALSE(connected);
+}
+
+TEST(TcpEdge, RstToClosedPortCarriesAcceptableAck) {
+  // The RST for a bare SYN must ack seq+1 so the initiator accepts it.
+  TcpPair pair;
+  netsim::PacketCapture capture;
+  pair.client_host->add_capture(&capture);
+  pair.client->connect(pair.server_host->address(), 81, false, [](bool) {});
+  pair.sim.run();
+  std::uint32_t syn_seq = 0;
+  bool saw_rst = false;
+  for (const auto& pkt : capture.packets()) {
+    const auto seg =
+        wire::decode_tcp_segment(pkt.dgram.ip.src, pkt.dgram.ip.dst, pkt.dgram.payload);
+    if (!seg) continue;
+    if (pkt.dir == netsim::Direction::Tx && seg->header.flags.syn) {
+      syn_seq = seg->header.seq;
+    }
+    if (pkt.dir == netsim::Direction::Rx && seg->header.flags.rst) {
+      saw_rst = true;
+      EXPECT_TRUE(seg->header.flags.ack);
+      EXPECT_EQ(seg->header.ack, syn_seq + 1);
+    }
+  }
+  EXPECT_TRUE(saw_rst);
+  pair.client_host->remove_capture(&capture);
+}
+
+TEST(TcpEdge, SynRetransmissionRecoversLostSynAck) {
+  netsim::LinkParams lossy;
+  lossy.loss_rate = 0.5;
+  TcpPair pair(true, lossy);
+  int accepted_count = 0;
+  pair.server->listen(80, [&](std::shared_ptr<TcpConnection>) { ++accepted_count; });
+  int connected = 0;
+  int attempts = 0;
+  // Several attempts; with 3 SYN retries each, most should get through.
+  for (int i = 0; i < 10; ++i) {
+    ++attempts;
+    pair.client->connect(pair.server_host->address(), 80, false,
+                         [&](bool ok) { connected += ok ? 1 : 0; });
+    pair.sim.run();
+  }
+  EXPECT_GT(connected, attempts / 2);
+}
+
+TEST(TcpEdge, AbortBeforeEstablishFiresCallbackOnce) {
+  TcpPair pair;
+  pair.net.set_link_up(pair.client_id, 0, false);
+  int callbacks = 0;
+  auto conn = pair.client->connect(pair.server_host->address(), 80, false,
+                                   [&](bool ok) {
+                                     ++callbacks;
+                                     EXPECT_FALSE(ok);
+                                   });
+  conn->close();  // local abort while SYN-SENT
+  pair.sim.run();
+  EXPECT_EQ(callbacks, 1);
+  EXPECT_EQ(conn->state(), TcpState::Closed);
+}
+
+TEST(TcpEdge, StatsCountSegmentsAndBytes) {
+  TcpPair pair;
+  std::shared_ptr<TcpConnection> accepted;
+  pair.server->listen(80, [&](std::shared_ptr<TcpConnection> conn) {
+    accepted = conn;
+    conn->set_receive_handler([](std::span<const std::uint8_t>) {});
+  });
+  auto conn = pair.client->connect(pair.server_host->address(), 80, false, [](bool) {});
+  conn->send(std::string(5000, 'b'));
+  pair.sim.run();
+  ASSERT_TRUE(accepted);
+  EXPECT_EQ(accepted->stats().bytes_delivered, 5000u);
+  EXPECT_GE(conn->stats().segments_sent, 4u);   // SYN + >=4 data segments
+  EXPECT_GE(accepted->stats().segments_received, 4u);
+  EXPECT_EQ(conn->stats().retransmissions, 0u);  // clean link
+}
+
+}  // namespace
+}  // namespace ecnprobe::tcp

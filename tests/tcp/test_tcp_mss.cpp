@@ -1,0 +1,102 @@
+// MSS option negotiation: SYN/SYN-ACK carry the option and senders clamp
+// segment sizes to the peer's advertised MSS.
+#include <gtest/gtest.h>
+
+#include "ecnprobe/netsim/capture.hpp"
+#include "ecnprobe/tcp/tcp.hpp"
+#include "tcp_fixture.hpp"
+
+namespace ecnprobe::tcp {
+namespace {
+
+using testutil::TcpPair;
+
+TEST(TcpMss, OptionCodecRoundTrip) {
+  const auto option = wire::make_mss_option(1400);
+  ASSERT_EQ(option.size(), 4u);
+  EXPECT_EQ(option[0], 2);
+  EXPECT_EQ(option[1], 4);
+  const auto parsed = wire::find_mss_option(option);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, 1400);
+}
+
+TEST(TcpMss, FindSkipsNopsAndUnknownOptions) {
+  // NOP, NOP, unknown kind 8 len 10, MSS.
+  std::vector<std::uint8_t> options = {1, 1, 8, 10, 0, 0, 0, 0, 0, 0, 0, 0};
+  const auto mss = wire::make_mss_option(536);
+  options.insert(options.end(), mss.begin(), mss.end());
+  const auto parsed = wire::find_mss_option(options);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, 536);
+}
+
+TEST(TcpMss, FindRejectsMalformed) {
+  EXPECT_FALSE(wire::find_mss_option(std::vector<std::uint8_t>{2, 4, 5}));   // truncated
+  EXPECT_FALSE(wire::find_mss_option(std::vector<std::uint8_t>{2, 3, 0}));   // bad length
+  EXPECT_FALSE(wire::find_mss_option(std::vector<std::uint8_t>{8, 0}));      // len < 2
+  EXPECT_FALSE(wire::find_mss_option(std::vector<std::uint8_t>{0, 2, 4}));   // EOL first
+  EXPECT_FALSE(wire::find_mss_option({}));
+}
+
+TEST(TcpMss, SynCarriesConfiguredMss) {
+  tcp::TcpConfig client_config;
+  client_config.mss = 900;
+  TcpPair pair(true, {}, client_config);
+  netsim::PacketCapture capture;
+  pair.client_host->add_capture(&capture);
+  pair.server->listen(80, [](std::shared_ptr<TcpConnection>) {});
+  pair.client->connect(pair.server_host->address(), 80, false, [](bool) {});
+  pair.sim.run();
+  bool saw = false;
+  for (const auto& pkt : capture.packets()) {
+    if (pkt.dir != netsim::Direction::Tx) continue;
+    const auto seg =
+        wire::decode_tcp_segment(pkt.dgram.ip.src, pkt.dgram.ip.dst, pkt.dgram.payload);
+    if (!seg || !seg->header.flags.syn) continue;
+    const auto mss = wire::find_mss_option(seg->header.options);
+    ASSERT_TRUE(mss.has_value());
+    EXPECT_EQ(*mss, 900);
+    saw = true;
+  }
+  EXPECT_TRUE(saw);
+  pair.client_host->remove_capture(&capture);
+}
+
+TEST(TcpMss, SenderClampsToSmallerPeerMss) {
+  // Server advertises a small MSS; the client's data segments must respect
+  // it even though the client's own MSS is larger.
+  tcp::TcpConfig client_config;
+  client_config.mss = 1400;
+  TcpPair pair(true, {}, client_config);
+  // Shrink the server's MSS by rebuilding its stack.
+  tcp::TcpConfig server_config;
+  server_config.mss = 500;
+  server_config.ecn_enabled = true;
+  pair.server.reset();  // release the protocol handler before rebinding
+  pair.server = std::make_unique<TcpStack>(*pair.server_host, server_config);
+
+  std::string received;
+  pair.server->listen(80, [&](std::shared_ptr<TcpConnection> conn) {
+    conn->set_receive_handler([&received](std::span<const std::uint8_t> data) {
+      received.append(data.begin(), data.end());
+    });
+  });
+  netsim::PacketCapture capture;
+  pair.client_host->add_capture(&capture);
+  auto conn = pair.client->connect(pair.server_host->address(), 80, false, [](bool) {});
+  conn->send(std::string(4000, 'm'));
+  pair.sim.run();
+  EXPECT_EQ(received.size(), 4000u);
+  for (const auto& pkt : capture.packets()) {
+    if (pkt.dir != netsim::Direction::Tx) continue;
+    const auto seg =
+        wire::decode_tcp_segment(pkt.dgram.ip.src, pkt.dgram.ip.dst, pkt.dgram.payload);
+    if (!seg || seg->payload.empty()) continue;
+    EXPECT_LE(seg->payload.size(), 500u);  // clamped to the peer's MSS
+  }
+  pair.client_host->remove_capture(&capture);
+}
+
+}  // namespace
+}  // namespace ecnprobe::tcp

@@ -1,0 +1,105 @@
+// Parameterized sweeps over path conditions: the TCP invariants (byte-exact
+// delivery, eventual teardown, ECN negotiation integrity) must hold across
+// loss rates, jitter, and transfer sizes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "ecnprobe/tcp/tcp.hpp"
+#include "tcp_fixture.hpp"
+
+namespace ecnprobe::tcp {
+namespace {
+
+using namespace ecnprobe::util::literals;
+using testutil::TcpPair;
+
+// (loss_rate, jitter_ms, transfer_bytes, want_ecn)
+using SweepParam = std::tuple<double, int, int, bool>;
+
+class TcpTransferSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TcpTransferSweep, ByteExactDeliveryAndCleanTeardown) {
+  const auto [loss, jitter_ms, bytes, want_ecn] = GetParam();
+  netsim::LinkParams link;
+  link.loss_rate = loss;
+  link.delay = 5_ms;
+  link.jitter = util::SimDuration::millis(jitter_ms);
+  TcpPair pair(true, link);
+
+  std::string received;
+  std::shared_ptr<TcpConnection> accepted;
+  pair.server->listen(80, [&](std::shared_ptr<TcpConnection> conn) {
+    accepted = conn;
+    conn->set_receive_handler([&received](std::span<const std::uint8_t> data) {
+      received.append(data.begin(), data.end());
+    });
+  });
+
+  std::string payload;
+  payload.reserve(static_cast<std::size_t>(bytes));
+  for (int i = 0; i < bytes; ++i) payload.push_back(static_cast<char>('A' + i % 23));
+
+  auto conn = pair.client->connect(pair.server_host->address(), 80, want_ecn,
+                                   [](bool) {});
+  conn->send(payload);
+  pair.sim.run();
+
+  ASSERT_TRUE(accepted);
+  // Invariant 1: byte-exact in-order delivery whatever the path did.
+  EXPECT_EQ(received, payload);
+  // Invariant 2: ECN on the wire if and only if negotiated.
+  EXPECT_EQ(conn->ecn_negotiated(), want_ecn);
+  EXPECT_EQ(accepted->ecn_negotiated(), want_ecn);
+  // Invariant 3: teardown completes even on lossy paths.
+  bool closed = false;
+  conn->set_close_handler([&](CloseReason) { closed = true; });
+  conn->close();
+  accepted->close();
+  pair.sim.run();
+  EXPECT_TRUE(closed);
+  EXPECT_EQ(conn->state(), TcpState::Closed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PathConditions, TcpTransferSweep,
+    ::testing::Values(SweepParam{0.0, 0, 2000, false},
+                      SweepParam{0.0, 0, 2000, true},
+                      SweepParam{0.1, 0, 8000, false},
+                      SweepParam{0.1, 0, 8000, true},
+                      SweepParam{0.25, 0, 8000, true},
+                      SweepParam{0.0, 25, 20000, true},   // heavy reordering
+                      SweepParam{0.15, 10, 20000, false},
+                      SweepParam{0.15, 10, 20000, true}));
+
+class TcpLossRateSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TcpLossRateSweep, RetransmissionsScaleWithLoss) {
+  const double loss = GetParam();
+  netsim::LinkParams link;
+  link.loss_rate = loss;
+  TcpPair pair(true, link);
+  std::string received;
+  pair.server->listen(80, [&](std::shared_ptr<TcpConnection> conn) {
+    conn->set_receive_handler([&received](std::span<const std::uint8_t> data) {
+      received.append(data.begin(), data.end());
+    });
+  });
+  auto conn = pair.client->connect(pair.server_host->address(), 80, false, [](bool) {});
+  conn->send(std::string(10000, 'z'));
+  pair.sim.run();
+  EXPECT_EQ(received.size(), 10000u);
+  if (loss == 0.0) {
+    EXPECT_EQ(conn->stats().retransmissions, 0u);
+  } else {
+    EXPECT_GT(conn->stats().retransmissions, 0u);
+    EXPECT_GT(conn->stats().congestion_events, 0u);  // RTOs halve cwnd
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Losses, TcpLossRateSweep,
+                         ::testing::Values(0.0, 0.05, 0.15, 0.3));
+
+}  // namespace
+}  // namespace ecnprobe::tcp

@@ -1,0 +1,61 @@
+#include "ecnprobe/topology/ip2as.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::topology {
+namespace {
+
+TEST(IpToAsMap, LongestPrefixWins) {
+  IpToAsMap map;
+  map.add(wire::Ipv4Address(11, 0, 0, 0), 8, 100);
+  map.add(wire::Ipv4Address(11, 1, 0, 0), 16, 200);
+  map.add(wire::Ipv4Address(11, 1, 2, 3), 32, 300);
+
+  EXPECT_EQ(map.lookup(wire::Ipv4Address(11, 9, 9, 9)), 100u);
+  EXPECT_EQ(map.lookup(wire::Ipv4Address(11, 1, 9, 9)), 200u);
+  EXPECT_EQ(map.lookup(wire::Ipv4Address(11, 1, 2, 3)), 300u);
+  EXPECT_FALSE(map.lookup(wire::Ipv4Address(12, 0, 0, 1)).has_value());
+}
+
+TEST(IpToAsMap, DefaultRoutePrefixZero) {
+  IpToAsMap map;
+  map.add(wire::Ipv4Address(0, 0, 0, 0), 0, 7);
+  EXPECT_EQ(map.lookup(wire::Ipv4Address(200, 1, 2, 3)), 7u);
+}
+
+TEST(IpToAsMap, DuplicateAddReplaces) {
+  IpToAsMap map;
+  map.add(wire::Ipv4Address(10, 0, 0, 0), 8, 1);
+  map.add(wire::Ipv4Address(10, 0, 0, 0), 8, 2);
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.lookup(wire::Ipv4Address(10, 1, 1, 1)), 2u);
+}
+
+TEST(IpToAsMap, ErrorInjectionRemapsFraction) {
+  IpToAsMap map;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    map.add(wire::Ipv4Address((11u << 24) | (i << 8)), 24, 100 + i);
+  }
+  util::Rng rng(5);
+  const auto noisy = map.with_errors(0.3, rng);
+  EXPECT_EQ(noisy.size(), map.size());
+  int changed = 0;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    const wire::Ipv4Address addr((11u << 24) | (i << 8) | 1);
+    if (noisy.lookup(addr) != map.lookup(addr)) ++changed;
+  }
+  EXPECT_NEAR(changed / 200.0, 0.3, 0.1);
+}
+
+TEST(IpToAsMap, ZeroErrorRateIsIdentity) {
+  IpToAsMap map;
+  map.add(wire::Ipv4Address(11, 0, 0, 0), 16, 5);
+  map.add(wire::Ipv4Address(12, 0, 0, 0), 16, 6);
+  util::Rng rng(1);
+  const auto copy = map.with_errors(0.0, rng);
+  EXPECT_EQ(copy.lookup(wire::Ipv4Address(11, 0, 5, 5)), 5u);
+  EXPECT_EQ(copy.lookup(wire::Ipv4Address(12, 0, 5, 5)), 6u);
+}
+
+}  // namespace
+}  // namespace ecnprobe::topology

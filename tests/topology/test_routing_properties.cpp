@@ -1,0 +1,99 @@
+// Property tests over the topology's routing: for several seeds, every pair
+// of attached hosts can exchange packets, TTLs suffice, and paths are
+// symmetric enough for request/response protocols.
+#include <gtest/gtest.h>
+
+#include "ecnprobe/topology/internet.hpp"
+
+namespace ecnprobe::topology {
+namespace {
+
+TopologyParams tiny() {
+  TopologyParams p;
+  p.tier1_count = 2;
+  p.tier2_per_region = 2;
+  p.stub_count = 12;
+  p.routers_per_tier1 = 2;
+  p.routers_per_tier2 = 2;
+  p.routers_per_stub = 2;
+  p.icmp_response_prob_min = 1.0;
+  p.icmp_response_prob_max = 1.0;
+  return p;
+}
+
+class RoutingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingProperty, AllHostPairsBidirectionallyReachable) {
+  netsim::Simulator sim;
+  auto internet = Internet::build(sim, tiny(), util::Rng(GetParam()));
+
+  // One host per stub AS.
+  std::vector<netsim::Host*> hosts;
+  for (const auto asn : internet->stub_ases()) {
+    auto host = std::make_unique<netsim::Host>("h" + std::to_string(asn),
+                                               netsim::Host::Params{},
+                                               util::Rng(asn));
+    hosts.push_back(host.get());
+    internet->attach_host(asn, std::move(host), netsim::LinkParams{});
+  }
+
+  // Every host echoes on port 7.
+  std::vector<std::shared_ptr<netsim::UdpSocket>> sockets;
+  for (auto* host : hosts) {
+    auto socket = host->open_udp(7);
+    auto* raw = socket.get();
+    socket->set_receive_handler([raw](const netsim::UdpDelivery& d) {
+      raw->send(d.src, d.src_port, d.payload, wire::Ecn::NotEct);
+    });
+    sockets.push_back(std::move(socket));
+  }
+
+  int round_trips = 0;
+  std::vector<std::shared_ptr<netsim::UdpSocket>> clients;
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    for (std::size_t j = 0; j < hosts.size(); ++j) {
+      if (i == j) continue;
+      auto client = hosts[i]->open_udp();
+      client->set_receive_handler(
+          [&round_trips](const netsim::UdpDelivery&) { ++round_trips; });
+      client->send(hosts[j]->address(), 7, {}, wire::Ecn::NotEct);
+      clients.push_back(std::move(client));
+    }
+  }
+  sim.run();
+  const int expected = static_cast<int>(hosts.size() * (hosts.size() - 1));
+  EXPECT_EQ(round_trips, expected);
+}
+
+TEST_P(RoutingProperty, PathsFitWithinDefaultTtl) {
+  netsim::Simulator sim;
+  auto internet = Internet::build(sim, tiny(), util::Rng(GetParam() + 1000));
+  auto a = std::make_unique<netsim::Host>("a", netsim::Host::Params{}, util::Rng(1));
+  auto b = std::make_unique<netsim::Host>("b", netsim::Host::Params{}, util::Rng(2));
+  netsim::Host* ha = a.get();
+  netsim::Host* hb = b.get();
+  const auto stubs = internet->stub_ases();
+  internet->attach_host(stubs.front(), std::move(a), netsim::LinkParams{});
+  internet->attach_host(stubs.back(), std::move(b), netsim::LinkParams{});
+
+  auto server = hb->open_udp(7);
+  std::optional<std::uint8_t> arrived_ttl;
+  netsim::PacketCapture capture;
+  hb->add_capture(&capture);
+  server->set_receive_handler([](const netsim::UdpDelivery&) {});
+  auto client = ha->open_udp();
+  client->send(hb->address(), 7, {}, wire::Ecn::NotEct);
+  sim.run();
+  ASSERT_EQ(capture.packets().size(), 1u);
+  arrived_ttl = capture.packets()[0].dgram.ip.ttl;
+  // Default TTL 64 leaves plenty of headroom in this topology (paths are a
+  // dozen hops or so).
+  EXPECT_GT(*arrived_ttl, 32);
+  hb->remove_capture(&capture);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingProperty,
+                         ::testing::Values(1ull, 17ull, 2026ull));
+
+}  // namespace
+}  // namespace ecnprobe::topology

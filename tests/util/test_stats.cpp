@@ -1,0 +1,124 @@
+#include "ecnprobe/util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace ecnprobe::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, BasicMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesCombinedStream) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(Quantile, MedianAndExtremes) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(median(xs), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenOrderStatistics) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+}
+
+TEST(Quantile, EmptyIsZero) { EXPECT_EQ(quantile({}, 0.5), 0.0); }
+
+TEST(LinearFit, RecoversExactLine) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(3.0 + 2.0 * i);
+  }
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+  EXPECT_NEAR(fit.predict(100.0), 203.0, 1e-9);
+}
+
+TEST(LinearFit, ConstantXGivesZeroSlope) {
+  const std::vector<double> xs = {2.0, 2.0, 2.0};
+  const std::vector<double> ys = {1.0, 5.0, 9.0};
+  const auto fit = linear_fit(xs, ys);
+  EXPECT_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 5.0);
+}
+
+TEST(LogisticFit, RecoversSigmoid) {
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (double x = 2000; x <= 2016; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(100.0 / (1.0 + std::exp(-0.5 * (x - 2010.0))));
+  }
+  const auto fit = logistic_fit(xs, ys, 100.0);
+  EXPECT_NEAR(fit.midpoint, 2010.0, 0.2);
+  EXPECT_NEAR(fit.rate, 0.5, 0.05);
+  EXPECT_NEAR(fit.predict(2010.0), 50.0, 2.0);
+}
+
+TEST(Pearson, PerfectAndAnticorrelated) {
+  const std::vector<double> xs = {1, 2, 3, 4};
+  const std::vector<double> up = {2, 4, 6, 8};
+  const std::vector<double> down = {8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Pearson, NoVarianceGivesZero) {
+  const std::vector<double> xs = {1, 2, 3};
+  const std::vector<double> flat = {5, 5, 5};
+  EXPECT_EQ(pearson(xs, flat), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps to bin 0
+  h.add(0.5);
+  h.add(9.9);
+  h.add(100.0);  // clamps to last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+}  // namespace
+}  // namespace ecnprobe::util

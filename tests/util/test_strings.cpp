@@ -1,0 +1,60 @@
+#include "ecnprobe/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::util {
+namespace {
+
+TEST(Strf, FormatsLikePrintf) {
+  EXPECT_EQ(strf("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(strf("empty"), "empty");
+}
+
+TEST(Strf, LongOutputAllocatesCorrectly) {
+  const std::string long_arg(5000, 'a');
+  const auto out = strf("[%s]", long_arg.c_str());
+  EXPECT_EQ(out.size(), 5002u);
+  EXPECT_EQ(out.front(), '[');
+  EXPECT_EQ(out.back(), ']');
+}
+
+TEST(Split, KeepsEmptyFields) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Split, NoSeparatorGivesWholeString) {
+  const auto parts = split("hello", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "hello");
+}
+
+TEST(Trim, RemovesSurroundingWhitespaceOnly) {
+  EXPECT_EQ(trim("  a b \t\n"), "a b");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+}
+
+TEST(ToLower, AsciiOnly) { EXPECT_EQ(to_lower("MiXeD123"), "mixed123"); }
+
+TEST(CaseInsensitive, StartsWithAndEquals) {
+  EXPECT_TRUE(istarts_with("Content-Length: 5", "content-length"));
+  EXPECT_FALSE(istarts_with("Con", "content"));
+  EXPECT_TRUE(iequals("HTTP/1.0", "http/1.0"));
+  EXPECT_FALSE(iequals("a", "ab"));
+}
+
+TEST(WithCommas, GroupsThousands) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(155439), "155,439");
+  EXPECT_EQ(with_commas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace ecnprobe::util

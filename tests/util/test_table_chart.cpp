@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ecnprobe/util/chart.hpp"
+#include "ecnprobe/util/table.hpp"
+
+namespace ecnprobe::util {
+namespace {
+
+TEST(TextTable, AlignsColumns) {
+  TextTable table({"Region", "Count"}, {TextTable::Align::Left, TextTable::Align::Right});
+  table.add_row({"Europe", "1664"});
+  table.add_row({"Africa", "22"});
+  const auto out = table.to_string();
+  EXPECT_NE(out.find("Europe   1664"), std::string::npos);
+  EXPECT_NE(out.find("Africa     22"), std::string::npos);
+}
+
+TEST(TextTable, RejectsArityMismatch) {
+  TextTable table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({"a"}, {TextTable::Align::Left, TextTable::Align::Left}),
+               std::invalid_argument);
+}
+
+TEST(TextTable, ValueRowFormatting) {
+  TextTable table({"x", "y"});
+  table.add_row_values({1.234, 5.678}, 1);
+  EXPECT_NE(table.to_string().find("1.2  5.7"), std::string::npos);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream os;
+  CsvWriter csv(os);
+  csv.write_row({"plain", "with,comma", "with\"quote", "with\nnewline"});
+  EXPECT_EQ(os.str(), "plain,\"with,comma\",\"with\"\"quote\",\"with\nnewline\"\n");
+}
+
+TEST(BarChart, BarsScaleWithValues) {
+  BarChartOptions opts;
+  opts.y_min = 0.0;
+  opts.y_max = 100.0;
+  opts.height = 10;
+  const std::vector<double> values = {100.0, 50.0, 0.0};
+  const std::vector<std::string> labels = {"a", "b", "c"};
+  const auto out = render_bar_chart(values, labels, opts);
+  // Column of the full bar has 10 '#'; half bar 5; zero bar none.
+  const auto count_hash = std::count(out.begin(), out.end(), '#');
+  EXPECT_EQ(count_hash, 15);
+  EXPECT_NE(out.find('a'), std::string::npos);
+}
+
+TEST(BarChart, ClampsOutOfRangeValues) {
+  BarChartOptions opts;
+  opts.y_min = 90.0;
+  opts.y_max = 100.0;
+  opts.height = 5;
+  const std::vector<double> values = {80.0, 110.0};  // below and above range
+  const auto out = render_bar_chart(values, {}, opts);
+  // The below-range bar clamps to nothing; the above-range bar to full height.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '#'), 5);
+}
+
+TEST(SpikePlot, PreservesIsolatedSpikes) {
+  std::vector<double> values(1000, 0.0);
+  values[500] = 100.0;  // one tall spike among zeros
+  SpikePlotOptions opts;
+  opts.width = 50;
+  opts.height = 8;
+  const auto out = render_spike_plot(values, opts);
+  EXPECT_NE(out.find('|'), std::string::npos);  // spike visible after binning
+}
+
+TEST(Scatter, PointsLandInsideFrame) {
+  std::vector<ScatterPoint> points = {{2008.0, 1.0, 'o'}, {2015.5, 82.0, '@'}};
+  ScatterOptions opts;
+  opts.x_min = 2000;
+  opts.x_max = 2016;
+  opts.y_min = 0;
+  opts.y_max = 100;
+  const auto out = render_scatter(points, opts);
+  EXPECT_NE(out.find('o'), std::string::npos);
+  EXPECT_NE(out.find('@'), std::string::npos);
+}
+
+TEST(WorldMap, PlotsDensity) {
+  std::vector<std::pair<double, double>> points;
+  for (int i = 0; i < 50; ++i) points.emplace_back(51.0, 10.0);  // Europe cluster
+  const auto out = render_world_map(points, 40, 12);
+  // Dense cluster renders as one of the darker shades.
+  EXPECT_TRUE(out.find('@') != std::string::npos || out.find('#') != std::string::npos);
+}
+
+TEST(WorldMap, IgnoresInvalidCoordinates) {
+  std::vector<std::pair<double, double>> points = {{999.0, 999.0}};
+  const auto out = render_world_map(points, 20, 8);
+  EXPECT_EQ(out.find('@'), std::string::npos);
+  EXPECT_EQ(out.find('.'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnprobe::util

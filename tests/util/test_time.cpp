@@ -1,0 +1,62 @@
+#include "ecnprobe/util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::util {
+namespace {
+
+using namespace ecnprobe::util::literals;
+
+TEST(SimDuration, FactoryUnits) {
+  EXPECT_EQ(SimDuration::micros(3).count_nanos(), 3'000);
+  EXPECT_EQ(SimDuration::millis(3).count_nanos(), 3'000'000);
+  EXPECT_EQ(SimDuration::seconds(3).count_nanos(), 3'000'000'000);
+  EXPECT_EQ(SimDuration::minutes(2).count_nanos(), 120'000'000'000);
+  EXPECT_EQ(SimDuration::hours(1).count_nanos(), 3'600'000'000'000);
+  EXPECT_EQ(SimDuration::days(1).count_nanos(), 86'400'000'000'000);
+}
+
+TEST(SimDuration, Arithmetic) {
+  const auto d = 500_ms + 1_s - 200_ms;
+  EXPECT_EQ(d.count_nanos(), 1'300'000'000);
+  EXPECT_EQ((d * 2).count_nanos(), 2'600'000'000);
+  EXPECT_EQ((d / 13).count_nanos(), 100'000'000);
+}
+
+TEST(SimDuration, Comparison) {
+  EXPECT_LT(1_ms, 1_s);
+  EXPECT_EQ(1000_us, 1_ms);
+  EXPECT_GT(2_s, 1999_ms);
+}
+
+TEST(SimDuration, FromSecondsRoundTrip) {
+  const auto d = SimDuration::from_seconds(1.5);
+  EXPECT_DOUBLE_EQ(d.to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(d.to_millis(), 1500.0);
+}
+
+TEST(SimDuration, ToStringPicksNaturalUnit) {
+  EXPECT_EQ((2_s).to_string(), "2s");
+  EXPECT_EQ((5_ms).to_string(), "5ms");
+  EXPECT_EQ((7_us).to_string(), "7us");
+  EXPECT_EQ((9_ns).to_string(), "9ns");
+}
+
+TEST(SimTime, OffsetAndDifference) {
+  const SimTime t0 = SimTime::zero();
+  const SimTime t1 = t0 + 250_ms;
+  EXPECT_EQ((t1 - t0).count_nanos(), 250'000'000);
+  EXPECT_LT(t0, t1);
+  SimTime t2 = t1;
+  t2 += 750_ms;
+  EXPECT_DOUBLE_EQ(t2.to_seconds(), 1.0);
+}
+
+TEST(SimTime, NegativeDifferenceAllowed) {
+  const SimTime a = SimTime::from_nanos(100);
+  const SimTime b = SimTime::from_nanos(300);
+  EXPECT_EQ((a - b).count_nanos(), -200);
+}
+
+}  // namespace
+}  // namespace ecnprobe::util

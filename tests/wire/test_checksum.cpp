@@ -1,0 +1,73 @@
+#include "ecnprobe/wire/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ecnprobe/util/rng.hpp"
+
+namespace ecnprobe::wire {
+namespace {
+
+// RFC 1071 worked example.
+TEST(Checksum, Rfc1071Example) {
+  const std::uint8_t data[] = {0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7};
+  EXPECT_EQ(internet_checksum(data), static_cast<std::uint16_t>(~0xddf2 & 0xffff));
+}
+
+TEST(Checksum, VerifiesToZeroWhenEmbedded) {
+  // Classic property: appending the checksum makes the whole sum ~0.
+  std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x1c, 0xab, 0xcd, 0x40, 0x00,
+                                    0x40, 0x11, 0x00, 0x00, 0x0a, 0x00, 0x00, 0x01,
+                                    0x0b, 0x00, 0x00, 0x02};
+  const std::uint16_t csum = internet_checksum(data);
+  data[10] = static_cast<std::uint8_t>(csum >> 8);
+  data[11] = static_cast<std::uint8_t>(csum);
+  EXPECT_EQ(internet_checksum(data), 0);
+}
+
+TEST(Checksum, OddLengthPadsWithZero) {
+  const std::uint8_t odd[] = {0x12, 0x34, 0x56};
+  const std::uint8_t even[] = {0x12, 0x34, 0x56, 0x00};
+  EXPECT_EQ(internet_checksum(odd), internet_checksum(even));
+}
+
+TEST(Checksum, EmptyIsAllOnes) {
+  EXPECT_EQ(internet_checksum({}), 0xffff);
+}
+
+TEST(Checksum, IncrementalAccumulationMatchesWhole) {
+  util::Rng rng(77);
+  std::vector<std::uint8_t> data(257);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+  // Split at an even boundary: accumulation is word-based.
+  const auto whole = internet_checksum(data);
+  std::uint32_t acc = checksum_accumulate(std::span(data).subspan(0, 100));
+  acc = checksum_accumulate(std::span(data).subspan(100), acc);
+  EXPECT_EQ(checksum_finish(acc), whole);
+}
+
+TEST(Checksum, PropertyEmbedVerifiesForRandomBuffers) {
+  util::Rng rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> data(2 + rng.next_below(128) * 2);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng.next_u64());
+    data[0] = data[1] = 0;  // checksum slot
+    const std::uint16_t csum = internet_checksum(data);
+    data[0] = static_cast<std::uint8_t>(csum >> 8);
+    data[1] = static_cast<std::uint8_t>(csum);
+    EXPECT_EQ(internet_checksum(data), 0) << "trial " << trial;
+  }
+}
+
+TEST(PseudoHeader, TransportChecksumDetectsAddressSpoof) {
+  const std::uint8_t segment[] = {0x10, 0x20, 0x30, 0x40, 0x00, 0x08, 0x00, 0x00};
+  const auto csum1 = transport_checksum(0x0a000001, 0x0a000002, 17, segment);
+  const auto csum2 = transport_checksum(0x0a000001, 0x0a000003, 17, segment);
+  // Different destination address must change the checksum (that is the
+  // point of the pseudo-header).
+  EXPECT_NE(csum1, csum2);
+}
+
+}  // namespace
+}  // namespace ecnprobe::wire

@@ -1,0 +1,79 @@
+#include "ecnprobe/wire/datagram.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ecnprobe/wire/tcp.hpp"
+#include "ecnprobe/wire/udp.hpp"
+
+namespace ecnprobe::wire {
+namespace {
+
+const Ipv4Address kSrc(10, 1, 1, 1);
+const Ipv4Address kDst(11, 2, 2, 2);
+
+TEST(Datagram, UdpBuilderFillsEverything) {
+  const std::uint8_t payload[] = {1, 2, 3};
+  const auto d = make_udp_datagram(kSrc, kDst, 5000, 123, payload, Ecn::Ect0, 31);
+  EXPECT_EQ(d.ip.protocol, IpProto::Udp);
+  EXPECT_EQ(d.ip.ecn, Ecn::Ect0);
+  EXPECT_EQ(d.ip.ttl, 31);
+  EXPECT_EQ(d.ip.total_length, Ipv4Header::kSize + UdpHeader::kSize + 3);
+  const auto seg = decode_udp_segment(kSrc, kDst, d.payload);
+  ASSERT_TRUE(seg);
+  EXPECT_TRUE(seg->checksum_ok);
+}
+
+TEST(Datagram, WireRoundTrip) {
+  const std::uint8_t payload[] = {0xde, 0xad};
+  const auto d = make_udp_datagram(kSrc, kDst, 1, 2, payload, Ecn::Ce);
+  const auto bytes = d.encode();
+  const auto decoded = Datagram::decode(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->ip.src, kSrc);
+  EXPECT_EQ(decoded->ip.dst, kDst);
+  EXPECT_EQ(decoded->ip.ecn, Ecn::Ce);
+  EXPECT_EQ(decoded->payload, d.payload);
+}
+
+TEST(Datagram, DecodeRejectsBadChecksumAndTruncation) {
+  const auto d = make_udp_datagram(kSrc, kDst, 1, 2, {}, Ecn::NotEct);
+  auto bytes = d.encode();
+  auto corrupted = bytes;
+  corrupted[9] ^= 0x01;  // protocol field: breaks header checksum
+  EXPECT_FALSE(Datagram::decode(corrupted));
+
+  bytes.pop_back();
+  EXPECT_FALSE(Datagram::decode(bytes));
+}
+
+TEST(Datagram, TcpBuilderMarksEcnIndependentlyOfFlags) {
+  TcpHeader h;
+  h.src_port = 100;
+  h.dst_port = 200;
+  h.flags.ack = true;
+  const std::uint8_t payload[] = {'x'};
+  const auto d = make_tcp_datagram(kSrc, kDst, h, payload, Ecn::Ect0);
+  EXPECT_EQ(d.ip.protocol, IpProto::Tcp);
+  EXPECT_EQ(d.ip.ecn, Ecn::Ect0);
+  const auto seg = decode_tcp_segment(kSrc, kDst, d.payload);
+  ASSERT_TRUE(seg);
+  EXPECT_TRUE(seg->checksum_ok);
+}
+
+TEST(Datagram, IcmpIsAlwaysNotEct) {
+  IcmpMessage msg;
+  msg.type = IcmpType::EchoRequest;
+  const auto d = make_icmp_datagram(kSrc, kDst, msg);
+  EXPECT_EQ(d.ip.ecn, Ecn::NotEct);
+  EXPECT_EQ(d.ip.protocol, IpProto::Icmp);
+}
+
+TEST(Datagram, SummaryMentionsAddresses) {
+  const auto d = make_udp_datagram(kSrc, kDst, 1, 2, {}, Ecn::NotEct);
+  const auto s = d.summary();
+  EXPECT_NE(s.find("10.1.1.1"), std::string::npos);
+  EXPECT_NE(s.find("11.2.2.2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnprobe::wire

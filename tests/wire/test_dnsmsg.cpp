@@ -1,0 +1,114 @@
+#include "ecnprobe/wire/dnsmsg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::wire {
+namespace {
+
+TEST(DnsName, EncodeValid) {
+  const auto encoded = encode_dns_name("uk.pool.ntp.org");
+  ASSERT_TRUE(encoded);
+  const std::vector<std::uint8_t> expected = {2,   'u', 'k', 4,   'p', 'o', 'o',
+                                              'l', 3,   'n', 't', 'p', 3,   'o',
+                                              'r', 'g', 0};
+  EXPECT_EQ(*encoded, expected);
+}
+
+TEST(DnsName, RejectsBadLabels) {
+  EXPECT_FALSE(encode_dns_name("a..b"));
+  EXPECT_FALSE(encode_dns_name(std::string(64, 'x') + ".org"));
+  // Name over 255 octets total.
+  std::string long_name;
+  for (int i = 0; i < 50; ++i) long_name += "abcdef.";
+  long_name += "org";
+  EXPECT_FALSE(encode_dns_name(long_name));
+}
+
+TEST(DnsMessage, QueryRoundTrip) {
+  const auto query = DnsMessage::make_query(0x1234, "pool.ntp.org");
+  const auto bytes = query.encode();
+  const auto decoded = DnsMessage::decode(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->id, 0x1234);
+  EXPECT_FALSE(decoded->is_response);
+  ASSERT_EQ(decoded->questions.size(), 1u);
+  EXPECT_EQ(decoded->questions[0].name, "pool.ntp.org");
+  EXPECT_EQ(decoded->questions[0].qtype, DnsType::A);
+}
+
+TEST(DnsMessage, ResponseWithAnswersRoundTrip) {
+  const auto query = DnsMessage::make_query(7, "de.pool.ntp.org");
+  std::vector<DnsRecord> answers = {
+      DnsRecord::make_a("de.pool.ntp.org", Ipv4Address(11, 0, 1, 5), 150),
+      DnsRecord::make_a("de.pool.ntp.org", Ipv4Address(11, 0, 2, 9), 150),
+  };
+  const auto response = DnsMessage::make_response(query, DnsRcode::NoError, answers);
+  const auto decoded = DnsMessage::decode(response.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->is_response);
+  EXPECT_TRUE(decoded->recursion_available);
+  EXPECT_EQ(decoded->rcode, DnsRcode::NoError);
+  ASSERT_EQ(decoded->answers.size(), 2u);
+  const auto addr0 = decoded->answers[0].a_address();
+  ASSERT_TRUE(addr0);
+  EXPECT_EQ(*addr0, Ipv4Address(11, 0, 1, 5));
+  EXPECT_EQ(decoded->answers[1].ttl, 150u);
+}
+
+TEST(DnsMessage, NxdomainResponse) {
+  const auto query = DnsMessage::make_query(9, "nosuch.example");
+  const auto response = DnsMessage::make_response(query, DnsRcode::NxDomain, {});
+  const auto decoded = DnsMessage::decode(response.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->rcode, DnsRcode::NxDomain);
+  EXPECT_TRUE(decoded->answers.empty());
+}
+
+TEST(DnsMessage, DecodesCompressedNames) {
+  // Hand-built response with a compression pointer in the answer name.
+  std::vector<std::uint8_t> bytes = {
+      0x00, 0x01,              // id
+      0x80, 0x00,              // response flags
+      0x00, 0x01, 0x00, 0x01,  // 1 question, 1 answer
+      0x00, 0x00, 0x00, 0x00,  // no authority/additional
+      // question: "ab.cd" A IN  (name starts at offset 12)
+      2, 'a', 'b', 2, 'c', 'd', 0, 0x00, 0x01, 0x00, 0x01,
+      // answer: pointer to offset 12, type A, class IN, ttl 1, rdlen 4
+      0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x04,
+      11, 0, 0, 7};
+  const auto decoded = DnsMessage::decode(bytes);
+  ASSERT_TRUE(decoded);
+  ASSERT_EQ(decoded->answers.size(), 1u);
+  EXPECT_EQ(decoded->answers[0].name, "ab.cd");
+  const auto addr = decoded->answers[0].a_address();
+  ASSERT_TRUE(addr);
+  EXPECT_EQ(*addr, Ipv4Address(11, 0, 0, 7));
+}
+
+TEST(DnsMessage, RejectsPointerLoop) {
+  std::vector<std::uint8_t> bytes = {
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+      // question name is a pointer to itself
+      0xc0, 0x0c, 0x00, 0x01, 0x00, 0x01};
+  EXPECT_FALSE(DnsMessage::decode(bytes));
+}
+
+TEST(DnsMessage, RejectsTruncation) {
+  const auto query = DnsMessage::make_query(1, "pool.ntp.org");
+  auto bytes = query.encode();
+  bytes.resize(bytes.size() - 3);
+  EXPECT_FALSE(DnsMessage::decode(bytes));
+}
+
+TEST(DnsRecord, AAddressRejectsWrongShape) {
+  DnsRecord r;
+  r.rtype = DnsType::Txt;
+  r.rdata = {1, 2, 3, 4};
+  EXPECT_FALSE(r.a_address());
+  r.rtype = DnsType::A;
+  r.rdata = {1, 2};
+  EXPECT_FALSE(r.a_address());
+}
+
+}  // namespace
+}  // namespace ecnprobe::wire

@@ -1,0 +1,151 @@
+// Robustness property tests: every wire decoder must consume arbitrary
+// bytes without crashing or reading out of bounds, and must reject
+// truncations of valid packets cleanly. (These run under the normal test
+// binary; build with -fsanitize=address to make the guarantee stronger.)
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ecnprobe/util/rng.hpp"
+#include "ecnprobe/wire/datagram.hpp"
+#include "ecnprobe/wire/dissect.hpp"
+#include "ecnprobe/wire/dnsmsg.hpp"
+#include "ecnprobe/wire/http.hpp"
+#include "ecnprobe/wire/ntp.hpp"
+#include "ecnprobe/wire/tcp.hpp"
+#include "ecnprobe/wire/udp.hpp"
+
+namespace ecnprobe::wire {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(util::Rng& rng, std::size_t max_len) {
+  std::vector<std::uint8_t> out(rng.next_below(max_len + 1));
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_u64());
+  return out;
+}
+
+TEST(FuzzDecode, RandomBytesNeverCrashAnyDecoder) {
+  util::Rng rng(0xF422);
+  const Ipv4Address src(10, 0, 0, 1);
+  const Ipv4Address dst(11, 0, 0, 2);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const auto bytes = random_bytes(rng, 96);
+    (void)decode_ipv4_header(bytes);
+    (void)Datagram::decode(bytes);
+    (void)UdpHeader::decode(bytes);
+    (void)decode_udp_segment(src, dst, bytes);
+    (void)decode_tcp_header(bytes);
+    (void)decode_tcp_segment(src, dst, bytes);
+    (void)decode_icmp_message(bytes);
+    (void)parse_quotation(bytes);
+    (void)NtpPacket::decode(bytes);
+    (void)DnsMessage::decode(bytes);
+  }
+  SUCCEED();
+}
+
+TEST(FuzzDecode, TruncationsOfValidPacketsRejectedOrConsistent) {
+  util::Rng rng(0xF423);
+  const Ipv4Address src(10, 0, 0, 1);
+  const Ipv4Address dst(11, 0, 0, 2);
+
+  const auto request = NtpPacket::make_client_request({123, 456});
+  const auto probe =
+      make_udp_datagram(src, dst, 40000, kNtpPort, request.encode(), Ecn::Ect0);
+  const auto wire_bytes = probe.encode();
+
+  for (std::size_t cut = 0; cut < wire_bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(wire_bytes.data(), cut);
+    const auto decoded = Datagram::decode(prefix);
+    // Anything shorter than the full datagram must be rejected (the length
+    // field covers the whole packet).
+    EXPECT_FALSE(decoded.has_value()) << "accepted truncation at " << cut;
+  }
+  // The untruncated original still decodes.
+  EXPECT_TRUE(Datagram::decode(wire_bytes).has_value());
+}
+
+TEST(FuzzDecode, BitFlipsAreDetectedOrHarmless) {
+  util::Rng rng(0xF424);
+  const Ipv4Address src(10, 0, 0, 1);
+  const Ipv4Address dst(11, 0, 0, 2);
+  const auto request = NtpPacket::make_client_request({99, 1});
+  const auto probe =
+      make_udp_datagram(src, dst, 40000, kNtpPort, request.encode(), Ecn::Ect0);
+  const auto original = probe.encode();
+
+  int rejected = 0;
+  int accepted = 0;
+  const int trials = 400;
+  for (int trial = 0; trial < trials; ++trial) {
+    auto mutated = original;
+    const auto byte = rng.next_below(mutated.size());
+    mutated[byte] ^= static_cast<std::uint8_t>(1u << rng.next_below(8));
+    const auto decoded = Datagram::decode(mutated);
+    if (!decoded) {
+      ++rejected;  // IP header corruption: checksum catches it
+      continue;
+    }
+    ++accepted;
+    // If the IP layer accepted it, the UDP checksum must catch payload and
+    // UDP-header corruption (or the flip hit a don't-care field).
+    const auto segment = decode_udp_segment(decoded->ip.src, decoded->ip.dst,
+                                            decoded->payload);
+    if (segment && segment->checksum_ok) {
+      // The flip must then have hit the IP header in a way that keeps both
+      // checksums valid -- only possible if it flipped... nothing
+      // checksummed. The ECN/DSCP byte *is* checksummed, so this can only
+      // be a flip that the IP checksum caught via recompute... assert the
+      // strong property: bytes equal the original outside the IP header.
+      // (UDP checksum covers everything from byte 20 on.)
+      EXPECT_TRUE(std::equal(mutated.begin() + 20, mutated.end(),
+                             original.begin() + 20))
+          << "undetected corruption of checksummed bytes";
+    }
+  }
+  EXPECT_GT(rejected, 0);
+  EXPECT_GT(accepted, 0);  // some flips land in the UDP part, pass IP layer
+}
+
+TEST(FuzzDecode, HttpParserSurvivesRandomInput) {
+  util::Rng rng(0xF425);
+  for (int trial = 0; trial < 500; ++trial) {
+    HttpParser parser(trial % 2 == 0 ? HttpParser::Kind::Request
+                                     : HttpParser::Kind::Response);
+    for (int chunk = 0; chunk < 4; ++chunk) {
+      const auto bytes = random_bytes(rng, 64);
+      if (!parser.feed(bytes)) break;  // sticky failure is fine
+    }
+  }
+  SUCCEED();
+}
+
+TEST(FuzzDecode, DissectorHandlesArbitraryDatagrams) {
+  util::Rng rng(0xF426);
+  for (int trial = 0; trial < 1000; ++trial) {
+    Datagram dgram;
+    dgram.ip.src = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+    dgram.ip.dst = Ipv4Address{static_cast<std::uint32_t>(rng.next_u64())};
+    dgram.ip.protocol = static_cast<IpProto>(rng.next_below(4) * 5 + 1);
+    dgram.ip.ecn = ecn_from_bits(static_cast<std::uint8_t>(rng.next_below(4)));
+    dgram.payload = random_bytes(rng, 80);
+    const auto line = dissect(dgram);
+    EXPECT_FALSE(line.empty());
+  }
+}
+
+TEST(FuzzDecode, DnsNameDecompressionBombRejected) {
+  // A chain of pointers that expands a long name repeatedly must hit the
+  // loop/length guards rather than hang or overflow.
+  std::vector<std::uint8_t> bytes = {
+      0x00, 0x01, 0x00, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+  };
+  // Question name at offset 12: label "aaaa" then pointer back to offset 12
+  // (self-recursive through the label).
+  bytes.insert(bytes.end(), {4, 'a', 'a', 'a', 'a', 0xc0, 0x0c});
+  bytes.insert(bytes.end(), {0x00, 0x01, 0x00, 0x01});
+  EXPECT_FALSE(DnsMessage::decode(bytes));
+}
+
+}  // namespace
+}  // namespace ecnprobe::wire

@@ -1,0 +1,115 @@
+#include "ecnprobe/wire/icmp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ecnprobe/wire/bytes.hpp"
+#include "ecnprobe/wire/datagram.hpp"
+#include "ecnprobe/wire/udp.hpp"
+
+namespace ecnprobe::wire {
+namespace {
+
+TEST(Icmp, MessageRoundTrip) {
+  IcmpMessage msg;
+  msg.type = IcmpType::TimeExceeded;
+  msg.code = 0;
+  msg.body = {1, 2, 3, 4};
+  const auto bytes = msg.encode();
+  ASSERT_EQ(bytes.size(), IcmpMessage::kHeaderSize + 4);
+
+  const auto decoded = decode_icmp_message(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->checksum_ok);
+  EXPECT_EQ(decoded->message.type, IcmpType::TimeExceeded);
+  EXPECT_TRUE(decoded->message.is_error());
+  EXPECT_EQ(decoded->message.body, msg.body);
+}
+
+TEST(Icmp, ChecksumDetectsCorruption) {
+  IcmpMessage msg;
+  msg.type = IcmpType::EchoRequest;
+  msg.body = {42};
+  auto bytes = msg.encode();
+  bytes.back() ^= 0x01;
+  const auto decoded = decode_icmp_message(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_FALSE(decoded->checksum_ok);
+}
+
+TEST(Icmp, DecodeRejectsTruncated) {
+  const std::uint8_t tiny[4] = {};
+  EXPECT_FALSE(decode_icmp_message(std::span<const std::uint8_t>(tiny, 4)));
+}
+
+// The quotation mechanism is the backbone of the Section 4.2 analysis: the
+// quoted header must reproduce the ECN field exactly as the router saw it.
+TEST(Icmp, QuotationPreservesReceivedEcnField) {
+  const Ipv4Address client(10, 0, 0, 1);
+  const Ipv4Address server(11, 0, 0, 2);
+  const Ipv4Address router(12, 0, 0, 1);
+  const std::uint8_t payload[] = {'n', 't', 'p'};
+  auto probe = make_udp_datagram(client, server, 44001, 33435, payload, Ecn::Ect0, 3);
+
+  // Simulate an upstream bleacher having cleared the mark before this
+  // router received the packet.
+  probe.ip.ecn = Ecn::NotEct;
+  const auto error = make_time_exceeded(router, probe);
+
+  EXPECT_EQ(error.ip.src, router);
+  EXPECT_EQ(error.ip.dst, client);
+  EXPECT_EQ(error.ip.protocol, IpProto::Icmp);
+  EXPECT_EQ(error.ip.ecn, Ecn::NotEct);  // ICMP itself is not-ECT
+
+  const auto decoded = decode_icmp_message(error.payload);
+  ASSERT_TRUE(decoded);
+  const auto quotation = parse_quotation(decoded->message.body);
+  ASSERT_TRUE(quotation);
+  EXPECT_EQ(quotation->inner_header.ecn, Ecn::NotEct);  // bleached value quoted
+  EXPECT_EQ(quotation->inner_header.src, client);
+  EXPECT_EQ(quotation->inner_header.dst, server);
+  // RFC 792: at least the first 8 bytes of the transport header follow.
+  ASSERT_GE(quotation->transport_prefix.size(), 8u);
+  const auto src_port = static_cast<std::uint16_t>(
+      (quotation->transport_prefix[0] << 8) | quotation->transport_prefix[1]);
+  EXPECT_EQ(src_port, 44001);
+}
+
+TEST(Icmp, QuotationWithIntactMark) {
+  const Ipv4Address client(10, 0, 0, 1);
+  const Ipv4Address server(11, 0, 0, 2);
+  const auto probe =
+      make_udp_datagram(client, server, 44002, 33436, {}, Ecn::Ect0, 5);
+  const auto error = make_time_exceeded(Ipv4Address(12, 0, 0, 9), probe);
+  const auto decoded = decode_icmp_message(error.payload);
+  ASSERT_TRUE(decoded);
+  const auto quotation = parse_quotation(decoded->message.body);
+  ASSERT_TRUE(quotation);
+  EXPECT_EQ(quotation->inner_header.ecn, Ecn::Ect0);
+}
+
+TEST(Icmp, DestUnreachableCarriesCode) {
+  const auto probe = make_udp_datagram(Ipv4Address(1, 1, 1, 1), Ipv4Address(2, 2, 2, 2),
+                                       1000, 2000, {}, Ecn::NotEct);
+  const auto error =
+      make_dest_unreachable(Ipv4Address(2, 2, 2, 2), probe, IcmpUnreachCode::Port);
+  const auto decoded = decode_icmp_message(error.payload);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->message.type, IcmpType::DestUnreachable);
+  EXPECT_EQ(decoded->message.code, static_cast<std::uint8_t>(IcmpUnreachCode::Port));
+}
+
+TEST(Icmp, QuotationTruncatesTransportToEightBytes) {
+  std::vector<std::uint8_t> big(100, 0xaa);
+  Ipv4Header h;
+  h.total_length = static_cast<std::uint16_t>(Ipv4Header::kSize + big.size());
+  const auto body = make_error_quotation(h, big);
+  EXPECT_EQ(body.size(), Ipv4Header::kSize + 8);
+}
+
+TEST(Icmp, ParseQuotationRejectsGarbage) {
+  const std::uint8_t garbage[] = {0xff, 0xff, 0xff};
+  EXPECT_FALSE(parse_quotation(garbage));
+}
+
+}  // namespace
+}  // namespace ecnprobe::wire

@@ -1,0 +1,64 @@
+// IPv4 headers carrying options (IHL > 5): real traceroute responders and
+// middleboxes emit them; decoders must skip options and land on the payload.
+#include <gtest/gtest.h>
+
+#include "ecnprobe/wire/bytes.hpp"
+#include "ecnprobe/wire/checksum.hpp"
+#include "ecnprobe/wire/ipv4.hpp"
+
+namespace ecnprobe::wire {
+namespace {
+
+// Hand-builds a 24-byte header (IHL = 6) with 4 bytes of options.
+std::vector<std::uint8_t> header_with_options(Ecn ecn) {
+  ByteWriter out;
+  out.u8(0x46);  // version 4, IHL 6
+  out.u8(to_bits(ecn));
+  out.u16(24 + 8);  // total length: header + 8 payload bytes
+  out.u16(0x1234);
+  out.u16(0x4000);  // DF
+  out.u8(55);
+  out.u8(static_cast<std::uint8_t>(IpProto::Udp));
+  out.u16(0);  // checksum placeholder
+  out.u32(Ipv4Address(10, 1, 2, 3).value());
+  out.u32(Ipv4Address(11, 4, 5, 6).value());
+  out.u8(0x07);  // record-route option type
+  out.u8(0x04);  // length 4 (header only, no slots)
+  out.u8(0x04);  // pointer
+  out.u8(0x00);  // padding
+  auto bytes = out.take();
+  const std::uint16_t csum = internet_checksum(bytes);
+  bytes[10] = static_cast<std::uint8_t>(csum >> 8);
+  bytes[11] = static_cast<std::uint8_t>(csum);
+  return bytes;
+}
+
+TEST(Ipv4Options, DecodeSkipsOptionsAndVerifiesChecksum) {
+  const auto bytes = header_with_options(Ecn::Ect0);
+  const auto decoded = decode_ipv4_header(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->checksum_ok);
+  EXPECT_EQ(decoded->header_len, 24u);
+  EXPECT_EQ(decoded->header.ecn, Ecn::Ect0);
+  EXPECT_EQ(decoded->header.ttl, 55);
+  EXPECT_EQ(decoded->header.src, Ipv4Address(10, 1, 2, 3));
+}
+
+TEST(Ipv4Options, EcnFieldSurvivesRegardlessOfOptions) {
+  for (const auto ecn : {Ecn::NotEct, Ecn::Ect0, Ecn::Ect1, Ecn::Ce}) {
+    const auto decoded = decode_ipv4_header(header_with_options(ecn));
+    ASSERT_TRUE(decoded);
+    EXPECT_EQ(decoded->header.ecn, ecn);
+  }
+}
+
+TEST(Ipv4Options, CorruptedOptionBytesBreakChecksum) {
+  auto bytes = header_with_options(Ecn::NotEct);
+  bytes[21] ^= 0xff;  // flip inside the options area
+  const auto decoded = decode_ipv4_header(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_FALSE(decoded->checksum_ok);
+}
+
+}  // namespace
+}  // namespace ecnprobe::wire

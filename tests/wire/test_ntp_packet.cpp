@@ -1,0 +1,95 @@
+#include "ecnprobe/wire/ntp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::wire {
+namespace {
+
+TEST(NtpTimestamp, UnixConversionRoundTrip) {
+  const std::int64_t unix_ns = 1'428'883'200'000'000'000;  // 2015-04-13
+  const auto ts = NtpTimestamp::from_unix_nanos(unix_ns);
+  EXPECT_EQ(ts.seconds, 1'428'883'200u + NtpTimestamp::kUnixEpochOffset);
+  EXPECT_NEAR(ts.to_unix_seconds(), 1'428'883'200.0, 1e-6);
+}
+
+TEST(NtpTimestamp, FractionEncodesSubsecond) {
+  const auto ts = NtpTimestamp::from_unix_nanos(500'000'000);  // 0.5 s
+  EXPECT_NEAR(static_cast<double>(ts.fraction) / 4294967296.0, 0.5, 1e-6);
+}
+
+TEST(NtpPacket, ClientRequestShape) {
+  const auto ts = NtpTimestamp::from_unix_nanos(123'456'789);
+  const auto p = NtpPacket::make_client_request(ts);
+  EXPECT_EQ(p.mode, NtpMode::Client);
+  EXPECT_EQ(p.version, NtpPacket::kVersion);
+  EXPECT_EQ(p.transmit_ts, ts);
+  EXPECT_TRUE(p.origin_ts.is_zero());
+}
+
+TEST(NtpPacket, EncodeIs48Bytes) {
+  const auto p = NtpPacket::make_client_request({});
+  EXPECT_EQ(p.encode().size(), NtpPacket::kSize);
+}
+
+TEST(NtpPacket, EncodeDecodeRoundTrip) {
+  NtpPacket p;
+  p.leap = NtpLeap::Unsynchronized;
+  p.mode = NtpMode::Server;
+  p.stratum = 3;
+  p.poll = 6;
+  p.precision = -20;
+  p.root_delay = 0x00010000;
+  p.root_dispersion = 0x00020000;
+  p.reference_id = 0x47505300;
+  p.origin_ts = {100, 200};
+  p.receive_ts = {300, 400};
+  p.transmit_ts = {500, 600};
+  const auto bytes = p.encode();
+  const auto decoded = NtpPacket::decode(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->leap, NtpLeap::Unsynchronized);
+  EXPECT_EQ(decoded->mode, NtpMode::Server);
+  EXPECT_EQ(decoded->stratum, 3);
+  EXPECT_EQ(decoded->poll, 6);
+  EXPECT_EQ(decoded->precision, -20);
+  EXPECT_EQ(decoded->origin_ts, (NtpTimestamp{100, 200}));
+  EXPECT_EQ(decoded->transmit_ts, (NtpTimestamp{500, 600}));
+}
+
+TEST(NtpPacket, DecodeRejectsShortPacket) {
+  std::vector<std::uint8_t> bytes(47, 0);
+  EXPECT_FALSE(NtpPacket::decode(bytes));
+}
+
+TEST(NtpPacket, ServerResponseEchoesOrigin) {
+  const auto request = NtpPacket::make_client_request({777, 888});
+  const NtpTimestamp now{999, 111};
+  const auto response = NtpPacket::make_server_response(request, 2, 0x12345678, now, now);
+  EXPECT_EQ(response.mode, NtpMode::Server);
+  EXPECT_EQ(response.stratum, 2);
+  EXPECT_EQ(response.origin_ts, request.transmit_ts);
+  EXPECT_TRUE(response.answers(request));
+}
+
+TEST(NtpPacket, AnswersRejectsMismatchedOrigin) {
+  const auto request = NtpPacket::make_client_request({777, 888});
+  const auto other = NtpPacket::make_client_request({777, 889});
+  const auto response =
+      NtpPacket::make_server_response(other, 2, 0, {1, 1}, {1, 1});
+  EXPECT_FALSE(response.answers(request));
+}
+
+TEST(NtpPacket, AnswersRejectsBadStratumAndMode) {
+  const auto request = NtpPacket::make_client_request({1, 2});
+  auto response = NtpPacket::make_server_response(request, 2, 0, {1, 1}, {1, 1});
+  response.stratum = 0;  // kiss-of-death
+  EXPECT_FALSE(response.answers(request));
+  response.stratum = 16;  // out of range
+  EXPECT_FALSE(response.answers(request));
+  response.stratum = 2;
+  response.mode = NtpMode::Broadcast;
+  EXPECT_FALSE(response.answers(request));
+}
+
+}  // namespace
+}  // namespace ecnprobe::wire

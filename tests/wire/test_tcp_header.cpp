@@ -1,0 +1,119 @@
+#include "ecnprobe/wire/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::wire {
+namespace {
+
+const Ipv4Address kSrc(10, 0, 0, 1);
+const Ipv4Address kDst(11, 0, 0, 2);
+
+TEST(TcpFlags, BitsRoundTrip) {
+  TcpFlags f;
+  f.syn = true;
+  f.ece = true;
+  f.cwr = true;
+  f.ns = true;
+  const auto bits = f.to_bits();
+  EXPECT_EQ(TcpFlags::from_bits(bits), f);
+  EXPECT_EQ(bits, 0x100u | 0x080u | 0x040u | 0x002u);
+}
+
+TEST(TcpFlags, ToStringListsSetFlags) {
+  TcpFlags f;
+  f.syn = true;
+  f.ack = true;
+  f.ece = true;
+  EXPECT_EQ(f.to_string(), "SYN|ACK|ECE");
+  EXPECT_EQ(TcpFlags{}.to_string(), "-");
+}
+
+TEST(TcpHeader, EcnSetupClassification) {
+  TcpHeader syn;
+  syn.flags.syn = true;
+  syn.flags.ece = true;
+  syn.flags.cwr = true;
+  EXPECT_TRUE(syn.is_ecn_setup_syn());
+  EXPECT_FALSE(syn.is_ecn_setup_syn_ack());
+
+  TcpHeader syn_ack;
+  syn_ack.flags.syn = true;
+  syn_ack.flags.ack = true;
+  syn_ack.flags.ece = true;
+  EXPECT_TRUE(syn_ack.is_ecn_setup_syn_ack());
+  EXPECT_FALSE(syn_ack.is_ecn_setup_syn());
+
+  // A SYN-ACK with both ECE and CWR is NOT an ECN-setup SYN-ACK (it echoes
+  // a broken middlebox reflecting the flags).
+  syn_ack.flags.cwr = true;
+  EXPECT_FALSE(syn_ack.is_ecn_setup_syn_ack());
+
+  // A plain SYN is neither.
+  TcpHeader plain;
+  plain.flags.syn = true;
+  EXPECT_FALSE(plain.is_ecn_setup_syn());
+}
+
+TEST(TcpHeader, SegmentRoundTripWithPayload) {
+  TcpHeader h;
+  h.src_port = 40000;
+  h.dst_port = 80;
+  h.seq = 0xdeadbeef;
+  h.ack = 0x01020304;
+  h.flags.ack = true;
+  h.flags.psh = true;
+  h.window = 32000;
+  const std::uint8_t payload[] = {'G', 'E', 'T'};
+  const auto segment = encode_tcp_segment(kSrc, kDst, h, payload);
+
+  const auto view = decode_tcp_segment(kSrc, kDst, segment);
+  ASSERT_TRUE(view);
+  EXPECT_TRUE(view->checksum_ok);
+  EXPECT_EQ(view->header.src_port, 40000);
+  EXPECT_EQ(view->header.dst_port, 80);
+  EXPECT_EQ(view->header.seq, 0xdeadbeefu);
+  EXPECT_EQ(view->header.ack, 0x01020304u);
+  EXPECT_TRUE(view->header.flags.ack);
+  EXPECT_TRUE(view->header.flags.psh);
+  EXPECT_EQ(view->header.window, 32000);
+  ASSERT_EQ(view->payload.size(), 3u);
+  EXPECT_EQ(view->payload[0], 'G');
+}
+
+TEST(TcpHeader, OptionsArePaddedToWordBoundary) {
+  TcpHeader h;
+  h.options = {0x02, 0x04, 0x05, 0xb4, 0x01};  // MSS option + NOP (5 bytes)
+  const auto segment = encode_tcp_segment(kSrc, kDst, h, {});
+  ASSERT_EQ(segment.size(), TcpHeader::kMinSize + 8);  // padded to 8
+  const auto view = decode_tcp_segment(kSrc, kDst, segment);
+  ASSERT_TRUE(view);
+  EXPECT_EQ(view->header.options.size(), 8u);
+  EXPECT_EQ(view->header.options[0], 0x02);
+}
+
+TEST(TcpHeader, ChecksumDetectsCorruption) {
+  TcpHeader h;
+  h.src_port = 1;
+  h.dst_port = 2;
+  auto segment = encode_tcp_segment(kSrc, kDst, h, {});
+  segment[4] ^= 0x40;  // corrupt seq
+  const auto view = decode_tcp_segment(kSrc, kDst, segment);
+  ASSERT_TRUE(view);
+  EXPECT_FALSE(view->checksum_ok);
+}
+
+TEST(TcpHeader, DecodeRejectsBadOffsets) {
+  std::uint8_t too_short[10] = {};
+  EXPECT_FALSE(decode_tcp_header(std::span<const std::uint8_t>(too_short, 10)));
+
+  std::uint8_t bad_offset[20] = {};
+  bad_offset[12] = 0x40;  // data offset = 4 words < 5
+  EXPECT_FALSE(decode_tcp_header(bad_offset));
+
+  std::uint8_t truncated_opts[20] = {};
+  truncated_opts[12] = 0x60;  // data offset = 6 words = 24 bytes > buffer
+  EXPECT_FALSE(decode_tcp_header(truncated_opts));
+}
+
+}  // namespace
+}  // namespace ecnprobe::wire

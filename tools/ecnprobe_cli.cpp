@@ -1,0 +1,254 @@
+// The ecnprobe command-line tool: run the study's stages individually and
+// pipe results between them as CSV/pcap.
+//
+//   ecnprobe discover   [--scale F] [--seed N] [--rounds R]
+//   ecnprobe campaign   [--scale F] [--seed N] [--traces N] [--out FILE]
+//   ecnprobe analyze    <traces.csv>
+//   ecnprobe traceroute [--scale F] [--seed N] [--vantage NAME] [--count N]
+//   ecnprobe pcap       [--scale F] [--seed N] [--out FILE]
+//   ecnprobe report     [--scale F] [--seed N] [--out FILE]
+//
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "ecnprobe/analysis/differential.hpp"
+#include "ecnprobe/analysis/hops.hpp"
+#include "ecnprobe/analysis/geosummary.hpp"
+#include "ecnprobe/analysis/markdown_report.hpp"
+#include "ecnprobe/analysis/reachability.hpp"
+#include "ecnprobe/analysis/report.hpp"
+#include "ecnprobe/measure/probe.hpp"
+#include "ecnprobe/netsim/pcap.hpp"
+#include "ecnprobe/scenario/world.hpp"
+#include "ecnprobe/wire/dissect.hpp"
+
+namespace {
+
+using namespace ecnprobe;
+
+struct Options {
+  double scale = 0.1;
+  std::uint64_t seed = 42;
+  int rounds = 0;
+  int traces = 0;
+  int count = 8;
+  std::string vantage = "UGla wired";
+  std::string out;
+  std::string input;
+};
+
+Options parse(int argc, char** argv, int first) {
+  Options options;
+  for (int i = first; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (arg == "--scale") options.scale = std::atof(value().c_str());
+    else if (arg == "--seed") options.seed = static_cast<std::uint64_t>(
+        std::atoll(value().c_str()));
+    else if (arg == "--rounds") options.rounds = std::atoi(value().c_str());
+    else if (arg == "--traces") options.traces = std::atoi(value().c_str());
+    else if (arg == "--count") options.count = std::atoi(value().c_str());
+    else if (arg == "--vantage") options.vantage = value();
+    else if (arg == "--out") options.out = value();
+    else if (arg[0] != '-') options.input = arg;
+  }
+  return options;
+}
+
+scenario::WorldParams params_for(const Options& options) {
+  auto params = scenario::WorldParams::paper().scaled(options.scale);
+  params.seed = options.seed;
+  return params;
+}
+
+int cmd_discover(const Options& options) {
+  scenario::World world(params_for(options));
+  const int rounds = options.rounds > 0
+                         ? options.rounds
+                         : 40 + world.params().server_count / 12;
+  const auto found = world.run_discovery(options.vantage, rounds);
+  std::fprintf(stderr, "discovered %zu servers (%d rounds from '%s')\n", found.size(),
+               rounds, options.vantage.c_str());
+  std::printf("address\n");
+  for (const auto& addr : found) std::printf("%s\n", addr.to_string().c_str());
+  return 0;
+}
+
+int cmd_campaign(const Options& options) {
+  scenario::World world(params_for(options));
+  auto plan = measure::CampaignPlan::paper_layout(
+      std::max(1, static_cast<int>(9 * options.scale)),
+      std::max(1, static_cast<int>(12 * options.scale)),
+      std::max(1, static_cast<int>(14 * options.scale)));
+  if (options.traces > 0) {
+    // Uniform override: N traces spread over the 13 vantage points.
+    plan = measure::CampaignPlan{};
+    const auto& names = measure::paper_vantage_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const int share = options.traces / static_cast<int>(names.size()) +
+                        (static_cast<int>(i) <
+                                 options.traces % static_cast<int>(names.size())
+                             ? 1
+                             : 0);
+      if (share > 0) plan.entries.push_back({names[i], i < 4 ? 1 : 2, share});
+    }
+  }
+  std::fprintf(stderr, "running %d traces x %d servers...\n", plan.total_traces(),
+               world.params().server_count);
+  const auto traces = world.run_campaign(plan);
+  if (options.out.empty()) {
+    measure::write_traces_csv(std::cout, traces);
+  } else {
+    std::ofstream os(options.out);
+    measure::write_traces_csv(os, traces);
+    std::fprintf(stderr, "wrote %s\n", options.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_analyze(const Options& options) {
+  std::ifstream is(options.input);
+  if (!is) {
+    std::fprintf(stderr, "cannot open %s\n", options.input.c_str());
+    return 1;
+  }
+  const auto traces = measure::read_traces_csv(is);
+  if (!traces) {
+    std::fprintf(stderr, "parse error: %s\n", traces.error().message.c_str());
+    return 1;
+  }
+  std::printf("loaded %zu traces\n\n", traces->size());
+  const auto per_trace = analysis::per_trace_reachability(*traces);
+  std::printf("Figure 2a:\n%s\n", analysis::render_figure2a(per_trace).c_str());
+  std::printf("Figure 2b:\n%s\n", analysis::render_figure2b(per_trace).c_str());
+  const auto diffs = analysis::per_server_differential(*traces);
+  std::printf("Figure 3a (aggregate):\n%s\n", analysis::render_figure3a(diffs).c_str());
+  int server_count = 0;
+  if (!traces->empty()) server_count = static_cast<int>((*traces)[0].servers.size());
+  std::printf("Figure 5:\n%s\n",
+              analysis::render_figure5(per_trace, server_count).c_str());
+  std::printf("Table 2:\n%s\n",
+              analysis::render_table2(analysis::correlation_table(*traces)).c_str());
+  std::printf("Summary:\n%s",
+              analysis::render_summary(analysis::summarize_reachability(*traces))
+                  .c_str());
+  return 0;
+}
+
+int cmd_traceroute(const Options& options) {
+  scenario::World world(params_for(options));
+  auto& vantage = world.vantage(options.vantage);
+  const auto servers = world.server_addresses();
+  const int n = std::min<int>(options.count, static_cast<int>(servers.size()));
+  int remaining = n;
+  std::size_t cursor = 0;
+  std::function<void()> next = [&]() {
+    if (remaining-- <= 0) return;
+    const auto target = servers[cursor];
+    cursor += servers.size() / static_cast<std::size_t>(n);
+    vantage.tracer().trace(target, traceroute::TracerouteOptions{},
+                           [&, target](const traceroute::PathRecord& record) {
+                             std::printf("-> %s\n", target.to_string().c_str());
+                             for (const auto& hop : record.hops) {
+                               if (!hop.responded) {
+                                 std::printf("  %2d  *\n", hop.ttl);
+                                 continue;
+                               }
+                               std::printf("  %2d  %c %s\n", hop.ttl,
+                                           hop.ecn_intact() ? '+' : '-',
+                                           hop.responder.to_string().c_str());
+                             }
+                             next();
+                           });
+  };
+  next();
+  world.sim().run();
+  return 0;
+}
+
+int cmd_report(const Options& options) {
+  scenario::World world(params_for(options));
+  auto plan = measure::CampaignPlan::paper_layout(
+      std::max(1, static_cast<int>(9 * options.scale)),
+      std::max(1, static_cast<int>(12 * options.scale)),
+      std::max(1, static_cast<int>(14 * options.scale)));
+  std::fprintf(stderr, "running %d traces x %d servers...\n", plan.total_traces(),
+               world.params().server_count);
+  analysis::ReportInputs inputs;
+  inputs.traces = world.run_campaign(plan);
+  std::fprintf(stderr, "running traceroutes...\n");
+  inputs.traceroutes = world.run_traceroutes(2);
+  inputs.ip2as = &world.ip2as();
+  inputs.geo = analysis::summarize_geo(world.server_addresses(), world.geodb());
+  inputs.title = "ECN-with-UDP measurement report (scale " +
+                 std::to_string(options.scale) + ", seed " +
+                 std::to_string(options.seed) + ")";
+  const auto report = analysis::render_markdown_report(inputs);
+  if (options.out.empty()) {
+    std::fputs(report.c_str(), stdout);
+  } else {
+    std::ofstream os(options.out);
+    os << report;
+    std::fprintf(stderr, "wrote %s\n", options.out.c_str());
+  }
+  return 0;
+}
+
+int cmd_pcap(const Options& options) {
+  scenario::World world(params_for(options));
+  auto& vantage = world.vantage(options.vantage);
+  bool done = false;
+  measure::probe_server(vantage, world.servers()[0].address, measure::ProbeOptions{},
+                        [&](const measure::ServerResult&) { done = true; });
+  world.sim().run();
+  if (!done) {
+    std::fprintf(stderr, "probe did not complete\n");
+    return 1;
+  }
+  const std::string path = options.out.empty() ? "ecnprobe.pcap" : options.out;
+  if (!netsim::write_pcap_file(path, vantage.capture())) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu packets to %s\n", vantage.capture().packets().size(),
+               path.c_str());
+  for (const auto& packet : vantage.capture().packets()) {
+    std::printf("%9.6f %s %s\n", packet.time.to_seconds(),
+                packet.dir == netsim::Direction::Tx ? ">" : "<",
+                wire::dissect(packet.dgram).c_str());
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: ecnprobe <command> [options]\n"
+               "  discover    enumerate the pool via DNS          [--scale --seed --rounds --vantage]\n"
+               "  campaign    run the measurement campaign -> CSV [--scale --seed --traces --out]\n"
+               "  analyze     figures/tables from a traces CSV    <traces.csv>\n"
+               "  traceroute  ECN traceroute listings             [--scale --seed --vantage --count]\n"
+               "  pcap        probe one server, dump pcap+dissection [--scale --seed --vantage --out]\n"
+               "  report      full campaign -> Markdown report      [--scale --seed --out]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const auto options = parse(argc, argv, 2);
+  if (command == "discover") return cmd_discover(options);
+  if (command == "campaign") return cmd_campaign(options);
+  if (command == "analyze") return cmd_analyze(options);
+  if (command == "traceroute") return cmd_traceroute(options);
+  if (command == "pcap") return cmd_pcap(options);
+  if (command == "report") return cmd_report(options);
+  return usage();
+}
