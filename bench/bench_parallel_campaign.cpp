@@ -1,0 +1,89 @@
+// Serial-vs-parallel campaign executor comparison: runs the paper's trace
+// layout once through the sequential World::run_campaign path and once
+// through the sharded ParallelCampaign at increasing worker counts, then
+// checks that every parallel run's merged results CSV is byte-identical to
+// the sequential one while reporting the wall-clock speedup. This is the
+// executable form of the determinism contract in
+// tests/measure/test_parallel_campaign.cpp at study scale.
+//
+//   bench_parallel_campaign [--scale=F] [--seed=N] [--workers=N] [--csv=PATH]
+//
+// --workers gives the highest worker count tried; the bench sweeps
+// {1, 2, 4, ..., workers}. Note each worker builds its own private world,
+// so peak memory scales with the worker count.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "ecnprobe/analysis/reachability.hpp"
+#include "ecnprobe/measure/parallel_campaign.hpp"
+#include "ecnprobe/measure/results.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ecnprobe;
+  const auto config = bench::parse_args(argc, argv);
+  int max_workers = 8;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--workers=", 0) == 0) max_workers = std::atoi(arg.c_str() + 10);
+  }
+  if (max_workers < 1) max_workers = 1;
+  const auto params = bench::world_params(config);
+  bench::print_header("Parallel campaign sharding: speedup and determinism", config,
+                      params);
+
+  const auto plan = bench::campaign_plan(config);
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::printf("plan: %d traces, %d servers, up to %d workers (%u hardware threads)\n",
+              plan.total_traces(), params.server_count, max_workers, cores);
+  if (cores != 0 && static_cast<int>(cores) < max_workers) {
+    std::printf("note: fewer cores than workers -- expect determinism, not speedup\n");
+  }
+  std::printf("\n");
+
+  std::printf("sequential baseline...\n");
+  bench::Stopwatch serial_timer;
+  scenario::World world(params);
+  const auto sequential = world.run_campaign(plan);
+  const double serial_seconds = serial_timer.seconds();
+  std::ostringstream serial_csv;
+  measure::write_traces_csv(serial_csv, sequential);
+  const auto summary = analysis::summarize_reachability(sequential);
+  std::printf("  %.2fs (%zu simulated events)\n", serial_seconds,
+              world.sim().events_processed());
+  std::printf("  mean %% ECT(0)-reachable given not-ECT: %.2f%%\n\n",
+              summary.mean_pct_ect_given_plain);
+
+  std::printf("%8s %10s %9s %12s\n", "workers", "seconds", "speedup", "csv");
+  bool all_identical = true;
+  for (int workers = 1; workers <= max_workers; workers *= 2) {
+    bench::Stopwatch timer;
+    std::vector<measure::ParallelCampaign::TraceFailure> failures;
+    const auto traces =
+        scenario::run_parallel_campaign(params, plan, {}, workers, &failures);
+    const double seconds = timer.seconds();
+    std::ostringstream csv;
+    measure::write_traces_csv(csv, traces);
+    const bool identical = failures.empty() && csv.str() == serial_csv.str();
+    all_identical = all_identical && identical;
+    std::printf("%8d %9.2fs %8.2fx %12s\n", workers, seconds,
+                serial_seconds / seconds, identical ? "identical" : "DIVERGED");
+  }
+
+  if (!config.csv_path.empty()) {
+    std::ofstream out(config.csv_path);
+    out << serial_csv.str();
+    std::printf("\nraw traces written to %s\n", config.csv_path.c_str());
+  }
+  if (!all_identical) {
+    std::printf("\nFAIL: parallel output diverged from the sequential baseline\n");
+    return 1;
+  }
+  std::printf("\nall worker counts byte-identical to the sequential baseline\n");
+  return 0;
+}

@@ -36,17 +36,8 @@ CampaignPlan CampaignPlan::paper_layout(int home_batch1, int home_batch2, int ec
   return plan;
 }
 
-Campaign::Campaign(std::map<std::string, Vantage*> vantages,
-                   std::vector<wire::Ipv4Address> servers, ProbeOptions options)
-    : vantages_(std::move(vantages)), servers_(std::move(servers)), options_(options) {}
-
-void Campaign::run(const CampaignPlan& plan, DoneHandler done) {
-  done_ = std::move(done);
-  schedule_.clear();
-  results_.clear();
-  cursor_ = 0;
-  // Batch 1 runs before batch 2, interleaving vantages within a batch the
-  // way the paper alternated collection locations.
+std::vector<PlannedTrace> expand_schedule(const CampaignPlan& plan) {
+  std::vector<PlannedTrace> schedule;
   for (int batch = 1; batch <= 2; ++batch) {
     bool added = true;
     int round = 0;
@@ -54,13 +45,27 @@ void Campaign::run(const CampaignPlan& plan, DoneHandler done) {
       added = false;
       for (const auto& entry : plan.entries) {
         if (entry.batch != batch || round >= entry.count) continue;
-        if (!vantages_.contains(entry.vantage)) {
-          throw std::invalid_argument("Campaign: unknown vantage " + entry.vantage);
-        }
-        schedule_.push_back({entry.vantage, batch});
+        schedule.push_back({entry.vantage, batch});
         added = true;
       }
       ++round;
+    }
+  }
+  return schedule;
+}
+
+Campaign::Campaign(std::map<std::string, Vantage*> vantages,
+                   std::vector<wire::Ipv4Address> servers, ProbeOptions options)
+    : vantages_(std::move(vantages)), servers_(std::move(servers)), options_(options) {}
+
+void Campaign::run(const CampaignPlan& plan, DoneHandler done) {
+  done_ = std::move(done);
+  schedule_ = expand_schedule(plan);
+  results_.clear();
+  cursor_ = 0;
+  for (const auto& planned : schedule_) {
+    if (!vantages_.contains(planned.vantage)) {
+      throw std::invalid_argument("Campaign: unknown vantage " + planned.vantage);
     }
   }
   next_trace();
@@ -68,9 +73,24 @@ void Campaign::run(const CampaignPlan& plan, DoneHandler done) {
 
 void Campaign::next_trace() {
   if (cursor_ >= schedule_.size()) {
-    if (done_) done_(std::move(results_));
+    if (done_) {
+      auto done = std::move(done_);
+      done_ = nullptr;
+      done(std::move(results_));
+    }
     return;
   }
+  if (vantages_.empty()) {
+    throw std::logic_error("Campaign: no vantages");
+  }
+  // Quiescence barrier: the next trace begins only after every event of the
+  // previous one (late responses, retransmission timers, TIME_WAIT) has
+  // fired, so each trace starts from a settled world.
+  auto& sim = vantages_.begin()->second->host().network().sim();
+  sim.schedule_when_idle([this] { start_trace(); });
+}
+
+void Campaign::start_trace() {
   const auto& planned = schedule_[cursor_];
   const int index = static_cast<int>(cursor_);
   ++cursor_;

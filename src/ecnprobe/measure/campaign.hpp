@@ -34,6 +34,26 @@ struct CampaignPlan {
 /// Names of the paper's 13 vantage points, in Figure 2's order.
 const std::vector<std::string>& paper_vantage_names();
 
+/// One scheduled trace: the plan expanded into campaign execution order
+/// (batch 1 before batch 2, vantages interleaved round-robin within a
+/// batch, the way the paper alternated collection locations). The position
+/// in the returned vector is the trace's campaign-wide index. Shared by the
+/// sequential Campaign and the sharded ParallelCampaign so both execute --
+/// and number -- exactly the same traces.
+struct PlannedTrace {
+  std::string vantage;
+  int batch = 1;
+};
+std::vector<PlannedTrace> expand_schedule(const CampaignPlan& plan);
+
+/// Sequential campaign executor.
+///
+/// Thread affinity: Campaign is single-threaded. run() must be called on
+/// the thread that owns the vantages' Simulator, and both hooks fire on
+/// that same thread -- BeforeTraceHook immediately before each trace starts
+/// (from a quiescent simulator, so it may mutate world state), DoneHandler
+/// once from within the final simulator event. The result vector is moved
+/// into the DoneHandler; no copy is made.
 class Campaign {
 public:
   /// Called before each trace starts; lets the scenario re-roll
@@ -48,6 +68,9 @@ public:
   void set_before_trace(BeforeTraceHook hook) { before_trace_ = std::move(hook); }
 
   /// Runs every trace in the plan sequentially; `done` fires at the end.
+  /// Each trace starts only once the simulator has gone quiescent -- every
+  /// straggler packet and timer of the previous trace has settled -- so a
+  /// trace's outcome cannot leak into the next one's event interleaving.
   void run(const CampaignPlan& plan, DoneHandler done);
 
   /// Progress introspection for long campaigns.
@@ -55,16 +78,13 @@ public:
 
 private:
   void next_trace();
+  void start_trace();
 
   std::map<std::string, Vantage*> vantages_;
   std::vector<wire::Ipv4Address> servers_;
   ProbeOptions options_;
   BeforeTraceHook before_trace_;
 
-  struct PlannedTrace {
-    std::string vantage;
-    int batch;
-  };
   std::vector<PlannedTrace> schedule_;
   std::size_t cursor_ = 0;
   std::vector<Trace> results_;

@@ -1,0 +1,102 @@
+#include "ecnprobe/measure/parallel_campaign.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "ecnprobe/util/thread_pool.hpp"
+
+namespace ecnprobe::measure {
+
+struct ParallelCampaign::Worker {
+  std::unique_ptr<CampaignShard> shard;
+  std::map<std::string, Vantage*> vantages;
+  std::vector<wire::Ipv4Address> servers;
+};
+
+ParallelCampaign::ParallelCampaign(ShardFactory factory, Options options)
+    : factory_(std::move(factory)), options_(options) {
+  if (!factory_) throw std::invalid_argument("ParallelCampaign: null shard factory");
+  if (options_.workers < 1) options_.workers = 1;
+}
+
+void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& schedule,
+                               int index, std::vector<std::unique_ptr<Trace>>& slots) {
+  const auto& planned = schedule[static_cast<std::size_t>(index)];
+  try {
+    worker.shard->begin_trace(planned.vantage, planned.batch, index);
+    if (observer_) {
+      std::lock_guard<std::mutex> lock(observer_mutex_);
+      observer_(planned.vantage, planned.batch, index);
+    }
+    const auto it = worker.vantages.find(planned.vantage);
+    if (it == worker.vantages.end()) {
+      throw std::invalid_argument("ParallelCampaign: unknown vantage " + planned.vantage);
+    }
+    Vantage* vantage = it->second;
+    vantage->capture().clear();
+    TraceRunner runner(*vantage, worker.servers, options_.probe);
+    std::unique_ptr<Trace> result;
+    runner.run(planned.batch, index,
+               [&result](Trace trace) { result = std::make_unique<Trace>(std::move(trace)); });
+    worker.shard->sim().run();
+    if (!result) throw std::runtime_error("ParallelCampaign: trace stalled");
+    // Distinct slot per trace index: no lock needed for the write.
+    slots[static_cast<std::size_t>(index)] = std::move(result);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+  } catch (const std::exception& e) {
+    // Abandoned events may reference objects the unwinding destroyed (the
+    // TraceRunner above); they must never fire. The epoch reset at the next
+    // begin_trace() restores the world's behavioural state.
+    worker.shard->sim().clear_pending();
+    std::lock_guard<std::mutex> lock(failures_mutex_);
+    failures_.push_back({index, planned.vantage, planned.batch, e.what()});
+  }
+}
+
+std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
+  const auto schedule = expand_schedule(plan);
+  failures_.clear();
+  completed_.store(0, std::memory_order_relaxed);
+
+  std::vector<std::unique_ptr<Trace>> slots(schedule.size());
+  std::atomic<std::size_t> next{0};
+  {
+    util::ThreadPool pool(options_.workers);
+    for (int w = 0; w < options_.workers; ++w) {
+      pool.submit([&, w] {
+        Worker worker;
+        try {
+          worker.shard = factory_(w);
+          worker.vantages = worker.shard->vantages();
+          worker.servers = worker.shard->servers();
+        } catch (const std::exception& e) {
+          // A worker that cannot build its world contributes nothing; the
+          // shared queue lets the surviving workers absorb its share.
+          std::lock_guard<std::mutex> lock(failures_mutex_);
+          failures_.push_back({-1, "<worker " + std::to_string(w) + ">", 0, e.what()});
+          return;
+        }
+        for (;;) {
+          const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
+          if (index >= schedule.size()) break;
+          run_one(worker, schedule, static_cast<int>(index), slots);
+        }
+      });
+    }
+    pool.wait_idle();
+  }
+
+  std::sort(failures_.begin(), failures_.end(),
+            [](const TraceFailure& a, const TraceFailure& b) { return a.index < b.index; });
+
+  // Merge back into plan order; failed traces leave no hole and no
+  // duplicate -- their slot is simply empty.
+  std::vector<Trace> merged;
+  merged.reserve(slots.size());
+  for (auto& slot : slots) {
+    if (slot) merged.push_back(std::move(*slot));
+  }
+  return merged;
+}
+
+}  // namespace ecnprobe::measure

@@ -1,0 +1,105 @@
+// Sharded parallel campaign executor. The campaign's traces are
+// independent given the determinism contract (every trace is a pure
+// function of the world seed and its campaign index), so they shard
+// trivially: a fixed-size worker pool pulls per-trace work items from a
+// shared queue, each worker runs them on its own isolated, seed-derived
+// world -- no mutable simulation state is shared between threads -- and
+// the merged result vector is in plan order, byte-identical to what the
+// sequential Campaign produces on one world.
+//
+// Thread affinity contract:
+//   * CampaignShard instances are created by the factory *on the worker
+//     thread* that will use them; the shard's Simulator is therefore owned
+//     by that thread (netsim::Simulator enforces single-thread use).
+//   * begin_trace() is called on the worker thread and may freely mutate
+//     the shard's own world.
+//   * The observer hook (set_observer) runs serialized under a mutex, one
+//     invocation at a time, but on whichever worker claimed the trace.
+//   * run() blocks the calling thread until every trace finished.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/measure/campaign.hpp"
+#include "ecnprobe/measure/probe.hpp"
+
+namespace ecnprobe::measure {
+
+/// One worker's isolated execution context: a private world clone with its
+/// own Simulator, vantages, and server pool. Implemented by the scenario
+/// layer (scenario::World); measure/ stays ignorant of how worlds are
+/// built.
+class CampaignShard {
+public:
+  virtual ~CampaignShard() = default;
+
+  virtual netsim::Simulator& sim() = 0;
+  virtual std::map<std::string, Vantage*> vantages() = 0;
+  virtual std::vector<wire::Ipv4Address> servers() = 0;
+
+  /// Puts this shard's world into the exact state the sequential campaign
+  /// would have before trace `index`: availability/churn for (batch, index)
+  /// plus the per-trace epoch reset (RNG streams, middlebox state).
+  virtual void begin_trace(const std::string& vantage, int batch, int index) = 0;
+};
+
+class ParallelCampaign {
+public:
+  /// Builds worker `worker_index`'s shard. Invoked on the worker thread.
+  using ShardFactory = std::function<std::unique_ptr<CampaignShard>(int worker_index)>;
+  /// Progress observer; serialized across workers. Must not touch any
+  /// shard's world (each worker resets its own via CampaignShard).
+  using ObserverHook =
+      std::function<void(const std::string& vantage, int batch, int index)>;
+
+  struct Options {
+    int workers = 1;
+    ProbeOptions probe;
+  };
+
+  /// A trace that threw instead of producing a result. The remaining
+  /// traces still run; failures are reported here instead of aborting the
+  /// campaign.
+  struct TraceFailure {
+    int index = 0;
+    std::string vantage;
+    int batch = 0;
+    std::string message;
+  };
+
+  ParallelCampaign(ShardFactory factory, Options options);
+
+  void set_observer(ObserverHook hook) { observer_ = std::move(hook); }
+
+  /// Runs the plan across the worker pool; blocks until done. Returns the
+  /// successful traces merged back into plan order (failed traces are
+  /// omitted -- never duplicated, never reordered).
+  std::vector<Trace> run(const CampaignPlan& plan);
+
+  /// Traces that threw during the last run(), in campaign-index order.
+  const std::vector<TraceFailure>& failures() const { return failures_; }
+
+  /// Live progress: traces finished so far (readable from any thread).
+  int traces_completed() const { return completed_.load(std::memory_order_relaxed); }
+
+private:
+  struct Worker;
+  void run_one(Worker& worker, const std::vector<PlannedTrace>& schedule, int index,
+               std::vector<std::unique_ptr<Trace>>& slots);
+
+  ShardFactory factory_;
+  Options options_;
+  ObserverHook observer_;
+  std::mutex observer_mutex_;
+  std::mutex failures_mutex_;
+  std::vector<TraceFailure> failures_;
+  std::atomic<int> completed_{0};
+};
+
+}  // namespace ecnprobe::measure

@@ -100,6 +100,14 @@ public:
 
   void on_receive(wire::Datagram dgram, int ingress_if) override;
 
+  /// Epoch boundary: re-derives the host random stream (ISNs, service
+  /// response draws) and rewinds the ephemeral-port allocator, so the
+  /// host's behaviour in the new epoch is a pure function of the seed.
+  void on_epoch(std::uint64_t epoch_seed) override {
+    rng_ = util::Rng(epoch_seed);
+    next_ephemeral_ = 49152;
+  }
+
   struct Stats {
     std::uint64_t udp_delivered = 0;
     std::uint64_t udp_no_socket = 0;

@@ -18,6 +18,22 @@ void Node::set_address(wire::Ipv4Address addr) {
 
 Network::Network(Simulator& sim, util::Rng rng) : sim_(sim), rng_(rng) {}
 
+void Network::begin_epoch(std::uint64_t epoch_seed) {
+  rng_ = util::Rng(util::derive_seed(epoch_seed, "datapath"));
+  ip_id_ = 1;
+  for (auto& ifaces : ifaces_) {
+    for (auto& iface : ifaces) {
+      for (auto& policy : iface.egress_policies) policy->reset_state();
+      for (auto& policy : iface.ingress_policies) policy->reset_state();
+    }
+  }
+  // Node ids are assigned in construction order, which is deterministic per
+  // seed, so id-salted derivation gives every node a stable epoch stream.
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->on_epoch(util::derive_seed(epoch_seed, static_cast<std::uint64_t>(i) + 1));
+  }
+}
+
 NodeId Network::add_node(std::unique_ptr<Node> node) {
   const auto id = static_cast<NodeId>(nodes_.size());
   nodes_.push_back(std::move(node));

@@ -41,6 +41,12 @@ public:
   /// Called once when the node is added to a network.
   virtual void on_attached(Network& net, NodeId id);
 
+  /// Epoch boundary (Network::begin_epoch): nodes holding per-node random
+  /// streams or transient counters re-derive them from `epoch_seed` so the
+  /// upcoming epoch's behaviour is a pure function of the seed, independent
+  /// of traffic in earlier epochs. Default: nothing to reset.
+  virtual void on_epoch(std::uint64_t epoch_seed) { (void)epoch_seed; }
+
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
   wire::Ipv4Address address() const { return address_; }
@@ -121,6 +127,16 @@ public:
 
   /// Monotonic IP identification counter shared by all senders.
   std::uint16_t next_ip_id() { return ip_id_++; }
+
+  /// Starts a deterministic epoch: reseeds the datapath stream (loss,
+  /// jitter, policy draws) from `epoch_seed`, resets the IP-id counter,
+  /// clears behavioural middlebox state (PacketPolicy::reset_state), and
+  /// lets every node re-derive its per-node streams (Node::on_epoch).
+  /// Called between campaign traces -- from a quiescent simulator -- so a
+  /// trace's outcome does not depend on which traces ran before it, which
+  /// is what makes sharded parallel campaigns byte-identical to sequential
+  /// ones. Aggregate stats() counters are not touched.
+  void begin_epoch(std::uint64_t epoch_seed);
 
 private:
   Simulator& sim_;

@@ -44,6 +44,13 @@ public:
   virtual std::string name() const = 0;
   const PolicyStats& stats() const { return stats_; }
 
+  /// Forgets behavioural state (conntrack tables, queue backlogs) so the
+  /// next packet sees a freshly-booted middlebox. Counters in stats() are
+  /// preserved: they report on the whole run, not one epoch. Called by
+  /// Network::begin_epoch between campaign traces to keep each trace a pure
+  /// function of (seed, trace index). Stateless policies inherit the no-op.
+  virtual void reset_state() {}
+
   /// Extra forwarding delay imposed on the packet just passed (queuing
   /// policies). The datapath reads this once per apply(); stateless
   /// policies return zero.
@@ -184,6 +191,7 @@ public:
 
   explicit GreylistUdpPolicy(Params params) : params_(params) {}
   std::string name() const override { return "greylist-udp"; }
+  void reset_state() override { sources_.clear(); }
 
 protected:
   PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
@@ -217,6 +225,11 @@ public:
 
   explicit BottleneckAqmPolicy(Params params) : params_(params) {}
   std::string name() const override;
+  void reset_state() override {
+    backlog_bytes_ = 0.0;
+    last_drain_ = {};
+    pending_delay_ = {};
+  }
 
   util::SimDuration take_extra_delay() override {
     const auto delay = pending_delay_;

@@ -23,6 +23,9 @@ public:
 
   void on_receive(wire::Datagram dgram, int ingress_if) override;
 
+  /// Epoch boundary: re-derives the ICMP rate-limit stream.
+  void on_epoch(std::uint64_t epoch_seed) override { rng_ = util::Rng(epoch_seed); }
+
   struct Stats {
     std::uint64_t forwarded = 0;
     std::uint64_t ttl_expired = 0;

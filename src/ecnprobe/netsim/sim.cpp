@@ -1,5 +1,7 @@
 #include "ecnprobe/netsim/sim.hpp"
 
+#include <stdexcept>
+
 namespace ecnprobe::netsim {
 
 void EventHandle::cancel() {
@@ -8,17 +10,34 @@ void EventHandle::cancel() {
 
 bool EventHandle::pending() const { return cancelled_ && !*cancelled_; }
 
+void Simulator::assert_owner() {
+  const auto self = std::this_thread::get_id();
+  if (owner_ == std::thread::id{}) {
+    owner_ = self;
+  } else if (owner_ != self) {
+    throw std::logic_error(
+        "Simulator: used from a second thread; each simulation instance is "
+        "single-threaded (give every campaign worker its own world)");
+  }
+}
+
 EventHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
   if (delay < SimDuration{}) delay = SimDuration{};
   return schedule_at(now_ + delay, std::move(fn));
 }
 
 EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
+  assert_owner();
   if (when < now_) when = now_;
   auto cancelled = std::make_shared<bool>(false);
   queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
   ++live_;
   return EventHandle{std::move(cancelled)};
+}
+
+void Simulator::schedule_when_idle(std::function<void()> fn) {
+  assert_owner();
+  idle_.push_back(std::move(fn));
 }
 
 bool Simulator::fire_next() {
@@ -42,18 +61,37 @@ bool Simulator::fire_next() {
 }
 
 std::size_t Simulator::run(std::size_t limit) {
+  assert_owner();
   std::size_t fired = 0;
-  while (fired < limit && fire_next()) ++fired;
+  while (fired < limit) {
+    if (fire_next()) {
+      ++fired;
+      continue;
+    }
+    if (idle_.empty()) break;
+    auto fn = std::move(idle_.front());
+    idle_.pop_front();
+    fn();
+    ++fired;
+  }
   return fired;
 }
 
 std::size_t Simulator::run_until(SimTime until) {
+  assert_owner();
   std::size_t fired = 0;
   while (!queue_.empty() && queue_.top().when <= until) {
     if (fire_next()) ++fired;
   }
   if (now_ < until) now_ = until;
   return fired;
+}
+
+void Simulator::clear_pending() {
+  assert_owner();
+  while (!queue_.empty()) queue_.pop();
+  idle_.clear();
+  live_ = 0;
 }
 
 }  // namespace ecnprobe::netsim

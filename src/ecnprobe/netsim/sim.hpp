@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <queue>
+#include <thread>
 #include <vector>
 
 #include "ecnprobe/util/time.hpp"
@@ -44,6 +46,14 @@ public:
   EventHandle schedule(SimDuration delay, std::function<void()> fn);
   EventHandle schedule_at(SimTime when, std::function<void()> fn);
 
+  /// Runs `fn` the next time the event queue drains (all live events fired,
+  /// no time attached). run() processes idle callbacks one at a time, so a
+  /// callback that schedules new events keeps the simulation going and the
+  /// next idle callback fires only once those events drain too. This is the
+  /// quiescence barrier between campaign traces: straggler packets and
+  /// timers from one trace fully settle before the next trace starts.
+  void schedule_when_idle(std::function<void()> fn);
+
   /// Runs events until the queue empties or `limit` events have fired.
   /// Returns the number of events processed.
   std::size_t run(std::size_t limit = SIZE_MAX);
@@ -52,8 +62,14 @@ public:
   /// if the queue drains early.
   std::size_t run_until(SimTime until);
 
+  /// Discards every pending event and idle callback without firing them.
+  /// Recovery hatch after an exception unwound mid-trace: queued callbacks
+  /// may reference destroyed objects and must never fire.
+  void clear_pending();
+
   std::size_t events_processed() const { return processed_; }
   std::size_t events_pending() const { return live_; }
+  std::size_t idle_callbacks_pending() const { return idle_.size(); }
 
 private:
   struct Event {
@@ -70,12 +86,19 @@ private:
   };
 
   bool fire_next();
+  void assert_owner();
 
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::deque<std::function<void()>> idle_;
   SimTime now_;
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
   std::size_t live_ = 0;  ///< queued events not yet cancelled
+
+  // A Simulator is single-threaded by design; with campaign shards running
+  // one Simulator per worker, this catches accidental cross-thread sharing.
+  // The owner binds on first schedule/run and never rebinds.
+  std::thread::id owner_;
 };
 
 }  // namespace ecnprobe::netsim

@@ -435,16 +435,15 @@ wire::Ipv4Address World::vantage_address(const std::string& name) {
 }
 
 void World::before_trace(const std::string& /*vantage*/, int batch, int index) {
-  util::Rng trace_rng = rng_.fork(util::strf("trace%d", index));
-  if (batch != current_batch_) {
-    current_batch_ = batch;
-    if (batch == 2) {
-      // Pool churn between the April/May and July/August collections.
-      for (auto& server : servers_) {
-        if (trace_rng.bernoulli(params_.batch2_departed_fraction)) server.departed = true;
-      }
-    }
+  // Pool churn between the April/May and July/August collections. Derived
+  // from a fixed stream and *recomputed* (not accumulated) so the departed
+  // set for batch 2 is identical no matter which trace applies it first --
+  // a campaign shard may well run a batch-2 trace before any batch-1 one.
+  util::Rng churn_rng = rng_.fork("batch2-churn");
+  for (auto& server : servers_) {
+    server.departed = batch >= 2 && churn_rng.bernoulli(params_.batch2_departed_fraction);
   }
+  util::Rng trace_rng = rng_.fork(util::strf("trace%d", index));
   for (auto& server : servers_) {
     server.online = !server.departed && !trace_rng.bernoulli(params_.offline_prob);
     server.ntp_service->set_online(server.online);
@@ -452,11 +451,20 @@ void World::before_trace(const std::string& /*vantage*/, int batch, int index) {
   }
 }
 
+void World::begin_trace_epoch(const std::string& vantage, int batch, int index) {
+  const std::uint64_t epoch_seed = util::derive_seed(
+      util::derive_seed(params_.seed, "trace-epoch"), static_cast<std::uint64_t>(index));
+  net().begin_epoch(epoch_seed);
+  for (auto& server : servers_) server.tcp_stack->reset_transients();
+  for (auto& entry : vantages_) entry.vantage->tcp().reset_transients();
+  before_trace(vantage, batch, index);
+}
+
 std::vector<measure::Trace> World::run_campaign(const measure::CampaignPlan& plan,
                                                 const measure::ProbeOptions& options) {
   measure::Campaign campaign(vantage_map(), server_addresses(), options);
   campaign.set_before_trace([this](const std::string& vantage, int batch, int index) {
-    before_trace(vantage, batch, index);
+    begin_trace_epoch(vantage, batch, index);
   });
   std::vector<measure::Trace> results;
   bool done = false;
@@ -471,6 +479,11 @@ std::vector<measure::Trace> World::run_campaign(const measure::CampaignPlan& pla
 
 std::vector<measure::TracerouteObservation> World::run_traceroutes(
     int repetitions, traceroute::TracerouteOptions options) {
+  // Hermetic like a campaign trace: re-derive the datapath streams from a
+  // fixed label so the traceroute figures do not depend on whether (or how)
+  // a campaign ran on this world first -- the sequential and --workers=N
+  // study pipelines print identical Figure 4 sections.
+  net().begin_epoch(util::derive_seed(params_.seed, "traceroute-epoch"));
   std::vector<measure::TracerouteObservation> all;
   for (const auto& name : vantage_names_) {
     measure::TracerouteRunner runner(vantage(name), server_addresses(), options,
@@ -512,6 +525,29 @@ std::vector<wire::Ipv4Address> World::ground_truth_firewalled() const {
     if (server.firewalled_ect_udp) out.push_back(server.address);
   }
   return out;
+}
+
+measure::ParallelCampaign::ShardFactory world_shard_factory(WorldParams params) {
+  return [params](int /*worker_index*/) -> std::unique_ptr<measure::CampaignShard> {
+    // Runs on the worker thread: the shard's Simulator binds to it there.
+    return std::make_unique<WorldShard>(params);
+  };
+}
+
+std::vector<measure::Trace> run_parallel_campaign(
+    const WorldParams& params, const measure::CampaignPlan& plan,
+    const measure::ProbeOptions& options, int workers,
+    std::vector<measure::ParallelCampaign::TraceFailure>* failures) {
+  measure::ParallelCampaign::Options exec_options;
+  exec_options.workers = workers;
+  exec_options.probe = options;
+  measure::ParallelCampaign campaign(world_shard_factory(params), exec_options);
+  auto traces = campaign.run(plan);
+  if (failures != nullptr) {
+    failures->insert(failures->end(), campaign.failures().begin(),
+                     campaign.failures().end());
+  }
+  return traces;
 }
 
 void World::enable_congestion_at_server(std::size_t i, double mark_prob,

@@ -31,6 +31,7 @@
 #include "ecnprobe/geo/geo.hpp"
 #include "ecnprobe/http/http_service.hpp"
 #include "ecnprobe/measure/campaign.hpp"
+#include "ecnprobe/measure/parallel_campaign.hpp"
 #include "ecnprobe/measure/vantage.hpp"
 #include "ecnprobe/ntp/ntp.hpp"
 #include "ecnprobe/tcp/tcp.hpp"
@@ -134,16 +135,33 @@ public:
   std::vector<std::string> pool_zone_names() const;
 
   // -- campaign support -----------------------------------------------------
-  /// Campaign hook: advances availability state (batch churn, per-trace
-  /// offline draws).
+  /// Campaign availability hook. A pure function of (batch, index) given
+  /// the world seed: batch-2 pool departures are re-derived from a fixed
+  /// churn stream (not accumulated), per-trace offline draws from a
+  /// per-index stream. Idempotent and order-independent, so any worker can
+  /// reproduce the availability state of any trace on its own world clone.
   void before_trace(const std::string& vantage, int batch, int index);
 
-  /// Convenience: wires up a Campaign with the world's hook, runs the
+  /// Full determinism contract for one campaign trace: availability via
+  /// before_trace *plus* the per-trace epoch reset -- network datapath and
+  /// per-node RNG streams re-derived from (seed, index), middlebox
+  /// conntrack/queue state cleared, TCP transients dropped. After this
+  /// call, the trace's outcome is a pure function of (WorldParams, batch,
+  /// index), independent of whatever ran on this world before. Both the
+  /// sequential run_campaign() and the parallel shards call it, which is
+  /// why their merged results are byte-identical. Must be called from a
+  /// quiescent simulator (no pending events).
+  void begin_trace_epoch(const std::string& vantage, int batch, int index);
+
+  /// Convenience: wires up a Campaign with the world's epoch hook, runs the
   /// simulator to completion, returns the traces.
   std::vector<measure::Trace> run_campaign(const measure::CampaignPlan& plan,
                                            const measure::ProbeOptions& options = {});
 
   /// Runs `repetitions` ECN traceroutes from each vantage to every server.
+  /// Begins its own epoch ("traceroute-epoch"), so the observations are a
+  /// pure function of the world seed, independent of any campaign that ran
+  /// on this world before.
   std::vector<measure::TracerouteObservation> run_traceroutes(
       int repetitions = 2, traceroute::TracerouteOptions options = {});
 
@@ -190,8 +208,43 @@ private:
   netsim::Host* resolver_host_ = nullptr;
   std::unique_ptr<dns::DnsServerService> resolver_service_;
   wire::Ipv4Address resolver_address_;
-
-  int current_batch_ = 0;
 };
+
+/// measure::CampaignShard over a worker-private World built from `params`.
+/// Constructed by the shard factory on the worker thread, so the world's
+/// Simulator is owned by that thread.
+class WorldShard final : public measure::CampaignShard {
+public:
+  explicit WorldShard(const WorldParams& params) : world_(params) {}
+
+  netsim::Simulator& sim() override { return world_.sim(); }
+  std::map<std::string, measure::Vantage*> vantages() override {
+    return world_.vantage_map();
+  }
+  std::vector<wire::Ipv4Address> servers() override { return world_.server_addresses(); }
+  void begin_trace(const std::string& vantage, int batch, int index) override {
+    world_.begin_trace_epoch(vantage, batch, index);
+  }
+
+  World& world() { return world_; }
+
+private:
+  World world_;
+};
+
+/// Shard factory for ParallelCampaign: every worker gets its own World
+/// rebuilt from the same params (world construction is a pure function of
+/// the seed, so the clones are identical).
+measure::ParallelCampaign::ShardFactory world_shard_factory(WorldParams params);
+
+/// Convenience mirror of World::run_campaign for the sharded executor:
+/// builds one isolated world per worker, runs the plan across `workers`
+/// threads, returns traces merged in plan order -- byte-identical to the
+/// sequential path. Per-trace failures (if any) are appended to
+/// `failures` when given.
+std::vector<measure::Trace> run_parallel_campaign(
+    const WorldParams& params, const measure::CampaignPlan& plan,
+    const measure::ProbeOptions& options = {}, int workers = 1,
+    std::vector<measure::ParallelCampaign::TraceFailure>* failures = nullptr);
 
 }  // namespace ecnprobe::scenario

@@ -603,6 +603,14 @@ void TcpStack::register_flow(const FlowKey& key, std::shared_ptr<TcpConnection> 
 
 void TcpStack::release_flow(const FlowKey& key) { flows_.erase(key); }
 
+void TcpStack::reset_transients() {
+  // finish() erases from flows_ via release_flow, so tear down a copy.
+  auto flows = flows_;
+  for (auto& [key, conn] : flows) conn->finish(CloseReason::LocalAbort);
+  flows_.clear();
+  next_ephemeral_ = 40000;
+}
+
 std::uint16_t TcpStack::pick_ephemeral_port() {
   for (int attempts = 0; attempts < 25000; ++attempts) {
     const std::uint16_t candidate = next_ephemeral_;

@@ -214,6 +214,13 @@ public:
   netsim::Host& host() { return host_; }
   const TcpConfig& config() const { return config_; }
 
+  /// Epoch boundary: tears down any surviving flows (normally just
+  /// TIME_WAIT remnants -- campaign epochs begin at simulator quiescence)
+  /// and rewinds the ephemeral-port allocator so connection five-tuples and
+  /// ISN draws replay identically in the new epoch. Listeners survive: a
+  /// server keeps serving across epochs.
+  void reset_transients();
+
 private:
   friend class TcpConnection;
 

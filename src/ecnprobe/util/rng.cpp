@@ -156,4 +156,17 @@ Rng Rng::fork(std::uint64_t salt) const {
   return Rng{derive_seed(seed_, salt)};
 }
 
+Rng Rng::split_stream(std::uint64_t i) const {
+  // Two-level derivation: first hop into a "split" domain (so child streams
+  // cannot collide with fork() streams of small integer salts), then index.
+  return Rng{derive_seed(derive_seed(seed_, "split"), i)};
+}
+
+std::vector<Rng> Rng::split(std::size_t n) const {
+  std::vector<Rng> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(split_stream(i));
+  return out;
+}
+
 }  // namespace ecnprobe::util

@@ -80,6 +80,16 @@ public:
   Rng fork(std::string_view label) const;
   Rng fork(std::uint64_t salt) const;
 
+  /// Splits this stream into `n` child streams for parallel shards. Child
+  /// `i` is a pure function of (seed, i) -- stable across platforms and
+  /// unchanged by how many draws the parent has made -- so work sharded
+  /// across a worker pool reproduces regardless of worker count or
+  /// scheduling order. Children are derived in a dedicated "split" domain
+  /// and therefore never collide with fork(label)/fork(salt) streams.
+  std::vector<Rng> split(std::size_t n) const;
+  /// Single child from the same family as split(n)'s element `i`.
+  Rng split_stream(std::uint64_t i) const;
+
   std::uint64_t seed() const { return seed_; }
 
 private:

@@ -1,0 +1,52 @@
+// A small fixed-size worker pool for sharded campaign execution. Tasks are
+// plain closures pulled from a shared FIFO queue; each worker thread has a
+// stable index (ThreadPool::current_worker_index) so callers can maintain
+// worker-affine state -- e.g. one isolated simulation world per worker --
+// without locking. Tasks must not throw: wrap bodies in try/catch and record
+// failures out-of-band.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ecnprobe::util {
+
+class ThreadPool {
+public:
+  /// Starts `threads` workers (clamped to at least 1).
+  explicit ThreadPool(int threads);
+  /// Waits for queued tasks to finish, then joins the workers.
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; any worker may run it.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Index of the calling pool worker in [0, size()), or -1 when called
+  /// from a thread that does not belong to any pool.
+  static int current_worker_index();
+
+private:
+  void worker_main(int index);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   ///< signals workers: task ready / stop
+  std::condition_variable idle_cv_;   ///< signals waiters: pool went idle
+  std::deque<std::function<void()>> queue_;
+  std::size_t active_ = 0;  ///< tasks currently executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ecnprobe::util

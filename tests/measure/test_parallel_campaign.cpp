@@ -1,0 +1,187 @@
+// Determinism regression harness for the sharded campaign executor: the
+// whole point of ParallelCampaign is that sharding traces across isolated
+// per-worker worlds changes wall-clock time and nothing else. Sequential
+// Campaign output and parallel output at 1, 2, and 8 workers must agree to
+// the byte, and a worker whose trace throws must neither lose nor
+// duplicate anyone else's traces.
+#include "ecnprobe/measure/parallel_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "ecnprobe/analysis/reachability.hpp"
+#include "ecnprobe/measure/results.hpp"
+#include "ecnprobe/scenario/world.hpp"
+
+namespace ecnprobe::measure {
+namespace {
+
+scenario::WorldParams determinism_params() {
+  auto p = scenario::WorldParams::small(77);
+  p.server_count = 24;
+  p.ect_udp_firewalled_servers = 2;
+  p.ect_required_servers = 1;
+  p.ec2_sensitive_servers = 1;
+  p.offline_prob = 0.06;
+  return p;
+}
+
+CampaignPlan mixed_plan() {
+  CampaignPlan plan;
+  plan.entries.push_back({"Perkins home", 1, 2});
+  plan.entries.push_back({"McQuistin home", 1, 1});
+  plan.entries.push_back({"UGla wless", 1, 1});
+  plan.entries.push_back({"Perkins home", 2, 1});
+  plan.entries.push_back({"EC2 Vir", 2, 2});
+  plan.entries.push_back({"EC2 Tok", 2, 2});
+  return plan;
+}
+
+std::string to_csv(const std::vector<Trace>& traces) {
+  std::ostringstream os;
+  write_traces_csv(os, traces);
+  return os.str();
+}
+
+TEST(ParallelCampaign, ByteIdenticalToSequentialAt1And2And8Workers) {
+  const auto params = determinism_params();
+  const auto plan = mixed_plan();
+  const ProbeOptions options;
+
+  scenario::World sequential_world(params);
+  const auto sequential = sequential_world.run_campaign(plan, options);
+  ASSERT_EQ(static_cast<int>(sequential.size()), plan.total_traces());
+  const auto sequential_csv = to_csv(sequential);
+  const auto sequential_summary = analysis::summarize_reachability(sequential);
+
+  for (const int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    const auto parallel = scenario::run_parallel_campaign(params, plan, options, workers);
+    ASSERT_EQ(parallel.size(), sequential.size());
+
+    // Plan-order merge: index, vantage, and batch line up trace for trace.
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      EXPECT_EQ(parallel[i].index, sequential[i].index);
+      EXPECT_EQ(parallel[i].vantage, sequential[i].vantage);
+      EXPECT_EQ(parallel[i].batch, sequential[i].batch);
+    }
+
+    // The strong contract: the merged results CSV is byte-identical.
+    EXPECT_EQ(to_csv(parallel), sequential_csv);
+
+    // And so are the paper's headline numbers (Table 1 / Figure 2a inputs).
+    const auto summary = analysis::summarize_reachability(parallel);
+    EXPECT_DOUBLE_EQ(summary.mean_reachable_udp_plain,
+                     sequential_summary.mean_reachable_udp_plain);
+    EXPECT_DOUBLE_EQ(summary.mean_pct_ect_given_plain,
+                     sequential_summary.mean_pct_ect_given_plain);
+    EXPECT_DOUBLE_EQ(summary.mean_pct_plain_given_ect,
+                     sequential_summary.mean_pct_plain_given_ect);
+    EXPECT_DOUBLE_EQ(summary.pct_tcp_negotiating_ecn,
+                     sequential_summary.pct_tcp_negotiating_ecn);
+  }
+}
+
+TEST(ParallelCampaign, RepeatedParallelRunsAreIdentical) {
+  const auto params = determinism_params();
+  const auto plan = mixed_plan();
+  const auto first = scenario::run_parallel_campaign(params, plan, {}, 4);
+  const auto second = scenario::run_parallel_campaign(params, plan, {}, 4);
+  EXPECT_EQ(to_csv(first), to_csv(second));
+}
+
+TEST(ParallelCampaign, ProgressCounterAndSerializedObserver) {
+  const auto params = determinism_params();
+  const auto plan = mixed_plan();
+
+  ParallelCampaign::Options options;
+  options.workers = 4;
+  ParallelCampaign campaign(scenario::world_shard_factory(params), options);
+
+  // The observer is serialized: with the mutex held by the executor, a
+  // non-atomic counter must still end up exact.
+  int observed = 0;
+  std::set<int> observed_indices;
+  campaign.set_observer([&](const std::string&, int, int index) {
+    ++observed;
+    observed_indices.insert(index);
+  });
+
+  EXPECT_EQ(campaign.traces_completed(), 0);
+  const auto traces = campaign.run(plan);
+  EXPECT_EQ(static_cast<int>(traces.size()), plan.total_traces());
+  EXPECT_EQ(campaign.traces_completed(), plan.total_traces());
+  EXPECT_EQ(observed, plan.total_traces());
+  EXPECT_EQ(static_cast<int>(observed_indices.size()), plan.total_traces());
+  EXPECT_TRUE(campaign.failures().empty());
+}
+
+// Concurrency stress: a world where the greylisting and rate-limiting
+// failure-injection machinery fires constantly, plus traces that throw
+// mid-campaign from several workers at once. No trace may be lost or
+// duplicated, and the failed ones must be reported, not silently dropped.
+TEST(ParallelCampaign, StressNoLostOrDuplicatedTracesWhenWorkersThrow) {
+  auto params = scenario::WorldParams::small(91);
+  params.server_count = 16;
+  params.greylist_flaky_prob = 0.25;  // constant warm-up churn (Figure 2b)
+  params.greylist_dead_prob = 0.05;   // wedged firewalls
+  params.rate_limited_fraction = 0.3; // heavy NTP rate limiting
+  params.offline_prob = 0.15;         // heavy failure injection
+  CampaignPlan plan;
+  plan.entries.push_back({"Perkins home", 1, 4});
+  plan.entries.push_back({"UGla wired", 1, 4});
+  plan.entries.push_back({"EC2 Sin", 2, 4});
+  plan.entries.push_back({"EC2 Sao", 2, 4});
+  const int total = plan.total_traces();
+
+  const std::set<int> poisoned = {1, 5, 11};
+  ParallelCampaign::Options options;
+  options.workers = 8;
+  ParallelCampaign campaign(scenario::world_shard_factory(params), options);
+  campaign.set_observer([&](const std::string&, int, int index) {
+    if (poisoned.contains(index)) {
+      throw std::runtime_error("injected failure for trace " + std::to_string(index));
+    }
+  });
+
+  const auto traces = campaign.run(plan);
+  EXPECT_EQ(static_cast<int>(traces.size()), total - static_cast<int>(poisoned.size()));
+  EXPECT_EQ(campaign.traces_completed(), total - static_cast<int>(poisoned.size()));
+
+  // No duplicates, no resurrections of poisoned traces, order preserved.
+  std::set<int> seen;
+  int last_index = -1;
+  for (const auto& trace : traces) {
+    EXPECT_TRUE(seen.insert(trace.index).second) << "duplicate trace " << trace.index;
+    EXPECT_FALSE(poisoned.contains(trace.index)) << "poisoned trace survived";
+    EXPECT_GT(trace.index, last_index) << "merge order broken";
+    last_index = trace.index;
+    EXPECT_EQ(trace.servers.size(), static_cast<std::size_t>(params.server_count));
+  }
+
+  ASSERT_EQ(campaign.failures().size(), poisoned.size());
+  for (const auto& failure : campaign.failures()) {
+    EXPECT_TRUE(poisoned.contains(failure.index));
+    EXPECT_NE(failure.message.find("injected failure"), std::string::npos);
+  }
+
+  // The surviving traces still match a clean sequential run of the same
+  // seed: a neighbour's crash must not perturb anyone else's results.
+  scenario::World reference_world(params);
+  const auto reference = reference_world.run_campaign(plan);
+  ASSERT_EQ(static_cast<int>(reference.size()), total);
+  std::ostringstream expected;
+  std::vector<Trace> kept;
+  for (const auto& trace : reference) {
+    if (!poisoned.contains(trace.index)) kept.push_back(trace);
+  }
+  write_traces_csv(expected, kept);
+  EXPECT_EQ(to_csv(traces), expected.str());
+}
+
+}  // namespace
+}  // namespace ecnprobe::measure

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace ecnprobe::netsim {
@@ -112,6 +114,52 @@ TEST(Simulator, CountsProcessedAndPending) {
   sim.run();
   EXPECT_EQ(sim.events_processed(), 2u);
   EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(Simulator, IdleCallbacksFireOnlyWhenQueueDrains) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(2_ms, [&] { order.push_back(1); });
+  sim.schedule_when_idle([&] {
+    order.push_back(2);
+    // Work scheduled by an idle callback runs before the next idle one.
+    sim.schedule(1_ms, [&] { order.push_back(3); });
+  });
+  sim.schedule_when_idle([&] { order.push_back(4); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.idle_callbacks_pending(), 0u);
+}
+
+TEST(Simulator, ClearPendingDropsEventsAndIdleCallbacks) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule(1_ms, [&] { fired = true; });
+  sim.schedule_when_idle([&] { fired = true; });
+  sim.clear_pending();
+  EXPECT_EQ(sim.events_pending(), 0u);
+  EXPECT_EQ(sim.idle_callbacks_pending(), 0u);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, SecondThreadUseThrows) {
+  // Each ParallelCampaign worker owns its simulator outright; the ownership
+  // assertion turns an accidental cross-thread share into a loud failure
+  // instead of a data race.
+  Simulator sim;
+  sim.schedule(1_ms, [] {});  // binds ownership to this thread
+  bool threw = false;
+  std::thread other([&] {
+    try {
+      sim.schedule(1_ms, [] {});
+    } catch (const std::logic_error&) {
+      threw = true;
+    }
+  });
+  other.join();
+  EXPECT_TRUE(threw);
+  sim.run();  // still usable from the owning thread
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 // pipe results between them as CSV/pcap.
 //
 //   ecnprobe discover   [--scale F] [--seed N] [--rounds R]
-//   ecnprobe campaign   [--scale F] [--seed N] [--traces N] [--out FILE]
+//   ecnprobe campaign   [--scale F] [--seed N] [--traces N] [--workers N] [--out FILE]
 //   ecnprobe analyze    <traces.csv>
 //   ecnprobe traceroute [--scale F] [--seed N] [--vantage NAME] [--count N]
 //   ecnprobe pcap       [--scale F] [--seed N] [--out FILE]
@@ -36,6 +36,7 @@ struct Options {
   int rounds = 0;
   int traces = 0;
   int count = 8;
+  int workers = 1;
   std::string vantage = "UGla wired";
   std::string out;
   std::string input;
@@ -54,6 +55,7 @@ Options parse(int argc, char** argv, int first) {
     else if (arg == "--rounds") options.rounds = std::atoi(value().c_str());
     else if (arg == "--traces") options.traces = std::atoi(value().c_str());
     else if (arg == "--count") options.count = std::atoi(value().c_str());
+    else if (arg == "--workers") options.workers = std::max(1, std::atoi(value().c_str()));
     else if (arg == "--vantage") options.vantage = value();
     else if (arg == "--out") options.out = value();
     else if (arg[0] != '-') options.input = arg;
@@ -81,7 +83,7 @@ int cmd_discover(const Options& options) {
 }
 
 int cmd_campaign(const Options& options) {
-  scenario::World world(params_for(options));
+  const auto params = params_for(options);
   auto plan = measure::CampaignPlan::paper_layout(
       std::max(1, static_cast<int>(9 * options.scale)),
       std::max(1, static_cast<int>(12 * options.scale)),
@@ -99,9 +101,18 @@ int cmd_campaign(const Options& options) {
       if (share > 0) plan.entries.push_back({names[i], i < 4 ? 1 : 2, share});
     }
   }
-  std::fprintf(stderr, "running %d traces x %d servers...\n", plan.total_traces(),
-               world.params().server_count);
-  const auto traces = world.run_campaign(plan);
+  std::fprintf(stderr, "running %d traces x %d servers (%d worker%s)...\n",
+               plan.total_traces(), params.server_count, options.workers,
+               options.workers == 1 ? "" : "s");
+  // Sequential and sharded paths produce byte-identical CSVs; --workers
+  // only changes wall-clock time.
+  std::vector<measure::Trace> traces;
+  if (options.workers > 1) {
+    traces = scenario::run_parallel_campaign(params, plan, {}, options.workers);
+  } else {
+    scenario::World world(params);
+    traces = world.run_campaign(plan);
+  }
   if (options.out.empty()) {
     measure::write_traces_csv(std::cout, traces);
   } else {
@@ -230,7 +241,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: ecnprobe <command> [options]\n"
                "  discover    enumerate the pool via DNS          [--scale --seed --rounds --vantage]\n"
-               "  campaign    run the measurement campaign -> CSV [--scale --seed --traces --out]\n"
+               "  campaign    run the measurement campaign -> CSV [--scale --seed --traces --workers --out]\n"
                "  analyze     figures/tables from a traces CSV    <traces.csv>\n"
                "  traceroute  ECN traceroute listings             [--scale --seed --vantage --count]\n"
                "  pcap        probe one server, dump pcap+dissection [--scale --seed --vantage --out]\n"
