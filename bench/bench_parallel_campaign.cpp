@@ -1,9 +1,11 @@
 // Serial-vs-parallel campaign executor comparison: runs the paper's trace
 // layout once through the sequential World::run_campaign path and once
 // through the sharded ParallelCampaign at increasing worker counts, then
-// checks that every parallel run's merged results CSV is byte-identical to
-// the sequential one while reporting the wall-clock speedup. This is the
-// executable form of the determinism contract in
+// checks that every parallel run's merged results CSV *and* merged campaign
+// metrics are byte-identical to the sequential one while reporting the
+// wall-clock speedup and per-worker utilization (busy time as a fraction of
+// workers x wall time, from the worker_busy_micros_total runtime counters).
+// This is the executable form of the determinism contract in
 // tests/measure/test_parallel_campaign.cpp at study scale.
 //
 //   bench_parallel_campaign [--scale=F] [--seed=N] [--workers=N] [--csv=PATH]
@@ -23,6 +25,7 @@
 #include "ecnprobe/analysis/reachability.hpp"
 #include "ecnprobe/measure/parallel_campaign.hpp"
 #include "ecnprobe/measure/results.hpp"
+#include "ecnprobe/obs/export.hpp"
 
 int main(int argc, char** argv) {
   using namespace ecnprobe;
@@ -53,26 +56,46 @@ int main(int argc, char** argv) {
   const double serial_seconds = serial_timer.seconds();
   std::ostringstream serial_csv;
   measure::write_traces_csv(serial_csv, sequential);
+  const auto serial_metrics = obs::to_json(world.campaign_obs());
   const auto summary = analysis::summarize_reachability(sequential);
   std::printf("  %.2fs (%zu simulated events)\n", serial_seconds,
               world.sim().events_processed());
   std::printf("  mean %% ECT(0)-reachable given not-ECT: %.2f%%\n\n",
               summary.mean_pct_ect_given_plain);
 
-  std::printf("%8s %10s %9s %12s\n", "workers", "seconds", "speedup", "csv");
+  std::printf("%8s %10s %9s %8s %12s %12s\n", "workers", "seconds", "speedup",
+              "util", "csv", "metrics");
   bool all_identical = true;
   for (int workers = 1; workers <= max_workers; workers *= 2) {
+    measure::ParallelCampaign::Options exec;
+    exec.workers = workers;
+    measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
     bench::Stopwatch timer;
-    std::vector<measure::ParallelCampaign::TraceFailure> failures;
-    const auto traces =
-        scenario::run_parallel_campaign(params, plan, {}, workers, &failures);
+    const auto traces = campaign.run(plan);
     const double seconds = timer.seconds();
     std::ostringstream csv;
     measure::write_traces_csv(csv, traces);
-    const bool identical = failures.empty() && csv.str() == serial_csv.str();
-    all_identical = all_identical && identical;
-    std::printf("%8d %9.2fs %8.2fx %12s\n", workers, seconds,
-                serial_seconds / seconds, identical ? "identical" : "DIVERGED");
+
+    // Utilization: total time workers spent inside traces, as a fraction of
+    // the capacity (workers x wall clock). The gap is shard construction,
+    // queue starvation at the tail, and merge time.
+    std::uint64_t busy_micros = 0;
+    const auto runtime = campaign.runtime_metrics();
+    if (const auto it = runtime.families.find("worker_busy_micros_total");
+        it != runtime.families.end()) {
+      for (const auto& [labels, sample] : it->second.samples) busy_micros += sample.counter;
+    }
+    const double utilization =
+        seconds > 0.0 ? static_cast<double>(busy_micros) / 1e6 / (workers * seconds) : 0.0;
+
+    const bool csv_identical =
+        campaign.failures().empty() && csv.str() == serial_csv.str();
+    const bool metrics_identical = obs::to_json(campaign.metrics()) == serial_metrics;
+    all_identical = all_identical && csv_identical && metrics_identical;
+    std::printf("%8d %9.2fs %8.2fx %7.0f%% %12s %12s\n", workers, seconds,
+                serial_seconds / seconds, 100.0 * utilization,
+                csv_identical ? "identical" : "DIVERGED",
+                metrics_identical ? "identical" : "DIVERGED");
   }
 
   if (!config.csv_path.empty()) {

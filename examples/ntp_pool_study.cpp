@@ -5,10 +5,12 @@
 //   $ ./ntp_pool_study                  # 10% scale (250 servers), quick
 //   $ ./ntp_pool_study 1.0              # full paper scale (2500 servers, 210 traces)
 //   $ ./ntp_pool_study 1.0 --workers=8  # campaign sharded across 8 threads
+//   $ ./ntp_pool_study --metrics-out metrics.json   # export metrics + ledger
 //
 // --workers=N runs the campaign through the sharded parallel executor
-// (one isolated world clone per worker); the merged results are
-// byte-identical to the sequential run, just faster on a multicore box.
+// (one isolated world clone per worker); the merged results -- and the
+// campaign metrics/drop-ledger in --metrics-out -- are byte-identical to
+// the sequential run, just faster on a multicore box.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -20,15 +22,22 @@
 #include "ecnprobe/analysis/reachability.hpp"
 #include "ecnprobe/analysis/report.hpp"
 #include "ecnprobe/analysis/trend.hpp"
+#include "ecnprobe/measure/parallel_campaign.hpp"
+#include "ecnprobe/obs/export.hpp"
 #include "ecnprobe/scenario/world.hpp"
 
 int main(int argc, char** argv) {
   using namespace ecnprobe;
   double scale = 0.1;
   int workers = 1;
+  std::string metrics_out;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
+    auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
     if (arg.rfind("--workers=", 0) == 0) workers = std::atoi(arg.c_str() + 10);
+    else if (arg == "--workers") workers = std::atoi(next_value());
+    else if (arg.rfind("--metrics-out=", 0) == 0) metrics_out = arg.substr(14);
+    else if (arg == "--metrics-out") metrics_out = next_value();
     else scale = std::atof(arg.c_str());
   }
   if (workers < 1) workers = 1;
@@ -55,9 +64,22 @@ int main(int argc, char** argv) {
       std::max(1, static_cast<int>(14 * scale)));
   std::printf("[2/4] running the measurement campaign (%d traces, %d worker%s)...\n",
               plan.total_traces(), workers, workers == 1 ? "" : "s");
-  const auto traces = workers > 1
-                          ? scenario::run_parallel_campaign(params, plan, {}, workers)
-                          : world.run_campaign(plan);
+  obs::ObsSnapshot campaign_obs;
+  obs::MetricsSnapshot runtime_metrics;
+  bool have_runtime = false;
+  std::vector<measure::Trace> traces;
+  if (workers > 1) {
+    measure::ParallelCampaign::Options exec;
+    exec.workers = workers;
+    measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
+    traces = campaign.run(plan);
+    campaign_obs = campaign.metrics();
+    runtime_metrics = campaign.runtime_metrics();
+    have_runtime = true;
+  } else {
+    traces = world.run_campaign(plan);
+    campaign_obs = world.campaign_obs();
+  }
 
   const auto per_trace = analysis::per_trace_reachability(traces);
   std::printf("\nFigure 2a: ECT(0)-reachability of not-ECT-reachable servers\n%s\n",
@@ -83,6 +105,11 @@ int main(int argc, char** argv) {
   std::printf("Table 2: UDP vs TCP ECN failure correlation\n%s\n",
               analysis::render_table2(analysis::correlation_table(traces)).c_str());
 
+  // Loss autopsy: the drop ledger's answer to "why is that Figure 2 cell
+  // unreachable" -- every failed probe above has an attributed cause here.
+  const auto autopsy = obs::render_loss_autopsy(campaign_obs.ledger);
+  if (!autopsy.empty()) std::printf("%s\n", autopsy.c_str());
+
   // -- Section 4.2: traceroutes ---------------------------------------------
   std::printf("[3/4] running ECN traceroutes from all vantages...\n");
   const auto observations = world.run_traceroutes(2);
@@ -93,5 +120,14 @@ int main(int argc, char** argv) {
   // -- headline summary ------------------------------------------------------
   std::printf("[4/4] headline numbers vs the paper:\n%s\n",
               analysis::render_summary(summary).c_str());
+
+  if (!metrics_out.empty()) {
+    if (!obs::write_metrics_files(metrics_out, campaign_obs,
+                                  have_runtime ? &runtime_metrics : nullptr)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s (+ Prometheus sibling)\n", metrics_out.c_str());
+  }
   return 0;
 }

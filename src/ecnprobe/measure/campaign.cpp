@@ -98,10 +98,13 @@ void Campaign::start_trace() {
   Vantage* vantage = vantages_.at(planned.vantage);
   vantage->capture().clear();
   runner_ = std::make_unique<TraceRunner>(*vantage, servers_, options_);
-  runner_->run(planned.batch, index, [this](Trace trace) {
-    results_.push_back(std::move(trace));
-    next_trace();
-  });
+  runner_->run(planned.batch, index,
+               [this, vantage_name = planned.vantage, batch = planned.batch,
+                index](Trace trace) {
+                 results_.push_back(std::move(trace));
+                 if (after_trace_) after_trace_(vantage_name, batch, index);
+                 next_trace();
+               });
 }
 
 }  // namespace ecnprobe::measure

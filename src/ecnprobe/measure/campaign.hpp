@@ -60,12 +60,16 @@ public:
   /// availability or apply batch churn.
   using BeforeTraceHook = std::function<void(const std::string& vantage, int batch,
                                              int index)>;
+  /// Called when a trace's TraceRunner delivers its result (straggler
+  /// events may still be in flight -- the quiescence barrier runs after).
+  using AfterTraceHook = BeforeTraceHook;
   using DoneHandler = std::function<void(std::vector<Trace>)>;
 
   Campaign(std::map<std::string, Vantage*> vantages,
            std::vector<wire::Ipv4Address> servers, ProbeOptions options);
 
   void set_before_trace(BeforeTraceHook hook) { before_trace_ = std::move(hook); }
+  void set_after_trace(AfterTraceHook hook) { after_trace_ = std::move(hook); }
 
   /// Runs every trace in the plan sequentially; `done` fires at the end.
   /// Each trace starts only once the simulator has gone quiescent -- every
@@ -84,6 +88,7 @@ private:
   std::vector<wire::Ipv4Address> servers_;
   ProbeOptions options_;
   BeforeTraceHook before_trace_;
+  AfterTraceHook after_trace_;
 
   std::vector<PlannedTrace> schedule_;
   std::size_t cursor_ = 0;

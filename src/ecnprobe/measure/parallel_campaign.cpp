@@ -1,6 +1,7 @@
 #include "ecnprobe/measure/parallel_campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "ecnprobe/util/thread_pool.hpp"
@@ -11,6 +12,8 @@ struct ParallelCampaign::Worker {
   std::unique_ptr<CampaignShard> shard;
   std::map<std::string, Vantage*> vantages;
   std::vector<wire::Ipv4Address> servers;
+  obs::Counter* busy_micros = nullptr;
+  obs::Counter* traces = nullptr;
 };
 
 ParallelCampaign::ParallelCampaign(ShardFactory factory, Options options)
@@ -20,8 +23,13 @@ ParallelCampaign::ParallelCampaign(ShardFactory factory, Options options)
 }
 
 void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& schedule,
-                               int index, std::vector<std::unique_ptr<Trace>>& slots) {
+                               int index, std::vector<std::unique_ptr<Trace>>& slots,
+                               std::vector<obs::ObsSnapshot>& metric_slots) {
   const auto& planned = schedule[static_cast<std::size_t>(index)];
+  auto* in_flight =
+      runtime_.gauge("campaign_in_flight", {{"vantage", planned.vantage}},
+                     "traces currently executing, per vantage");
+  in_flight->add(1);
   try {
     worker.shard->begin_trace(planned.vantage, planned.batch, index);
     if (observer_) {
@@ -40,31 +48,78 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
                [&result](Trace trace) { result = std::make_unique<Trace>(std::move(trace)); });
     worker.shard->sim().run();
     if (!result) throw std::runtime_error("ParallelCampaign: trace stalled");
-    // Distinct slot per trace index: no lock needed for the write.
+    // Distinct slot per trace index: no lock needed for the writes. The
+    // metrics delta is collected after full quiescence, so straggler events
+    // (TIME_WAIT timers, late responses) land in this trace's delta -- the
+    // same attribution the sequential campaign's epoch boundaries produce.
+    metric_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_metrics();
     slots[static_cast<std::size_t>(index)] = std::move(result);
     completed_.fetch_add(1, std::memory_order_relaxed);
+    runtime_.counter("campaign_completed_total", {{"vantage", planned.vantage}},
+                     "traces finished, per vantage")->inc();
   } catch (const std::exception& e) {
     // Abandoned events may reference objects the unwinding destroyed (the
     // TraceRunner above); they must never fire. The epoch reset at the next
     // begin_trace() restores the world's behavioural state.
     worker.shard->sim().clear_pending();
+    runtime_.counter("campaign_failed_total", {{"vantage", planned.vantage}},
+                     "traces that threw, per vantage")->inc();
     std::lock_guard<std::mutex> lock(failures_mutex_);
     failures_.push_back({index, planned.vantage, planned.batch, e.what()});
   }
+  in_flight->add(-1);
+}
+
+ParallelCampaign::Progress ParallelCampaign::progress() const {
+  Progress p;
+  p.total = total_.load(std::memory_order_relaxed);
+  p.completed = completed_.load(std::memory_order_relaxed);
+  const auto snap = runtime_.snapshot();
+  if (const auto fit = snap.families.find("campaign_failed_total");
+      fit != snap.families.end()) {
+    for (const auto& [labels, value] : fit->second.samples) {
+      p.failed += static_cast<int>(value.counter);
+    }
+  }
+  if (const auto git = snap.families.find("campaign_in_flight");
+      git != snap.families.end()) {
+    for (const auto& [labels, value] : git->second.samples) {
+      p.in_flight += static_cast<int>(value.gauge);
+    }
+  }
+  if (const auto cit = snap.families.find("campaign_completed_total");
+      cit != snap.families.end()) {
+    for (const auto& [labels, value] : cit->second.samples) {
+      const auto vit = labels.find("vantage");
+      if (vit != labels.end()) {
+        p.completed_by_vantage[vit->second] += static_cast<int>(value.counter);
+      }
+    }
+  }
+  return p;
 }
 
 std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
   const auto schedule = expand_schedule(plan);
   failures_.clear();
   completed_.store(0, std::memory_order_relaxed);
+  total_.store(static_cast<int>(schedule.size()), std::memory_order_relaxed);
+  merged_metrics_ = {};
 
   std::vector<std::unique_ptr<Trace>> slots(schedule.size());
+  std::vector<obs::ObsSnapshot> metric_slots(schedule.size());
   std::atomic<std::size_t> next{0};
   {
     util::ThreadPool pool(options_.workers);
     for (int w = 0; w < options_.workers; ++w) {
       pool.submit([&, w] {
         Worker worker;
+        worker.busy_micros =
+            runtime_.counter("worker_busy_micros_total", {{"worker", std::to_string(w)}},
+                             "microseconds spent executing traces, per worker");
+        worker.traces =
+            runtime_.counter("worker_traces_total", {{"worker", std::to_string(w)}},
+                             "traces claimed, per worker");
         try {
           worker.shard = factory_(w);
           worker.vantages = worker.shard->vantages();
@@ -79,7 +134,12 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
         for (;;) {
           const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
           if (index >= schedule.size()) break;
-          run_one(worker, schedule, static_cast<int>(index), slots);
+          const auto started = std::chrono::steady_clock::now();
+          run_one(worker, schedule, static_cast<int>(index), slots, metric_slots);
+          const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - started);
+          worker.busy_micros->inc(static_cast<std::uint64_t>(elapsed.count()));
+          worker.traces->inc();
         }
       });
     }
@@ -90,11 +150,16 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
             [](const TraceFailure& a, const TraceFailure& b) { return a.index < b.index; });
 
   // Merge back into plan order; failed traces leave no hole and no
-  // duplicate -- their slot is simply empty.
+  // duplicate -- their slot is simply empty. Metric deltas merge in the
+  // same order: commutative integer sums folded deterministically, so the
+  // totals are byte-identical to the sequential campaign's.
   std::vector<Trace> merged;
   merged.reserve(slots.size());
   for (auto& slot : slots) {
     if (slot) merged.push_back(std::move(*slot));
+  }
+  for (const auto& delta : metric_slots) {
+    merged_metrics_.merge(delta);
   }
   return merged;
 }

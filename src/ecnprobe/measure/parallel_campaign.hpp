@@ -28,6 +28,8 @@
 
 #include "ecnprobe/measure/campaign.hpp"
 #include "ecnprobe/measure/probe.hpp"
+#include "ecnprobe/obs/ledger.hpp"
+#include "ecnprobe/obs/metrics.hpp"
 
 namespace ecnprobe::measure {
 
@@ -47,6 +49,13 @@ public:
   /// would have before trace `index`: availability/churn for (batch, index)
   /// plus the per-trace epoch reset (RNG streams, middlebox state).
   virtual void begin_trace(const std::string& vantage, int batch, int index) = 0;
+
+  /// Observability delta for the trace that just finished: everything the
+  /// shard's metrics registry and drop ledger accumulated since the last
+  /// begin_trace(). Called after sim().run() returned, i.e. from a fully
+  /// quiescent world, so straggler events are included. Shards that don't
+  /// track metrics return an empty snapshot.
+  virtual obs::ObsSnapshot collect_trace_metrics() { return {}; }
 };
 
 class ParallelCampaign {
@@ -88,10 +97,32 @@ public:
   /// Live progress: traces finished so far (readable from any thread).
   int traces_completed() const { return completed_.load(std::memory_order_relaxed); }
 
+  /// Point-in-time progress snapshot, safe to call from any thread while
+  /// run() is executing on another.
+  struct Progress {
+    int total = 0;      ///< traces in the plan
+    int completed = 0;  ///< traces that produced a result
+    int failed = 0;     ///< traces that threw
+    int in_flight = 0;  ///< traces currently executing on a worker
+    std::map<std::string, int> completed_by_vantage;
+  };
+  Progress progress() const;
+
+  /// Campaign observability merged from the per-trace shard deltas in plan
+  /// order -- byte-identical to the sequential World's campaign snapshot
+  /// regardless of worker count. Valid after run() returns.
+  const obs::ObsSnapshot& metrics() const { return merged_metrics_; }
+
+  /// Executor-runtime metrics (worker utilization, in-flight gauges).
+  /// Timing-dependent, hence deliberately separate from the deterministic
+  /// campaign metrics().
+  obs::MetricsSnapshot runtime_metrics() const { return runtime_.snapshot(); }
+
 private:
   struct Worker;
   void run_one(Worker& worker, const std::vector<PlannedTrace>& schedule, int index,
-               std::vector<std::unique_ptr<Trace>>& slots);
+               std::vector<std::unique_ptr<Trace>>& slots,
+               std::vector<obs::ObsSnapshot>& metric_slots);
 
   ShardFactory factory_;
   Options options_;
@@ -100,6 +131,9 @@ private:
   std::mutex failures_mutex_;
   std::vector<TraceFailure> failures_;
   std::atomic<int> completed_{0};
+  std::atomic<int> total_{0};
+  obs::ObsSnapshot merged_metrics_;
+  obs::MetricsRegistry runtime_;
 };
 
 }  // namespace ecnprobe::measure

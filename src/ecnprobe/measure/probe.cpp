@@ -2,6 +2,8 @@
 
 #include <memory>
 
+#include "ecnprobe/obs/ledger.hpp"
+
 namespace ecnprobe::measure {
 
 namespace {
@@ -49,11 +51,41 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
     vantage.host().network().sim().schedule(options.inter_test_gap, std::move(fn));
   }
 
+  // Probe-outcome accounting. Failed probes are also entered in the drop
+  // ledger (cause probe-timeout, node = target server), which is what lets
+  // the loss autopsy reconcile exactly with Figure 2's unreachable cells:
+  // every failed probe has an attributed cause.
+  void record_udp(const char* test, const ntp::NtpQueryResult& r) {
+    auto& o = vantage.host().network().obs();
+    o.registry.counter("probe_udp_total",
+                       {{"test", test}, {"outcome", r.success ? "ok" : "timeout"}},
+                       "UDP NTP probe outcomes")->inc();
+    o.registry.counter("probe_udp_attempts_total", {{"test", test}},
+                       "UDP NTP request transmissions, retries included")
+        ->inc(static_cast<std::uint64_t>(r.attempts));
+    if (!r.success) {
+      o.ledger.record_drop(obs::Layer::Measure, obs::DropCause::ProbeTimeout,
+                           server.to_string());
+    }
+  }
+
+  void record_tcp(const char* test, const http::HttpGetResult& r) {
+    auto& o = vantage.host().network().obs();
+    o.registry.counter("probe_tcp_total",
+                       {{"test", test}, {"outcome", r.connected ? "ok" : "failed"}},
+                       "TCP HTTP probe outcomes")->inc();
+    if (!r.connected) {
+      o.ledger.record_drop(obs::Layer::Measure, obs::DropCause::ProbeTimeout,
+                           server.to_string());
+    }
+  }
+
   void start() {
     auto self = shared_from_this();
     // Step 1: NTP request in a not-ECT marked UDP packet.
     vantage.ntp().query(server, udp_options(wire::Ecn::NotEct),
                         [self](const ntp::NtpQueryResult& r) {
+                          self->record_udp("udp-plain", r);
                           self->result.udp_plain = to_outcome(r);
                           self->after_gap([self]() { self->step_udp_ect(); });
                         });
@@ -64,6 +96,7 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
     // Step 2: the same request in an ECT(0) marked packet.
     vantage.ntp().query(server, udp_options(wire::Ecn::Ect0),
                         [self](const ntp::NtpQueryResult& r) {
+                          self->record_udp("udp-ect0", r);
                           self->result.udp_ect0 = to_outcome(r);
                           self->after_gap([self]() { self->step_tcp_plain(); });
                         });
@@ -74,6 +107,7 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
     // Step 3: HTTP GET without attempting to negotiate ECN.
     vantage.http().get(server, /*want_ecn=*/false,
                        [self](const http::HttpGetResult& r) {
+                         self->record_tcp("tcp-plain", r);
                          self->result.tcp_plain = to_outcome(r);
                          self->after_gap([self]() { self->step_tcp_ecn(); });
                        },
@@ -85,7 +119,11 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
     // Step 4: HTTP GET with an ECN-setup SYN.
     vantage.http().get(server, /*want_ecn=*/true,
                        [self](const http::HttpGetResult& r) {
+                         self->record_tcp("tcp-ecn", r);
                          self->result.tcp_ecn = to_outcome(r);
+                         self->vantage.host().network().obs().registry.counter(
+                             "probe_servers_total", {{"vantage", self->vantage.name()}},
+                             "servers fully probed, per vantage")->inc();
                          if (self->handler) self->handler(self->result);
                        },
                        wire::kHttpPort, options.http_deadline);

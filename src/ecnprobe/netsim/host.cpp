@@ -73,11 +73,13 @@ void Host::deliver_udp(const wire::Datagram& dgram) {
   auto segment = wire::decode_udp_segment(dgram.ip.src, dgram.ip.dst, dgram.payload);
   if (!segment || !segment->checksum_ok) {
     ++stats_.udp_bad_checksum;
+    net_->obs().ledger.record_drop(obs::Layer::Host, obs::DropCause::BadChecksum, name());
     return;
   }
   const auto it = udp_sockets_.find(segment->header.dst_port);
   if (it == udp_sockets_.end()) {
     ++stats_.udp_no_socket;
+    net_->obs().ledger.record_drop(obs::Layer::Host, obs::DropCause::NoSocket, name());
     if (params_.udp_port_unreachable) {
       send_datagram(wire::make_dest_unreachable(address(), dgram,
                                                 wire::IcmpUnreachCode::Port));

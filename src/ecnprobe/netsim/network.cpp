@@ -16,7 +16,24 @@ void Node::set_address(wire::Ipv4Address addr) {
   if (net_ != nullptr && !addr.is_unspecified()) net_->register_address(addr, id_);
 }
 
-Network::Network(Simulator& sim, util::Rng rng) : sim_(sim), rng_(rng) {}
+Network::Network(Simulator& sim, util::Rng rng)
+    : sim_(sim), rng_(rng), obs_(&obs::Observability::process()) {
+  set_observability(obs_);
+}
+
+void Network::set_observability(obs::Observability* obs) {
+  obs_ = obs;
+  transmitted_counter_ = obs_->registry.counter("net_packets_transmitted_total", {},
+                                                "datagrams entering the datapath");
+  delivered_counter_ = obs_->registry.counter("net_packets_delivered_total", {},
+                                              "datagrams delivered to a node");
+}
+
+namespace {
+obs::RewriteCause rewrite_cause_for(wire::Ecn after) {
+  return after == wire::Ecn::Ce ? obs::RewriteCause::CeMarked : obs::RewriteCause::Bleached;
+}
+}  // namespace
 
 void Network::begin_epoch(std::uint64_t epoch_seed) {
   rng_ = util::Rng(util::derive_seed(epoch_seed, "datapath"));
@@ -86,20 +103,32 @@ void Network::set_link_up(NodeId id, int if_index, bool up) {
 void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
   Interface& iface = interface(from, egress_if);
   ++stats_.packets_transmitted;
+  transmitted_counter_->inc();
   if (!iface.up) {
     ++stats_.dropped_link_down;
+    obs_->ledger.record_drop(obs::Layer::Link, obs::DropCause::LinkDown,
+                             nodes_[from]->name());
     return;
   }
   SimDuration policy_delay;
   for (auto& policy : iface.egress_policies) {
+    const wire::Ecn before = dgram.ip.ecn;
     if (policy->apply(dgram, rng_, sim_.now()) == PolicyAction::Drop) {
       ++stats_.dropped_policy;
+      obs_->ledger.record_drop(obs::Layer::Policy, policy->drop_cause(),
+                               nodes_[from]->name());
       return;
+    }
+    if (dgram.ip.ecn != before) {
+      obs_->ledger.record_rewrite(obs::Layer::Policy, rewrite_cause_for(dgram.ip.ecn),
+                                  nodes_[from]->name());
     }
     policy_delay += policy->take_extra_delay();  // queuing policies
   }
   if (iface.link.loss_rate > 0.0 && rng_.bernoulli(iface.link.loss_rate)) {
     ++stats_.dropped_loss;
+    obs_->ledger.record_drop(obs::Layer::Link, obs::DropCause::LinkLoss,
+                             nodes_[from]->name());
     return;
   }
   SimDuration delay = iface.link.delay + policy_delay;
@@ -112,12 +141,20 @@ void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
   sim_.schedule(delay, [this, to, ingress_if, d = std::move(dgram)]() mutable {
     Interface& rx = interface(to, ingress_if);
     for (auto& policy : rx.ingress_policies) {
+      const wire::Ecn before = d.ip.ecn;
       if (policy->apply(d, rng_, sim_.now()) == PolicyAction::Drop) {
         ++stats_.dropped_policy;
+        obs_->ledger.record_drop(obs::Layer::Policy, policy->drop_cause(),
+                                 nodes_[to]->name());
         return;
+      }
+      if (d.ip.ecn != before) {
+        obs_->ledger.record_rewrite(obs::Layer::Policy, rewrite_cause_for(d.ip.ecn),
+                                    nodes_[to]->name());
       }
     }
     ++stats_.delivered;
+    delivered_counter_->inc();
     nodes_[to]->on_receive(std::move(d), ingress_if);
   });
 }

@@ -125,6 +125,13 @@ public:
   Simulator& sim() { return sim_; }
   const NetworkStats& stats() const { return stats_; }
 
+  /// The observability sink every datapath layer reports into: drops and
+  /// ECN rewrites are attributed in its ledger, aggregates mirrored into
+  /// its registry. Defaults to the process-wide instance; a World installs
+  /// its own so parallel worker clones never share one.
+  obs::Observability& obs() const { return *obs_; }
+  void set_observability(obs::Observability* obs);
+
   /// Monotonic IP identification counter shared by all senders.
   std::uint16_t next_ip_id() { return ip_id_++; }
 
@@ -147,6 +154,9 @@ private:
   std::map<std::uint32_t, NodeId> by_address_;
   NetworkStats stats_;
   std::uint16_t ip_id_ = 1;
+  obs::Observability* obs_;
+  obs::Counter* transmitted_counter_ = nullptr;
+  obs::Counter* delivered_counter_ = nullptr;
 };
 
 }  // namespace ecnprobe::netsim

@@ -124,6 +124,7 @@ PolicyAction BottleneckAqmPolicy::do_apply(wire::Datagram& dgram, util::Rng& rng
   // replaces drops once the queue is actually full).
   if (backlog_bytes_ + size > capacity) {
     ++queue_stats_.dropped_overflow;
+    last_drop_cause_ = obs::DropCause::AqmOverflow;
     return PolicyAction::Drop;
   }
 
@@ -139,6 +140,7 @@ PolicyAction BottleneckAqmPolicy::do_apply(wire::Datagram& dgram, util::Rng& rng
         ++queue_stats_.ce_marked;
       } else {
         ++queue_stats_.dropped_early;
+        last_drop_cause_ = obs::DropCause::AqmEarly;
         return PolicyAction::Drop;
       }
     }

@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "ecnprobe/obs/ledger.hpp"
 #include "ecnprobe/util/rng.hpp"
 #include "ecnprobe/util/stats.hpp"
 #include "ecnprobe/util/time.hpp"
@@ -43,6 +44,11 @@ public:
 
   virtual std::string name() const = 0;
   const PolicyStats& stats() const { return stats_; }
+
+  /// Attribution for packets this policy drops, recorded in the network's
+  /// drop ledger. Queue policies that drop for more than one reason
+  /// (BottleneckAqmPolicy) report the cause of the most recent verdict.
+  virtual obs::DropCause drop_cause() const { return obs::DropCause::PolicyOther; }
 
   /// Forgets behavioural state (conntrack tables, queue backlogs) so the
   /// next packet sees a freshly-booted middlebox. Counters in stats() are
@@ -87,6 +93,7 @@ class EctUdpDropPolicy final : public PacketPolicy {
 public:
   explicit EctUdpDropPolicy(double prob = 1.0) : prob_(prob) {}
   std::string name() const override;
+  obs::DropCause drop_cause() const override { return obs::DropCause::EctUdpFilter; }
 
 protected:
   PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
@@ -102,6 +109,7 @@ class EctAnyDropPolicy final : public PacketPolicy {
 public:
   explicit EctAnyDropPolicy(double prob = 1.0) : prob_(prob) {}
   std::string name() const override;
+  obs::DropCause drop_cause() const override { return obs::DropCause::EctAnyFilter; }
 
 protected:
   PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
@@ -118,6 +126,7 @@ class TosSensitiveDropPolicy final : public PacketPolicy {
 public:
   explicit TosSensitiveDropPolicy(double prob) : prob_(prob) {}
   std::string name() const override;
+  obs::DropCause drop_cause() const override { return obs::DropCause::TosFilter; }
 
 protected:
   PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
@@ -141,6 +150,7 @@ public:
   explicit MatchDropPolicy(Match match, std::string label = "match-drop")
       : match_(match), label_(std::move(label)) {}
   std::string name() const override { return label_; }
+  obs::DropCause drop_cause() const override { return obs::DropCause::MatchFilter; }
 
 protected:
   PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
@@ -159,6 +169,7 @@ public:
   CongestionPolicy(double mark_prob, double drop_prob, double overload_drop_prob = 0.0)
       : mark_prob_(mark_prob), drop_prob_(drop_prob), overload_drop_prob_(overload_drop_prob) {}
   std::string name() const override;
+  obs::DropCause drop_cause() const override { return obs::DropCause::CongestionLoss; }
 
 protected:
   PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng, util::SimTime now) override;
@@ -191,6 +202,7 @@ public:
 
   explicit GreylistUdpPolicy(Params params) : params_(params) {}
   std::string name() const override { return "greylist-udp"; }
+  obs::DropCause drop_cause() const override { return obs::DropCause::Greylist; }
   void reset_state() override { sources_.clear(); }
 
 protected:
@@ -225,6 +237,7 @@ public:
 
   explicit BottleneckAqmPolicy(Params params) : params_(params) {}
   std::string name() const override;
+  obs::DropCause drop_cause() const override { return last_drop_cause_; }
   void reset_state() override {
     backlog_bytes_ = 0.0;
     last_drain_ = {};
@@ -257,6 +270,7 @@ private:
   util::SimTime last_drain_;
   util::SimDuration pending_delay_;
   QueueStats queue_stats_;
+  obs::DropCause last_drop_cause_ = obs::DropCause::AqmEarly;
 };
 
 using PolicyPtr = std::shared_ptr<PacketPolicy>;

@@ -15,6 +15,7 @@ void Router::on_receive(wire::Datagram dgram, int /*ingress_if*/) {
   // RFC 791: decrement TTL at each hop; expire at zero.
   if (dgram.ip.ttl <= 1) {
     ++stats_.ttl_expired;
+    net_->obs().ledger.record_drop(obs::Layer::Router, obs::DropCause::TtlExpired, name());
     if (rng_.bernoulli(params_.icmp_response_prob)) {
       // Quote the datagram exactly as received -- including any ECN mark an
       // upstream middlebox stripped -- per RFC 1812 section 4.3.2.3.
@@ -27,6 +28,7 @@ void Router::on_receive(wire::Datagram dgram, int /*ingress_if*/) {
   const int egress = net_->route(id(), dgram.ip.dst);
   if (egress == kNoInterface) {
     ++stats_.unroutable;
+    net_->obs().ledger.record_drop(obs::Layer::Router, obs::DropCause::Unroutable, name());
     if (rng_.bernoulli(params_.icmp_response_prob)) {
       send_icmp(wire::make_dest_unreachable(address(), dgram,
                                             wire::IcmpUnreachCode::Net));

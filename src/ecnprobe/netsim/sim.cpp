@@ -30,7 +30,7 @@ EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
   assert_owner();
   if (when < now_) when = now_;
   auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled});
+  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled, now_});
   ++live_;
   return EventHandle{std::move(cancelled)};
 }
@@ -53,6 +53,10 @@ bool Simulator::fire_next() {
     --live_;
     now_ = ev.when;
     *ev.cancelled = true;  // marks "fired" so EventHandle::pending() is false
+    if (events_counter_ != nullptr) events_counter_->inc();
+    if (lag_histogram_ != nullptr) {
+      lag_histogram_->observe((ev.when - ev.scheduled_at).to_millis());
+    }
     ev.fn();
     ++processed_;
     return true;

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "ecnprobe/obs/metrics.hpp"
 #include "ecnprobe/util/time.hpp"
 
 namespace ecnprobe::netsim {
@@ -71,12 +72,21 @@ public:
   std::size_t events_pending() const { return live_; }
   std::size_t idle_callbacks_pending() const { return idle_.size(); }
 
+  /// Event-loop instrumentation: a fired-events counter and a histogram of
+  /// the *simulated* delay between scheduling and firing (both measured in
+  /// sim time, so they are deterministic). Either may be null.
+  void set_metrics(obs::Counter* events_fired, obs::Histogram* event_lag_ms) {
+    events_counter_ = events_fired;
+    lag_histogram_ = event_lag_ms;
+  }
+
 private:
   struct Event {
     SimTime when;
     std::uint64_t seq;
     std::function<void()> fn;
     std::shared_ptr<bool> cancelled;
+    SimTime scheduled_at;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -94,6 +104,8 @@ private:
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
   std::size_t live_ = 0;  ///< queued events not yet cancelled
+  obs::Counter* events_counter_ = nullptr;
+  obs::Histogram* lag_histogram_ = nullptr;
 
   // A Simulator is single-threaded by design; with campaign shards running
   // one Simulator per worker, this catches accidental cross-thread sharing.

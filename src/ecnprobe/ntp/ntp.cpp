@@ -1,5 +1,6 @@
 #include "ecnprobe/ntp/ntp.hpp"
 
+#include "ecnprobe/obs/ledger.hpp"
 #include "ecnprobe/util/log.hpp"
 
 namespace ecnprobe::ntp {
@@ -89,9 +90,16 @@ NtpServerService::NtpServerService(netsim::Host& host, SimClock clock, Params pa
   socket_->set_receive_handler([this](const netsim::UdpDelivery& delivery) {
     ++stats_.requests;
     if (wire::is_ect(delivery.ecn)) ++stats_.ect_marked_requests;
-    if (!online_) return;  // left the pool / host down: silence
+    if (!online_) {  // left the pool / host down: silence
+      host_.network().obs().ledger.record_drop(obs::Layer::App,
+                                               obs::DropCause::ServerOffline, host_.name());
+      return;
+    }
     if (params_.response_prob < 1.0 && !host_.rng().bernoulli(params_.response_prob)) {
-      return;  // rate-limited: drop this request
+      // Rate-limited: drop this request.
+      host_.network().obs().ledger.record_drop(obs::Layer::App,
+                                               obs::DropCause::RateLimited, host_.name());
+      return;
     }
     const auto request = wire::NtpPacket::decode(delivery.payload);
     if (!request || request->mode != wire::NtpMode::Client) return;

@@ -1,0 +1,266 @@
+#include "ecnprobe/obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "ecnprobe/util/strings.hpp"
+#include "ecnprobe/util/table.hpp"
+
+namespace ecnprobe::obs {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += util::strf("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Exact decimal rendering of a fixed-point milli value ("12.345").
+std::string milli_to_string(std::int64_t milli) {
+  const char* sign = milli < 0 ? "-" : "";
+  const std::int64_t abs = milli < 0 ? -milli : milli;
+  return util::strf("%s%" PRId64 ".%03" PRId64, sign, abs / 1000, abs % 1000);
+}
+
+std::string labels_to_json(const LabelSet& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) + "\":\"" + json_escape(value) + "\"";
+  }
+  return out + "}";
+}
+
+/// {cause="greylist",layer="policy"} -- keys already sorted by LabelSet.
+std::string labels_to_prometheus(const LabelSet& labels, const std::string& extra_key = "",
+                                 const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + value + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ",";
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  return out + "}";
+}
+
+std::string bound_to_string(double bound) { return util::strf("%g", bound); }
+
+void sample_to_json(std::string& out, const FamilySnapshot& family,
+                    const SampleValue& value) {
+  switch (family.kind) {
+    case MetricKind::Counter:
+      out += util::strf("%" PRIu64, value.counter);
+      break;
+    case MetricKind::Gauge:
+      out += util::strf("%" PRId64, value.gauge);
+      break;
+    case MetricKind::Histogram: {
+      out += util::strf("{\"count\":%" PRIu64 ",\"sum\":%s,\"buckets\":[", value.count,
+                        milli_to_string(value.sum_milli).c_str());
+      for (std::size_t i = 0; i < value.buckets.size(); ++i) {
+        if (i > 0) out += ",";
+        const std::string le =
+            i < family.bounds.size() ? bound_to_string(family.bounds[i]) : "+Inf";
+        out += util::strf("{\"le\":\"%s\",\"count\":%" PRIu64 "}", le.c_str(),
+                          value.buckets[i]);
+      }
+      out += "]}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  bool first_family = true;
+  for (const auto& [name, family] : snapshot.families) {
+    if (!first_family) out += ",";
+    first_family = false;
+    out += "\"" + json_escape(name) + "\":{\"kind\":\"" +
+           std::string(to_string(family.kind)) + "\",\"samples\":[";
+    bool first_sample = true;
+    for (const auto& [labels, value] : family.samples) {
+      if (!first_sample) out += ",";
+      first_sample = false;
+      out += "{\"labels\":" + labels_to_json(labels) + ",\"value\":";
+      sample_to_json(out, family, value);
+      out += "}";
+    }
+    out += "]}";
+  }
+  return out + "}";
+}
+
+std::string to_json(const LedgerSnapshot& ledger) {
+  const auto section =
+      [](const std::map<std::pair<std::string, std::string>, std::uint64_t>& entries) {
+        std::string out = "{";
+        bool first = true;
+        for (const auto& [key, n] : entries) {
+          if (!first) out += ",";
+          first = false;
+          out += "\"" + json_escape(key.first) + "/" + json_escape(key.second) +
+                 "\":" + util::strf("%" PRIu64, n);
+        }
+        return out + "}";
+      };
+  return util::strf("{\"drops\":%s,\"total_drops\":%" PRIu64
+                    ",\"rewrites\":%s,\"total_rewrites\":%" PRIu64 "}",
+                    section(ledger.drops).c_str(), ledger.total_drops(),
+                    section(ledger.rewrites).c_str(), ledger.total_rewrites());
+}
+
+std::string to_json(const ObsSnapshot& snapshot) {
+  return "{\"metrics\":" + to_json(snapshot.metrics) +
+         ",\"drop_ledger\":" + to_json(snapshot.ledger) + "}";
+}
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, family] : snapshot.families) {
+    if (!family.help.empty()) out += "# HELP " + name + " " + family.help + "\n";
+    out += "# TYPE " + name + " " + std::string(to_string(family.kind)) + "\n";
+    for (const auto& [labels, value] : family.samples) {
+      switch (family.kind) {
+        case MetricKind::Counter:
+          out += name + labels_to_prometheus(labels) +
+                 util::strf(" %" PRIu64 "\n", value.counter);
+          break;
+        case MetricKind::Gauge:
+          out += name + labels_to_prometheus(labels) +
+                 util::strf(" %" PRId64 "\n", value.gauge);
+          break;
+        case MetricKind::Histogram: {
+          std::uint64_t cumulative = 0;
+          for (std::size_t i = 0; i < value.buckets.size(); ++i) {
+            cumulative += value.buckets[i];
+            const std::string le =
+                i < family.bounds.size() ? bound_to_string(family.bounds[i]) : "+Inf";
+            out += name + "_bucket" + labels_to_prometheus(labels, "le", le) +
+                   util::strf(" %" PRIu64 "\n", cumulative);
+          }
+          out += name + "_sum" + labels_to_prometheus(labels) + " " +
+                 milli_to_string(value.sum_milli) + "\n";
+          out += name + "_count" + labels_to_prometheus(labels) +
+                 util::strf(" %" PRIu64 "\n", value.count);
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string render_metrics_report_json(const ObsSnapshot& campaign,
+                                       const MetricsSnapshot* runtime) {
+  std::string out = "{\"campaign\":" + to_json(campaign) + ",\"runtime\":";
+  out += runtime != nullptr ? to_json(*runtime) : "null";
+  return out + "}\n";
+}
+
+bool write_metrics_files(const std::string& path, const ObsSnapshot& campaign,
+                         const MetricsSnapshot* runtime) {
+  std::ofstream json_os(path);
+  if (!json_os) return false;
+  json_os << render_metrics_report_json(campaign, runtime);
+
+  std::string prom_path = path;
+  const auto dot = prom_path.rfind('.');
+  const auto slash = prom_path.rfind('/');
+  if (dot != std::string::npos && (slash == std::string::npos || dot > slash)) {
+    prom_path.resize(dot);
+  }
+  prom_path += ".prom";
+  MetricsSnapshot combined = campaign.metrics;
+  if (runtime != nullptr) combined.merge(*runtime);
+  std::ofstream prom_os(prom_path);
+  if (!prom_os) return false;
+  prom_os << to_prometheus(combined);
+  return json_os.good() && prom_os.good();
+}
+
+std::string render_loss_autopsy(const LedgerSnapshot& ledger) {
+  if (ledger.drops.empty() && ledger.rewrites.empty()) return "";
+
+  // Column per layer that actually saw a drop, row per cause.
+  std::set<std::string> layers;
+  std::set<std::string> causes;
+  for (const auto& [key, n] : ledger.drops) {
+    layers.insert(key.first);
+    causes.insert(key.second);
+  }
+
+  std::vector<std::string> headers{"cause"};
+  std::vector<util::TextTable::Align> aligns{util::TextTable::Align::Left};
+  for (const auto& layer : layers) {
+    headers.push_back(layer);
+    aligns.push_back(util::TextTable::Align::Right);
+  }
+  headers.push_back("total");
+  aligns.push_back(util::TextTable::Align::Right);
+
+  util::TextTable table(headers, aligns);
+  std::map<std::string, std::uint64_t> layer_totals;
+  for (const auto& cause : causes) {
+    std::vector<std::string> row{cause};
+    std::uint64_t row_total = 0;
+    for (const auto& layer : layers) {
+      const auto it = ledger.drops.find({layer, cause});
+      const std::uint64_t n = it != ledger.drops.end() ? it->second : 0;
+      row.push_back(n == 0 ? "." : util::with_commas(static_cast<std::int64_t>(n)));
+      row_total += n;
+      layer_totals[layer] += n;
+    }
+    row.push_back(util::with_commas(static_cast<std::int64_t>(row_total)));
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> totals{"total"};
+  for (const auto& layer : layers) {
+    totals.push_back(util::with_commas(static_cast<std::int64_t>(layer_totals[layer])));
+  }
+  totals.push_back(util::with_commas(static_cast<std::int64_t>(ledger.total_drops())));
+  table.add_row(std::move(totals));
+
+  std::ostringstream os;
+  os << "Loss autopsy (drops by cause x layer):\n" << table.to_string();
+  if (!ledger.rewrites.empty()) {
+    os << "ECN rewrites in flight:";
+    for (const auto& [key, n] : ledger.rewrites) {
+      os << " " << key.second << "@" << key.first << "="
+         << util::with_commas(static_cast<std::int64_t>(n));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ecnprobe::obs

@@ -1,0 +1,49 @@
+// Deterministic encoders for metrics and the drop ledger: JSON (for the
+// --metrics-out files and CI equality checks) and Prometheus text
+// exposition (for scrape-style consumption), plus the human-readable
+// "loss autopsy" table printed next to the paper figures.
+//
+// Encoders iterate std::maps only, so two equal snapshots always encode
+// to the same bytes -- that property is load-bearing: CI diffs the JSON of
+// a sequential campaign against a sharded one.
+#pragma once
+
+#include <string>
+
+#include "ecnprobe/obs/ledger.hpp"
+#include "ecnprobe/obs/metrics.hpp"
+
+namespace ecnprobe::obs {
+
+/// JSON object mapping family name -> {kind, help, samples}.
+std::string to_json(const MetricsSnapshot& snapshot);
+
+/// JSON object with drops/rewrites keyed "layer/cause" -> count.
+std::string to_json(const LedgerSnapshot& ledger);
+
+/// JSON object {"metrics": ..., "drop_ledger": ...}.
+std::string to_json(const ObsSnapshot& snapshot);
+
+/// Prometheus text exposition (HELP/TYPE + samples). Histogram samples
+/// expand to _bucket{le=...}/_sum/_count as usual.
+std::string to_prometheus(const MetricsSnapshot& snapshot);
+
+/// The full --metrics-out JSON document:
+///   {"campaign": <ObsSnapshot>, "runtime": <MetricsSnapshot>}
+/// The campaign section is deterministic under --workers N; the runtime
+/// section (worker utilization, progress gauges) is wall-clock dependent
+/// and excluded from equality checks. `runtime` may be null.
+std::string render_metrics_report_json(const ObsSnapshot& campaign,
+                                       const MetricsSnapshot* runtime);
+
+/// Writes the JSON report to `path` and the Prometheus exposition of the
+/// same data to a sibling file (path with its extension replaced by
+/// ".prom"). Returns false if either file cannot be written.
+bool write_metrics_files(const std::string& path, const ObsSnapshot& campaign,
+                         const MetricsSnapshot* runtime);
+
+/// Drops-by-cause x layer table with row/column totals, plus a rewrite
+/// summary line. Empty string when the ledger recorded nothing.
+std::string render_loss_autopsy(const LedgerSnapshot& ledger);
+
+}  // namespace ecnprobe::obs

@@ -1,0 +1,130 @@
+#include "ecnprobe/obs/ledger.hpp"
+
+namespace ecnprobe::obs {
+
+std::string_view to_string(Layer layer) {
+  switch (layer) {
+    case Layer::Link: return "link";
+    case Layer::Policy: return "policy";
+    case Layer::Router: return "router";
+    case Layer::Host: return "host";
+    case Layer::App: return "app";
+    case Layer::Measure: return "measure";
+  }
+  return "?";
+}
+
+std::string_view to_string(DropCause cause) {
+  switch (cause) {
+    case DropCause::LinkLoss: return "link-loss";
+    case DropCause::LinkDown: return "link-down";
+    case DropCause::Greylist: return "greylist";
+    case DropCause::AqmEarly: return "aqm-early-drop";
+    case DropCause::AqmOverflow: return "aqm-overflow";
+    case DropCause::CongestionLoss: return "congestion-loss";
+    case DropCause::EctUdpFilter: return "ect-udp-filter";
+    case DropCause::EctAnyFilter: return "ect-any-filter";
+    case DropCause::TosFilter: return "tos-filter";
+    case DropCause::MatchFilter: return "match-filter";
+    case DropCause::PolicyOther: return "policy-other";
+    case DropCause::TtlExpired: return "ttl-expired";
+    case DropCause::Unroutable: return "unroutable";
+    case DropCause::NoSocket: return "no-socket";
+    case DropCause::BadChecksum: return "bad-checksum";
+    case DropCause::ServerOffline: return "server-offline";
+    case DropCause::RateLimited: return "rate-limited";
+    case DropCause::ProbeTimeout: return "probe-timeout";
+  }
+  return "?";
+}
+
+std::string_view to_string(RewriteCause cause) {
+  switch (cause) {
+    case RewriteCause::Bleached: return "bleached";
+    case RewriteCause::CeMarked: return "ce-marked";
+  }
+  return "?";
+}
+
+// -- LedgerSnapshot ----------------------------------------------------------
+
+std::uint64_t LedgerSnapshot::total_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : drops) total += n;
+  return total;
+}
+
+std::uint64_t LedgerSnapshot::total_rewrites() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : rewrites) total += n;
+  return total;
+}
+
+std::uint64_t LedgerSnapshot::drops_for_cause(std::string_view cause) const {
+  std::uint64_t total = 0;
+  for (const auto& [key, n] : drops) {
+    if (key.second == cause) total += n;
+  }
+  return total;
+}
+
+void LedgerSnapshot::merge(const LedgerSnapshot& other) {
+  for (const auto& [key, n] : other.drops) drops[key] += n;
+  for (const auto& [key, n] : other.rewrites) rewrites[key] += n;
+}
+
+// -- DropLedger --------------------------------------------------------------
+
+void DropLedger::record_drop(Layer layer, DropCause cause, std::string node) {
+  const auto li = static_cast<std::size_t>(layer);
+  const auto ci = static_cast<std::size_t>(cause);
+  Counter*& mirror = drop_counters_[li][ci];
+  if (mirror == nullptr) {
+    mirror = registry_->counter(
+        "ecn_drops_total",
+        {{"layer", std::string(to_string(layer))}, {"cause", std::string(to_string(cause))}},
+        "packets discarded, by layer and attributed cause");
+  }
+  mirror->inc();
+  drops_.push_back(DropRecord{trace_, layer, cause, std::move(node)});
+}
+
+void DropLedger::record_rewrite(Layer layer, RewriteCause cause, std::string node) {
+  const auto li = static_cast<std::size_t>(layer);
+  const auto ci = static_cast<std::size_t>(cause);
+  Counter*& mirror = rewrite_counters_[li][ci];
+  if (mirror == nullptr) {
+    mirror = registry_->counter(
+        "ecn_rewrites_total",
+        {{"layer", std::string(to_string(layer))}, {"cause", std::string(to_string(cause))}},
+        "in-flight ECN codepoint rewrites, by layer and cause");
+  }
+  mirror->inc();
+  rewrites_.push_back(RewriteRecord{trace_, layer, cause, std::move(node)});
+}
+
+LedgerSnapshot DropLedger::aggregate(std::size_t drop_from, std::size_t rewrite_from) const {
+  LedgerSnapshot out;
+  for (std::size_t i = drop_from; i < drops_.size(); ++i) {
+    const auto& r = drops_[i];
+    out.drops[{std::string(to_string(r.layer)), std::string(to_string(r.cause))}] += 1;
+  }
+  for (std::size_t i = rewrite_from; i < rewrites_.size(); ++i) {
+    const auto& r = rewrites_[i];
+    out.rewrites[{std::string(to_string(r.layer)), std::string(to_string(r.cause))}] += 1;
+  }
+  return out;
+}
+
+void DropLedger::clear() {
+  trace_ = -1;
+  drops_.clear();
+  rewrites_.clear();
+}
+
+Observability& Observability::process() {
+  static Observability instance;
+  return instance;
+}
+
+}  // namespace ecnprobe::obs

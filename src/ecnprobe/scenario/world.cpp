@@ -127,6 +127,15 @@ WorldParams WorldParams::scaled(double factor) const {
 World::World(WorldParams params)
     : params_(std::move(params)), rng_(params_.seed), clock_() {
   internet_ = topology::Internet::build(sim_, params_.topology, rng_.fork("topology"));
+  // Rebind the network's attribution from the process-wide default to this
+  // world's private Observability before any host or policy exists, so
+  // every packet this world ever moves is accounted here and nowhere else.
+  net().set_observability(&obs_);
+  sim_.set_metrics(
+      obs_.registry.counter("sim_events_total", {}, "simulator events fired"),
+      obs_.registry.histogram("sim_event_lag_ms",
+                              {0.1, 1.0, 5.0, 25.0, 100.0, 500.0, 2500.0}, {},
+                              "sim-time lag between scheduling and firing, ms"));
   build_pool();
   build_vantages();
   build_dns();
@@ -452,6 +461,12 @@ void World::before_trace(const std::string& /*vantage*/, int batch, int index) {
 }
 
 void World::begin_trace_epoch(const std::string& vantage, int batch, int index) {
+  // Observability epoch first: everything from here on -- including the
+  // trace-start counter just below -- lands in this trace's delta.
+  mark_obs_baseline();
+  obs_.ledger.set_trace(index);
+  obs_.registry.counter("campaign_traces_total", {{"vantage", vantage}},
+                        "campaign traces started, per vantage")->inc();
   const std::uint64_t epoch_seed = util::derive_seed(
       util::derive_seed(params_.seed, "trace-epoch"), static_cast<std::uint64_t>(index));
   net().begin_epoch(epoch_seed);
@@ -460,12 +475,37 @@ void World::begin_trace_epoch(const std::string& vantage, int batch, int index) 
   before_trace(vantage, batch, index);
 }
 
+void World::mark_obs_baseline() {
+  obs_baseline_ = obs_.registry.snapshot();
+  obs_drop_mark_ = obs_.ledger.drops().size();
+  obs_rewrite_mark_ = obs_.ledger.rewrites().size();
+}
+
+obs::ObsSnapshot World::collect_obs_delta() const {
+  obs::ObsSnapshot delta;
+  delta.metrics = obs_.registry.snapshot().delta_since(obs_baseline_);
+  delta.ledger = obs_.ledger.aggregate(obs_drop_mark_, obs_rewrite_mark_);
+  return delta;
+}
+
 std::vector<measure::Trace> World::run_campaign(const measure::CampaignPlan& plan,
-                                                const measure::ProbeOptions& options) {
+                                                const measure::ProbeOptions& options,
+                                                measure::Campaign::AfterTraceHook after_trace) {
   measure::Campaign campaign(vantage_map(), server_addresses(), options);
-  campaign.set_before_trace([this](const std::string& vantage, int batch, int index) {
-    begin_trace_epoch(vantage, batch, index);
-  });
+  if (after_trace) campaign.set_after_trace(std::move(after_trace));
+  campaign_obs_ = {};
+  bool first_trace = true;
+  campaign.set_before_trace(
+      [this, &first_trace](const std::string& vantage, int batch, int index) {
+        // Collect the previous trace's observability delta *here*, from the
+        // quiescence barrier before the next trace starts: stragglers
+        // (TIME_WAIT timers, late responses) have fired and are attributed
+        // to the trace that caused them -- exactly what the parallel shards
+        // see when they collect after sim().run() goes idle.
+        if (!first_trace) campaign_obs_.merge(collect_obs_delta());
+        first_trace = false;
+        begin_trace_epoch(vantage, batch, index);
+      });
   std::vector<measure::Trace> results;
   bool done = false;
   campaign.run(plan, [&](std::vector<measure::Trace> traces) {
@@ -474,6 +514,7 @@ std::vector<measure::Trace> World::run_campaign(const measure::CampaignPlan& pla
   });
   sim_.run();
   if (!done) throw std::runtime_error("World::run_campaign: simulation stalled");
+  if (!first_trace) campaign_obs_.merge(collect_obs_delta());  // final trace
   return results;
 }
 
@@ -537,7 +578,8 @@ measure::ParallelCampaign::ShardFactory world_shard_factory(WorldParams params) 
 std::vector<measure::Trace> run_parallel_campaign(
     const WorldParams& params, const measure::CampaignPlan& plan,
     const measure::ProbeOptions& options, int workers,
-    std::vector<measure::ParallelCampaign::TraceFailure>* failures) {
+    std::vector<measure::ParallelCampaign::TraceFailure>* failures,
+    obs::ObsSnapshot* metrics_out) {
   measure::ParallelCampaign::Options exec_options;
   exec_options.workers = workers;
   exec_options.probe = options;
@@ -547,6 +589,7 @@ std::vector<measure::Trace> run_parallel_campaign(
     failures->insert(failures->end(), campaign.failures().begin(),
                      campaign.failures().end());
   }
+  if (metrics_out != nullptr) *metrics_out = campaign.metrics();
   return traces;
 }
 

@@ -34,6 +34,7 @@
 #include "ecnprobe/measure/parallel_campaign.hpp"
 #include "ecnprobe/measure/vantage.hpp"
 #include "ecnprobe/ntp/ntp.hpp"
+#include "ecnprobe/obs/ledger.hpp"
 #include "ecnprobe/tcp/tcp.hpp"
 #include "ecnprobe/topology/internet.hpp"
 
@@ -113,6 +114,10 @@ public:
   netsim::Simulator& sim() { return sim_; }
   topology::Internet& internet() { return *internet_; }
   netsim::Network& net() { return internet_->net(); }
+  /// This world's private observability: metrics registry + drop ledger.
+  /// Wired into the network at construction, so nothing this world does
+  /// pollutes (or races with) another world's counters.
+  obs::Observability& obs() { return obs_; }
   const geo::GeoDatabase& geodb() const { return geodb_; }
   const WorldParams& params() const { return params_; }
   ntp::SimClock clock() const { return clock_; }
@@ -154,9 +159,25 @@ public:
   void begin_trace_epoch(const std::string& vantage, int batch, int index);
 
   /// Convenience: wires up a Campaign with the world's epoch hook, runs the
-  /// simulator to completion, returns the traces.
-  std::vector<measure::Trace> run_campaign(const measure::CampaignPlan& plan,
-                                           const measure::ProbeOptions& options = {});
+  /// simulator to completion, returns the traces. `after_trace` (optional)
+  /// fires on the simulator thread each time a trace delivers its result --
+  /// the CLI uses it for live progress output.
+  std::vector<measure::Trace> run_campaign(
+      const measure::CampaignPlan& plan, const measure::ProbeOptions& options = {},
+      measure::Campaign::AfterTraceHook after_trace = nullptr);
+
+  // -- observability ---------------------------------------------------------
+  /// Marks the current registry/ledger position as the delta baseline.
+  /// begin_trace_epoch calls this automatically; collect_obs_delta reads
+  /// everything recorded since the last mark.
+  void mark_obs_baseline();
+  /// Everything the registry and ledger accumulated since the last
+  /// mark_obs_baseline() -- one trace's worth when bracketed by epochs.
+  obs::ObsSnapshot collect_obs_delta() const;
+  /// Campaign-scoped observability accumulated by the last run_campaign():
+  /// per-trace deltas summed in plan order, excluding world construction.
+  /// Byte-identical to ParallelCampaign::metrics() for the same plan.
+  const obs::ObsSnapshot& campaign_obs() const { return campaign_obs_; }
 
   /// Runs `repetitions` ECN traceroutes from each vantage to every server.
   /// Begins its own epoch ("traceroute-epoch"), so the observations are a
@@ -188,6 +209,7 @@ private:
 
   WorldParams params_;
   util::Rng rng_;
+  obs::Observability obs_;
   netsim::Simulator sim_;
   std::unique_ptr<topology::Internet> internet_;
   geo::GeoDatabase geodb_;
@@ -208,6 +230,11 @@ private:
   netsim::Host* resolver_host_ = nullptr;
   std::unique_ptr<dns::DnsServerService> resolver_service_;
   wire::Ipv4Address resolver_address_;
+
+  obs::MetricsSnapshot obs_baseline_;
+  std::size_t obs_drop_mark_ = 0;
+  std::size_t obs_rewrite_mark_ = 0;
+  obs::ObsSnapshot campaign_obs_;
 };
 
 /// measure::CampaignShard over a worker-private World built from `params`.
@@ -225,6 +252,9 @@ public:
   void begin_trace(const std::string& vantage, int batch, int index) override {
     world_.begin_trace_epoch(vantage, batch, index);
   }
+  obs::ObsSnapshot collect_trace_metrics() override {
+    return world_.collect_obs_delta();
+  }
 
   World& world() { return world_; }
 
@@ -241,10 +271,13 @@ measure::ParallelCampaign::ShardFactory world_shard_factory(WorldParams params);
 /// builds one isolated world per worker, runs the plan across `workers`
 /// threads, returns traces merged in plan order -- byte-identical to the
 /// sequential path. Per-trace failures (if any) are appended to
-/// `failures` when given.
+/// `failures` when given; the campaign observability snapshot (metrics +
+/// drop ledger, merged in plan order) is written to `metrics_out` when
+/// given.
 std::vector<measure::Trace> run_parallel_campaign(
     const WorldParams& params, const measure::CampaignPlan& plan,
     const measure::ProbeOptions& options = {}, int workers = 1,
-    std::vector<measure::ParallelCampaign::TraceFailure>* failures = nullptr);
+    std::vector<measure::ParallelCampaign::TraceFailure>* failures = nullptr,
+    obs::ObsSnapshot* metrics_out = nullptr);
 
 }  // namespace ecnprobe::scenario

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "ecnprobe/obs/metrics.hpp"
 #include "ecnprobe/util/log.hpp"
 
 namespace ecnprobe::tcp {
@@ -52,6 +53,31 @@ std::string_view to_string(CloseReason r) {
 // ---------------------------------------------------------------------------
 // TcpConnection
 // ---------------------------------------------------------------------------
+
+
+namespace {
+// Handshake/ECN outcome counters live in the owning network's registry, so
+// campaign metrics pick them up per-trace. Lookups are per-event (a few per
+// connection), so no pointer caching is needed.
+void count_handshake(TcpStack& stack, const char* role, std::string_view outcome) {
+  stack.host().network().obs().registry.counter(
+      "tcp_handshakes_total",
+      {{"role", role}, {"outcome", std::string(outcome)}},
+      "TCP handshake outcomes by role")->inc();
+}
+
+void count_ecn_negotiation(TcpStack& stack, bool negotiated) {
+  stack.host().network().obs().registry.counter(
+      "tcp_ecn_negotiation_total",
+      {{"result", negotiated ? "negotiated" : "refused"}},
+      "client-side ECN negotiation outcomes")->inc();
+}
+
+void count_retransmission(TcpStack& stack) {
+  stack.host().network().obs().registry.counter(
+      "tcp_retransmissions_total", {}, "TCP segment retransmissions")->inc();
+}
+}  // namespace
 
 TcpConnection::TcpConnection(TcpStack& stack, const TcpConfig& config)
     : stack_(stack),
@@ -176,7 +202,10 @@ void TcpConnection::send_syn(bool is_retransmit) {
     flags.ece = true;
     flags.cwr = true;
   }
-  if (is_retransmit) ++stats_.retransmissions;
+  if (is_retransmit) {
+    ++stats_.retransmissions;
+    count_retransmission(stack_);
+  }
   const auto mss = wire::make_mss_option(static_cast<std::uint16_t>(config_.mss));
   send_segment(flags, iss_, {}, false, mss);
 }
@@ -186,7 +215,10 @@ void TcpConnection::send_syn_ack(bool is_retransmit) {
   flags.syn = true;
   flags.ack = true;
   if (ecn_ok_) flags.ece = true;  // ECN-setup SYN-ACK: ECE set, CWR clear
-  if (is_retransmit) ++stats_.retransmissions;
+  if (is_retransmit) {
+    ++stats_.retransmissions;
+    count_retransmission(stack_);
+  }
   const auto mss = wire::make_mss_option(static_cast<std::uint16_t>(config_.mss));
   send_segment(flags, iss_, {}, false, mss);
 }
@@ -281,6 +313,7 @@ void TcpConnection::on_rto() {
         wire::TcpFlags flags;
         flags.ack = true;
         ++stats_.retransmissions;
+        count_retransmission(stack_);
         // Retransmissions are not ECT-marked (RFC 3168 section 6.1.5).
         send_segment(flags, snd_una_, payload, false);
       } else if (fin_sent_) {
@@ -288,6 +321,7 @@ void TcpConnection::on_rto() {
         flags.fin = true;
         flags.ack = true;
         ++stats_.retransmissions;
+        count_retransmission(stack_);
         send_segment(flags, fin_seq_, {}, false);
       }
       break;
@@ -327,6 +361,8 @@ void TcpConnection::on_segment(const wire::Datagram& dgram,
       snd_nxt_ = seg.header.ack;
       ecn_ok_ = want_ecn_ && seg.header.is_ecn_setup_syn_ack();
       state_ = TcpState::Established;
+      count_handshake(stack_, "client", "established");
+      if (want_ecn_) count_ecn_negotiation(stack_, ecn_ok_);
       retries_ = 0;
       current_rto_ = config_.initial_rto;
       disarm_rto();
@@ -348,6 +384,7 @@ void TcpConnection::on_segment(const wire::Datagram& dgram,
         snd_una_ = iss_ + 1;
         snd_nxt_ = iss_ + 1;
         state_ = TcpState::Established;
+        count_handshake(stack_, "server", "established");
         retries_ = 0;
         current_rto_ = config_.initial_rto;
         disarm_rto();
@@ -512,6 +549,10 @@ void TcpConnection::finish(CloseReason reason) {
   if (finished_) return;
   finished_ = true;
   auto keep_alive = shared_from_this();  // release_flow may drop the last ref
+  if (state_ == TcpState::SynSent || state_ == TcpState::SynReceived) {
+    count_handshake(stack_, state_ == TcpState::SynSent ? "client" : "server",
+                    to_string(reason));
+  }
   disarm_rto();
   time_wait_timer_.cancel();
   state_ = TcpState::Closed;

@@ -1,12 +1,21 @@
 #include "ecnprobe/util/log.hpp"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
+#include <utility>
 
 namespace ecnprobe::util {
 
 namespace {
-LogLevel g_level = LogLevel::Warn;
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// The sink is cold-path state (tests only); guarded by a mutex that also
+// serializes sink invocations so captured lines arrive whole.
+std::mutex g_sink_mutex;
+LogSink g_sink;
+std::atomic<bool> g_sink_installed{false};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -20,20 +29,51 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
+void emit(LogLevel level, const std::string& line) {
+  if (g_sink_installed.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(g_sink_mutex);
+    // Re-check under the lock: the sink may have been removed since.
+    if (g_sink) {
+      g_sink(level, line);
+      return;
+    }
+  }
+  // One write per message: POSIX stdio locks the stream per call, so
+  // concurrent loggers produce interleaved *lines*, never spliced ones.
+  const std::string out = line + "\n";
+  std::fwrite(out.data(), 1, out.size(), stderr);
+}
+
 void vlog(LogLevel level, const char* fmt, va_list args) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] ", level_name(level));
-  std::vfprintf(stderr, fmt, args);
-  std::fputc('\n', stderr);
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  va_list measure_args;
+  va_copy(measure_args, args);
+  const int body = std::vsnprintf(nullptr, 0, fmt, measure_args);
+  va_end(measure_args);
+  if (body < 0) return;
+  std::string line = "[";
+  line += level_name(level);
+  line += "] ";
+  const std::size_t prefix = line.size();
+  line.resize(prefix + static_cast<std::size_t>(body) + 1);
+  std::vsnprintf(line.data() + prefix, static_cast<std::size_t>(body) + 1, fmt, args);
+  line.resize(prefix + static_cast<std::size_t>(body));
+  emit(level, line);
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_sink = std::move(sink);
+  g_sink_installed.store(static_cast<bool>(g_sink), std::memory_order_release);
+}
 
 void detail::log_line(LogLevel level, const std::string& msg) {
-  if (level < g_level) return;
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  emit(level, "[" + std::string(level_name(level)) + "] " + msg);
 }
 
 #define ECNPROBE_DEFINE_LOG_FN(name, level)       \

@@ -1,7 +1,12 @@
 // Leveled logging to stderr. Default level is Warn so tests and benches stay
 // quiet; examples raise it for narrative output.
+//
+// Thread-safe: the level is atomic and each message is emitted with a
+// single fwrite, so lines from parallel-campaign workers never interleave
+// mid-line. Tests can install a sink to capture output instead of stderr.
 #pragma once
 
+#include <functional>
 #include <string>
 
 namespace ecnprobe::util {
@@ -10,6 +15,12 @@ enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
 
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every emitted line (already level-filtered, without the
+/// trailing newline). Installing a sink replaces stderr output; pass
+/// nullptr to restore it. Sink calls are serialized by the logger.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
 namespace detail {
 void log_line(LogLevel level, const std::string& msg);

@@ -15,6 +15,7 @@
 
 #include "ecnprobe/analysis/reachability.hpp"
 #include "ecnprobe/measure/results.hpp"
+#include "ecnprobe/obs/export.hpp"
 #include "ecnprobe/scenario/world.hpp"
 
 namespace ecnprobe::measure {
@@ -118,6 +119,93 @@ TEST(ParallelCampaign, ProgressCounterAndSerializedObserver) {
   EXPECT_EQ(observed, plan.total_traces());
   EXPECT_EQ(static_cast<int>(observed_indices.size()), plan.total_traces());
   EXPECT_TRUE(campaign.failures().empty());
+}
+
+// The observability half of the determinism contract: the campaign-scoped
+// metrics + drop-ledger snapshot -- merged from per-trace shard deltas in
+// plan order -- must encode to the same JSON bytes as the sequential
+// World's accumulation, at any worker count.
+TEST(ParallelCampaign, MetricsByteIdenticalToSequential) {
+  const auto params = determinism_params();
+  const auto plan = mixed_plan();
+  const ProbeOptions options;
+
+  scenario::World sequential_world(params);
+  sequential_world.run_campaign(plan, options);
+  const auto& sequential_obs = sequential_world.campaign_obs();
+  const auto sequential_json = obs::to_json(sequential_obs);
+
+  // The campaign must actually have produced substance to compare: packet
+  // counters, probe counters, and attributed drops.
+  ASSERT_TRUE(sequential_obs.metrics.families.contains("net_packets_transmitted_total"));
+  ASSERT_TRUE(sequential_obs.metrics.families.contains("probe_udp_total"));
+  ASSERT_GT(sequential_obs.ledger.total_drops(), 0u);
+
+  for (const int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    ParallelCampaign::Options exec;
+    exec.workers = workers;
+    exec.probe = options;
+    ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
+    campaign.run(plan);
+    ASSERT_TRUE(campaign.failures().empty());
+    EXPECT_EQ(obs::to_json(campaign.metrics()), sequential_json);
+  }
+}
+
+// Loss-autopsy reconciliation: every failed probe in the merged traces has
+// exactly one measure-layer probe-timeout ledger entry, so the autopsy
+// table's bottom line explains Figure 2's unreachable cells one for one.
+TEST(ParallelCampaign, ProbeTimeoutsReconcileWithFailedProbes) {
+  const auto params = determinism_params();
+  const auto plan = mixed_plan();
+
+  ParallelCampaign::Options exec;
+  exec.workers = 4;
+  ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
+  const auto traces = campaign.run(plan);
+  ASSERT_TRUE(campaign.failures().empty());
+
+  std::uint64_t failed_probes = 0;
+  for (const auto& trace : traces) {
+    for (const auto& server : trace.servers) {
+      failed_probes += !server.udp_plain.reachable;
+      failed_probes += !server.udp_ect0.reachable;
+      failed_probes += !server.tcp_plain.connected;
+      failed_probes += !server.tcp_ecn.connected;
+    }
+  }
+  ASSERT_GT(failed_probes, 0u);
+  EXPECT_EQ(campaign.metrics().ledger.drops_for_cause("probe-timeout"), failed_probes);
+}
+
+// Runtime (executor) metrics are intentionally separate from the
+// deterministic campaign snapshot, but their totals must still add up.
+TEST(ParallelCampaign, RuntimeMetricsAccountForEveryTrace) {
+  const auto params = determinism_params();
+  const auto plan = mixed_plan();
+
+  ParallelCampaign::Options exec;
+  exec.workers = 4;
+  ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
+  campaign.run(plan);
+
+  const auto progress = campaign.progress();
+  EXPECT_EQ(progress.total, plan.total_traces());
+  EXPECT_EQ(progress.completed, plan.total_traces());
+  EXPECT_EQ(progress.failed, 0);
+  EXPECT_EQ(progress.in_flight, 0);
+  int by_vantage = 0;
+  for (const auto& [vantage, count] : progress.completed_by_vantage) by_vantage += count;
+  EXPECT_EQ(by_vantage, plan.total_traces());
+
+  const auto runtime = campaign.runtime_metrics();
+  ASSERT_TRUE(runtime.families.contains("worker_traces_total"));
+  std::uint64_t claimed = 0;
+  for (const auto& [labels, value] : runtime.families.at("worker_traces_total").samples) {
+    claimed += value.counter;
+  }
+  EXPECT_EQ(claimed, static_cast<std::uint64_t>(plan.total_traces()));
 }
 
 // Concurrency stress: a world where the greylisting and rate-limiting

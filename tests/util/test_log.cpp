@@ -1,0 +1,85 @@
+// Thread-safety contract of util::log: level filtering is atomic, a sink
+// captures whole lines, and concurrent writers never interleave mid-line.
+#include "ecnprobe/util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ecnprobe::util {
+namespace {
+
+struct SinkCapture {
+  std::mutex mutex;
+  std::vector<std::pair<LogLevel, std::string>> lines;
+
+  LogSink sink() {
+    return [this](LogLevel level, const std::string& line) {
+      std::lock_guard<std::mutex> lock(mutex);
+      lines.emplace_back(level, line);
+    };
+  }
+};
+
+struct LogTest : ::testing::Test {
+  LogLevel saved = log_level();
+  void TearDown() override {
+    set_log_sink(nullptr);
+    set_log_level(saved);
+  }
+};
+
+TEST_F(LogTest, SinkReceivesFormattedLevelFilteredLines) {
+  SinkCapture capture;
+  set_log_sink(capture.sink());
+  set_log_level(LogLevel::Info);
+
+  log_debug("invisible %d", 1);  // below the level
+  log_info("count=%d name=%s", 42, "probe");
+  log_error("boom");
+
+  ASSERT_EQ(capture.lines.size(), 2u);
+  EXPECT_EQ(capture.lines[0].first, LogLevel::Info);
+  EXPECT_EQ(capture.lines[0].second, "[INFO] count=42 name=probe");
+  EXPECT_EQ(capture.lines[1].first, LogLevel::Error);
+  EXPECT_EQ(capture.lines[1].second, "[ERROR] boom");
+}
+
+TEST_F(LogTest, LevelOffSilencesEverything) {
+  SinkCapture capture;
+  set_log_sink(capture.sink());
+  set_log_level(LogLevel::Off);
+  log_error("should not appear");
+  EXPECT_TRUE(capture.lines.empty());
+}
+
+TEST_F(LogTest, ConcurrentWritersProduceIntactLines) {
+  SinkCapture capture;
+  set_log_sink(capture.sink());
+  set_log_level(LogLevel::Info);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log_info("worker=%d message=%d tail", t, i);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ASSERT_EQ(capture.lines.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  for (const auto& [level, line] : capture.lines) {
+    // Every captured line is a complete, un-torn message.
+    EXPECT_EQ(line.rfind("[INFO] worker=", 0), 0u) << line;
+    EXPECT_EQ(line.substr(line.size() - 5), " tail") << line;
+  }
+}
+
+}  // namespace
+}  // namespace ecnprobe::util

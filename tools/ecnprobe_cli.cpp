@@ -3,17 +3,23 @@
 //
 //   ecnprobe discover   [--scale F] [--seed N] [--rounds R]
 //   ecnprobe campaign   [--scale F] [--seed N] [--traces N] [--workers N] [--out FILE]
+//                       [--metrics-out FILE]
 //   ecnprobe analyze    <traces.csv>
 //   ecnprobe traceroute [--scale F] [--seed N] [--vantage NAME] [--count N]
 //   ecnprobe pcap       [--scale F] [--seed N] [--out FILE]
 //   ecnprobe report     [--scale F] [--seed N] [--out FILE]
 //
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "ecnprobe/analysis/differential.hpp"
 #include "ecnprobe/analysis/hops.hpp"
@@ -23,6 +29,7 @@
 #include "ecnprobe/analysis/report.hpp"
 #include "ecnprobe/measure/probe.hpp"
 #include "ecnprobe/netsim/pcap.hpp"
+#include "ecnprobe/obs/export.hpp"
 #include "ecnprobe/scenario/world.hpp"
 #include "ecnprobe/wire/dissect.hpp"
 
@@ -39,6 +46,7 @@ struct Options {
   int workers = 1;
   std::string vantage = "UGla wired";
   std::string out;
+  std::string metrics_out;
   std::string input;
 };
 
@@ -58,6 +66,7 @@ Options parse(int argc, char** argv, int first) {
     else if (arg == "--workers") options.workers = std::max(1, std::atoi(value().c_str()));
     else if (arg == "--vantage") options.vantage = value();
     else if (arg == "--out") options.out = value();
+    else if (arg == "--metrics-out") options.metrics_out = value();
     else if (arg[0] != '-') options.input = arg;
   }
   return options;
@@ -104,14 +113,55 @@ int cmd_campaign(const Options& options) {
   std::fprintf(stderr, "running %d traces x %d servers (%d worker%s)...\n",
                plan.total_traces(), params.server_count, options.workers,
                options.workers == 1 ? "" : "s");
-  // Sequential and sharded paths produce byte-identical CSVs; --workers
-  // only changes wall-clock time.
+  // Sequential and sharded paths produce byte-identical CSVs and campaign
+  // metrics; --workers only changes wall-clock time.
+  const bool tty = isatty(fileno(stderr)) != 0;
+  const int total = plan.total_traces();
   std::vector<measure::Trace> traces;
+  obs::ObsSnapshot campaign_obs;
+  obs::MetricsSnapshot runtime;
+  bool have_runtime = false;
   if (options.workers > 1) {
-    traces = scenario::run_parallel_campaign(params, plan, {}, options.workers);
+    measure::ParallelCampaign::Options exec;
+    exec.workers = options.workers;
+    measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
+    // Progress line on a monitor thread: progress() is a lock-cheap
+    // snapshot of the runtime registry, safe to poll while workers run.
+    std::atomic<bool> running{true};
+    std::thread monitor;
+    if (tty) {
+      monitor = std::thread([&] {
+        while (running.load(std::memory_order_relaxed)) {
+          const auto p = campaign.progress();
+          std::fprintf(stderr, "\r  %d/%d traces, %d in flight, %d failed   ",
+                       p.completed, p.total, p.in_flight, p.failed);
+          std::this_thread::sleep_for(std::chrono::milliseconds(250));
+        }
+      });
+    }
+    traces = campaign.run(plan);
+    running.store(false, std::memory_order_relaxed);
+    if (monitor.joinable()) {
+      monitor.join();
+      std::fprintf(stderr, "\r  %d/%d traces done%*s\n", campaign.traces_completed(),
+                   total, 20, "");
+    }
+    for (const auto& failure : campaign.failures()) {
+      std::fprintf(stderr, "trace %d (%s) failed: %s\n", failure.index,
+                   failure.vantage.c_str(), failure.message.c_str());
+    }
+    campaign_obs = campaign.metrics();
+    runtime = campaign.runtime_metrics();
+    have_runtime = true;
   } else {
     scenario::World world(params);
-    traces = world.run_campaign(plan);
+    int completed = 0;
+    traces = world.run_campaign(plan, {}, [&](const std::string&, int, int) {
+      ++completed;
+      if (tty) std::fprintf(stderr, "\r  %d/%d traces   ", completed, total);
+    });
+    if (tty && completed > 0) std::fprintf(stderr, "\r  %d/%d traces done   \n", completed, total);
+    campaign_obs = world.campaign_obs();
   }
   if (options.out.empty()) {
     measure::write_traces_csv(std::cout, traces);
@@ -119,6 +169,16 @@ int cmd_campaign(const Options& options) {
     std::ofstream os(options.out);
     measure::write_traces_csv(os, traces);
     std::fprintf(stderr, "wrote %s\n", options.out.c_str());
+  }
+  const auto autopsy = obs::render_loss_autopsy(campaign_obs.ledger);
+  if (!autopsy.empty()) std::fprintf(stderr, "\n%s", autopsy.c_str());
+  if (!options.metrics_out.empty()) {
+    if (!obs::write_metrics_files(options.metrics_out, campaign_obs,
+                                  have_runtime ? &runtime : nullptr)) {
+      std::fprintf(stderr, "cannot write %s\n", options.metrics_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s (+ Prometheus sibling)\n", options.metrics_out.c_str());
   }
   return 0;
 }
@@ -241,7 +301,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: ecnprobe <command> [options]\n"
                "  discover    enumerate the pool via DNS          [--scale --seed --rounds --vantage]\n"
-               "  campaign    run the measurement campaign -> CSV [--scale --seed --traces --workers --out]\n"
+               "  campaign    run the measurement campaign -> CSV [--scale --seed --traces --workers --out --metrics-out]\n"
                "  analyze     figures/tables from a traces CSV    <traces.csv>\n"
                "  traceroute  ECN traceroute listings             [--scale --seed --vantage --count]\n"
                "  pcap        probe one server, dump pcap+dissection [--scale --seed --vantage --out]\n"
