@@ -6,14 +6,20 @@
 //   $ ./ntp_pool_study 1.0              # full paper scale (2500 servers, 210 traces)
 //   $ ./ntp_pool_study 1.0 --workers=8  # campaign sharded across 8 threads
 //   $ ./ntp_pool_study --metrics-out metrics.json   # export metrics + ledger
+//   $ ./ntp_pool_study --faults wan-chaos --checkpoint run.journal
+//   $ ./ntp_pool_study --resume run.journal         # continue a killed run
 //
 // --workers=N runs the campaign through the sharded parallel executor
 // (one isolated world clone per worker); the merged results -- and the
 // campaign metrics/drop-ledger in --metrics-out -- are byte-identical to
-// the sequential run, just faster on a multicore box.
+// the sequential run, just faster on a multicore box. --faults injects a
+// named fault profile (see docs/robustness.md); --checkpoint journals
+// every completed trace so a killed run resumes byte-identically with
+// --resume; --halt-after N simulates the kill.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "ecnprobe/analysis/differential.hpp"
@@ -22,6 +28,8 @@
 #include "ecnprobe/analysis/reachability.hpp"
 #include "ecnprobe/analysis/report.hpp"
 #include "ecnprobe/analysis/trend.hpp"
+#include "ecnprobe/chaos/fault_plan.hpp"
+#include "ecnprobe/measure/journal.hpp"
 #include "ecnprobe/measure/parallel_campaign.hpp"
 #include "ecnprobe/obs/export.hpp"
 #include "ecnprobe/scenario/world.hpp"
@@ -30,7 +38,11 @@ int main(int argc, char** argv) {
   using namespace ecnprobe;
   double scale = 0.1;
   int workers = 1;
+  int halt_after = 0;
+  bool resume = false;
   std::string metrics_out;
+  std::string faults_spec = "none";
+  std::string checkpoint;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -38,11 +50,25 @@ int main(int argc, char** argv) {
     else if (arg == "--workers") workers = std::atoi(next_value());
     else if (arg.rfind("--metrics-out=", 0) == 0) metrics_out = arg.substr(14);
     else if (arg == "--metrics-out") metrics_out = next_value();
+    else if (arg.rfind("--faults=", 0) == 0) faults_spec = arg.substr(9);
+    else if (arg == "--faults") faults_spec = next_value();
+    else if (arg.rfind("--checkpoint=", 0) == 0) checkpoint = arg.substr(13);
+    else if (arg == "--checkpoint") checkpoint = next_value();
+    else if (arg.rfind("--resume=", 0) == 0) { checkpoint = arg.substr(9); resume = true; }
+    else if (arg == "--resume") { checkpoint = next_value(); resume = true; }
+    else if (arg.rfind("--halt-after=", 0) == 0) halt_after = std::atoi(arg.c_str() + 13);
+    else if (arg == "--halt-after") halt_after = std::atoi(next_value());
     else scale = std::atof(arg.c_str());
   }
   if (workers < 1) workers = 1;
 
   auto params = scenario::WorldParams::paper().scaled(scale);
+  const auto faults = chaos::FaultPlan::parse(faults_spec);
+  if (!faults) {
+    std::fprintf(stderr, "ntp_pool_study: %s\n", faults.error().message.c_str());
+    return 2;
+  }
+  params.faults = *faults;
   std::printf("== ECN-with-UDP measurement study (scale %.2f: %d servers) ==\n\n",
               scale, params.server_count);
   scenario::World world(params);
@@ -62,23 +88,60 @@ int main(int argc, char** argv) {
   const auto plan = measure::CampaignPlan::paper_layout(
       std::max(1, static_cast<int>(9 * scale)), std::max(1, static_cast<int>(12 * scale)),
       std::max(1, static_cast<int>(14 * scale)));
-  std::printf("[2/4] running the measurement campaign (%d traces, %d worker%s)...\n",
-              plan.total_traces(), workers, workers == 1 ? "" : "s");
+  std::printf("[2/4] running the measurement campaign (%d traces, %d worker%s, faults: %s)...\n",
+              plan.total_traces(), workers, workers == 1 ? "" : "s",
+              params.faults.name.c_str());
+
+  measure::CampaignJournal journal;
+  measure::CampaignJournal* journal_ptr = nullptr;
+  if (!checkpoint.empty()) {
+    if (resume && !std::ifstream(checkpoint).is_open()) {
+      std::fprintf(stderr, "ntp_pool_study: cannot resume: no journal at %s\n",
+                   checkpoint.c_str());
+      return 1;
+    }
+    measure::JournalMeta meta;
+    meta.plan = measure::plan_fingerprint(plan);
+    meta.faults = params.faults.fingerprint();
+    meta.seed = params.seed;
+    meta.total_traces = plan.total_traces();
+    meta.server_count = params.server_count;
+    std::string error;
+    if (!journal.open(checkpoint, meta, &error)) {
+      std::fprintf(stderr, "ntp_pool_study: %s\n", error.c_str());
+      return 1;
+    }
+    journal_ptr = &journal;
+    if (!journal.entries().empty()) {
+      std::printf("      resuming: %zu of %d traces already journaled\n",
+                  journal.entries().size(), plan.total_traces());
+    }
+  }
+
   obs::ObsSnapshot campaign_obs;
   obs::MetricsSnapshot runtime_metrics;
   bool have_runtime = false;
   std::vector<measure::Trace> traces;
+  std::vector<measure::TraceFailure> failures;
   if (workers > 1) {
     measure::ParallelCampaign::Options exec;
     exec.workers = workers;
+    exec.halt_after_traces =
+        halt_after > 0 ? halt_after : params.faults.crash_after_traces;
     measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
+    if (journal_ptr != nullptr) campaign.set_journal(journal_ptr);
     traces = campaign.run(plan);
+    failures = campaign.failures();
     campaign_obs = campaign.metrics();
     runtime_metrics = campaign.runtime_metrics();
     have_runtime = true;
   } else {
-    traces = world.run_campaign(plan);
+    traces = world.run_campaign(plan, {}, nullptr, journal_ptr, halt_after, &failures);
     campaign_obs = world.campaign_obs();
+  }
+  for (const auto& failure : failures) {
+    std::fprintf(stderr, "      trace %d (%s) quarantined: %s\n", failure.index,
+                 failure.vantage.c_str(), failure.message.c_str());
   }
 
   const auto per_trace = analysis::per_trace_reachability(traces);

@@ -23,6 +23,7 @@ HopAnalysis analyze_hops(const std::vector<measure::TracerouteObservation>& obse
   // its ICMP generation is rate limited).
   std::map<std::uint32_t, std::map<std::uint32_t, int>> strip_prev_votes;  // curr -> prev
   std::set<std::uint32_t> unattributed_strips;  // first responder already stripped
+  std::set<std::tuple<std::string, std::uint32_t, std::uint32_t>> ecn_unknown;
   std::set<topology::Asn> asns;
 
   std::uint64_t responding_total = 0;
@@ -35,6 +36,14 @@ HopAnalysis analyze_hops(const std::vector<measure::TracerouteObservation>& obse
     for (const auto& hop : obs.path.hops) {
       if (!hop.responded) continue;
       ++responding_total;
+      if (!hop.ecn_known) {
+        // Truncated quote: the hop responded but its ECN field was never
+        // observed. It neither passes nor strips, and it cannot anchor a
+        // strip-location transition -- skip it for classification entirely.
+        ecn_unknown.insert({obs.vantage, obs.path.destination.value(),
+                            hop.responder.value()});
+        continue;
+      }
       auto& seen = hops[{obs.vantage, obs.path.destination.value(),
                          hop.responder.value()}];
       if (hop.quoted_ecn == wire::Ecn::Ce) ++out.ce_marks_seen;
@@ -61,6 +70,10 @@ HopAnalysis analyze_hops(const std::vector<measure::TracerouteObservation>& obse
   }
 
   out.total_hops = hops.size();
+  // Hops seen *only* with truncated quotes: reported, not classified.
+  for (const auto& key : ecn_unknown) {
+    if (!hops.contains(key)) ++out.ecn_unknown_hops;
+  }
   for (const auto& [_, seen] : hops) {
     if (seen.stripped) {
       ++out.strip_hops;

@@ -22,6 +22,10 @@ struct HopAnalysis {
   std::uint64_t strip_hops = 0;        ///< quoted not-ECT at least once
   std::uint64_t sometimes_strip = 0;   ///< subset of strip_hops seen both ways
   std::uint64_t ce_marks_seen = 0;     ///< quotations showing CE (paper saw none)
+  /// Responding hops whose quotes were always truncated before the ECN
+  /// field: excluded from the pass/strip classification above ("ECN field
+  /// unknown"), never counted as bleached.
+  std::uint64_t ecn_unknown_hops = 0;
 
   std::uint64_t strip_locations = 0;           ///< unique intact->stripped edges
   std::uint64_t strip_locations_at_boundary = 0;

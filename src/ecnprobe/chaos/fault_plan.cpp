@@ -1,0 +1,185 @@
+#include "ecnprobe/chaos/fault_plan.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+
+#include "ecnprobe/util/hash.hpp"
+#include "ecnprobe/util/strings.hpp"
+
+namespace ecnprobe::chaos {
+namespace {
+
+util::Error bad(const std::string& what) { return util::make_error("fault-plan", what); }
+
+bool parse_double_strict(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int_strict(const std::string& tok, int* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size() || v < -(1l << 30) || v > (1l << 30)) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool profile(const std::string& name, FaultPlan* plan) {
+  plan->name = name;
+  if (name == "none") return true;
+  if (name == "wan-chaos") {
+    // Misbehaving transit: corruption, duplication, and reordering on a
+    // handful of inter-AS links.
+    plan->chaos_links = 4;
+    plan->corrupt_prob = 0.02;
+    plan->duplicate_prob = 0.02;
+    plan->reorder_prob = 0.30;
+    plan->reorder_window_ms = 8.0;
+    return true;
+  }
+  if (name == "icmp-degraded") {
+    // The traceroute experiment's worst day: routers that never send (or
+    // forward) ICMP errors, and links that truncate the quotes that do
+    // come back to less than a full inner IP header.
+    plan->icmp_blackhole_routers = 3;
+    plan->icmp_blackhole_prob = 0.5;
+    plan->quote_truncate_links = 4;
+    plan->quote_truncate_prob = 0.6;
+    return true;
+  }
+  if (name == "flaky-servers") {
+    // A fifth of the pool answers some requests with truncated or
+    // malformed NTP replies ("A Fresh Look at ECN Traversal in the Wild"
+    // saw exactly this class of responder).
+    plan->flaky_server_fraction = 0.2;
+    plan->short_reply_prob = 0.3;
+    plan->malformed_reply_prob = 0.2;
+    return true;
+  }
+  if (name == "route-flap") {
+    plan->route_flap_links = 3;
+    plan->route_flap_down_ms = 40.0;
+    plan->route_flap_period_ms = 250.0;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  return chaos_links > 0 || icmp_blackhole_routers > 0 || quote_truncate_links > 0 ||
+         route_flap_links > 0 || flaky_server_fraction > 0.0 || !poison_traces.empty() ||
+         crash_after_traces > 0;
+}
+
+std::string FaultPlan::serialize() const {
+  std::string out = "name=" + name;
+  const auto num = [&out](const char* key, double v) {
+    out += util::strf(",%s=%.17g", key, v);
+  };
+  out += util::strf(",chaos-links=%d", chaos_links);
+  num("corrupt-prob", corrupt_prob);
+  num("duplicate-prob", duplicate_prob);
+  num("reorder-prob", reorder_prob);
+  num("reorder-window-ms", reorder_window_ms);
+  out += util::strf(",icmp-blackhole-routers=%d", icmp_blackhole_routers);
+  num("icmp-blackhole-prob", icmp_blackhole_prob);
+  out += util::strf(",quote-truncate-links=%d", quote_truncate_links);
+  num("quote-truncate-prob", quote_truncate_prob);
+  out += util::strf(",route-flap-links=%d", route_flap_links);
+  num("route-flap-down-ms", route_flap_down_ms);
+  num("route-flap-period-ms", route_flap_period_ms);
+  num("flaky-server-fraction", flaky_server_fraction);
+  num("short-reply-prob", short_reply_prob);
+  num("malformed-reply-prob", malformed_reply_prob);
+  out += ",poison=";
+  bool first = true;
+  for (const int idx : poison_traces) {
+    if (!first) out += "+";
+    out += std::to_string(idx);
+    first = false;
+  }
+  out += util::strf(",crash-after=%d", crash_after_traces);
+  return out;
+}
+
+std::string FaultPlan::fingerprint() const {
+  // crash-after is excluded from the identity: it only decides when the
+  // executor stops, never what any trace's bytes are, and the whole point
+  // of the journal is to resume a `crash-after=N` run without the crash.
+  FaultPlan effective = *this;
+  effective.crash_after_traces = 0;
+  return util::strf("%s#%016llx", name.c_str(),
+                    static_cast<unsigned long long>(util::fnv1a64(effective.serialize())));
+}
+
+util::Expected<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  const auto parts = util::split(spec, ',');
+  if (parts.empty() || parts[0].empty()) return bad("empty fault spec");
+  FaultPlan plan;
+  if (!profile(std::string(util::trim(parts[0])), &plan)) {
+    std::string known;
+    for (const auto& n : profile_names()) known += (known.empty() ? "" : ", ") + n;
+    return bad("unknown fault profile '" + parts[0] + "' (known: " + known + ")");
+  }
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    const std::string part{util::trim(parts[i])};
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) return bad("expected key=value, got '" + part + "'");
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    double d = 0;
+    int n = 0;
+    if (key == "poison") {
+      if (!parse_int_strict(value, &n) || n < 0) return bad("bad poison index '" + value + "'");
+      plan.poison_traces.insert(n);
+    } else if (key == "crash-after") {
+      if (!parse_int_strict(value, &n) || n < 0) return bad("bad crash-after '" + value + "'");
+      plan.crash_after_traces = n;
+    } else if (key == "chaos-links") {
+      if (!parse_int_strict(value, &n) || n < 0) return bad("bad chaos-links '" + value + "'");
+      plan.chaos_links = n;
+    } else if (key == "icmp-blackhole-routers") {
+      if (!parse_int_strict(value, &n) || n < 0) return bad("bad value '" + value + "'");
+      plan.icmp_blackhole_routers = n;
+    } else if (key == "quote-truncate-links") {
+      if (!parse_int_strict(value, &n) || n < 0) return bad("bad value '" + value + "'");
+      plan.quote_truncate_links = n;
+    } else if (key == "route-flap-links") {
+      if (!parse_int_strict(value, &n) || n < 0) return bad("bad value '" + value + "'");
+      plan.route_flap_links = n;
+    } else {
+      if (!parse_double_strict(value, &d) || d < 0.0) {
+        return bad("bad value for '" + key + "': '" + value + "'");
+      }
+      if (key == "corrupt-prob") plan.corrupt_prob = d;
+      else if (key == "duplicate-prob") plan.duplicate_prob = d;
+      else if (key == "reorder-prob") plan.reorder_prob = d;
+      else if (key == "reorder-window-ms") plan.reorder_window_ms = d;
+      else if (key == "icmp-blackhole-prob") plan.icmp_blackhole_prob = d;
+      else if (key == "quote-truncate-prob") plan.quote_truncate_prob = d;
+      else if (key == "route-flap-down-ms") plan.route_flap_down_ms = d;
+      else if (key == "route-flap-period-ms") plan.route_flap_period_ms = d;
+      else if (key == "flaky-server-fraction") plan.flaky_server_fraction = d;
+      else if (key == "short-reply-prob") plan.short_reply_prob = d;
+      else if (key == "malformed-reply-prob") plan.malformed_reply_prob = d;
+      else return bad("unknown fault key '" + key + "'");
+    }
+  }
+  return plan;
+}
+
+std::vector<std::string> FaultPlan::profile_names() {
+  return {"none", "wan-chaos", "icmp-degraded", "flaky-servers", "route-flap"};
+}
+
+}  // namespace ecnprobe::chaos

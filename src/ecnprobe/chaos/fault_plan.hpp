@@ -1,0 +1,84 @@
+// Deterministic fault injection: a FaultPlan names the pathologies a
+// campaign should suffer -- packet corruption, duplication, reordering,
+// ICMP blackholes, truncated ICMP quotes, route flaps, flaky NTP
+// responders -- plus two harness-level faults (poisoned traces and a
+// simulated crash). The scenario layer compiles a plan into netsim
+// PacketPolicy chains and host hooks; every injected fault is a pure
+// function of (world seed, trace index, policy position), so a faulted
+// campaign is exactly as reproducible as a clean one: byte-identical
+// sequentially and at any --workers N.
+//
+// Plans parse from a CLI spec: a named profile optionally followed by
+// key=value overrides, e.g.
+//
+//   --faults wan-chaos
+//   --faults icmp-degraded,quote-truncate-prob=1.0
+//   --faults none,poison=7,crash-after=13
+//
+// See docs/robustness.md for the full key list.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/util/expected.hpp"
+
+namespace ecnprobe::chaos {
+
+struct FaultPlan {
+  std::string name = "none";
+
+  // Mid-path packet pathologies, installed on a deterministic selection of
+  // `chaos_links` inter-AS transit links (both directions).
+  int chaos_links = 0;
+  double corrupt_prob = 0.0;    ///< per-packet payload byte flip
+  double duplicate_prob = 0.0;  ///< per-packet extra delivery
+  double reorder_prob = 0.0;    ///< per-packet extra delay draw...
+  double reorder_window_ms = 0.0;  ///< ...uniform in [0, window)
+
+  // ICMP degradation (the traceroute experiment's natural enemies).
+  int icmp_blackhole_routers = 0;   ///< routers that eat ICMP errors
+  double icmp_blackhole_prob = 0.0;
+  int quote_truncate_links = 0;     ///< links truncating ICMP error quotes
+  double quote_truncate_prob = 0.0; ///< ...to less than a full IP header
+
+  // Mid-path route flaps: the link goes dark for `down_ms` out of every
+  // `period_ms`, with the window placed per (trace, link) by the seed.
+  int route_flap_links = 0;
+  double route_flap_down_ms = 0.0;
+  double route_flap_period_ms = 0.0;
+
+  // Flaky NTP responders: a deterministic fraction of the server pool
+  // answers some requests with a short (truncated) or malformed reply.
+  double flaky_server_fraction = 0.0;
+  double short_reply_prob = 0.0;
+  double malformed_reply_prob = 0.0;
+
+  // Harness-level faults.
+  std::set<int> poison_traces;   ///< trace indices whose epoch setup throws
+  int crash_after_traces = 0;    ///< >0: stop (simulated crash) after N live traces
+
+  /// True if the plan injects any fault at all ("none" parses to false).
+  bool enabled() const;
+  bool poisons(int trace_index) const { return poison_traces.count(trace_index) != 0; }
+
+  /// Canonical key=value serialisation (every field, fixed order). Equal
+  /// plans serialise to equal strings.
+  std::string serialize() const;
+
+  /// `name#xxxxxxxxxxxxxxxx`: the profile name plus a 16-hex-digit FNV of
+  /// the canonical serialisation. The journal stores this to refuse
+  /// resuming a campaign under a different fault plan.
+  std::string fingerprint() const;
+
+  /// Parses "profile[,key=value...]". Unknown profiles, unknown keys, and
+  /// malformed values are errors.
+  static util::Expected<FaultPlan> parse(const std::string& spec);
+
+  /// The named profiles parse() accepts as a base.
+  static std::vector<std::string> profile_names();
+};
+
+}  // namespace ecnprobe::chaos

@@ -1,0 +1,153 @@
+// The netsim PacketPolicy implementations a FaultPlan compiles into.
+//
+// Determinism contract: every policy here owns a *private* Rng, reseeded
+// by PacketPolicy::on_epoch from (epoch seed, position in topology) --
+// never the shared datapath stream. Installing a fault therefore changes
+// only the packets it touches; the fault-free draws (link loss, jitter,
+// middlebox verdicts) are byte-for-byte what they would have been without
+// the fault plan, and every injected fault is a pure function of the
+// trace index regardless of worker count.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ecnprobe/netsim/policy.hpp"
+#include "ecnprobe/util/rng.hpp"
+
+namespace ecnprobe::chaos {
+
+/// Flips one payload byte with probability `prob` -- in-flight bit rot.
+/// The corrupted transport checksum gets the packet discarded (or the
+/// garbled NTP reply rejected) at the receiving host.
+class CorruptionPolicy final : public netsim::PacketPolicy {
+public:
+  explicit CorruptionPolicy(double prob) : prob_(prob) {}
+  std::string name() const override { return "chaos-corrupt"; }
+  void on_epoch(std::uint64_t seed) override { rng_ = util::Rng(seed); }
+
+protected:
+  netsim::PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
+                                util::SimTime now) override;
+
+private:
+  double prob_;
+  util::Rng rng_;
+};
+
+/// Delivers the packet twice with probability `prob` (via
+/// PacketPolicy::take_duplicate and the datapath's second delivery).
+class DuplicatePolicy final : public netsim::PacketPolicy {
+public:
+  explicit DuplicatePolicy(double prob) : prob_(prob) {}
+  std::string name() const override { return "chaos-duplicate"; }
+  void on_epoch(std::uint64_t seed) override {
+    rng_ = util::Rng(seed);
+    dup_ = false;
+  }
+  bool take_duplicate() override {
+    const bool d = dup_;
+    dup_ = false;
+    return d;
+  }
+
+protected:
+  netsim::PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
+                                util::SimTime now) override;
+
+private:
+  double prob_;
+  bool dup_ = false;
+  util::Rng rng_;
+};
+
+/// Holds a packet back by a uniform draw from [0, window) ms with
+/// probability `prob`, letting later packets overtake it.
+class ReorderPolicy final : public netsim::PacketPolicy {
+public:
+  ReorderPolicy(double prob, double window_ms) : prob_(prob), window_ms_(window_ms) {}
+  std::string name() const override { return "chaos-reorder"; }
+  void on_epoch(std::uint64_t seed) override {
+    rng_ = util::Rng(seed);
+    pending_delay_ = {};
+  }
+  util::SimDuration take_extra_delay() override {
+    const auto d = pending_delay_;
+    pending_delay_ = {};
+    return d;
+  }
+
+protected:
+  netsim::PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
+                                util::SimTime now) override;
+
+private:
+  double prob_;
+  double window_ms_;
+  util::SimDuration pending_delay_;
+  util::Rng rng_;
+};
+
+/// Eats ICMP traffic with probability `prob` -- the router that never
+/// sends (or forwards) Time-Exceeded, leaving traceroute hops silent.
+class IcmpBlackholePolicy final : public netsim::PacketPolicy {
+public:
+  explicit IcmpBlackholePolicy(double prob) : prob_(prob) {}
+  std::string name() const override { return "chaos-icmp-blackhole"; }
+  obs::DropCause drop_cause() const override { return obs::DropCause::IcmpBlackhole; }
+  void on_epoch(std::uint64_t seed) override { rng_ = util::Rng(seed); }
+
+protected:
+  netsim::PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
+                                util::SimTime now) override;
+
+private:
+  double prob_;
+  util::Rng rng_;
+};
+
+/// Truncates the quotation inside passing ICMP error messages to fewer
+/// bytes than a full inner IP header (8..19), with probability `prob` --
+/// the RFC 1812 violation that real paths exhibit and the prober must
+/// tolerate (hop becomes "ECN unknown", not "bleached").
+class QuoteTruncatePolicy final : public netsim::PacketPolicy {
+public:
+  explicit QuoteTruncatePolicy(double prob) : prob_(prob) {}
+  std::string name() const override { return "chaos-quote-truncate"; }
+  void on_epoch(std::uint64_t seed) override { rng_ = util::Rng(seed); }
+
+protected:
+  netsim::PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
+                                util::SimTime now) override;
+
+private:
+  double prob_;
+  util::Rng rng_;
+};
+
+/// A link that goes dark for `down_ms` out of every `period_ms`. The down
+/// window's phase is drawn per epoch; the clock reference is the first
+/// packet of the epoch, so the flap schedule is relative to the trace, not
+/// to absolute simulator time (which differs between executors).
+class RouteFlapPolicy final : public netsim::PacketPolicy {
+public:
+  RouteFlapPolicy(double down_ms, double period_ms)
+      : down_ms_(down_ms), period_ms_(period_ms) {}
+  std::string name() const override { return "chaos-route-flap"; }
+  obs::DropCause drop_cause() const override { return obs::DropCause::RouteFlap; }
+  void on_epoch(std::uint64_t seed) override;
+
+protected:
+  netsim::PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,
+                                util::SimTime now) override;
+
+private:
+  double down_ms_;
+  double period_ms_;
+  double phase_ms_ = 0.0;  ///< down-window start within the period
+  bool have_ref_ = false;
+  util::SimTime ref_;
+  util::Rng rng_;
+};
+
+}  // namespace ecnprobe::chaos

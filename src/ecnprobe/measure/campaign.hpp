@@ -7,12 +7,24 @@
 
 #include <functional>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ecnprobe/measure/probe.hpp"
 
 namespace ecnprobe::measure {
+
+/// A trace that threw instead of producing a result. Both executors
+/// quarantine such traces -- the campaign completes, the failure is
+/// recorded here (and attributed in the drop ledger via the quarantine
+/// hook) instead of aborting the run.
+struct TraceFailure {
+  int index = 0;
+  std::string vantage;
+  int batch = 0;
+  std::string message;
+};
 
 struct CampaignPlan {
   struct Entry {
@@ -64,12 +76,32 @@ public:
   /// events may still be in flight -- the quiescence barrier runs after).
   using AfterTraceHook = BeforeTraceHook;
   using DoneHandler = std::function<void(std::vector<Trace>)>;
+  /// Fires at the quiescence barrier after a trace's stragglers settled --
+  /// the point where its observability delta is complete. Journalling
+  /// hooks in here: the trace is durable before the next one starts.
+  using CommitHook = std::function<void(const Trace& trace)>;
+  /// Consulted before each trace runs. Returning a Trace short-circuits
+  /// the live run: the result is taken as-is (checkpoint replay).
+  using ReplayHook = std::function<std::optional<Trace>(int index)>;
+  /// Fires when a trace threw; the scenario attributes the loss (drop
+  /// ledger) before the campaign moves on.
+  using QuarantineHook = std::function<void(const std::string& vantage, int batch,
+                                            int index, const std::string& reason)>;
 
   Campaign(std::map<std::string, Vantage*> vantages,
            std::vector<wire::Ipv4Address> servers, ProbeOptions options);
 
   void set_before_trace(BeforeTraceHook hook) { before_trace_ = std::move(hook); }
   void set_after_trace(AfterTraceHook hook) { after_trace_ = std::move(hook); }
+  void set_commit(CommitHook hook) { commit_ = std::move(hook); }
+  void set_replay(ReplayHook hook) { replay_ = std::move(hook); }
+  void set_quarantine(QuarantineHook hook) { quarantine_ = std::move(hook); }
+  /// Simulated crash: stop claiming new live traces once `n` have started
+  /// (replays don't count) and finish with whatever completed. 0 = never.
+  void set_halt_after(int n) { halt_after_ = n; }
+
+  /// Traces that threw and were quarantined instead of aborting the run.
+  const std::vector<TraceFailure>& failures() const { return failures_; }
 
   /// Runs every trace in the plan sequentially; `done` fires at the end.
   /// Each trace starts only once the simulator has gone quiescent -- every
@@ -83,16 +115,24 @@ public:
 private:
   void next_trace();
   void start_trace();
+  void commit_pending();
 
   std::map<std::string, Vantage*> vantages_;
   std::vector<wire::Ipv4Address> servers_;
   ProbeOptions options_;
   BeforeTraceHook before_trace_;
   AfterTraceHook after_trace_;
+  CommitHook commit_;
+  ReplayHook replay_;
+  QuarantineHook quarantine_;
+  int halt_after_ = 0;
+  int live_started_ = 0;
 
   std::vector<PlannedTrace> schedule_;
   std::size_t cursor_ = 0;
   std::vector<Trace> results_;
+  std::vector<TraceFailure> failures_;
+  int pending_commit_ = -1;  ///< index into results_ awaiting its commit hook
   std::unique_ptr<TraceRunner> runner_;
   DoneHandler done_;
 };

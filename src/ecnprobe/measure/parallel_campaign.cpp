@@ -53,6 +53,11 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
     // (TIME_WAIT timers, late responses) land in this trace's delta -- the
     // same attribution the sequential campaign's epoch boundaries produce.
     metric_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_metrics();
+    if (journal_ != nullptr) {
+      // Write-ahead: the trace is durable before it counts as complete.
+      std::lock_guard<std::mutex> lock(journal_mutex_);
+      journal_->append(*result, metric_slots[static_cast<std::size_t>(index)]);
+    }
     slots[static_cast<std::size_t>(index)] = std::move(result);
     completed_.fetch_add(1, std::memory_order_relaxed);
     runtime_.counter("campaign_completed_total", {{"vantage", planned.vantage}},
@@ -62,6 +67,11 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
     // TraceRunner above); they must never fire. The epoch reset at the next
     // begin_trace() restores the world's behavioural state.
     worker.shard->sim().clear_pending();
+    // Quarantine: the shard attributes the loss in its drop ledger, and the
+    // partial delta (including that attribution) still merges in plan order
+    // -- so the failed trace shows up in the report, not as a silent hole.
+    worker.shard->quarantine_trace(planned.vantage, planned.batch, index);
+    metric_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_metrics();
     runtime_.counter("campaign_failed_total", {{"vantage", planned.vantage}},
                      "traces that threw, per vantage")->inc();
     std::lock_guard<std::mutex> lock(failures_mutex_);
@@ -108,7 +118,20 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
 
   std::vector<std::unique_ptr<Trace>> slots(schedule.size());
   std::vector<obs::ObsSnapshot> metric_slots(schedule.size());
+  if (journal_ != nullptr) {
+    // Checkpoint replay: journaled traces prefill their slots and count as
+    // completed; the claim loop below skips them.
+    int prefilled = 0;
+    for (const auto& [index, entry] : journal_->entries()) {
+      if (index < 0 || static_cast<std::size_t>(index) >= schedule.size()) continue;
+      slots[static_cast<std::size_t>(index)] = std::make_unique<Trace>(entry.trace);
+      metric_slots[static_cast<std::size_t>(index)] = entry.delta;
+      ++prefilled;
+    }
+    completed_.store(prefilled, std::memory_order_relaxed);
+  }
   std::atomic<std::size_t> next{0};
+  std::atomic<int> live_claimed{0};
   {
     util::ThreadPool pool(options_.workers);
     for (int w = 0; w < options_.workers; ++w) {
@@ -134,6 +157,16 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
         for (;;) {
           const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
           if (index >= schedule.size()) break;
+          if (slots[index]) continue;  // replayed from the journal
+          if (options_.halt_after_traces > 0 &&
+              live_claimed.fetch_add(1, std::memory_order_relaxed) >=
+                  options_.halt_after_traces) {
+            // Simulated crash: this worker stops claiming. Which indices got
+            // journaled depends on scheduling, but a --resume run completes
+            // the rest, and the final merged output is index-keyed -- so it
+            // is byte-identical to an uninterrupted run regardless.
+            break;
+          }
           const auto started = std::chrono::steady_clock::now();
           run_one(worker, schedule, static_cast<int>(index), slots, metric_slots);
           const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "ecnprobe/measure/campaign.hpp"
+#include "ecnprobe/measure/journal.hpp"
 #include "ecnprobe/measure/probe.hpp"
 #include "ecnprobe/obs/ledger.hpp"
 #include "ecnprobe/obs/metrics.hpp"
@@ -56,6 +57,14 @@ public:
   /// quiescent world, so straggler events are included. Shards that don't
   /// track metrics return an empty snapshot.
   virtual obs::ObsSnapshot collect_trace_metrics() { return {}; }
+
+  /// A trace on this shard threw: attribute the loss (drop ledger) before
+  /// the executor collects the partial delta. Default: no attribution.
+  virtual void quarantine_trace(const std::string& vantage, int batch, int index) {
+    (void)vantage;
+    (void)batch;
+    (void)index;
+  }
 };
 
 class ParallelCampaign {
@@ -70,21 +79,25 @@ public:
   struct Options {
     int workers = 1;
     ProbeOptions probe;
+    /// Simulated crash: stop claiming new live traces once this many have
+    /// been claimed across all workers (journal replays don't count).
+    /// 0 = run the whole plan.
+    int halt_after_traces = 0;
   };
 
-  /// A trace that threw instead of producing a result. The remaining
-  /// traces still run; failures are reported here instead of aborting the
-  /// campaign.
-  struct TraceFailure {
-    int index = 0;
-    std::string vantage;
-    int batch = 0;
-    std::string message;
-  };
+  /// See measure::TraceFailure; kept as a nested alias for callers that
+  /// predate the sequential executor growing quarantine support.
+  using TraceFailure = measure::TraceFailure;
 
   ParallelCampaign(ShardFactory factory, Options options);
 
   void set_observer(ObserverHook hook) { observer_ = std::move(hook); }
+
+  /// Attaches a write-ahead journal. Traces already in it are replayed
+  /// (result + metrics delta taken from disk, counted as completed, never
+  /// re-run); every live trace is appended and flushed before its result
+  /// is considered complete. The journal must outlive run().
+  void set_journal(CampaignJournal* journal) { journal_ = journal; }
 
   /// Runs the plan across the worker pool; blocks until done. Returns the
   /// successful traces merged back into plan order (failed traces are
@@ -127,6 +140,8 @@ private:
   ShardFactory factory_;
   Options options_;
   ObserverHook observer_;
+  CampaignJournal* journal_ = nullptr;
+  std::mutex journal_mutex_;
   std::mutex observer_mutex_;
   std::mutex failures_mutex_;
   std::vector<TraceFailure> failures_;

@@ -27,6 +27,8 @@ void Network::set_observability(obs::Observability* obs) {
                                                 "datagrams entering the datapath");
   delivered_counter_ = obs_->registry.counter("net_packets_delivered_total", {},
                                               "datagrams delivered to a node");
+  duplicated_counter_ = obs_->registry.counter(
+      "net_packets_duplicated_total", {}, "extra datagram copies injected by duplication faults");
 }
 
 namespace {
@@ -38,10 +40,20 @@ obs::RewriteCause rewrite_cause_for(wire::Ecn after) {
 void Network::begin_epoch(std::uint64_t epoch_seed) {
   rng_ = util::Rng(util::derive_seed(epoch_seed, "datapath"));
   ip_id_ = 1;
+  // Policies are visited in deterministic order (node id, interface index,
+  // egress then ingress, chain position), so the salted seed each one gets
+  // is a pure function of (epoch seed, its place in the topology) -- the
+  // same in sequential runs and in every worker's world clone.
+  const std::uint64_t policy_seed = util::derive_seed(epoch_seed, "policy");
+  std::uint64_t salt = 0;
   for (auto& ifaces : ifaces_) {
     for (auto& iface : ifaces) {
-      for (auto& policy : iface.egress_policies) policy->reset_state();
-      for (auto& policy : iface.ingress_policies) policy->reset_state();
+      for (auto& policy : iface.egress_policies) {
+        policy->on_epoch(util::derive_seed(policy_seed, ++salt));
+      }
+      for (auto& policy : iface.ingress_policies) {
+        policy->on_epoch(util::derive_seed(policy_seed, ++salt));
+      }
     }
   }
   // Node ids are assigned in construction order, which is deterministic per
@@ -111,6 +123,7 @@ void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
     return;
   }
   SimDuration policy_delay;
+  bool duplicate = false;
   for (auto& policy : iface.egress_policies) {
     const wire::Ecn before = dgram.ip.ecn;
     if (policy->apply(dgram, rng_, sim_.now()) == PolicyAction::Drop) {
@@ -124,6 +137,7 @@ void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
                                   nodes_[from]->name());
     }
     policy_delay += policy->take_extra_delay();  // queuing policies
+    duplicate = policy->take_duplicate() || duplicate;
   }
   if (iface.link.loss_rate > 0.0 && rng_.bernoulli(iface.link.loss_rate)) {
     ++stats_.dropped_loss;
@@ -131,32 +145,46 @@ void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
                              nodes_[from]->name());
     return;
   }
-  SimDuration delay = iface.link.delay + policy_delay;
-  if (iface.link.jitter > SimDuration{}) {
-    delay += SimDuration::nanos(static_cast<std::int64_t>(
-        rng_.next_double() * static_cast<double>(iface.link.jitter.count_nanos())));
-  }
+  auto link_delay = [&]() {
+    SimDuration d = iface.link.delay + policy_delay;
+    if (iface.link.jitter > SimDuration{}) {
+      d += SimDuration::nanos(static_cast<std::int64_t>(
+          rng_.next_double() * static_cast<double>(iface.link.jitter.count_nanos())));
+    }
+    return d;
+  };
+  const SimDuration delay = link_delay();
   const NodeId to = iface.peer;
   const int ingress_if = iface.peer_if;
-  sim_.schedule(delay, [this, to, ingress_if, d = std::move(dgram)]() mutable {
-    Interface& rx = interface(to, ingress_if);
-    for (auto& policy : rx.ingress_policies) {
-      const wire::Ecn before = d.ip.ecn;
-      if (policy->apply(d, rng_, sim_.now()) == PolicyAction::Drop) {
-        ++stats_.dropped_policy;
-        obs_->ledger.record_drop(obs::Layer::Policy, policy->drop_cause(),
-                                 nodes_[to]->name());
-        return;
+  auto deliver = [this, to, ingress_if](SimDuration after, wire::Datagram packet) {
+    sim_.schedule(after, [this, to, ingress_if, d = std::move(packet)]() mutable {
+      Interface& rx = interface(to, ingress_if);
+      for (auto& policy : rx.ingress_policies) {
+        const wire::Ecn before = d.ip.ecn;
+        if (policy->apply(d, rng_, sim_.now()) == PolicyAction::Drop) {
+          ++stats_.dropped_policy;
+          obs_->ledger.record_drop(obs::Layer::Policy, policy->drop_cause(),
+                                   nodes_[to]->name());
+          return;
+        }
+        if (d.ip.ecn != before) {
+          obs_->ledger.record_rewrite(obs::Layer::Policy, rewrite_cause_for(d.ip.ecn),
+                                      nodes_[to]->name());
+        }
       }
-      if (d.ip.ecn != before) {
-        obs_->ledger.record_rewrite(obs::Layer::Policy, rewrite_cause_for(d.ip.ecn),
-                                    nodes_[to]->name());
-      }
-    }
-    ++stats_.delivered;
-    delivered_counter_->inc();
-    nodes_[to]->on_receive(std::move(d), ingress_if);
-  });
+      ++stats_.delivered;
+      delivered_counter_->inc();
+      nodes_[to]->on_receive(std::move(d), ingress_if);
+    });
+  };
+  if (duplicate) {
+    // The copy draws its own jitter (after the original's draw, so the
+    // fault-free RNG stream is untouched when no duplication fires).
+    ++stats_.duplicated;
+    duplicated_counter_->inc();
+    deliver(link_delay(), dgram);
+  }
+  deliver(delay, std::move(dgram));
 }
 
 int Network::route(NodeId at, wire::Ipv4Address dst) const {

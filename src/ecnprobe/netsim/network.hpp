@@ -86,6 +86,7 @@ struct NetworkStats {
   std::uint64_t dropped_policy = 0;
   std::uint64_t dropped_link_down = 0;
   std::uint64_t delivered = 0;
+  std::uint64_t duplicated = 0;  ///< extra copies injected by duplication faults
 };
 
 class Network {
@@ -157,6 +158,7 @@ private:
   obs::Observability* obs_;
   obs::Counter* transmitted_counter_ = nullptr;
   obs::Counter* delivered_counter_ = nullptr;
+  obs::Counter* duplicated_counter_ = nullptr;
 };
 
 }  // namespace ecnprobe::netsim

@@ -57,10 +57,25 @@ public:
   /// function of (seed, trace index). Stateless policies inherit the no-op.
   virtual void reset_state() {}
 
+  /// Epoch boundary hook. `seed` is derived by the network from
+  /// (epoch seed, this policy's position in deterministic interface
+  /// order), so a policy that keeps a private RNG (the chaos fault
+  /// policies) can reseed it and stay a pure function of the trace
+  /// index regardless of sharding. The default just reset_state()s.
+  virtual void on_epoch(std::uint64_t seed) {
+    (void)seed;
+    reset_state();
+  }
+
   /// Extra forwarding delay imposed on the packet just passed (queuing
   /// policies). The datapath reads this once per apply(); stateless
   /// policies return zero.
   virtual util::SimDuration take_extra_delay() { return {}; }
+
+  /// True if the packet just passed should additionally be delivered a
+  /// second time (duplication faults). Read-and-clear, once per apply(),
+  /// like take_extra_delay().
+  virtual bool take_duplicate() { return false; }
 
 protected:
   virtual PolicyAction do_apply(wire::Datagram& dgram, util::Rng& rng,

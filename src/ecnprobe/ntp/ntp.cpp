@@ -106,7 +106,15 @@ NtpServerService::NtpServerService(netsim::Host& host, SimClock clock, Params pa
     const auto now = clock_.at(host_.network().sim().now());
     const auto response = wire::NtpPacket::make_server_response(
         *request, params_.stratum, 0x47505300 /* "GPS" refid */, now, now);
-    const auto bytes = response.encode();
+    auto bytes = response.encode();
+    // Flaky-responder faults. Guarded draws: a fault-free server makes no
+    // RNG calls here, so enabling faults elsewhere cannot perturb it.
+    if (params_.short_reply_prob > 0.0 && host_.rng().bernoulli(params_.short_reply_prob)) {
+      bytes.resize(bytes.size() / 2);  // under 48 bytes: decode fails, client retries
+    } else if (params_.malformed_reply_prob > 0.0 &&
+               host_.rng().bernoulli(params_.malformed_reply_prob)) {
+      bytes[0] ^= 0x07;  // scramble the mode bits: answers() rejects it
+    }
     // NTP servers do not participate in ECN: responses are not-ECT --
     // unless configured as a reflecting responder for return-path studies.
     const auto response_ecn =

@@ -79,6 +79,12 @@ public:
     /// the return path"); enabling this turns the server into the modified
     /// responder that experiment needs.
     bool reflect_ecn = false;
+    /// Flaky-responder faults (chaos::FaultPlan): probability a response
+    /// goes out truncated below the 48-byte NTP minimum, or with its
+    /// leap/version/mode octet scrambled. Either way the client rejects
+    /// the reply and retries -- the server looks lossy, not broken.
+    double short_reply_prob = 0.0;
+    double malformed_reply_prob = 0.0;
   };
 
   NtpServerService(netsim::Host& host, SimClock clock, Params params);
@@ -87,6 +93,13 @@ public:
 
   void set_online(bool online) { online_ = online; }
   bool online() const { return online_; }
+
+  /// Installs flaky-responder behaviour after construction (the scenario
+  /// layer applies a FaultPlan to an already-built pool).
+  void set_flaky(double short_reply_prob, double malformed_reply_prob) {
+    params_.short_reply_prob = short_reply_prob;
+    params_.malformed_reply_prob = malformed_reply_prob;
+  }
 
   struct Stats {
     std::uint64_t requests = 0;

@@ -1,0 +1,237 @@
+#include "ecnprobe/obs/codec.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "ecnprobe/util/strings.hpp"
+
+namespace ecnprobe::obs {
+namespace {
+
+const char* kHex = "0123456789ABCDEF";
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool parse_u64(const std::string& tok, std::uint64_t* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_i64(const std::string& tok, std::int64_t* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size()) return false;
+  *out = static_cast<std::int64_t>(v);
+  return true;
+}
+
+bool parse_f64(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+util::Error bad(const std::string& what) { return util::make_error("obs-codec", what); }
+
+/// Tokenizer over one line. Tokens are space-separated; decoding validates
+/// exact token counts so trailing garbage is rejected.
+struct LineTokens {
+  std::vector<std::string> toks;
+  std::size_t next = 0;
+
+  bool take(std::string* out) {
+    if (next >= toks.size()) return false;
+    *out = toks[next++];
+    return true;
+  }
+  bool done() const { return next == toks.size(); }
+};
+
+}  // namespace
+
+std::string escape_token(std::string_view raw) {
+  if (raw.empty()) return "%";
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '%') {
+      const auto b = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[b >> 4]);
+      out.push_back(kHex[b & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+util::Expected<std::string> unescape_token(std::string_view token) {
+  if (token == "%") return std::string();
+  std::string out;
+  out.reserve(token.size());
+  for (std::size_t i = 0; i < token.size(); ++i) {
+    if (token[i] != '%') {
+      out.push_back(token[i]);
+      continue;
+    }
+    if (i + 2 >= token.size()) return bad("truncated %-escape");
+    auto nibble = [](char c) -> int {
+      if (c >= '0' && c <= '9') return c - '0';
+      if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+      return -1;
+    };
+    const int hi = nibble(token[i + 1]);
+    const int lo = nibble(token[i + 2]);
+    if (hi < 0 || lo < 0) return bad("bad %-escape");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+std::string encode_obs(const ObsSnapshot& snapshot) {
+  std::string out;
+  auto append = [&out](const std::string& line) {
+    out += line;
+    out.push_back('\n');
+  };
+  for (const auto& [name, family] : snapshot.metrics.families) {
+    std::string line = "M " + escape_token(name) + " " +
+                       std::string(to_string(family.kind)) + " " + escape_token(family.help) +
+                       " " + std::to_string(family.bounds.size());
+    for (const double b : family.bounds) line += " " + format_double(b);
+    append(line);
+    for (const auto& [labels, value] : family.samples) {
+      std::string s = "S " + std::to_string(labels.size());
+      for (const auto& [k, v] : labels) s += " " + escape_token(k) + " " + escape_token(v);
+      s += " " + std::to_string(value.counter) + " " + std::to_string(value.gauge) + " " +
+           std::to_string(value.count) + " " + std::to_string(value.sum_milli) + " " +
+           std::to_string(value.buckets.size());
+      for (const std::uint64_t b : value.buckets) s += " " + std::to_string(b);
+      append(s);
+    }
+  }
+  for (const auto& [key, n] : snapshot.ledger.drops) {
+    append("D " + escape_token(key.first) + " " + escape_token(key.second) + " " +
+           std::to_string(n));
+  }
+  for (const auto& [key, n] : snapshot.ledger.rewrites) {
+    append("R " + escape_token(key.first) + " " + escape_token(key.second) + " " +
+           std::to_string(n));
+  }
+  return out;
+}
+
+util::Expected<ObsSnapshot> decode_obs(std::string_view text) {
+  ObsSnapshot out;
+  FamilySnapshot* current = nullptr;
+  std::istringstream stream{std::string(text)};
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    if (raw_line.empty()) continue;
+    LineTokens line;
+    line.toks = util::split(raw_line, ' ');
+    const std::string where = "line " + std::to_string(line_no);
+    std::string tag;
+    if (!line.take(&tag)) return bad(where + ": empty record");
+    if (tag == "M") {
+      std::string name_tok, kind_tok, help_tok, nbounds_tok;
+      if (!line.take(&name_tok) || !line.take(&kind_tok) || !line.take(&help_tok) ||
+          !line.take(&nbounds_tok)) {
+        return bad(where + ": short M record");
+      }
+      auto name = unescape_token(name_tok);
+      auto help = unescape_token(help_tok);
+      if (!name || !help) return bad(where + ": bad escape in M record");
+      FamilySnapshot family;
+      if (kind_tok == "counter") family.kind = MetricKind::Counter;
+      else if (kind_tok == "gauge") family.kind = MetricKind::Gauge;
+      else if (kind_tok == "histogram") family.kind = MetricKind::Histogram;
+      else return bad(where + ": unknown metric kind '" + kind_tok + "'");
+      family.help = *help;
+      std::uint64_t nbounds = 0;
+      if (!parse_u64(nbounds_tok, &nbounds) || nbounds > 4096) {
+        return bad(where + ": bad bounds count");
+      }
+      for (std::uint64_t i = 0; i < nbounds; ++i) {
+        std::string b;
+        double v = 0;
+        if (!line.take(&b) || !parse_f64(b, &v)) return bad(where + ": bad bound");
+        family.bounds.push_back(v);
+      }
+      if (!line.done()) return bad(where + ": trailing tokens in M record");
+      current = &out.metrics.families[*name];
+      *current = std::move(family);
+    } else if (tag == "S") {
+      if (current == nullptr) return bad(where + ": S record before any M record");
+      std::string nlabels_tok;
+      std::uint64_t nlabels = 0;
+      if (!line.take(&nlabels_tok) || !parse_u64(nlabels_tok, &nlabels) || nlabels > 4096) {
+        return bad(where + ": bad label count");
+      }
+      LabelSet labels;
+      for (std::uint64_t i = 0; i < nlabels; ++i) {
+        std::string k_tok, v_tok;
+        if (!line.take(&k_tok) || !line.take(&v_tok)) return bad(where + ": short label");
+        auto k = unescape_token(k_tok);
+        auto v = unescape_token(v_tok);
+        if (!k || !v) return bad(where + ": bad escape in label");
+        labels[*k] = *v;
+      }
+      SampleValue value;
+      std::string tok;
+      std::uint64_t nbuckets = 0;
+      if (!line.take(&tok) || !parse_u64(tok, &value.counter)) return bad(where + ": bad counter");
+      if (!line.take(&tok) || !parse_i64(tok, &value.gauge)) return bad(where + ": bad gauge");
+      if (!line.take(&tok) || !parse_u64(tok, &value.count)) return bad(where + ": bad count");
+      if (!line.take(&tok) || !parse_i64(tok, &value.sum_milli)) return bad(where + ": bad sum");
+      if (!line.take(&tok) || !parse_u64(tok, &nbuckets) || nbuckets > 4096) {
+        return bad(where + ": bad bucket count");
+      }
+      for (std::uint64_t i = 0; i < nbuckets; ++i) {
+        std::uint64_t b = 0;
+        if (!line.take(&tok) || !parse_u64(tok, &b)) return bad(where + ": bad bucket");
+        value.buckets.push_back(b);
+      }
+      if (!line.done()) return bad(where + ": trailing tokens in S record");
+      current->samples[std::move(labels)] = std::move(value);
+    } else if (tag == "D" || tag == "R") {
+      std::string layer_tok, cause_tok, n_tok;
+      std::uint64_t n = 0;
+      if (!line.take(&layer_tok) || !line.take(&cause_tok) || !line.take(&n_tok) ||
+          !parse_u64(n_tok, &n) || !line.done()) {
+        return bad(where + ": bad ledger record");
+      }
+      auto layer = unescape_token(layer_tok);
+      auto cause = unescape_token(cause_tok);
+      if (!layer || !cause) return bad(where + ": bad escape in ledger record");
+      auto& table = tag == "D" ? out.ledger.drops : out.ledger.rewrites;
+      table[{*layer, *cause}] += n;
+    } else {
+      return bad(where + ": unknown record tag '" + tag + "'");
+    }
+  }
+  return out;
+}
+
+}  // namespace ecnprobe::obs

@@ -1,0 +1,38 @@
+// Exact text codec for ObsSnapshot, used by the campaign journal.
+//
+// Snapshots round-trip byte-exactly: decode(encode(s)) re-encodes to the
+// same bytes, so a resumed campaign that replays per-trace metric deltas
+// from the journal merges to output byte-identical to an uninterrupted
+// run. Everything a snapshot stores is integral except histogram bucket
+// bounds, which are printed with %.17g (enough digits to round-trip any
+// IEEE double exactly).
+//
+// The format is line-based, one record per line:
+//
+//   M <family> <kind> <help> <nbounds> <bounds...>   -- family header
+//   S <nlabels> <k> <v>... <counter> <gauge> <count> <sum_milli> <nbuckets> <buckets...>
+//   D <layer> <cause> <n>                            -- ledger drop total
+//   R <layer> <cause> <n>                            -- ledger rewrite total
+//
+// An S line belongs to the most recent M line. Free-form fields (family,
+// help, label keys/values) are percent-escaped so they can never contain
+// a separator; an empty string encodes as "%".
+#pragma once
+
+#include <string>
+
+#include "ecnprobe/obs/ledger.hpp"
+#include "ecnprobe/util/expected.hpp"
+
+namespace ecnprobe::obs {
+
+/// Percent-escape: space, newline, CR, and '%' become %XX; the empty
+/// string becomes "%". Output never contains whitespace and is never
+/// empty, so tokens survive whitespace-splitting.
+std::string escape_token(std::string_view raw);
+util::Expected<std::string> unescape_token(std::string_view token);
+
+std::string encode_obs(const ObsSnapshot& snapshot);
+util::Expected<ObsSnapshot> decode_obs(std::string_view text);
+
+}  // namespace ecnprobe::obs

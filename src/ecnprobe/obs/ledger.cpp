@@ -34,6 +34,9 @@ std::string_view to_string(DropCause cause) {
     case DropCause::ServerOffline: return "server-offline";
     case DropCause::RateLimited: return "rate-limited";
     case DropCause::ProbeTimeout: return "probe-timeout";
+    case DropCause::IcmpBlackhole: return "icmp-blackhole";
+    case DropCause::RouteFlap: return "route-flap";
+    case DropCause::TraceQuarantined: return "trace-quarantined";
   }
   return "?";
 }

@@ -62,8 +62,12 @@ enum class DropCause : std::uint8_t {
   RateLimited,
   // Measure
   ProbeTimeout,
+  // Chaos (injected faults)
+  IcmpBlackhole,     ///< fault plan eating ICMP error traffic at a router
+  RouteFlap,         ///< mid-path link in its flap-down window
+  TraceQuarantined,  ///< whole trace thrown away by the campaign executor
 };
-inline constexpr std::size_t kDropCauseCount = 18;
+inline constexpr std::size_t kDropCauseCount = 21;
 
 enum class RewriteCause : std::uint8_t {
   Bleached,  ///< ECT/CE codepoint stripped to not-ECT

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "ecnprobe/chaos/policies.hpp"
 #include "ecnprobe/util/log.hpp"
 #include "ecnprobe/util/strings.hpp"
 
@@ -140,6 +141,7 @@ World::World(WorldParams params)
   build_vantages();
   build_dns();
   place_middleboxes();
+  install_faults();
 }
 
 World::~World() = default;
@@ -416,6 +418,103 @@ void World::place_middleboxes() {
   }
 }
 
+void World::install_faults() {
+  const chaos::FaultPlan& faults = params_.faults;
+  if (!faults.enabled()) return;
+  // Everything below draws from forks of one "chaos" stream, and the
+  // policies keep private epoch-seeded RNGs -- the fault-free datapath
+  // draws are untouched, so a clean world with the same seed is unchanged.
+  util::Rng chaos_rng = rng_.fork("chaos");
+
+  // Link-level faults live on inter-AS links: they carry most paths, so a
+  // handful of chaotic links degrades many traces without severing any.
+  std::vector<const topology::InterAsLink*> all_links;
+  for (const auto& link : internet_->inter_as_links()) all_links.push_back(&link);
+  auto pick_links = [&](int count, const char* label) {
+    std::vector<const topology::InterAsLink*> picked = all_links;
+    auto rng = chaos_rng.fork(label);
+    rng.shuffle(picked);
+    const auto n = std::min(picked.size(),
+                            static_cast<std::size_t>(std::max(0, count)));
+    picked.resize(n);
+    return picked;
+  };
+  auto on_both_ends = [&](const topology::InterAsLink* link, auto make_policy) {
+    net().add_egress_policy(link->a.node, link->a.if_index, make_policy());
+    net().add_egress_policy(link->b.node, link->b.if_index, make_policy());
+  };
+
+  for (const auto* link : pick_links(faults.chaos_links, "chaos-links")) {
+    if (faults.corrupt_prob > 0.0) {
+      on_both_ends(link, [&] {
+        return std::make_shared<chaos::CorruptionPolicy>(faults.corrupt_prob);
+      });
+    }
+    if (faults.duplicate_prob > 0.0) {
+      on_both_ends(link, [&] {
+        return std::make_shared<chaos::DuplicatePolicy>(faults.duplicate_prob);
+      });
+    }
+    if (faults.reorder_prob > 0.0 && faults.reorder_window_ms > 0.0) {
+      on_both_ends(link, [&] {
+        return std::make_shared<chaos::ReorderPolicy>(faults.reorder_prob,
+                                                      faults.reorder_window_ms);
+      });
+    }
+  }
+
+  if (faults.icmp_blackhole_routers > 0 && faults.icmp_blackhole_prob > 0.0) {
+    // Border routers that eat ICMP error traffic on every interface --
+    // traceroutes through them lose hops, probes lose their unreachables.
+    std::set<netsim::NodeId> border;
+    for (const auto& link : internet_->inter_as_links()) {
+      border.insert(link.a.node);
+      border.insert(link.b.node);
+    }
+    std::vector<netsim::NodeId> routers(border.begin(), border.end());
+    auto rng = chaos_rng.fork("icmp-blackhole");
+    rng.shuffle(routers);
+    const auto n = std::min(
+        routers.size(),
+        static_cast<std::size_t>(std::max(0, faults.icmp_blackhole_routers)));
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t ifx = 0; ifx < net().interface_count(routers[i]); ++ifx) {
+        net().add_egress_policy(
+            routers[i], static_cast<int>(ifx),
+            std::make_shared<chaos::IcmpBlackholePolicy>(faults.icmp_blackhole_prob));
+      }
+    }
+  }
+
+  if (faults.quote_truncate_prob > 0.0) {
+    for (const auto* link : pick_links(faults.quote_truncate_links, "quote-truncate")) {
+      on_both_ends(link, [&] {
+        return std::make_shared<chaos::QuoteTruncatePolicy>(faults.quote_truncate_prob);
+      });
+    }
+  }
+
+  if (faults.route_flap_down_ms > 0.0 && faults.route_flap_period_ms > 0.0) {
+    for (const auto* link : pick_links(faults.route_flap_links, "route-flap")) {
+      on_both_ends(link, [&] {
+        return std::make_shared<chaos::RouteFlapPolicy>(faults.route_flap_down_ms,
+                                                        faults.route_flap_period_ms);
+      });
+    }
+  }
+
+  if (faults.flaky_server_fraction > 0.0 &&
+      (faults.short_reply_prob > 0.0 || faults.malformed_reply_prob > 0.0)) {
+    auto rng = chaos_rng.fork("flaky-servers");
+    for (auto& server : servers_) {
+      if (rng.bernoulli(faults.flaky_server_fraction)) {
+        server.ntp_service->set_flaky(faults.short_reply_prob,
+                                      faults.malformed_reply_prob);
+      }
+    }
+  }
+}
+
 std::vector<wire::Ipv4Address> World::server_addresses() const {
   std::vector<wire::Ipv4Address> out;
   out.reserve(servers_.size());
@@ -467,6 +566,14 @@ void World::begin_trace_epoch(const std::string& vantage, int batch, int index) 
   obs_.ledger.set_trace(index);
   obs_.registry.counter("campaign_traces_total", {{"vantage", vantage}},
                         "campaign traces started, per vantage")->inc();
+  if (params_.faults.poisons(index)) {
+    // Deterministic poison: the same trace dies on every executor and every
+    // resume, which is what the quarantine determinism tests rely on. Thrown
+    // after the trace-start counter so the aborted attempt is visible in
+    // this trace's delta.
+    throw std::runtime_error(util::strf("chaos: trace %d poisoned by fault plan '%s'",
+                                        index, params_.faults.name.c_str()));
+  }
   const std::uint64_t epoch_seed = util::derive_seed(
       util::derive_seed(params_.seed, "trace-epoch"), static_cast<std::uint64_t>(index));
   net().begin_epoch(epoch_seed);
@@ -488,24 +595,48 @@ obs::ObsSnapshot World::collect_obs_delta() const {
   return delta;
 }
 
-std::vector<measure::Trace> World::run_campaign(const measure::CampaignPlan& plan,
-                                                const measure::ProbeOptions& options,
-                                                measure::Campaign::AfterTraceHook after_trace) {
+std::vector<measure::Trace> World::run_campaign(
+    const measure::CampaignPlan& plan, const measure::ProbeOptions& options,
+    measure::Campaign::AfterTraceHook after_trace, measure::CampaignJournal* journal,
+    int halt_after, std::vector<measure::TraceFailure>* failures) {
   measure::Campaign campaign(vantage_map(), server_addresses(), options);
   if (after_trace) campaign.set_after_trace(std::move(after_trace));
   campaign_obs_ = {};
-  bool first_trace = true;
-  campaign.set_before_trace(
-      [this, &first_trace](const std::string& vantage, int batch, int index) {
-        // Collect the previous trace's observability delta *here*, from the
-        // quiescence barrier before the next trace starts: stragglers
-        // (TIME_WAIT timers, late responses) have fired and are attributed
-        // to the trace that caused them -- exactly what the parallel shards
-        // see when they collect after sim().run() goes idle.
-        if (!first_trace) campaign_obs_.merge(collect_obs_delta());
-        first_trace = false;
-        begin_trace_epoch(vantage, batch, index);
-      });
+  campaign.set_before_trace([this](const std::string& vantage, int batch, int index) {
+    begin_trace_epoch(vantage, batch, index);
+  });
+  // The commit hook fires at the quiescence barrier after each trace (the
+  // final one included): stragglers (TIME_WAIT timers, late responses) have
+  // fired and are attributed to the trace that caused them -- exactly what
+  // the parallel shards see when they collect after sim().run() goes idle.
+  // Journalling here makes the checkpoint write-ahead: the trace is durable
+  // before the next one starts.
+  campaign.set_commit([this, journal](const measure::Trace& trace) {
+    const auto delta = collect_obs_delta();
+    if (journal != nullptr) journal->append(trace, delta);
+    campaign_obs_.merge(delta);
+  });
+  if (journal != nullptr) {
+    campaign.set_replay([this, journal](int index) -> std::optional<measure::Trace> {
+      const auto it = journal->entries().find(index);
+      if (it == journal->entries().end()) return std::nullopt;
+      // Replays happen in plan order, interleaved with live commits at the
+      // same position, so the merged campaign snapshot is byte-identical to
+      // an uninterrupted run's.
+      campaign_obs_.merge(it->second.delta);
+      return it->second.trace;
+    });
+  }
+  campaign.set_quarantine([this](const std::string& vantage, int /*batch*/,
+                                 int /*index*/, const std::string& /*reason*/) {
+    // The failed trace's partial delta -- including the quarantine
+    // attribution recorded just now -- still lands in the campaign
+    // snapshot: a thrown-away trace is reported, never silently absorbed.
+    quarantine_trace(vantage);
+    campaign_obs_.merge(collect_obs_delta());
+  });
+  const int crash_after = halt_after > 0 ? halt_after : params_.faults.crash_after_traces;
+  if (crash_after > 0) campaign.set_halt_after(crash_after);
   std::vector<measure::Trace> results;
   bool done = false;
   campaign.run(plan, [&](std::vector<measure::Trace> traces) {
@@ -514,8 +645,15 @@ std::vector<measure::Trace> World::run_campaign(const measure::CampaignPlan& pla
   });
   sim_.run();
   if (!done) throw std::runtime_error("World::run_campaign: simulation stalled");
-  if (!first_trace) campaign_obs_.merge(collect_obs_delta());  // final trace
+  if (failures != nullptr) {
+    failures->insert(failures->end(), campaign.failures().begin(),
+                     campaign.failures().end());
+  }
   return results;
+}
+
+void World::quarantine_trace(const std::string& vantage) {
+  obs_.ledger.record_drop(obs::Layer::Measure, obs::DropCause::TraceQuarantined, vantage);
 }
 
 std::vector<measure::TracerouteObservation> World::run_traceroutes(
@@ -579,11 +717,14 @@ std::vector<measure::Trace> run_parallel_campaign(
     const WorldParams& params, const measure::CampaignPlan& plan,
     const measure::ProbeOptions& options, int workers,
     std::vector<measure::ParallelCampaign::TraceFailure>* failures,
-    obs::ObsSnapshot* metrics_out) {
+    obs::ObsSnapshot* metrics_out, measure::CampaignJournal* journal, int halt_after) {
   measure::ParallelCampaign::Options exec_options;
   exec_options.workers = workers;
   exec_options.probe = options;
+  exec_options.halt_after_traces =
+      halt_after > 0 ? halt_after : params.faults.crash_after_traces;
   measure::ParallelCampaign campaign(world_shard_factory(params), exec_options);
+  if (journal != nullptr) campaign.set_journal(journal);
   auto traces = campaign.run(plan);
   if (failures != nullptr) {
     failures->insert(failures->end(), campaign.failures().begin(),

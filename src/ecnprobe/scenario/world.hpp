@@ -27,6 +27,7 @@
 #include <string>
 #include <vector>
 
+#include "ecnprobe/chaos/fault_plan.hpp"
 #include "ecnprobe/dns/pool_dns.hpp"
 #include "ecnprobe/geo/geo.hpp"
 #include "ecnprobe/http/http_service.hpp"
@@ -75,6 +76,15 @@ struct WorldParams {
 
   // -- topology -------------------------------------------------------------
   topology::TopologyParams topology;
+
+  // -- fault injection ------------------------------------------------------
+  /// Chaos profile compiled into packet policies and host hooks at world
+  /// construction. Defaults to the inert "none" plan. Fault placement and
+  /// every fault decision derive from (seed, faults), through RNG streams
+  /// private to the chaos layer -- installing faults never perturbs the
+  /// fault-free datapath draws, and the same (seed, plan) reproduces the
+  /// same failures at any worker count.
+  chaos::FaultPlan faults;
 
   /// Paper-scale world (2500 servers, 400 stub ASes). The default.
   static WorldParams paper();
@@ -161,10 +171,21 @@ public:
   /// Convenience: wires up a Campaign with the world's epoch hook, runs the
   /// simulator to completion, returns the traces. `after_trace` (optional)
   /// fires on the simulator thread each time a trace delivers its result --
-  /// the CLI uses it for live progress output.
+  /// the CLI uses it for live progress output. With `journal`, traces
+  /// already on disk are replayed and each live trace is journalled at its
+  /// quiescence barrier. `halt_after` > 0 simulates a crash after that many
+  /// live traces (0 falls back to faults.crash_after_traces). Quarantined
+  /// traces land in `failures` when given.
   std::vector<measure::Trace> run_campaign(
       const measure::CampaignPlan& plan, const measure::ProbeOptions& options = {},
-      measure::Campaign::AfterTraceHook after_trace = nullptr);
+      measure::Campaign::AfterTraceHook after_trace = nullptr,
+      measure::CampaignJournal* journal = nullptr, int halt_after = 0,
+      std::vector<measure::TraceFailure>* failures = nullptr);
+
+  /// Drop-ledger attribution for a trace this world had to throw away:
+  /// records Measure/TraceQuarantined against the vantage. Used by both
+  /// executors so sequential and sharded reports agree byte for byte.
+  void quarantine_trace(const std::string& vantage);
 
   // -- observability ---------------------------------------------------------
   /// Marks the current registry/ledger position as the delta baseline.
@@ -205,6 +226,7 @@ private:
   void build_vantages();
   void build_dns();
   void place_middleboxes();
+  void install_faults();
   void apply_availability(int batch);
 
   WorldParams params_;
@@ -255,6 +277,11 @@ public:
   obs::ObsSnapshot collect_trace_metrics() override {
     return world_.collect_obs_delta();
   }
+  void quarantine_trace(const std::string& vantage, int batch, int index) override {
+    (void)batch;
+    (void)index;
+    world_.quarantine_trace(vantage);
+  }
 
   World& world() { return world_; }
 
@@ -274,10 +301,15 @@ measure::ParallelCampaign::ShardFactory world_shard_factory(WorldParams params);
 /// `failures` when given; the campaign observability snapshot (metrics +
 /// drop ledger, merged in plan order) is written to `metrics_out` when
 /// given.
+/// `journal`/`halt_after` mirror World::run_campaign: journaled traces are
+/// replayed instead of re-run, live traces are checkpointed write-ahead,
+/// and `halt_after` > 0 simulates a crash after that many live traces
+/// (0 falls back to params.faults.crash_after_traces).
 std::vector<measure::Trace> run_parallel_campaign(
     const WorldParams& params, const measure::CampaignPlan& plan,
     const measure::ProbeOptions& options = {}, int workers = 1,
     std::vector<measure::ParallelCampaign::TraceFailure>* failures = nullptr,
-    obs::ObsSnapshot* metrics_out = nullptr);
+    obs::ObsSnapshot* metrics_out = nullptr,
+    measure::CampaignJournal* journal = nullptr, int halt_after = 0);
 
 }  // namespace ecnprobe::scenario

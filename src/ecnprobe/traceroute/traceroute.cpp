@@ -81,18 +81,33 @@ void Tracerouter::on_icmp(const wire::Datagram& dgram) {
   if (!decoded || !decoded->checksum_ok || !decoded->message.is_error()) return;
   const auto quotation = wire::parse_quotation(decoded->message.body);
   if (!quotation) return;
-  if (quotation->inner_header.src != host_.address()) return;
-  if (quotation->transport_prefix.size() < 4) return;
-  // The first 8 quoted transport bytes are the UDP header; ports identify
-  // the probe.
-  const auto src_port = static_cast<std::uint16_t>(
-      (quotation->transport_prefix[0] << 8) | quotation->transport_prefix[1]);
-
-  const auto it = pending_.find(src_port);
-  if (it == pending_.end()) return;
-  const auto trace = it->second;
-  if (quotation->inner_header.dst != trace->destination) return;
-  pending_.erase(it);
+  std::shared_ptr<Trace> trace;
+  if (quotation->header_complete) {
+    if (quotation->inner_header.src != host_.address()) return;
+    if (quotation->transport_prefix.size() < 4) return;
+    // The first 8 quoted transport bytes are the UDP header; ports identify
+    // the probe.
+    const auto src_port = static_cast<std::uint16_t>(
+        (quotation->transport_prefix[0] << 8) | quotation->transport_prefix[1]);
+    const auto it = pending_.find(src_port);
+    if (it == pending_.end()) return;
+    trace = it->second;
+    if (quotation->inner_header.dst != trace->destination) return;
+    pending_.erase(it);
+  } else {
+    // Quote cut short of the full inner header: no transport bytes to match
+    // a probe by port. Attribute it only when unambiguous -- exactly one
+    // probe in flight -- and only if the fields that did survive don't
+    // contradict it being ours. Ambiguous truncated quotes are dropped (the
+    // hop then reads as silent), never mis-attributed.
+    if (pending_.size() != 1) return;
+    if (quotation->inner_header.src.value() != 0 &&
+        quotation->inner_header.src != host_.address()) {
+      return;
+    }
+    trace = pending_.begin()->second;
+    pending_.erase(pending_.begin());
+  }
   trace->timer.cancel();
   if (trace->done) return;
 
@@ -101,7 +116,13 @@ void Tracerouter::on_icmp(const wire::Datagram& dgram) {
   hop.responded = true;
   hop.responder = dgram.ip.src;
   hop.sent_ecn = trace->options.ecn;
-  hop.quoted_ecn = quotation->inner_header.ecn;
+  hop.quote_truncated = !quotation->header_complete;
+  // A partial inner header cannot be validated (the quote carries no
+  // checksum of its own, and the probe match above was heuristic), so a
+  // ToS octet inside one is not evidence: the ECN verdict requires the
+  // complete quoted header.
+  hop.ecn_known = quotation->header_complete && quotation->ecn_known;
+  if (hop.ecn_known) hop.quoted_ecn = quotation->inner_header.ecn;
 
   if (decoded->message.type == wire::IcmpType::DestUnreachable &&
       dgram.ip.src == trace->destination) {

@@ -30,8 +30,13 @@ struct HopRecord {
   wire::Ipv4Address responder;        ///< ICMP source (the router)
   wire::Ecn sent_ecn = wire::Ecn::NotEct;
   wire::Ecn quoted_ecn = wire::Ecn::NotEct;  ///< ECN field in the quotation
-  /// True when the quoted ECN field equals what we sent.
-  bool ecn_intact() const { return responded && quoted_ecn == sent_ecn; }
+  /// False when the quote was cut before the ToS/ECN octet: the hop
+  /// responded but its ECN field is unobserved -- it must not be
+  /// classified as bleached (or intact) on this evidence.
+  bool ecn_known = true;
+  bool quote_truncated = false;  ///< quote shorter than the full inner header
+  /// True when the quoted ECN field was observed and equals what we sent.
+  bool ecn_intact() const { return responded && ecn_known && quoted_ecn == sent_ecn; }
 };
 
 struct PathRecord {

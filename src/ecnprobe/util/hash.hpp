@@ -1,0 +1,23 @@
+// FNV-1a 64-bit: the checksum used by the campaign journal and the
+// fault-plan fingerprint. Not cryptographic -- it guards against torn
+// writes and accidental edits, not adversaries.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace ecnprobe::util {
+
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline constexpr std::uint64_t fnv1a64(std::string_view data,
+                                       std::uint64_t h = kFnvOffsetBasis) {
+  for (const char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace ecnprobe::util

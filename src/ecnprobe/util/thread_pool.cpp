@@ -1,5 +1,7 @@
 #include "ecnprobe/util/thread_pool.hpp"
 
+#include <utility>
+
 namespace ecnprobe::util {
 
 namespace {
@@ -34,6 +36,11 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+  if (first_error_) {
+    auto error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
 }
 
 int ThreadPool::current_worker_index() { return tls_worker_index; }
@@ -50,9 +57,16 @@ void ThreadPool::worker_main(int index) {
       queue_.pop_front();
       ++active_;
     }
-    task();
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      // Captured, not fatal: surfaced to the caller from wait_idle().
+      error = std::current_exception();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      if (error && !first_error_) first_error_ = error;
       --active_;
       if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
     }

@@ -2,13 +2,15 @@
 // plain closures pulled from a shared FIFO queue; each worker thread has a
 // stable index (ThreadPool::current_worker_index) so callers can maintain
 // worker-affine state -- e.g. one isolated simulation world per worker --
-// without locking. Tasks must not throw: wrap bodies in try/catch and record
-// failures out-of-band.
+// without locking. A task that throws does not terminate the process: the
+// first exception is captured and rethrown from wait_idle() on the caller's
+// thread, and the remaining queued tasks still run.
 #pragma once
 
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -28,7 +30,9 @@ public:
   /// Enqueues a task; any worker may run it.
   void submit(std::function<void()> task);
 
-  /// Blocks until the queue is empty and every worker is idle.
+  /// Blocks until the queue is empty and every worker is idle. If any task
+  /// threw since the last wait_idle(), rethrows the first such exception
+  /// here (subsequent ones are dropped); the pool stays usable.
   void wait_idle();
 
   int size() const { return static_cast<int>(workers_.size()); }
@@ -45,6 +49,7 @@ private:
   std::condition_variable idle_cv_;   ///< signals waiters: pool went idle
   std::deque<std::function<void()>> queue_;
   std::size_t active_ = 0;  ///< tasks currently executing
+  std::exception_ptr first_error_;  ///< first task exception since last wait_idle
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

@@ -45,11 +45,54 @@ std::vector<std::uint8_t> make_error_quotation(const Ipv4Header& received_header
 
 util::Expected<Quotation> parse_quotation(std::span<const std::uint8_t> body) {
   auto inner = decode_ipv4_header(body);
-  if (!inner) return util::make_error("icmp.quotation", "undecodable inner IP header");
+  if (inner) {
+    Quotation q;
+    q.inner_header = inner->header;
+    const auto rest = body.subspan(inner->header_len);
+    q.transport_prefix.assign(rest.begin(), rest.end());
+    return q;
+  }
+  // Tolerant path: a quote cut short of the full inner header. Accept any
+  // prefix that is recognisably the start of an IPv4 header and report
+  // exactly which fields survived; anything else stays an error.
+  if (body.empty()) {
+    return util::make_error("icmp.quotation", "empty quotation");
+  }
+  const std::uint8_t ver_ihl = body[0];
+  const std::size_t header_len = static_cast<std::size_t>(ver_ihl & 0x0f) * 4;
+  if ((ver_ihl >> 4) != 4 || header_len < Ipv4Header::kSize ||
+      body.size() >= header_len) {
+    // Not IPv4, bad IHL, or a full-length header that failed to decode for
+    // some other reason: truncation tolerance does not apply.
+    return util::make_error("icmp.quotation", "undecodable inner IP header");
+  }
   Quotation q;
-  q.inner_header = inner->header;
-  const auto rest = body.subspan(inner->header_len);
-  q.transport_prefix.assign(rest.begin(), rest.end());
+  q.header_complete = false;
+  q.ecn_known = false;
+  Ipv4Header& h = q.inner_header;
+  if (body.size() >= 2) {
+    h.dscp = static_cast<std::uint8_t>(body[1] >> 2);
+    h.ecn = ecn_from_bits(body[1]);
+    q.ecn_known = true;
+  }
+  if (body.size() >= 4) {
+    h.total_length = static_cast<std::uint16_t>((body[2] << 8) | body[3]);
+  }
+  if (body.size() >= 6) {
+    h.identification = static_cast<std::uint16_t>((body[4] << 8) | body[5]);
+  }
+  if (body.size() >= 8) {
+    const std::uint16_t flags_frag = static_cast<std::uint16_t>((body[6] << 8) | body[7]);
+    h.dont_fragment = (flags_frag & 0x4000) != 0;
+    h.more_fragments = (flags_frag & 0x2000) != 0;
+    h.fragment_offset = flags_frag & 0x1fff;
+  }
+  if (body.size() >= 9) h.ttl = body[8];
+  if (body.size() >= 10) h.protocol = static_cast<IpProto>(body[9]);
+  if (body.size() >= 16) {
+    h.src = Ipv4Address{static_cast<std::uint32_t>(
+        (body[12] << 24) | (body[13] << 16) | (body[14] << 8) | body[15])};
+  }
   return q;
 }
 

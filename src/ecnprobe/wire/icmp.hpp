@@ -62,10 +62,17 @@ std::vector<std::uint8_t> make_error_quotation(const Ipv4Header& received_header
                                                std::span<const std::uint8_t> transport_bytes);
 
 /// Parses the quotation inside an ICMP error body: the inner IP header and
-/// whatever transport bytes were included.
+/// whatever transport bytes were included. Quotes truncated below the full
+/// inner IP header (an RFC 1812 violation routers commit in the wild, and
+/// one the chaos layer injects) still parse: the fields that survived are
+/// filled in, `header_complete` is false, and `ecn_known` says whether the
+/// ToS/ECN octet was among them -- callers must treat the ECN field as
+/// unobserved rather than bleached when it is not.
 struct Quotation {
   Ipv4Header inner_header;
   std::vector<std::uint8_t> transport_prefix;
+  bool header_complete = true;  ///< the full IHL-length inner header was present
+  bool ecn_known = true;        ///< the ToS/ECN octet was present
 };
 util::Expected<Quotation> parse_quotation(std::span<const std::uint8_t> body);
 

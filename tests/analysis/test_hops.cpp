@@ -128,6 +128,55 @@ TEST(HopAnalysis, CeMarksCounted) {
   EXPECT_EQ(analysis.strip_hops, 1u);
 }
 
+HopRecord unknown_hop(int ttl, std::uint8_t responder_octet) {
+  auto h = hop(ttl, responder_octet, wire::Ecn::NotEct);
+  h.ecn_known = false;
+  h.quote_truncated = true;
+  return h;
+}
+
+TEST(HopAnalysis, TruncatedQuoteHopsReportedNotClassified) {
+  // Hop 2's quote is always cut before the ECN octet: it must land in
+  // ecn_unknown_hops, never in strip_hops (its quoted_ecn field is
+  // meaningless NotEct).
+  const auto analysis = analyze_hops(
+      {obs("A", 1, {hop(1, 1, wire::Ecn::Ect0), unknown_hop(2, 2),
+                    hop(3, 3, wire::Ecn::Ect0)})},
+      two_as_map());
+  EXPECT_EQ(analysis.total_hops, 2u);
+  EXPECT_EQ(analysis.pass_hops, 2u);
+  EXPECT_EQ(analysis.strip_hops, 0u);
+  EXPECT_EQ(analysis.ecn_unknown_hops, 1u);
+  // Unknown hops still count as responding for the per-path mean.
+  EXPECT_DOUBLE_EQ(analysis.mean_responding_hops_per_path, 3.0);
+}
+
+TEST(HopAnalysis, TruncatedQuoteDoesNotAnchorStripLocation) {
+  // 1 intact, 2 unknown, 3 stripped: the intact->stripped transition must
+  // not be attributed across the unknown hop (we cannot know whether hop 2
+  // passed or stripped the mark).
+  const auto analysis = analyze_hops(
+      {obs("A", 1, {hop(1, 1, wire::Ecn::Ect0), unknown_hop(2, 2),
+                    hop(3, 3, wire::Ecn::NotEct)})},
+      two_as_map());
+  EXPECT_EQ(analysis.strip_hops, 1u);
+  EXPECT_EQ(analysis.ecn_unknown_hops, 1u);
+  // The strip location is attributed to the last *known* intact hop.
+  EXPECT_EQ(analysis.strip_locations, 1u);
+}
+
+TEST(HopAnalysis, HopSeenBothTruncatedAndCompleteIsClassified) {
+  // One repetition truncated, one complete: the complete observation wins
+  // and the hop is not double-counted as unknown.
+  const auto analysis = analyze_hops(
+      {obs("A", 1, {hop(1, 1, wire::Ecn::Ect0), unknown_hop(2, 2)}, 0),
+       obs("A", 1, {hop(1, 1, wire::Ecn::Ect0), hop(2, 2, wire::Ecn::Ect0)}, 1)},
+      two_as_map());
+  EXPECT_EQ(analysis.total_hops, 2u);
+  EXPECT_EQ(analysis.pass_hops, 2u);
+  EXPECT_EQ(analysis.ecn_unknown_hops, 0u);
+}
+
 TEST(HopAnalysis, EmptyObservationsAreSafe) {
   const auto analysis = analyze_hops({}, two_as_map());
   EXPECT_EQ(analysis.total_hops, 0u);

@@ -1,0 +1,83 @@
+#include "ecnprobe/chaos/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ecnprobe::chaos {
+namespace {
+
+TEST(FaultPlan, NoneIsDisabled) {
+  const auto plan = FaultPlan::parse("none");
+  ASSERT_TRUE(plan);
+  EXPECT_FALSE(plan->enabled());
+  EXPECT_EQ(plan->name, "none");
+}
+
+TEST(FaultPlan, EveryNamedProfileParses) {
+  for (const auto& name : FaultPlan::profile_names()) {
+    const auto plan = FaultPlan::parse(name);
+    ASSERT_TRUE(plan) << name;
+    EXPECT_EQ(plan->name, name);
+    EXPECT_EQ(plan->enabled(), name != "none") << name;
+  }
+}
+
+TEST(FaultPlan, OverridesApplyOnTopOfProfile) {
+  const auto plan = FaultPlan::parse("wan-chaos,corrupt-prob=0.5,chaos-links=9");
+  ASSERT_TRUE(plan);
+  EXPECT_DOUBLE_EQ(plan->corrupt_prob, 0.5);
+  EXPECT_EQ(plan->chaos_links, 9);
+  // Untouched profile defaults survive.
+  EXPECT_DOUBLE_EQ(plan->reorder_prob, 0.30);
+}
+
+TEST(FaultPlan, PoisonIsRepeatableAndCrashAfterSticks) {
+  const auto plan = FaultPlan::parse("none,poison=3,poison=7,crash-after=13");
+  ASSERT_TRUE(plan);
+  EXPECT_TRUE(plan->enabled());
+  EXPECT_TRUE(plan->poisons(3));
+  EXPECT_TRUE(plan->poisons(7));
+  EXPECT_FALSE(plan->poisons(5));
+  EXPECT_EQ(plan->crash_after_traces, 13);
+}
+
+TEST(FaultPlan, MalformedSpecsRejected) {
+  EXPECT_FALSE(FaultPlan::parse(""));
+  EXPECT_FALSE(FaultPlan::parse("not-a-profile"));
+  EXPECT_FALSE(FaultPlan::parse("none,frob=1"));          // unknown key
+  EXPECT_FALSE(FaultPlan::parse("none,corrupt-prob"));    // missing '='
+  EXPECT_FALSE(FaultPlan::parse("none,corrupt-prob=x"));  // non-numeric
+  EXPECT_FALSE(FaultPlan::parse("none,corrupt-prob=-1")); // negative
+  EXPECT_FALSE(FaultPlan::parse("none,poison=-2"));
+  EXPECT_FALSE(FaultPlan::parse("none,poison=1.5"));
+}
+
+TEST(FaultPlan, FingerprintSeparatesPlans) {
+  const auto a = FaultPlan::parse("wan-chaos");
+  const auto b = FaultPlan::parse("wan-chaos,corrupt-prob=0.021");
+  const auto c = FaultPlan::parse("wan-chaos");
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  ASSERT_TRUE(c);
+  EXPECT_EQ(a->fingerprint(), c->fingerprint());
+  EXPECT_NE(a->fingerprint(), b->fingerprint());
+  // Fingerprints are prefixed with the profile name for readable errors.
+  EXPECT_EQ(a->fingerprint().rfind("wan-chaos#", 0), 0u);
+  // crash-after is executor behaviour, not campaign identity: a run
+  // crashed via crash-after=N must be resumable without the crash hook.
+  const auto crashing = FaultPlan::parse("wan-chaos,crash-after=3");
+  ASSERT_TRUE(crashing);
+  EXPECT_EQ(crashing->fingerprint(), a->fingerprint());
+  EXPECT_NE(crashing->serialize(), a->serialize());
+}
+
+TEST(FaultPlan, SerializeIsCanonical) {
+  // Same plan reached via different spellings serialises identically.
+  const auto a = FaultPlan::parse("none,poison=7,poison=3");
+  const auto b = FaultPlan::parse("none,poison=3,poison=7");
+  ASSERT_TRUE(a);
+  ASSERT_TRUE(b);
+  EXPECT_EQ(a->serialize(), b->serialize());
+}
+
+}  // namespace
+}  // namespace ecnprobe::chaos

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Strict CLI argument parsing: every malformed invocation must exit
+# non-zero and print a usage message; well-formed fault/checkpoint flags
+# must be accepted. Run by ctest as `cli_strict_args` with the ecnprobe
+# binary path as $1.
+set -u
+
+BIN=${1:?usage: test_cli_args.sh /path/to/ecnprobe}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+fails=0
+
+# must_fail <description> <args...>: non-zero exit AND usage text on stderr.
+must_fail() {
+  local desc=$1
+  shift
+  local err
+  err=$("$BIN" "$@" 2>&1 >/dev/null)
+  local rc=$?
+  if [ "$rc" -eq 0 ]; then
+    echo "FAIL: '$desc' ($*) exited 0, expected non-zero"
+    fails=$((fails + 1))
+  elif ! printf '%s' "$err" | grep -q "usage:"; then
+    echo "FAIL: '$desc' ($*) printed no usage message; stderr was: $err"
+    fails=$((fails + 1))
+  else
+    echo "ok: $desc"
+  fi
+}
+
+# must_pass <description> <args...>: zero exit.
+must_pass() {
+  local desc=$1
+  shift
+  if ! "$BIN" "$@" >/dev/null 2>&1; then
+    echo "FAIL: '$desc' ($*) exited non-zero, expected success"
+    fails=$((fails + 1))
+  else
+    echo "ok: $desc"
+  fi
+}
+
+must_fail "no command"
+must_fail "unknown command" frobnicate
+must_fail "unknown flag" campaign --frobnicate
+must_fail "unknown flag with value" campaign --frobnicate=3
+must_fail "missing value" campaign --traces
+must_fail "non-numeric workers" campaign --workers banana
+must_fail "non-numeric traces" campaign --traces 1.5
+must_fail "negative traces" campaign --traces -3
+must_fail "zero workers" campaign --workers 0
+must_fail "zero scale" campaign --scale 0
+must_fail "negative seed" campaign --seed -1
+must_fail "trailing garbage in int" campaign --traces 3x
+must_fail "unexpected positional" analyze a.csv b.csv
+
+# Errors detected past argument parsing report their own message (no usage
+# text): bad fault specs and resuming a journal that does not exist.
+must_fail_plain() {
+  local desc=$1
+  shift
+  if "$BIN" "$@" >/dev/null 2>&1; then
+    echo "FAIL: '$desc' ($*) exited 0, expected non-zero"
+    fails=$((fails + 1))
+  else
+    echo "ok: $desc"
+  fi
+}
+
+must_fail_plain "unknown fault profile" campaign --scale 0.02 --traces 1 --faults lolwut
+must_fail_plain "bad fault override" campaign --scale 0.02 --traces 1 \
+  --faults none,corrupt-prob=x
+must_fail_plain "--resume missing journal" campaign --scale 0.02 --traces 1 \
+  --resume "$TMP/absent.journal"
+
+must_pass "plain campaign" campaign --scale 0.02 --traces 1 --out "$TMP/t.csv"
+must_pass "faulted campaign with checkpoint" campaign --scale 0.02 --traces 2 \
+  --faults none,poison=1 --checkpoint "$TMP/run.journal" --out "$TMP/t2.csv"
+must_pass "resume of that checkpoint" campaign --scale 0.02 --traces 2 \
+  --faults none,poison=1 --resume "$TMP/run.journal" --out "$TMP/t3.csv"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails CLI argument checks failed"
+  exit 1
+fi
+echo "all CLI argument checks passed"

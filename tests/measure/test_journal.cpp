@@ -1,0 +1,198 @@
+#include "ecnprobe/measure/journal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+namespace ecnprobe::measure {
+namespace {
+
+struct TempFile {
+  std::string path;
+  explicit TempFile(const std::string& name) {
+    path = ::testing::TempDir() + "/" + name;
+    std::remove(path.c_str());
+  }
+  ~TempFile() { std::remove(path.c_str()); }
+};
+
+JournalMeta sample_meta() {
+  JournalMeta meta;
+  meta.plan = "abc123";
+  meta.faults = "none#0011223344556677";
+  meta.seed = 42;
+  meta.total_traces = 10;
+  meta.server_count = 5;
+  return meta;
+}
+
+Trace sample_trace(int index) {
+  Trace trace;
+  trace.vantage = "EC2 Tok yo";  // space survives escaping
+  trace.batch = 2;
+  trace.index = index;
+  ServerResult server;
+  server.server = wire::Ipv4Address(193, 0, 0, 7);
+  server.udp_plain = {true, 2, 17.25};
+  server.udp_ect0 = {false, 5, 0.1 + 0.2};  // deliberately non-representable sum
+  server.tcp_plain = {true, false, true, 200};
+  server.tcp_ecn = {true, true, true, 200};
+  trace.servers.push_back(server);
+  return trace;
+}
+
+obs::ObsSnapshot sample_delta() {
+  obs::ObsSnapshot delta;
+  delta.ledger.drops[{"link", "random-loss"}] = 3;
+  return delta;
+}
+
+TEST(CampaignJournal, RoundTripsTracesBitForBit) {
+  TempFile file("journal_roundtrip");
+  std::string error;
+  {
+    CampaignJournal journal;
+    ASSERT_TRUE(journal.open(file.path, sample_meta(), &error)) << error;
+    ASSERT_TRUE(journal.append(sample_trace(0), sample_delta()));
+    ASSERT_TRUE(journal.append(sample_trace(3), sample_delta()));
+  }
+  CampaignJournal reopened;
+  ASSERT_TRUE(reopened.open(file.path, sample_meta(), &error)) << error;
+  ASSERT_EQ(reopened.entries().size(), 2u);
+  ASSERT_TRUE(reopened.has(0));
+  ASSERT_TRUE(reopened.has(3));
+  const auto& entry = reopened.entries().at(3);
+  const auto original = sample_trace(3);
+  EXPECT_EQ(entry.trace.vantage, original.vantage);
+  EXPECT_EQ(entry.trace.batch, original.batch);
+  ASSERT_EQ(entry.trace.servers.size(), 1u);
+  // RTTs are stored as raw IEEE bits: exact equality, not approximate.
+  EXPECT_EQ(entry.trace.servers[0].udp_plain.rtt_ms,
+            original.servers[0].udp_plain.rtt_ms);
+  EXPECT_EQ(entry.trace.servers[0].udp_ect0.rtt_ms,
+            original.servers[0].udp_ect0.rtt_ms);
+  EXPECT_EQ(entry.delta.ledger.total_drops(), 3u);
+}
+
+TEST(CampaignJournal, AppendIsIdempotentForReplayedTraces) {
+  TempFile file("journal_idempotent");
+  std::string error;
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.open(file.path, sample_meta(), &error)) << error;
+  ASSERT_TRUE(journal.append(sample_trace(1), sample_delta()));
+  ASSERT_TRUE(journal.append(sample_trace(1), sample_delta()));  // replay path
+  journal = CampaignJournal();
+
+  std::ifstream in(file.path);
+  std::string line;
+  int records = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] == 'T') ++records;
+  }
+  EXPECT_EQ(records, 1);
+}
+
+TEST(CampaignJournal, FlippedPayloadByteDetected) {
+  TempFile file("journal_bitflip");
+  std::string error;
+  {
+    CampaignJournal journal;
+    ASSERT_TRUE(journal.open(file.path, sample_meta(), &error)) << error;
+    ASSERT_TRUE(journal.append(sample_trace(4), sample_delta()));
+  }
+  // Flip one byte inside the record payload (past "T <idx> <checksum> ").
+  std::string contents;
+  {
+    std::ifstream in(file.path);
+    std::string line;
+    while (std::getline(in, line)) contents += line + "\n";
+  }
+  const auto t_pos = contents.find("\nT ");
+  ASSERT_NE(t_pos, std::string::npos);
+  contents[contents.size() - 3] ^= 0x01;
+  {
+    std::ofstream out(file.path, std::ios::trunc);
+    out << contents;
+  }
+  CampaignJournal corrupted;
+  EXPECT_FALSE(corrupted.open(file.path, sample_meta(), &error));
+  EXPECT_NE(error.find("checksum mismatch"), std::string::npos) << error;
+  EXPECT_NE(error.find("trace 4"), std::string::npos) << error;
+}
+
+TEST(CampaignJournal, FlippedChecksumByteDetected) {
+  TempFile file("journal_checksumflip");
+  std::string error;
+  {
+    CampaignJournal journal;
+    ASSERT_TRUE(journal.open(file.path, sample_meta(), &error)) << error;
+    ASSERT_TRUE(journal.append(sample_trace(2), sample_delta()));
+  }
+  std::string contents;
+  {
+    std::ifstream in(file.path);
+    std::string line;
+    while (std::getline(in, line)) contents += line + "\n";
+  }
+  // The checksum token starts after "T 2 ".
+  const auto t_pos = contents.find("\nT 2 ");
+  ASSERT_NE(t_pos, std::string::npos);
+  auto& digit = contents[t_pos + 5];
+  digit = digit == '0' ? '1' : '0';
+  {
+    std::ofstream out(file.path, std::ios::trunc);
+    out << contents;
+  }
+  CampaignJournal corrupted;
+  EXPECT_FALSE(corrupted.open(file.path, sample_meta(), &error));
+  EXPECT_NE(error.find("checksum"), std::string::npos) << error;
+}
+
+TEST(CampaignJournal, RefusesJournalOfDifferentCampaign) {
+  TempFile file("journal_mismatch");
+  std::string error;
+  {
+    CampaignJournal journal;
+    ASSERT_TRUE(journal.open(file.path, sample_meta(), &error)) << error;
+  }
+  for (auto mutate : {+[](JournalMeta* m) { m->seed = 43; },
+                      +[](JournalMeta* m) { m->plan = "zzz"; },
+                      +[](JournalMeta* m) { m->faults = "wan-chaos#0"; },
+                      +[](JournalMeta* m) { m->total_traces = 11; },
+                      +[](JournalMeta* m) { m->server_count = 6; }}) {
+    auto meta = sample_meta();
+    mutate(&meta);
+    CampaignJournal other;
+    EXPECT_FALSE(other.open(file.path, meta, &error));
+    EXPECT_NE(error.find("different campaign"), std::string::npos) << error;
+  }
+  // The unmutated meta still opens.
+  CampaignJournal same;
+  EXPECT_TRUE(same.open(file.path, sample_meta(), &error)) << error;
+}
+
+TEST(CampaignJournal, EmptyFileTreatedAsFresh) {
+  TempFile file("journal_empty");
+  { std::ofstream touch(file.path); }
+  std::string error;
+  CampaignJournal journal;
+  ASSERT_TRUE(journal.open(file.path, sample_meta(), &error)) << error;
+  EXPECT_TRUE(journal.entries().empty());
+  EXPECT_TRUE(journal.append(sample_trace(0), sample_delta()));
+}
+
+TEST(PlanFingerprint, TracksScheduleShape) {
+  CampaignPlan a;
+  a.entries.push_back({"UGla wired", 1, 3});
+  a.entries.push_back({"EC2 Tok", 2, 2});
+  CampaignPlan b = a;
+  CampaignPlan c = a;
+  c.entries[1].count = 3;
+  EXPECT_EQ(plan_fingerprint(a), plan_fingerprint(b));
+  EXPECT_NE(plan_fingerprint(a), plan_fingerprint(c));
+}
+
+}  // namespace
+}  // namespace ecnprobe::measure

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "../netsim/mini_net.hpp"
+#include "ecnprobe/chaos/policies.hpp"
 
 namespace ecnprobe::traceroute {
 namespace {
@@ -132,6 +133,42 @@ TEST(Traceroute, RetriesRecoverLossyHops) {
   chain.sim.run();
   ASSERT_TRUE(record);
   EXPECT_GE(record->responding_hops(), 2);  // retries beat 30% loss
+}
+
+TEST(Traceroute, TruncatedQuotesToleratedAsEcnUnknown) {
+  Chain chain(4);
+  // Every ICMP error heading back to host A through router 0 has its
+  // quotation cut below a full inner IP header -- the RFC 1812 violation
+  // some real routers commit.
+  auto truncate = std::make_shared<ecnprobe::chaos::QuoteTruncatePolicy>(1.0);
+  truncate->on_epoch(7);
+  chain.net.add_egress_policy(chain.routers[0], 0, truncate);
+
+  Tracerouter tracer(*chain.host_a);
+  std::optional<PathRecord> record;
+  tracer.trace(chain.host_b->address(), fast_options(),
+               [&](const PathRecord& r) { record = r; });
+  chain.sim.run();
+  ASSERT_TRUE(record);
+  ASSERT_GE(record->hops.size(), 4u);
+  int truncated = 0;
+  for (int i = 0; i < 4; ++i) {
+    const auto& hop = record->hops[static_cast<std::size_t>(i)];
+    // The hop still counts as responding -- probes are matched to the sole
+    // in-flight probe -- but its ECN field is unobserved, so it reads as
+    // neither intact nor bleached.
+    EXPECT_TRUE(hop.responded) << "hop " << i;
+    EXPECT_EQ(hop.responder,
+              chain.net.node(chain.routers[static_cast<std::size_t>(i)]).address());
+    if (hop.quote_truncated) {
+      ++truncated;
+      EXPECT_FALSE(hop.ecn_known) << "hop " << i;
+      EXPECT_FALSE(hop.ecn_intact()) << "hop " << i;
+    }
+  }
+  // Replies from routers 1..3 traverse the truncating link; router 0's own
+  // reply may or may not, depending on where it originates.
+  EXPECT_GE(truncated, 3);
 }
 
 TEST(Traceroute, SometimesStripObservedAcrossRepetitions) {

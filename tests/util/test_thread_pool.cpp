@@ -1,0 +1,78 @@
+#include "ecnprobe/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace ecnprobe::util {
+namespace {
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, ThrowingTaskRethrownFromWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  pool.submit([&ran] { ++ran; });
+  pool.submit([] { throw std::runtime_error("task blew up"); });
+  pool.submit([&ran] { ++ran; });
+  try {
+    pool.wait_idle();
+    FAIL() << "wait_idle() swallowed the task exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task blew up");
+  }
+  // The tasks around the throwing one still ran.
+  EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, FirstOfSeveralExceptionsWins) {
+  ThreadPool pool(1);  // one worker: deterministic task order
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::runtime_error("second"); });
+  std::string caught;
+  try {
+    pool.wait_idle();
+  } catch (const std::runtime_error& e) {
+    caught = e.what();
+  }
+  EXPECT_EQ(caught, "first");
+}
+
+TEST(ThreadPool, PoolUsableAfterException) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The error is consumed: the pool accepts and runs new work, and the
+  // next wait_idle() returns cleanly.
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPool, DestructorSurvivesUnreportedException) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    pool.submit([] { throw std::runtime_error("never waited on"); });
+    pool.submit([&ran] { ++ran; });
+    // No wait_idle(): the destructor must drain and join without
+    // terminating the process.
+  }
+  EXPECT_EQ(ran.load(), 1);
+}
+
+}  // namespace
+}  // namespace ecnprobe::util

@@ -4,6 +4,7 @@
 // binary; build with -fsanitize=address to make the guarantee stronger.)
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "ecnprobe/util/rng.hpp"
@@ -132,6 +133,100 @@ TEST(FuzzDecode, DissectorHandlesArbitraryDatagrams) {
     const auto line = dissect(dgram);
     EXPECT_FALSE(line.empty());
   }
+}
+
+// Systematic truncation sweep: a small corpus of well-formed packets, each
+// decoded at *every* prefix length. Decoders must never read out of bounds
+// or throw; where they accept a prefix, the advertised fields must be
+// consistent with the bytes that actually survived.
+TEST(FuzzDecode, TruncationSweepIcmpTimeExceededQuote) {
+  const Ipv4Address src(10, 0, 0, 1);
+  const Ipv4Address dst(11, 0, 0, 2);
+  const auto request = NtpPacket::make_client_request({7, 8});
+  const auto probe =
+      make_udp_datagram(src, dst, 40001, kNtpPort, request.encode(), Ecn::Ect0, 9);
+
+  // The quotation body a router would emit for this probe.
+  const auto inner_bytes = probe.encode();
+  const auto inner = decode_ipv4_header(inner_bytes);
+  ASSERT_TRUE(inner.has_value());
+  const std::span<const std::uint8_t> transport(
+      inner_bytes.data() + Ipv4Header::kSize, inner_bytes.size() - Ipv4Header::kSize);
+  const auto quote = make_error_quotation(inner->header, transport);
+
+  for (std::size_t cut = 0; cut <= quote.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(quote.data(), cut);
+    const auto parsed = parse_quotation(prefix);
+    if (!parsed) continue;
+    // Tolerant parse: whatever it claims to know must really have been in
+    // the prefix, and the values must match the untruncated original.
+    if (parsed->header_complete) {
+      EXPECT_GE(cut, Ipv4Header::kSize) << "complete header from " << cut << " bytes";
+      EXPECT_EQ(parsed->inner_header.dst, dst);
+    } else {
+      EXPECT_LT(cut, Ipv4Header::kSize);
+      EXPECT_TRUE(parsed->transport_prefix.empty());
+    }
+    if (parsed->ecn_known) {
+      EXPECT_GE(cut, std::size_t{2}) << "ECN claimed known from " << cut << " bytes";
+      EXPECT_EQ(parsed->inner_header.ecn, Ecn::Ect0);
+    }
+  }
+
+  // The same sweep over the full ICMP message (header + quote).
+  IcmpMessage message;
+  message.type = IcmpType::TimeExceeded;
+  message.body = quote;
+  const auto icmp_bytes = message.encode();
+  for (std::size_t cut = 0; cut <= icmp_bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(icmp_bytes.data(), cut);
+    const auto decoded = decode_icmp_message(prefix);
+    if (!decoded) continue;
+    if (cut < icmp_bytes.size() && decoded->checksum_ok) {
+      // The checksum covers the quote, so a truncation may only verify when
+      // the dropped suffix is all zero (zero words don't change an RFC 1071
+      // sum).
+      const bool dropped_zeros = std::all_of(
+          icmp_bytes.begin() + static_cast<std::ptrdiff_t>(cut), icmp_bytes.end(),
+          [](std::uint8_t b) { return b == 0; });
+      EXPECT_TRUE(dropped_zeros) << "checksum ok at truncation " << cut;
+    }
+    if (decoded->message.is_error()) (void)parse_quotation(decoded->message.body);
+  }
+}
+
+TEST(FuzzDecode, TruncationSweepDnsResponse) {
+  const auto query = DnsMessage::make_query(0x1234, "uk.pool.ntp.org");
+  const auto response = DnsMessage::make_response(
+      query, DnsRcode::NoError,
+      {DnsRecord::make_a("uk.pool.ntp.org", Ipv4Address(193, 0, 0, 1), 60),
+       DnsRecord::make_a("uk.pool.ntp.org", Ipv4Address(193, 0, 0, 2), 60)});
+  for (const auto& msg : {query, response}) {
+    const auto bytes = msg.encode();
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+      const auto decoded = DnsMessage::decode(prefix);
+      if (!decoded) continue;
+      // DNS has no framing checksum; a prefix that still parses must have
+      // been cut in trailing records, never mid-structure.
+      EXPECT_LE(decoded->questions.size(), msg.questions.size());
+      EXPECT_LE(decoded->answers.size(), msg.answers.size());
+    }
+    EXPECT_TRUE(DnsMessage::decode(bytes).has_value());
+  }
+}
+
+TEST(FuzzDecode, TruncationSweepNtpPacket) {
+  const auto request = NtpPacket::make_client_request({55, 66});
+  const auto bytes = request.encode();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    const std::span<const std::uint8_t> prefix(bytes.data(), cut);
+    // NTP packets are fixed-format, minimum 48 bytes: every proper prefix
+    // of the minimal request must be rejected.
+    EXPECT_FALSE(NtpPacket::decode(prefix).has_value())
+        << "accepted " << cut << "-byte NTP packet";
+  }
+  EXPECT_TRUE(NtpPacket::decode(bytes).has_value());
 }
 
 TEST(FuzzDecode, DnsNameDecompressionBombRejected) {

@@ -3,23 +3,32 @@
 //
 //   ecnprobe discover   [--scale F] [--seed N] [--rounds R]
 //   ecnprobe campaign   [--scale F] [--seed N] [--traces N] [--workers N] [--out FILE]
-//                       [--metrics-out FILE]
+//                       [--metrics-out FILE] [--faults SPEC] [--checkpoint FILE]
+//                       [--resume FILE] [--halt-after N]
 //   ecnprobe analyze    <traces.csv>
 //   ecnprobe traceroute [--scale F] [--seed N] [--vantage NAME] [--count N]
 //   ecnprobe pcap       [--scale F] [--seed N] [--out FILE]
 //   ecnprobe report     [--scale F] [--seed N] [--out FILE]
 //
+// Option parsing is strict: unknown flags, missing values, and malformed
+// numbers ("--workers banana", negative trace counts) exit non-zero with
+// the usage message instead of being silently coerced to zero.
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
 #include <string>
 #include <thread>
+
+#include "ecnprobe/chaos/fault_plan.hpp"
+#include "ecnprobe/measure/journal.hpp"
 
 #include "ecnprobe/analysis/differential.hpp"
 #include "ecnprobe/analysis/hops.hpp"
@@ -44,32 +53,113 @@ struct Options {
   int traces = 0;
   int count = 8;
   int workers = 1;
+  int halt_after = 0;
   std::string vantage = "UGla wired";
   std::string out;
   std::string metrics_out;
   std::string input;
+  std::string faults = "none";
+  std::string checkpoint;  ///< journal path (--checkpoint or --resume)
+  bool resume = false;     ///< --resume: the journal must already exist
 };
 
-Options parse(int argc, char** argv, int first) {
-  Options options;
+bool parse_int_arg(const char* s, int* out) {
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || v < -(1l << 30) || v > (1l << 30)) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+bool parse_u64_arg(const char* s, std::uint64_t* out) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || end == s || *end != '\0' || std::strchr(s, '-') != nullptr) {
+    return false;
+  }
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_double_arg(const char* s, double* out) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(s, &end);
+  if (errno != 0 || end == s || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse(int argc, char** argv, int first, Options* options) {
   for (int i = first; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto value = [&]() -> std::string {
-      return i + 1 < argc ? argv[++i] : "";
+    const auto need = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "ecnprobe: %s requires a value\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
     };
-    if (arg == "--scale") options.scale = std::atof(value().c_str());
-    else if (arg == "--seed") options.seed = static_cast<std::uint64_t>(
-        std::atoll(value().c_str()));
-    else if (arg == "--rounds") options.rounds = std::atoi(value().c_str());
-    else if (arg == "--traces") options.traces = std::atoi(value().c_str());
-    else if (arg == "--count") options.count = std::atoi(value().c_str());
-    else if (arg == "--workers") options.workers = std::max(1, std::atoi(value().c_str()));
-    else if (arg == "--vantage") options.vantage = value();
-    else if (arg == "--out") options.out = value();
-    else if (arg == "--metrics-out") options.metrics_out = value();
-    else if (arg[0] != '-') options.input = arg;
+    const auto bad = [&](const char* v) {
+      std::fprintf(stderr, "ecnprobe: bad value for %s: '%s'\n", arg.c_str(), v);
+      return false;
+    };
+    const char* v = nullptr;
+    if (arg == "--scale") {
+      if ((v = need()) == nullptr) return false;
+      if (!parse_double_arg(v, &options->scale) || options->scale <= 0.0) return bad(v);
+    } else if (arg == "--seed") {
+      if ((v = need()) == nullptr) return false;
+      if (!parse_u64_arg(v, &options->seed)) return bad(v);
+    } else if (arg == "--rounds") {
+      if ((v = need()) == nullptr) return false;
+      if (!parse_int_arg(v, &options->rounds) || options->rounds < 0) return bad(v);
+    } else if (arg == "--traces") {
+      if ((v = need()) == nullptr) return false;
+      if (!parse_int_arg(v, &options->traces) || options->traces < 0) return bad(v);
+    } else if (arg == "--count") {
+      if ((v = need()) == nullptr) return false;
+      if (!parse_int_arg(v, &options->count) || options->count < 1) return bad(v);
+    } else if (arg == "--workers") {
+      if ((v = need()) == nullptr) return false;
+      if (!parse_int_arg(v, &options->workers) || options->workers < 1) return bad(v);
+    } else if (arg == "--halt-after") {
+      if ((v = need()) == nullptr) return false;
+      if (!parse_int_arg(v, &options->halt_after) || options->halt_after < 0) return bad(v);
+    } else if (arg == "--vantage") {
+      if ((v = need()) == nullptr) return false;
+      options->vantage = v;
+    } else if (arg == "--out") {
+      if ((v = need()) == nullptr) return false;
+      options->out = v;
+    } else if (arg == "--metrics-out") {
+      if ((v = need()) == nullptr) return false;
+      options->metrics_out = v;
+    } else if (arg == "--faults") {
+      if ((v = need()) == nullptr) return false;
+      options->faults = v;
+    } else if (arg == "--checkpoint") {
+      if ((v = need()) == nullptr) return false;
+      options->checkpoint = v;
+    } else if (arg == "--resume") {
+      if ((v = need()) == nullptr) return false;
+      options->checkpoint = v;
+      options->resume = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "ecnprobe: unknown option '%s'\n", arg.c_str());
+      return false;
+    } else if (options->input.empty()) {
+      options->input = arg;
+    } else {
+      std::fprintf(stderr, "ecnprobe: unexpected argument '%s'\n", arg.c_str());
+      return false;
+    }
   }
-  return options;
+  return true;
 }
 
 scenario::WorldParams params_for(const Options& options) {
@@ -92,7 +182,13 @@ int cmd_discover(const Options& options) {
 }
 
 int cmd_campaign(const Options& options) {
-  const auto params = params_for(options);
+  auto params = params_for(options);
+  const auto faults = chaos::FaultPlan::parse(options.faults);
+  if (!faults) {
+    std::fprintf(stderr, "ecnprobe: %s\n", faults.error().message.c_str());
+    return 2;
+  }
+  params.faults = *faults;
   auto plan = measure::CampaignPlan::paper_layout(
       std::max(1, static_cast<int>(9 * options.scale)),
       std::max(1, static_cast<int>(12 * options.scale)),
@@ -110,9 +206,37 @@ int cmd_campaign(const Options& options) {
       if (share > 0) plan.entries.push_back({names[i], i < 4 ? 1 : 2, share});
     }
   }
-  std::fprintf(stderr, "running %d traces x %d servers (%d worker%s)...\n",
+  std::fprintf(stderr, "running %d traces x %d servers (%d worker%s, faults: %s)...\n",
                plan.total_traces(), params.server_count, options.workers,
-               options.workers == 1 ? "" : "s");
+               options.workers == 1 ? "" : "s", params.faults.name.c_str());
+
+  // Checkpoint journal: --resume requires the file, --checkpoint creates it.
+  measure::CampaignJournal journal;
+  measure::CampaignJournal* journal_ptr = nullptr;
+  if (!options.checkpoint.empty()) {
+    if (options.resume && !std::ifstream(options.checkpoint).is_open()) {
+      std::fprintf(stderr, "ecnprobe: cannot resume: no journal at %s\n",
+                   options.checkpoint.c_str());
+      return 1;
+    }
+    measure::JournalMeta meta;
+    meta.plan = measure::plan_fingerprint(plan);
+    meta.faults = params.faults.fingerprint();
+    meta.seed = params.seed;
+    meta.total_traces = plan.total_traces();
+    meta.server_count = params.server_count;
+    std::string error;
+    if (!journal.open(options.checkpoint, meta, &error)) {
+      std::fprintf(stderr, "ecnprobe: %s\n", error.c_str());
+      return 1;
+    }
+    journal_ptr = &journal;
+    if (!journal.entries().empty()) {
+      std::fprintf(stderr, "resuming: %zu of %d traces already journaled\n",
+                   journal.entries().size(), plan.total_traces());
+    }
+  }
+
   // Sequential and sharded paths produce byte-identical CSVs and campaign
   // metrics; --workers only changes wall-clock time.
   const bool tty = isatty(fileno(stderr)) != 0;
@@ -124,7 +248,10 @@ int cmd_campaign(const Options& options) {
   if (options.workers > 1) {
     measure::ParallelCampaign::Options exec;
     exec.workers = options.workers;
+    exec.halt_after_traces = options.halt_after > 0 ? options.halt_after
+                                                    : params.faults.crash_after_traces;
     measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
+    if (journal_ptr != nullptr) campaign.set_journal(journal_ptr);
     // Progress line on a monitor thread: progress() is a lock-cheap
     // snapshot of the runtime registry, safe to poll while workers run.
     std::atomic<bool> running{true};
@@ -156,11 +283,19 @@ int cmd_campaign(const Options& options) {
   } else {
     scenario::World world(params);
     int completed = 0;
-    traces = world.run_campaign(plan, {}, [&](const std::string&, int, int) {
-      ++completed;
-      if (tty) std::fprintf(stderr, "\r  %d/%d traces   ", completed, total);
-    });
+    std::vector<measure::TraceFailure> failures;
+    traces = world.run_campaign(
+        plan, {},
+        [&](const std::string&, int, int) {
+          ++completed;
+          if (tty) std::fprintf(stderr, "\r  %d/%d traces   ", completed, total);
+        },
+        journal_ptr, options.halt_after, &failures);
     if (tty && completed > 0) std::fprintf(stderr, "\r  %d/%d traces done   \n", completed, total);
+    for (const auto& failure : failures) {
+      std::fprintf(stderr, "trace %d (%s) quarantined: %s\n", failure.index,
+                   failure.vantage.c_str(), failure.message.c_str());
+    }
     campaign_obs = world.campaign_obs();
   }
   if (options.out.empty()) {
@@ -298,14 +433,21 @@ int cmd_pcap(const Options& options) {
 }
 
 int usage() {
+  std::string profiles;
+  for (const auto& name : chaos::FaultPlan::profile_names()) {
+    profiles += (profiles.empty() ? "" : ", ") + name;
+  }
   std::fprintf(stderr,
                "usage: ecnprobe <command> [options]\n"
                "  discover    enumerate the pool via DNS          [--scale --seed --rounds --vantage]\n"
                "  campaign    run the measurement campaign -> CSV [--scale --seed --traces --workers --out --metrics-out]\n"
+               "              fault injection / checkpointing     [--faults SPEC --checkpoint FILE --resume FILE --halt-after N]\n"
                "  analyze     figures/tables from a traces CSV    <traces.csv>\n"
                "  traceroute  ECN traceroute listings             [--scale --seed --vantage --count]\n"
                "  pcap        probe one server, dump pcap+dissection [--scale --seed --vantage --out]\n"
-               "  report      full campaign -> Markdown report      [--scale --seed --out]\n");
+               "  report      full campaign -> Markdown report      [--scale --seed --out]\n"
+               "fault profiles: %s (tunable, e.g. 'wan-chaos,corrupt-prob=0.05,poison=7')\n",
+               profiles.c_str());
   return 2;
 }
 
@@ -314,7 +456,8 @@ int usage() {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string command = argv[1];
-  const auto options = parse(argc, argv, 2);
+  Options options;
+  if (!parse(argc, argv, 2, &options)) return usage();
   if (command == "discover") return cmd_discover(options);
   if (command == "campaign") return cmd_campaign(options);
   if (command == "analyze") return cmd_analyze(options);
