@@ -8,6 +8,7 @@
 //   $ ./ntp_pool_study --metrics-out metrics.json   # export metrics + ledger
 //   $ ./ntp_pool_study --faults wan-chaos --checkpoint run.journal
 //   $ ./ntp_pool_study --resume run.journal         # continue a killed run
+//   $ ./ntp_pool_study --record flight              # flight.pcapng + flight.trace.json
 //
 // --workers=N runs the campaign through the sharded parallel executor
 // (one isolated world clone per worker); the merged results -- and the
@@ -32,6 +33,7 @@
 #include "ecnprobe/measure/journal.hpp"
 #include "ecnprobe/measure/parallel_campaign.hpp"
 #include "ecnprobe/obs/export.hpp"
+#include "ecnprobe/obs/flight_export.hpp"
 #include "ecnprobe/scenario/world.hpp"
 
 int main(int argc, char** argv) {
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string faults_spec = "none";
   std::string checkpoint;
+  std::string record;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -58,6 +61,8 @@ int main(int argc, char** argv) {
     else if (arg == "--resume") { checkpoint = next_value(); resume = true; }
     else if (arg.rfind("--halt-after=", 0) == 0) halt_after = std::atoi(arg.c_str() + 13);
     else if (arg == "--halt-after") halt_after = std::atoi(next_value());
+    else if (arg.rfind("--record=", 0) == 0) record = arg.substr(9);
+    else if (arg == "--record") record = next_value();
     else scale = std::atof(arg.c_str());
   }
   if (workers < 1) workers = 1;
@@ -69,6 +74,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   params.faults = *faults;
+  if (!record.empty()) params.flight_recorder_capacity = 1 << 16;
   std::printf("== ECN-with-UDP measurement study (scale %.2f: %d servers) ==\n\n",
               scale, params.server_count);
   scenario::World world(params);
@@ -123,6 +129,7 @@ int main(int argc, char** argv) {
   bool have_runtime = false;
   std::vector<measure::Trace> traces;
   std::vector<measure::TraceFailure> failures;
+  std::vector<obs::FlightEvent> flights;
   if (workers > 1) {
     measure::ParallelCampaign::Options exec;
     exec.workers = workers;
@@ -135,9 +142,20 @@ int main(int argc, char** argv) {
     campaign_obs = campaign.metrics();
     runtime_metrics = campaign.runtime_metrics();
     have_runtime = true;
+    flights = campaign.flight_events();
   } else {
     traces = world.run_campaign(plan, {}, nullptr, journal_ptr, halt_after, &failures);
     campaign_obs = world.campaign_obs();
+    flights = world.campaign_flights();
+  }
+  if (!record.empty()) {
+    if (!obs::write_flight_files(record, flights)) {
+      std::fprintf(stderr, "cannot write %s.pcapng / %s.trace.json\n", record.c_str(),
+                   record.c_str());
+      return 1;
+    }
+    std::printf("      recorded %zu flight events -> %s.pcapng, %s.trace.json\n",
+                flights.size(), record.c_str(), record.c_str());
   }
   for (const auto& failure : failures) {
     std::fprintf(stderr, "      trace %d (%s) quarantined: %s\n", failure.index,

@@ -1,0 +1,160 @@
+#include "ecnprobe/analysis/autopsy.hpp"
+
+#include <cinttypes>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "ecnprobe/util/strings.hpp"
+#include "ecnprobe/wire/datagram.hpp"
+
+namespace ecnprobe::analysis {
+
+namespace {
+
+constexpr const char* kStepNames[4] = {"udp-plain", "udp-ect0", "tcp-plain", "tcp-ecn"};
+
+std::string format_time(util::SimTime t) {
+  const std::int64_t ns = t.count_nanos();
+  return util::strf("%" PRId64 ".%06" PRId64 "ms", ns / 1000000, ns % 1000000 / 1000);
+}
+
+std::string as_of(const topology::IpToAsMap& ip2as, std::uint32_t addr) {
+  if (addr == 0) return "";
+  const auto asn = ip2as.lookup(wire::Ipv4Address(addr));
+  return asn ? util::strf("AS%u", *asn) : "";
+}
+
+struct ProbeChain {
+  int probe = -1;
+  std::vector<const obs::FlightEvent*> events;
+  wire::Ipv4Address dst;          ///< destination of the first send
+  wire::Ecn sent_ecn = wire::Ecn::NotEct;
+  bool have_first_send = false;
+};
+
+}  // namespace
+
+std::string render_trace_autopsy(const std::vector<obs::FlightEvent>& events,
+                                 const obs::LedgerSnapshot& ledger,
+                                 const topology::IpToAsMap& ip2as,
+                                 const AutopsyRequest& request) {
+  // Group the trace's events into per-probe chains, preserving recording
+  // order (which is sim-event order within a trace).
+  std::map<int, ProbeChain> chains;
+  for (const auto& event : events) {
+    if (event.key.trace != request.trace) continue;
+    auto& chain = chains[event.key.probe];
+    chain.probe = event.key.probe;
+    chain.events.push_back(&event);
+    if (!chain.have_first_send &&
+        (event.type == obs::SpanEvent::ProbeSent ||
+         event.type == obs::SpanEvent::Retransmit) &&
+        !event.wire.empty()) {
+      if (const auto dgram = wire::Datagram::decode(event.wire)) {
+        chain.dst = dgram->ip.dst;
+        chain.sent_ecn = dgram->ip.ecn;
+        chain.have_first_send = true;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << "Trace " << request.trace << " autopsy";
+  if (!request.server.empty()) os << " (server " << request.server << ")";
+  os << "\n";
+
+  std::size_t probes_shown = 0;
+  std::set<std::string> bleach_hops;   ///< "node (ASa -> ASb)" strings
+  std::map<std::string, int> drop_causes;
+  int timeouts = 0;
+  int replies = 0;
+
+  for (const auto& [probe, chain] : chains) {
+    if (!request.server.empty() &&
+        (!chain.have_first_send || chain.dst.to_string() != request.server)) {
+      continue;
+    }
+    ++probes_shown;
+    os << "\nprobe " << probe;
+    if (probe >= 0) {
+      os << " [server " << probe / 4 << " " << kStepNames[probe % 4] << "]";
+    }
+    if (chain.have_first_send) {
+      os << " -> " << chain.dst.to_string() << " sent "
+         << wire::to_string(chain.sent_ecn);
+    }
+    os << "\n";
+
+    std::string last_node_as;  ///< AS of the previous packet sighting
+    std::string verdict;
+    for (const auto* event : chain.events) {
+      const std::string node_as = as_of(ip2as, event->node_addr);
+      os << "  " << format_time(event->time) << "  seq " << event->key.seq << "  "
+         << to_string(event->type) << " @ " << event->node;
+      if (!node_as.empty()) os << " (" << node_as << ")";
+      os << " [" << to_string(event->layer) << "]";
+      if (!event->detail.empty()) os << "  " << event->detail;
+
+      switch (event->type) {
+        case obs::SpanEvent::EcnRewritten: {
+          std::string hop = event->node;
+          if (!last_node_as.empty() && !node_as.empty() && last_node_as != node_as) {
+            hop += " (AS boundary " + last_node_as + " -> " + node_as + ")";
+            os << "  <-- AS boundary " << last_node_as << " -> " << node_as;
+          } else if (!node_as.empty()) {
+            hop += " (" + node_as + ")";
+          }
+          bleach_hops.insert(hop);
+          verdict = "ECN rewritten at " + hop + " (" + event->detail + ")";
+          break;
+        }
+        case obs::SpanEvent::PolicyDrop:
+          ++drop_causes[event->detail];
+          verdict = "dropped at " + event->node +
+                    (node_as.empty() ? "" : " (" + node_as + ")") + ": " + event->detail;
+          break;
+        case obs::SpanEvent::Timeout:
+          ++timeouts;
+          if (verdict.empty()) verdict = "timed out (" + event->detail + ")";
+          break;
+        case obs::SpanEvent::ReplyReceived:
+          ++replies;
+          verdict = "reply received, " + event->detail;
+          break;
+        default:
+          break;
+      }
+      if (!node_as.empty()) last_node_as = node_as;
+      os << "\n";
+    }
+    if (!verdict.empty()) os << "  verdict: " << verdict << "\n";
+  }
+
+  if (probes_shown == 0) {
+    os << "\nno recorded probes match";
+    if (!request.server.empty()) os << " server " << request.server;
+    os << " (recording disabled, or the trace was replayed from a journal)\n";
+  }
+
+  os << "\nsummary: " << probes_shown << " probes, " << replies << " replies, "
+     << timeouts << " timeouts\n";
+  if (!bleach_hops.empty()) {
+    os << "  ECN rewritten at:";
+    for (const auto& hop : bleach_hops) os << " " << hop << ";";
+    os << "\n";
+  }
+  if (!drop_causes.empty()) {
+    os << "  drops:";
+    for (const auto& [cause, n] : drop_causes) os << " " << cause << "=" << n;
+    os << "\n";
+  }
+  const auto quarantined = ledger.drops_for_cause("trace-quarantined");
+  if (quarantined > 0) {
+    os << "  trace quarantined by the campaign executor (" << quarantined
+       << " attribution record)\n";
+  }
+  return os.str();
+}
+
+}  // namespace ecnprobe::analysis

@@ -24,7 +24,15 @@ ParallelCampaign::ParallelCampaign(ShardFactory factory, Options options)
 
 void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& schedule,
                                int index, std::vector<std::unique_ptr<Trace>>& slots,
-                               std::vector<obs::ObsSnapshot>& metric_slots) {
+                               std::vector<obs::ObsSnapshot>& metric_slots,
+                               std::vector<std::vector<obs::FlightEvent>>& event_slots) {
+  if (slots[static_cast<std::size_t>(index)]) {
+    // A filled slot means this trace was already replayed from the journal;
+    // running it again would merge its metrics delta twice.
+    throw std::logic_error(
+        "ParallelCampaign::run_one: trace " + std::to_string(index) +
+        " already has a result (journal replay raced a live claim?)");
+  }
   const auto& planned = schedule[static_cast<std::size_t>(index)];
   auto* in_flight =
       runtime_.gauge("campaign_in_flight", {{"vantage", planned.vantage}},
@@ -53,6 +61,7 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
     // (TIME_WAIT timers, late responses) land in this trace's delta -- the
     // same attribution the sequential campaign's epoch boundaries produce.
     metric_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_metrics();
+    event_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_events();
     if (journal_ != nullptr) {
       // Write-ahead: the trace is durable before it counts as complete.
       std::lock_guard<std::mutex> lock(journal_mutex_);
@@ -72,6 +81,7 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
     // -- so the failed trace shows up in the report, not as a silent hole.
     worker.shard->quarantine_trace(planned.vantage, planned.batch, index);
     metric_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_metrics();
+    event_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_events();
     runtime_.counter("campaign_failed_total", {{"vantage", planned.vantage}},
                      "traces that threw, per vantage")->inc();
     std::lock_guard<std::mutex> lock(failures_mutex_);
@@ -115,9 +125,11 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
   completed_.store(0, std::memory_order_relaxed);
   total_.store(static_cast<int>(schedule.size()), std::memory_order_relaxed);
   merged_metrics_ = {};
+  flight_events_.clear();
 
   std::vector<std::unique_ptr<Trace>> slots(schedule.size());
   std::vector<obs::ObsSnapshot> metric_slots(schedule.size());
+  std::vector<std::vector<obs::FlightEvent>> event_slots(schedule.size());
   if (journal_ != nullptr) {
     // Checkpoint replay: journaled traces prefill their slots and count as
     // completed; the claim loop below skips them.
@@ -168,7 +180,8 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
             break;
           }
           const auto started = std::chrono::steady_clock::now();
-          run_one(worker, schedule, static_cast<int>(index), slots, metric_slots);
+          run_one(worker, schedule, static_cast<int>(index), slots, metric_slots,
+                  event_slots);
           const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - started);
           worker.busy_micros->inc(static_cast<std::uint64_t>(elapsed.count()));
@@ -193,6 +206,13 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
   }
   for (const auto& delta : metric_slots) {
     merged_metrics_.merge(delta);
+  }
+  // Flight events concatenate in plan order too: within a trace the shard
+  // recorded them in sim-event order, across traces plan order matches the
+  // sequential executor's commit order -- hence byte-identical exports.
+  for (auto& events : event_slots) {
+    flight_events_.insert(flight_events_.end(), std::make_move_iterator(events.begin()),
+                          std::make_move_iterator(events.end()));
   }
   return merged;
 }

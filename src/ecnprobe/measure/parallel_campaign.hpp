@@ -58,6 +58,12 @@ public:
   /// track metrics return an empty snapshot.
   virtual obs::ObsSnapshot collect_trace_metrics() { return {}; }
 
+  /// Flight-recorder events for the trace that just finished -- everything
+  /// the shard's recorder captured since the last begin_trace(). Same
+  /// quiescence contract as collect_trace_metrics(). Shards without a
+  /// recorder return an empty vector.
+  virtual std::vector<obs::FlightEvent> collect_trace_events() { return {}; }
+
   /// A trace on this shard threw: attribute the loss (drop ledger) before
   /// the executor collects the partial delta. Default: no attribution.
   virtual void quarantine_trace(const std::string& vantage, int batch, int index) {
@@ -126,6 +132,12 @@ public:
   /// regardless of worker count. Valid after run() returns.
   const obs::ObsSnapshot& metrics() const { return merged_metrics_; }
 
+  /// Flight-recorder events merged from the per-trace shard slices in plan
+  /// order -- byte-identical to the sequential World's campaign_flights()
+  /// regardless of worker count. Empty unless the shards armed their
+  /// recorders. Valid after run() returns.
+  const std::vector<obs::FlightEvent>& flight_events() const { return flight_events_; }
+
   /// Executor-runtime metrics (worker utilization, in-flight gauges).
   /// Timing-dependent, hence deliberately separate from the deterministic
   /// campaign metrics().
@@ -135,7 +147,8 @@ private:
   struct Worker;
   void run_one(Worker& worker, const std::vector<PlannedTrace>& schedule, int index,
                std::vector<std::unique_ptr<Trace>>& slots,
-               std::vector<obs::ObsSnapshot>& metric_slots);
+               std::vector<obs::ObsSnapshot>& metric_slots,
+               std::vector<std::vector<obs::FlightEvent>>& event_slots);
 
   ShardFactory factory_;
   Options options_;
@@ -148,6 +161,7 @@ private:
   std::atomic<int> completed_{0};
   std::atomic<int> total_{0};
   obs::ObsSnapshot merged_metrics_;
+  std::vector<obs::FlightEvent> flight_events_;
   obs::MetricsRegistry runtime_;
 };
 

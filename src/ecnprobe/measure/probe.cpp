@@ -15,11 +15,22 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
   ProbeOptions options;
   std::function<void(const ServerResult&)> handler;
   ServerResult result;
+  int span_base = 0;  ///< flight-recorder probe index of step 0
 
   ServerProbe(Vantage& v, wire::Ipv4Address s, ProbeOptions o,
-              std::function<void(const ServerResult&)> cb)
-      : vantage(v), server(s), options(o), handler(std::move(cb)) {
+              std::function<void(const ServerResult&)> cb, int base)
+      : vantage(v), server(s), options(o), handler(std::move(cb)), span_base(base) {
     result.server = s;
+  }
+
+  /// Stamps the flight-recorder span context for probe step `step`
+  /// (0 udp-plain, 1 udp-ect0, 2 tcp-plain, 3 tcp-ecn). Clients bump seq
+  /// per attempt; the reset here keys the step's first packet at seq 0.
+  void set_span(int step) {
+    auto& recorder = vantage.host().network().obs().recorder;
+    if (!recorder.armed()) return;
+    recorder.set_probe(span_base + step);
+    recorder.set_seq(0);
   }
 
   ntp::NtpQueryOptions udp_options(wire::Ecn ecn) const {
@@ -77,12 +88,20 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
     if (!r.connected) {
       o.ledger.record_drop(obs::Layer::Measure, obs::DropCause::ProbeTimeout,
                            server.to_string());
+      if (o.recorder.armed()) {
+        // The TCP stack records each SYN flight; the probe-level give-up is
+        // keyed by context (no packet to hang it on).
+        o.recorder.record_here(obs::SpanEvent::Timeout,
+                               vantage.host().network().sim().now(), obs::Layer::Measure,
+                               vantage.name(), 0, std::string("test=") + test);
+      }
     }
   }
 
   void start() {
     auto self = shared_from_this();
     // Step 1: NTP request in a not-ECT marked UDP packet.
+    set_span(0);
     vantage.ntp().query(server, udp_options(wire::Ecn::NotEct),
                         [self](const ntp::NtpQueryResult& r) {
                           self->record_udp("udp-plain", r);
@@ -94,6 +113,7 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
   void step_udp_ect() {
     auto self = shared_from_this();
     // Step 2: the same request in an ECT(0) marked packet.
+    set_span(1);
     vantage.ntp().query(server, udp_options(wire::Ecn::Ect0),
                         [self](const ntp::NtpQueryResult& r) {
                           self->record_udp("udp-ect0", r);
@@ -105,6 +125,7 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
   void step_tcp_plain() {
     auto self = shared_from_this();
     // Step 3: HTTP GET without attempting to negotiate ECN.
+    set_span(2);
     vantage.http().get(server, /*want_ecn=*/false,
                        [self](const http::HttpGetResult& r) {
                          self->record_tcp("tcp-plain", r);
@@ -117,6 +138,7 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
   void step_tcp_ecn() {
     auto self = shared_from_this();
     // Step 4: HTTP GET with an ECN-setup SYN.
+    set_span(3);
     vantage.http().get(server, /*want_ecn=*/true,
                        [self](const http::HttpGetResult& r) {
                          self->record_tcp("tcp-ecn", r);
@@ -133,8 +155,9 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
 }  // namespace
 
 void probe_server(Vantage& vantage, wire::Ipv4Address server, const ProbeOptions& options,
-                  std::function<void(const ServerResult&)> handler) {
-  std::make_shared<ServerProbe>(vantage, server, options, std::move(handler))->start();
+                  std::function<void(const ServerResult&)> handler, int span_base) {
+  std::make_shared<ServerProbe>(vantage, server, options, std::move(handler), span_base)
+      ->start();
 }
 
 TraceRunner::TraceRunner(Vantage& vantage, std::vector<wire::Ipv4Address> servers,
@@ -157,11 +180,15 @@ void TraceRunner::next_server() {
     if (handler_) handler_(std::move(trace_));
     return;
   }
+  const int span_base = static_cast<int>(cursor_) * 4;
   const auto server = servers_[cursor_++];
-  probe_server(vantage_, server, options_, [this](const ServerResult& result) {
-    trace_.servers.push_back(result);
-    next_server();
-  });
+  probe_server(
+      vantage_, server, options_,
+      [this](const ServerResult& result) {
+        trace_.servers.push_back(result);
+        next_server();
+      },
+      span_base);
 }
 
 TracerouteRunner::TracerouteRunner(Vantage& vantage,

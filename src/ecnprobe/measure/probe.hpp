@@ -20,9 +20,10 @@ struct ProbeOptions {
 };
 
 /// Probes one server all four ways; the handler fires once with the
-/// complete result.
+/// complete result. `span_base` seeds the flight-recorder probe index for
+/// this server's four steps (campaign convention: server index * 4 + step).
 void probe_server(Vantage& vantage, wire::Ipv4Address server, const ProbeOptions& options,
-                  std::function<void(const ServerResult&)> handler);
+                  std::function<void(const ServerResult&)> handler, int span_base = 0);
 
 /// Runs one complete trace: every server in turn, four probes each.
 class TraceRunner {

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "ecnprobe/util/log.hpp"
+#include "ecnprobe/util/strings.hpp"
 #include "ecnprobe/wire/udp.hpp"
 
 namespace ecnprobe::netsim {
@@ -38,8 +39,28 @@ std::shared_ptr<UdpSocket> Host::open_udp(std::uint16_t port) {
 }
 
 void Host::send_datagram(wire::Datagram dgram) {
+  // Consume a staged flight before the early-out below: a client that
+  // staged a send which never reaches the wire must not leak its pending
+  // state into the next unrelated send.
+  auto* recorder = net_ != nullptr ? &net_->obs().recorder : nullptr;
+  const auto pending =
+      recorder != nullptr && recorder->armed() ? recorder->take_pending() : std::nullopt;
   if (net_ == nullptr || net_->interface_count(id()) == 0) return;
   dgram.ip.identification = net_->next_ip_id();
+  if (pending) {
+    dgram.flight = pending->flight;
+    if (!pending->is_reply) {
+      recorder->set_flight_origin(pending->flight, id());
+      recorder->record(
+          dgram.flight,
+          pending->retransmit ? obs::SpanEvent::Retransmit : obs::SpanEvent::ProbeSent,
+          net_->sim().now(), obs::Layer::Host, name(), address().value(),
+          util::strf("dst=%s ecn=%s proto=%s", dgram.ip.dst.to_string().c_str(),
+                     std::string(wire::to_string(dgram.ip.ecn)).c_str(),
+                     std::string(wire::to_string(dgram.ip.protocol)).c_str()),
+          dgram.encode());
+    }
+  }
   ++stats_.sent;
   for (auto* capture : captures_) capture->record(net_->sim().now(), Direction::Tx, dgram);
   net_->transmit(id(), 0, std::move(dgram));
@@ -60,6 +81,19 @@ void Host::remove_capture(PacketCapture* capture) {
 void Host::on_receive(wire::Datagram dgram, int /*ingress_if*/) {
   for (auto* capture : captures_) capture->record(net_->sim().now(), Direction::Rx, dgram);
   if (dgram.ip.dst != address()) return;  // not ours; hosts do not forward
+
+  // A tracked packet coming home: replies inherit the request's flight id,
+  // and the origin gate keeps the request's arrival at the *server* from
+  // masquerading as a reply.
+  auto& recorder = net_->obs().recorder;
+  if (recorder.armed() && dgram.flight != 0 && recorder.flight_origin_is(dgram.flight, id())) {
+    recorder.record(dgram.flight, obs::SpanEvent::ReplyReceived, net_->sim().now(),
+                    obs::Layer::Host, name(), address().value(),
+                    util::strf("src=%s ecn=%s proto=%s", dgram.ip.src.to_string().c_str(),
+                               std::string(wire::to_string(dgram.ip.ecn)).c_str(),
+                               std::string(wire::to_string(dgram.ip.protocol)).c_str()),
+                    dgram.encode());
+  }
 
   if (dgram.ip.protocol == wire::IpProto::Udp) {
     deliver_udp(dgram);
@@ -95,6 +129,7 @@ void Host::deliver_udp(const wire::Datagram& dgram) {
   delivery.dst_port = segment->header.dst_port;
   delivery.payload.assign(segment->payload.begin(), segment->payload.end());
   delivery.ecn = dgram.ip.ecn;
+  delivery.flight = dgram.flight;
   it->second->handler_(delivery);
 }
 

@@ -28,6 +28,7 @@ struct UdpDelivery {
   std::uint16_t dst_port = 0;
   std::vector<std::uint8_t> payload;
   wire::Ecn ecn = wire::Ecn::NotEct;
+  std::uint32_t flight = 0;  ///< flight-recorder id of the carrying datagram
 };
 
 class Host;

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "ecnprobe/util/log.hpp"
+#include "ecnprobe/util/strings.hpp"
 
 namespace ecnprobe::netsim {
 
@@ -34,6 +35,27 @@ void Network::set_observability(obs::Observability* obs) {
 namespace {
 obs::RewriteCause rewrite_cause_for(wire::Ecn after) {
   return after == wire::Ecn::Ce ? obs::RewriteCause::CeMarked : obs::RewriteCause::Bleached;
+}
+
+/// Flight-recorder taps for the datapath. Each is a no-op unless the
+/// recorder is armed AND the datagram carries a flight stamp, so the
+/// common case costs one bool test.
+void record_flight_drop(obs::FlightRecorder& rec, Simulator& sim, const Node& node,
+                        obs::Layer layer, const wire::Datagram& dgram,
+                        std::string detail) {
+  if (!rec.armed() || dgram.flight == 0) return;
+  rec.record(dgram.flight, obs::SpanEvent::PolicyDrop, sim.now(), layer, node.name(),
+             node.address().value(), std::move(detail), dgram.encode());
+}
+
+void record_flight_rewrite(obs::FlightRecorder& rec, Simulator& sim, const Node& node,
+                           const wire::Datagram& dgram, wire::Ecn before) {
+  if (!rec.armed() || dgram.flight == 0) return;
+  rec.record(dgram.flight, obs::SpanEvent::EcnRewritten, sim.now(), obs::Layer::Policy,
+             node.name(), node.address().value(),
+             util::strf("%s->%s", std::string(wire::to_string(before)).c_str(),
+                        std::string(wire::to_string(dgram.ip.ecn)).c_str()),
+             dgram.encode());
 }
 }  // namespace
 
@@ -120,6 +142,8 @@ void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
     ++stats_.dropped_link_down;
     obs_->ledger.record_drop(obs::Layer::Link, obs::DropCause::LinkDown,
                              nodes_[from]->name());
+    record_flight_drop(obs_->recorder, sim_, *nodes_[from], obs::Layer::Link, dgram,
+                       "link-down");
     return;
   }
   SimDuration policy_delay;
@@ -130,11 +154,14 @@ void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
       ++stats_.dropped_policy;
       obs_->ledger.record_drop(obs::Layer::Policy, policy->drop_cause(),
                                nodes_[from]->name());
+      record_flight_drop(obs_->recorder, sim_, *nodes_[from], obs::Layer::Policy, dgram,
+                         std::string(to_string(policy->drop_cause())));
       return;
     }
     if (dgram.ip.ecn != before) {
       obs_->ledger.record_rewrite(obs::Layer::Policy, rewrite_cause_for(dgram.ip.ecn),
                                   nodes_[from]->name());
+      record_flight_rewrite(obs_->recorder, sim_, *nodes_[from], dgram, before);
     }
     policy_delay += policy->take_extra_delay();  // queuing policies
     duplicate = policy->take_duplicate() || duplicate;
@@ -143,6 +170,8 @@ void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
     ++stats_.dropped_loss;
     obs_->ledger.record_drop(obs::Layer::Link, obs::DropCause::LinkLoss,
                              nodes_[from]->name());
+    record_flight_drop(obs_->recorder, sim_, *nodes_[from], obs::Layer::Link, dgram,
+                       "link-loss");
     return;
   }
   auto link_delay = [&]() {
@@ -165,11 +194,14 @@ void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
           ++stats_.dropped_policy;
           obs_->ledger.record_drop(obs::Layer::Policy, policy->drop_cause(),
                                    nodes_[to]->name());
+          record_flight_drop(obs_->recorder, sim_, *nodes_[to], obs::Layer::Policy, d,
+                             std::string(to_string(policy->drop_cause())));
           return;
         }
         if (d.ip.ecn != before) {
           obs_->ledger.record_rewrite(obs::Layer::Policy, rewrite_cause_for(d.ip.ecn),
                                       nodes_[to]->name());
+          record_flight_rewrite(obs_->recorder, sim_, *nodes_[to], d, before);
         }
       }
       ++stats_.delivered;

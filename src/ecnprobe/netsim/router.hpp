@@ -36,7 +36,7 @@ public:
   const Stats& stats() const { return stats_; }
 
 private:
-  void send_icmp(wire::Datagram&& icmp);
+  void send_icmp(wire::Datagram&& icmp, const char* kind);
 
   Params params_;
   util::Rng rng_;

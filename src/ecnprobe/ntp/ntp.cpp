@@ -2,6 +2,7 @@
 
 #include "ecnprobe/obs/ledger.hpp"
 #include "ecnprobe/util/log.hpp"
+#include "ecnprobe/util/strings.hpp"
 
 namespace ecnprobe::ntp {
 
@@ -18,6 +19,7 @@ struct NtpClient::Pending : std::enable_shared_from_this<NtpClient::Pending> {
   util::SimTime last_send;
   int attempts = 0;
   bool done = false;
+  std::uint32_t last_flight = 0;  ///< flight id of the latest attempt
 
   Pending(netsim::Host& h, SimClock c, wire::Ipv4Address s, NtpQueryOptions o, Handler cb)
       : host(h), clock(c), server(s), options(o), handler(std::move(cb)) {}
@@ -37,6 +39,11 @@ struct NtpClient::Pending : std::enable_shared_from_this<NtpClient::Pending> {
     // attempt that elicited them.
     request = wire::NtpPacket::make_client_request(clock.at(last_send));
     const auto bytes = request.encode();
+    auto& recorder = host.network().obs().recorder;
+    if (recorder.armed()) {
+      recorder.set_seq(attempts - 1);
+      last_flight = recorder.begin_flight(/*retransmit=*/attempts > 1);
+    }
     socket->send(server, wire::kNtpPort, bytes, options.ecn, options.ttl);
     auto self = shared_from_this();
     timer = host.network().sim().schedule(options.timeout, [self]() { self->on_timeout(); });
@@ -62,6 +69,12 @@ struct NtpClient::Pending : std::enable_shared_from_this<NtpClient::Pending> {
     if (done) return;
     if (attempts >= options.max_attempts) {
       done = true;
+      auto& recorder = host.network().obs().recorder;
+      if (recorder.armed()) {
+        recorder.record(last_flight, obs::SpanEvent::Timeout, host.network().sim().now(),
+                        obs::Layer::App, host.name(), host.address().value(),
+                        util::strf("after %d attempts", attempts));
+      }
       NtpQueryResult result;
       result.success = false;
       result.attempts = attempts;
@@ -120,6 +133,10 @@ NtpServerService::NtpServerService(netsim::Host& host, SimClock clock, Params pa
     const auto response_ecn =
         params_.reflect_ecn && wire::is_ect(delivery.ecn) ? delivery.ecn
                                                           : wire::Ecn::NotEct;
+    // The response inherits the request's flight: the return path is part
+    // of the same probe's story.
+    auto& recorder = host_.network().obs().recorder;
+    if (recorder.armed() && delivery.flight != 0) recorder.stage_reply(delivery.flight);
     socket_->send(delivery.src, delivery.src_port, bytes, response_ecn);
     ++stats_.responses;
   });

@@ -18,17 +18,25 @@ namespace ecnprobe::ntp {
 /// campaign at its real-world date (April 2015) so timestamps are plausible.
 class SimClock {
 public:
-  /// `unix_base_seconds`: wall-clock time at simulation t=0.
-  explicit SimClock(std::int64_t unix_base_seconds = 1'428'883'200  // 2015-04-13
-                    )
-      : base_ns_(unix_base_seconds * 1'000'000'000) {}
+  /// `unix_base_seconds`: wall-clock time at simulation t=0. When
+  /// `epoch_origin_ns` is given it points at an externally updated sim-time
+  /// origin (World resets it at each trace-epoch boundary): wall time is
+  /// then measured from the origin, not from t=0. That keeps the NTP
+  /// timestamps baked into wire bytes a pure function of the trace -- the
+  /// absolute sim clock depends on which traces an executor ran earlier, and
+  /// would otherwise leak execution history into recorded packets.
+  explicit SimClock(std::int64_t unix_base_seconds = 1'428'883'200,  // 2015-04-13
+                    const std::int64_t* epoch_origin_ns = nullptr)
+      : base_ns_(unix_base_seconds * 1'000'000'000), epoch_origin_ns_(epoch_origin_ns) {}
 
   wire::NtpTimestamp at(util::SimTime t) const {
-    return wire::NtpTimestamp::from_unix_nanos(base_ns_ + t.count_nanos());
+    const std::int64_t origin = epoch_origin_ns_ != nullptr ? *epoch_origin_ns_ : 0;
+    return wire::NtpTimestamp::from_unix_nanos(base_ns_ + t.count_nanos() - origin);
   }
 
 private:
   std::int64_t base_ns_;
+  const std::int64_t* epoch_origin_ns_ = nullptr;
 };
 
 struct NtpQueryOptions {

@@ -52,6 +52,24 @@ std::string labels_to_json(const LabelSet& labels) {
   return out + "}";
 }
 
+/// Prometheus text-format label values escape backslash, double quote and
+/// newline (and nothing else); node names flow into label values verbatim,
+/// so a hostile name must not be able to break out of the quoted string or
+/// smuggle an extra sample line into the exposition.
+std::string prometheus_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 /// {cause="greylist",layer="policy"} -- keys already sorted by LabelSet.
 std::string labels_to_prometheus(const LabelSet& labels, const std::string& extra_key = "",
                                  const std::string& extra_value = "") {
@@ -61,11 +79,11 @@ std::string labels_to_prometheus(const LabelSet& labels, const std::string& extr
   for (const auto& [key, value] : labels) {
     if (!first) out += ",";
     first = false;
-    out += key + "=\"" + value + "\"";
+    out += key + "=\"" + prometheus_escape(value) + "\"";
   }
   if (!extra_key.empty()) {
     if (!first) out += ",";
-    out += extra_key + "=\"" + extra_value + "\"";
+    out += extra_key + "=\"" + prometheus_escape(extra_value) + "\"";
   }
   return out + "}";
 }

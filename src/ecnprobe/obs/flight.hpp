@@ -1,0 +1,184 @@
+// The flight recorder: a bounded ring-buffer sink for per-packet span
+// events. Where the drop ledger answers "how many packets died of what",
+// the recorder answers "what happened to *this* probe": every instrumented
+// packet carries a flight id, and each layer it traverses appends an event
+// -- sent, forwarded at a hop, ECN-rewritten, dropped by a policy, quoted
+// into an ICMP error, delivered back, timed out -- keyed by
+// {trace, probe, seq} with the sim-clock timestamp and the full wire bytes
+// at that point in the path.
+//
+// Single-threaded by design, like the ledger: one recorder per world, one
+// world per thread. Parallel campaign workers each record into their own
+// world's recorder; per-trace slices are collected at the trace's
+// quiescence barrier and merged in plan order, so the combined event
+// stream is byte-identical to a sequential run at any worker count.
+//
+// Disabled (the default) the recorder is a single bool test on the hot
+// path: no allocation, no encoding, no RNG interaction. Recording is
+// observation-only either way -- it makes no RNG draws -- so arming it
+// cannot perturb simulation outcomes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ecnprobe/obs/layer.hpp"
+#include "ecnprobe/util/time.hpp"
+
+namespace ecnprobe::obs {
+
+/// What happened to the packet (or the probe waiting for it).
+enum class SpanEvent : std::uint8_t {
+  ProbeSent,     ///< instrumented probe left its origin host
+  HopForward,    ///< a router forwarded it (TTL already decremented)
+  EcnRewritten,  ///< a middlebox changed the ECN codepoint in flight
+  PolicyDrop,    ///< discarded: policy verdict, link loss/down, TTL, filter
+  IcmpGenerated, ///< a router generated an ICMP error quoting it
+  ReplyReceived, ///< a flight-stamped packet arrived back at its origin
+  Timeout,       ///< the probe gave up waiting
+  Retransmit,    ///< a retry left the origin host
+};
+inline constexpr std::size_t kSpanEventCount = 8;
+
+std::string_view to_string(SpanEvent event);
+
+/// The span a packet belongs to: which campaign trace, which probe within
+/// the trace (campaign: server index * 4 + step; traceroute: the TTL), and
+/// which attempt of that probe.
+struct SpanKey {
+  int trace = -1;
+  int probe = -1;
+  int seq = 0;
+
+  bool operator==(const SpanKey&) const = default;
+};
+
+/// One recorded span event. Plain data; deterministic given the world seed.
+struct FlightEvent {
+  SpanKey key;
+  SpanEvent type = SpanEvent::ProbeSent;
+  util::SimTime time;
+  Layer layer = Layer::Measure;
+  std::string node;                ///< emitting node name
+  std::uint32_t node_addr = 0;     ///< emitting node address (0 if none)
+  std::string detail;              ///< cause / codepoints / outcome text
+  std::vector<std::uint8_t> wire;  ///< full wire bytes (empty for timeouts)
+
+  bool operator==(const FlightEvent&) const = default;
+};
+
+class FlightRecorder {
+public:
+  /// Enables recording with the given ring capacity (events). When the
+  /// ring is full the oldest event is evicted -- the end of a packet's
+  /// story (the drop, the timeout) survives overflow, and the campaign
+  /// executors drain the ring every trace so overflow is rare in practice.
+  void arm(std::size_t capacity);
+  void disarm();
+
+  /// The hot-path guard: every datapath call site tests this one bool
+  /// before touching the recorder, so a disarmed recorder costs a single
+  /// predictable branch per packet.
+  bool armed() const { return armed_; }
+
+  // -- span context ---------------------------------------------------------
+  // The measure layer sets trace/probe; clients set seq per attempt. The
+  // context is captured into the flight table at begin_flight() time.
+
+  /// Starts a trace epoch: stamps subsequent flights with `trace` and
+  /// clears the flight table (a quiescent simulator has no packets in
+  /// flight across a trace boundary) so flight ids restart from 1 -- which
+  /// keeps every worker's per-trace id sequence identical. `epoch_base` is
+  /// the sim clock at the epoch boundary: recorded timestamps are relative
+  /// to it, because the absolute clock depends on which traces an executor
+  /// ran before this one (a parallel shard only ages by its own share) and
+  /// would break byte-identical sequential-vs-sharded recordings.
+  void set_trace(int trace, util::SimTime epoch_base = util::SimTime::zero());
+  void set_probe(int probe) { probe_ = probe; }
+  void set_seq(int seq) { seq_ = seq; }
+  SpanKey context() const { return {trace_, probe_, seq_}; }
+
+  // -- flight lifecycle -----------------------------------------------------
+
+  /// Allocates a flight id bound to the current context and stages it for
+  /// the next Host::send_datagram on this world, which stamps the datagram
+  /// and records the ProbeSent/Retransmit event with the final wire bytes
+  /// (IP id included). Returns the id so clients can key timeout events.
+  std::uint32_t begin_flight(bool retransmit);
+
+  /// Stages an existing flight id for the next send *without* a send
+  /// event: server replies inherit the request's flight so the return path
+  /// (hops, rewrites, drops) is attributed to the same span.
+  void stage_reply(std::uint32_t flight);
+
+  struct PendingSend {
+    std::uint32_t flight = 0;
+    bool retransmit = false;
+    bool is_reply = false;
+  };
+  /// Consumes the staged send, if any. Called by Host::send_datagram.
+  std::optional<PendingSend> take_pending();
+
+  /// Marks `node` as the flight's origin; ReplyReceived fires only when a
+  /// stamped packet arrives back *there* (not at the probed server).
+  void set_flight_origin(std::uint32_t flight, std::uint32_t node_id);
+  bool flight_origin_is(std::uint32_t flight, std::uint32_t node_id) const;
+
+  // -- event sink -----------------------------------------------------------
+
+  /// Records an event against a stamped packet; resolves the span key from
+  /// the flight table. No-op when disarmed, unstamped (flight 0), or the
+  /// flight is unknown (a straggler from before the last trace boundary).
+  void record(std::uint32_t flight, SpanEvent type, util::SimTime time, Layer layer,
+              std::string_view node, std::uint32_t node_addr, std::string detail,
+              std::vector<std::uint8_t> wire = {});
+
+  /// Records an event keyed by the current context -- for probe-level
+  /// outcomes (timeouts) that have no packet to hang the event on.
+  void record_here(SpanEvent type, util::SimTime time, Layer layer,
+                   std::string_view node, std::uint32_t node_addr, std::string detail);
+
+  // -- per-trace slicing ----------------------------------------------------
+
+  /// Monotonic position in the event stream (survives ring eviction).
+  /// World::mark_obs_baseline stores it; collect_since slices from it.
+  std::size_t cursor() const { return base_ + ring_.size(); }
+
+  /// Events recorded since `mark`, oldest first. Events evicted by ring
+  /// overflow are gone; dropped_events() says how many, ever.
+  std::vector<FlightEvent> collect_since(std::size_t mark) const;
+
+  /// Events evicted by ring overflow since arm().
+  std::uint64_t dropped_events() const { return dropped_; }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return ring_.size(); }
+
+private:
+  struct FlightEntry {
+    SpanKey key;
+    std::uint32_t origin_node = 0xffffffff;
+  };
+
+  void push(FlightEvent event);
+
+  bool armed_ = false;
+  std::size_t capacity_ = 0;
+  int trace_ = -1;
+  int probe_ = -1;
+  int seq_ = 0;
+  std::uint32_t next_flight_ = 1;
+  util::SimTime epoch_base_;  ///< recorded times are offsets from this
+  std::map<std::uint32_t, FlightEntry> flights_;
+  std::optional<PendingSend> pending_;
+  std::deque<FlightEvent> ring_;
+  std::size_t base_ = 0;  ///< global index of ring_.front()
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace ecnprobe::obs

@@ -21,20 +21,11 @@
 #include <string_view>
 #include <vector>
 
+#include "ecnprobe/obs/flight.hpp"
+#include "ecnprobe/obs/layer.hpp"
 #include "ecnprobe/obs/metrics.hpp"
 
 namespace ecnprobe::obs {
-
-/// Which layer of the stack dropped (or rewrote) the packet.
-enum class Layer : std::uint8_t {
-  Link,       ///< physical link: random loss, interface down
-  Policy,     ///< a PacketPolicy verdict on some interface
-  Router,     ///< routing: TTL expiry, no route
-  Host,       ///< end-host delivery: no socket, bad checksum
-  App,        ///< application service: offline, rate limiting
-  Measure,    ///< the measurement harness: probe gave up
-};
-inline constexpr std::size_t kLayerCount = 6;
 
 /// Why the packet died (or was rewritten).
 enum class DropCause : std::uint8_t {
@@ -75,7 +66,6 @@ enum class RewriteCause : std::uint8_t {
 };
 inline constexpr std::size_t kRewriteCauseCount = 2;
 
-std::string_view to_string(Layer layer);
 std::string_view to_string(DropCause cause);
 std::string_view to_string(RewriteCause cause);
 
@@ -137,10 +127,11 @@ private:
   std::array<std::array<Counter*, kRewriteCauseCount>, kLayerCount> rewrite_counters_{};
 };
 
-/// The bundle the simulator layers see: one registry plus one ledger.
-/// Network/World wire a world-private instance through the datapath; code
-/// running outside a world (unit tests poking a bare Network) falls back
-/// to the process-wide instance.
+/// The bundle the simulator layers see: one registry, one ledger, one
+/// flight recorder. Network/World wire a world-private instance through
+/// the datapath; code running outside a world (unit tests poking a bare
+/// Network) falls back to the process-wide instance. The recorder ships
+/// disarmed: until World arms it, every datapath touch is one bool test.
 struct Observability {
   Observability() : ledger(&registry) {}
   Observability(const Observability&) = delete;
@@ -150,6 +141,7 @@ struct Observability {
 
   MetricsRegistry registry;
   DropLedger ledger;
+  FlightRecorder recorder;
 };
 
 /// Everything one campaign produced: the metrics delta plus the ledger

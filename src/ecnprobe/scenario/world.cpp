@@ -126,12 +126,17 @@ WorldParams WorldParams::scaled(double factor) const {
 }
 
 World::World(WorldParams params)
-    : params_(std::move(params)), rng_(params_.seed), clock_() {
+    : params_(std::move(params)),
+      rng_(params_.seed),
+      clock_(1'428'883'200, &clock_epoch_origin_ns_) {
   internet_ = topology::Internet::build(sim_, params_.topology, rng_.fork("topology"));
   // Rebind the network's attribution from the process-wide default to this
   // world's private Observability before any host or policy exists, so
   // every packet this world ever moves is accounted here and nowhere else.
   net().set_observability(&obs_);
+  if (params_.flight_recorder_capacity > 0) {
+    obs_.recorder.arm(params_.flight_recorder_capacity);
+  }
   sim_.set_metrics(
       obs_.registry.counter("sim_events_total", {}, "simulator events fired"),
       obs_.registry.histogram("sim_event_lag_ms",
@@ -564,6 +569,8 @@ void World::begin_trace_epoch(const std::string& vantage, int batch, int index) 
   // trace-start counter just below -- lands in this trace's delta.
   mark_obs_baseline();
   obs_.ledger.set_trace(index);
+  obs_.recorder.set_trace(index, sim_.now());
+  clock_epoch_origin_ns_ = sim_.now().count_nanos();
   obs_.registry.counter("campaign_traces_total", {{"vantage", vantage}},
                         "campaign traces started, per vantage")->inc();
   if (params_.faults.poisons(index)) {
@@ -586,6 +593,11 @@ void World::mark_obs_baseline() {
   obs_baseline_ = obs_.registry.snapshot();
   obs_drop_mark_ = obs_.ledger.drops().size();
   obs_rewrite_mark_ = obs_.ledger.rewrites().size();
+  obs_flight_mark_ = obs_.recorder.cursor();
+}
+
+std::vector<obs::FlightEvent> World::collect_flight_slice() const {
+  return obs_.recorder.collect_since(obs_flight_mark_);
 }
 
 obs::ObsSnapshot World::collect_obs_delta() const {
@@ -602,6 +614,14 @@ std::vector<measure::Trace> World::run_campaign(
   measure::Campaign campaign(vantage_map(), server_addresses(), options);
   if (after_trace) campaign.set_after_trace(std::move(after_trace));
   campaign_obs_ = {};
+  campaign_flights_.clear();
+  // Merge accounting: every trace's obs delta must enter campaign_obs_
+  // exactly once -- as a live commit, a journal replay, or a quarantine.
+  // The counters make a double merge (e.g. a replayed trace also firing
+  // the commit hook) a hard error instead of silently doubled metrics.
+  std::size_t live_merges = 0;
+  std::size_t replayed_merges = 0;
+  std::size_t quarantined_merges = 0;
   campaign.set_before_trace([this](const std::string& vantage, int batch, int index) {
     begin_trace_epoch(vantage, batch, index);
   });
@@ -611,29 +631,42 @@ std::vector<measure::Trace> World::run_campaign(
   // the parallel shards see when they collect after sim().run() goes idle.
   // Journalling here makes the checkpoint write-ahead: the trace is durable
   // before the next one starts.
-  campaign.set_commit([this, journal](const measure::Trace& trace) {
+  campaign.set_commit([this, journal, &live_merges](const measure::Trace& trace) {
     const auto delta = collect_obs_delta();
     if (journal != nullptr) journal->append(trace, delta);
     campaign_obs_.merge(delta);
+    auto slice = collect_flight_slice();
+    campaign_flights_.insert(campaign_flights_.end(),
+                             std::make_move_iterator(slice.begin()),
+                             std::make_move_iterator(slice.end()));
+    ++live_merges;
   });
   if (journal != nullptr) {
-    campaign.set_replay([this, journal](int index) -> std::optional<measure::Trace> {
-      const auto it = journal->entries().find(index);
-      if (it == journal->entries().end()) return std::nullopt;
-      // Replays happen in plan order, interleaved with live commits at the
-      // same position, so the merged campaign snapshot is byte-identical to
-      // an uninterrupted run's.
-      campaign_obs_.merge(it->second.delta);
-      return it->second.trace;
-    });
+    campaign.set_replay(
+        [this, journal, &replayed_merges](int index) -> std::optional<measure::Trace> {
+          const auto it = journal->entries().find(index);
+          if (it == journal->entries().end()) return std::nullopt;
+          // Replays happen in plan order, interleaved with live commits at
+          // the same position, so the merged campaign snapshot is
+          // byte-identical to an uninterrupted run's.
+          campaign_obs_.merge(it->second.delta);
+          ++replayed_merges;
+          return it->second.trace;
+        });
   }
-  campaign.set_quarantine([this](const std::string& vantage, int /*batch*/,
-                                 int /*index*/, const std::string& /*reason*/) {
+  campaign.set_quarantine([this, &quarantined_merges](const std::string& vantage,
+                                                      int /*batch*/, int /*index*/,
+                                                      const std::string& /*reason*/) {
     // The failed trace's partial delta -- including the quarantine
     // attribution recorded just now -- still lands in the campaign
     // snapshot: a thrown-away trace is reported, never silently absorbed.
     quarantine_trace(vantage);
     campaign_obs_.merge(collect_obs_delta());
+    auto slice = collect_flight_slice();
+    campaign_flights_.insert(campaign_flights_.end(),
+                             std::make_move_iterator(slice.begin()),
+                             std::make_move_iterator(slice.end()));
+    ++quarantined_merges;
   });
   const int crash_after = halt_after > 0 ? halt_after : params_.faults.crash_after_traces;
   if (crash_after > 0) campaign.set_halt_after(crash_after);
@@ -645,6 +678,14 @@ std::vector<measure::Trace> World::run_campaign(
   });
   sim_.run();
   if (!done) throw std::runtime_error("World::run_campaign: simulation stalled");
+  if (live_merges + replayed_merges != results.size() ||
+      quarantined_merges != campaign.failures().size()) {
+    throw std::logic_error(util::strf(
+        "World::run_campaign: obs merge accounting broken: %zu live + %zu replayed "
+        "merges for %zu results, %zu quarantine merges for %zu failures",
+        live_merges, replayed_merges, results.size(), quarantined_merges,
+        campaign.failures().size()));
+  }
   if (failures != nullptr) {
     failures->insert(failures->end(), campaign.failures().begin(),
                      campaign.failures().end());
@@ -717,7 +758,8 @@ std::vector<measure::Trace> run_parallel_campaign(
     const WorldParams& params, const measure::CampaignPlan& plan,
     const measure::ProbeOptions& options, int workers,
     std::vector<measure::ParallelCampaign::TraceFailure>* failures,
-    obs::ObsSnapshot* metrics_out, measure::CampaignJournal* journal, int halt_after) {
+    obs::ObsSnapshot* metrics_out, measure::CampaignJournal* journal, int halt_after,
+    std::vector<obs::FlightEvent>* events_out) {
   measure::ParallelCampaign::Options exec_options;
   exec_options.workers = workers;
   exec_options.probe = options;
@@ -731,6 +773,10 @@ std::vector<measure::Trace> run_parallel_campaign(
                      campaign.failures().end());
   }
   if (metrics_out != nullptr) *metrics_out = campaign.metrics();
+  if (events_out != nullptr) {
+    events_out->insert(events_out->end(), campaign.flight_events().begin(),
+                       campaign.flight_events().end());
+  }
   return traces;
 }
 

@@ -86,6 +86,13 @@ struct WorldParams {
   /// same failures at any worker count.
   chaos::FaultPlan faults;
 
+  // -- flight recorder ------------------------------------------------------
+  /// Ring capacity (events) for the per-world flight recorder; 0 leaves it
+  /// disarmed (the default -- recording then costs one bool test per
+  /// packet). Recording is observation-only: arming it cannot change any
+  /// simulation outcome, only what gets written about it.
+  std::size_t flight_recorder_capacity = 0;
+
   /// Paper-scale world (2500 servers, 400 stub ASes). The default.
   static WorldParams paper();
   /// Small world for unit/integration tests (fast to build and probe).
@@ -200,6 +207,18 @@ public:
   /// Byte-identical to ParallelCampaign::metrics() for the same plan.
   const obs::ObsSnapshot& campaign_obs() const { return campaign_obs_; }
 
+  /// Flight-recorder events since the last mark_obs_baseline() -- one
+  /// trace's worth when bracketed by epochs. Empty unless
+  /// params.flight_recorder_capacity armed the recorder.
+  std::vector<obs::FlightEvent> collect_flight_slice() const;
+  /// Flight-recorder events accumulated by the last run_campaign(),
+  /// per-trace slices concatenated in plan order. Byte-identical to
+  /// ParallelCampaign::flight_events() for the same plan at any worker
+  /// count. Replayed (journalled) traces contribute no events.
+  const std::vector<obs::FlightEvent>& campaign_flights() const {
+    return campaign_flights_;
+  }
+
   /// Runs `repetitions` ECN traceroutes from each vantage to every server.
   /// Begins its own epoch ("traceroute-epoch"), so the observations are a
   /// pure function of the world seed, independent of any campaign that ran
@@ -235,6 +254,9 @@ private:
   netsim::Simulator sim_;
   std::unique_ptr<topology::Internet> internet_;
   geo::GeoDatabase geodb_;
+  /// Sim-time origin of the current trace epoch; SimClock points at this so
+  /// NTP wall timestamps in wire bytes restart per trace (hermeticity).
+  std::int64_t clock_epoch_origin_ns_ = 0;
   ntp::SimClock clock_;
 
   std::vector<PoolServer> servers_;
@@ -256,7 +278,9 @@ private:
   obs::MetricsSnapshot obs_baseline_;
   std::size_t obs_drop_mark_ = 0;
   std::size_t obs_rewrite_mark_ = 0;
+  std::size_t obs_flight_mark_ = 0;
   obs::ObsSnapshot campaign_obs_;
+  std::vector<obs::FlightEvent> campaign_flights_;
 };
 
 /// measure::CampaignShard over a worker-private World built from `params`.
@@ -276,6 +300,9 @@ public:
   }
   obs::ObsSnapshot collect_trace_metrics() override {
     return world_.collect_obs_delta();
+  }
+  std::vector<obs::FlightEvent> collect_trace_events() override {
+    return world_.collect_flight_slice();
   }
   void quarantine_trace(const std::string& vantage, int batch, int index) override {
     (void)batch;
@@ -305,11 +332,15 @@ measure::ParallelCampaign::ShardFactory world_shard_factory(WorldParams params);
 /// replayed instead of re-run, live traces are checkpointed write-ahead,
 /// and `halt_after` > 0 simulates a crash after that many live traces
 /// (0 falls back to params.faults.crash_after_traces).
+/// With `events_out`, flight-recorder events (per-trace slices merged in
+/// plan order) are appended -- byte-identical to a sequential
+/// World::run_campaign with the same params.
 std::vector<measure::Trace> run_parallel_campaign(
     const WorldParams& params, const measure::CampaignPlan& plan,
     const measure::ProbeOptions& options = {}, int workers = 1,
     std::vector<measure::ParallelCampaign::TraceFailure>* failures = nullptr,
     obs::ObsSnapshot* metrics_out = nullptr,
-    measure::CampaignJournal* journal = nullptr, int halt_after = 0);
+    measure::CampaignJournal* journal = nullptr, int halt_after = 0,
+    std::vector<obs::FlightEvent>* events_out = nullptr);
 
 }  // namespace ecnprobe::scenario

@@ -118,6 +118,7 @@ void TcpConnection::start_accept(const wire::Datagram& dgram,
   iss_ = static_cast<std::uint32_t>(stack_.host().rng().next_u64());
   snd_una_ = iss_;
   snd_nxt_ = iss_;
+  peer_syn_flight_ = dgram.flight;
   // RFC 3168 6.1.1: the passive side agrees to ECN iff the SYN was an
   // ECN-setup SYN and this host is willing.
   ecn_ok_ = config_.ecn_enabled && syn.header.is_ecn_setup_syn();
@@ -206,6 +207,12 @@ void TcpConnection::send_syn(bool is_retransmit) {
     ++stats_.retransmissions;
     count_retransmission(stack_);
   }
+  // Each SYN (re)transmission is its own flight attempt within the probe.
+  auto& recorder = stack_.host().network().obs().recorder;
+  if (recorder.armed()) {
+    recorder.set_seq(static_cast<int>(stats_.retransmissions));
+    recorder.begin_flight(is_retransmit);
+  }
   const auto mss = wire::make_mss_option(static_cast<std::uint16_t>(config_.mss));
   send_segment(flags, iss_, {}, false, mss);
 }
@@ -219,6 +226,10 @@ void TcpConnection::send_syn_ack(bool is_retransmit) {
     ++stats_.retransmissions;
     count_retransmission(stack_);
   }
+  // The SYN-ACK rides the client SYN's flight: the return path belongs to
+  // the same probe span (a send event was already recorded for the SYN).
+  auto& recorder = stack_.host().network().obs().recorder;
+  if (recorder.armed() && peer_syn_flight_ != 0) recorder.stage_reply(peer_syn_flight_);
   const auto mss = wire::make_mss_option(static_cast<std::uint16_t>(config_.mss));
   send_segment(flags, iss_, {}, false, mss);
 }

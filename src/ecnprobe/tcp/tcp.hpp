@@ -168,6 +168,7 @@ private:
   bool fin_queued_ = false;
   bool fin_sent_ = false;
   std::uint32_t fin_seq_ = 0;
+  std::uint32_t peer_syn_flight_ = 0;  ///< flight id carried by the peer's SYN
 
   // Receive state.
   std::uint32_t irs_ = 0;

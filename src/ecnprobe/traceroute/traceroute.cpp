@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "ecnprobe/util/strings.hpp"
 #include "ecnprobe/wire/udp.hpp"
 
 namespace ecnprobe::traceroute {
@@ -21,6 +22,7 @@ struct Tracerouter::Trace {
   int attempt = 0;
   int silent_streak = 0;
   std::uint16_t probe_src_port = 0;  ///< port of the in-flight probe
+  std::uint32_t flight = 0;          ///< flight id of the in-flight probe
   netsim::EventHandle timer;
   bool done = false;
 };
@@ -55,6 +57,13 @@ void Tracerouter::send_probe(const std::shared_ptr<Trace>& trace) {
   const auto dst_port =
       static_cast<std::uint16_t>(trace->options.base_dst_port + trace->ttl);
   const std::uint8_t payload[8] = {'e', 'c', 'n', 'p', 'r', 'o', 'b', 'e'};
+  // Traceroute spans: probe = the TTL being probed, seq = the attempt.
+  auto& recorder = host_.network().obs().recorder;
+  if (recorder.armed()) {
+    recorder.set_probe(trace->ttl);
+    recorder.set_seq(trace->attempt - 1);
+    trace->flight = recorder.begin_flight(/*retransmit=*/trace->attempt > 1);
+  }
   host_.send_datagram(wire::make_udp_datagram(host_.address(), trace->destination,
                                               src_port, dst_port, payload,
                                               trace->options.ecn,
@@ -67,6 +76,12 @@ void Tracerouter::send_probe(const std::shared_ptr<Trace>& trace) {
     if (trace->attempt < trace->options.probes_per_hop) {
       send_probe(trace);
       return;
+    }
+    auto& rec = host_.network().obs().recorder;
+    if (rec.armed()) {
+      rec.record(trace->flight, obs::SpanEvent::Timeout, host_.network().sim().now(),
+                 obs::Layer::App, host_.name(), host_.address().value(),
+                 util::strf("ttl=%d silent after %d probes", trace->ttl, trace->attempt));
     }
     HopRecord hop;
     hop.ttl = trace->ttl;

@@ -20,6 +20,10 @@ struct Datagram {
   Ipv4Header ip;
   std::vector<std::uint8_t> payload;  ///< transport segment (UDP/TCP/ICMP bytes)
 
+  /// Flight-recorder correlation id. Simulation metadata only: never
+  /// serialised by encode(), left 0 by decode(). 0 means "not tracked".
+  std::uint32_t flight = 0;
+
   /// Full wire serialisation (header checksum recomputed).
   std::vector<std::uint8_t> encode() const;
 

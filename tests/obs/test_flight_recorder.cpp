@@ -1,0 +1,177 @@
+// FlightRecorder contract tests: arming/disarming, flight lifecycle
+// (begin_flight / stage_reply / take_pending / origin gating), the bounded
+// ring's drop-oldest overflow with eviction-stable cursors, epoch-relative
+// timestamps, and the pcapng / Chrome-trace exporters' framing.
+#include "ecnprobe/obs/flight.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "ecnprobe/obs/flight_export.hpp"
+
+namespace ecnprobe::obs {
+namespace {
+
+using util::SimTime;
+
+FlightEvent sample_event(int probe, SpanEvent type, std::vector<std::uint8_t> wire) {
+  FlightEvent event;
+  event.key = {3, probe, 0};
+  event.type = type;
+  event.time = SimTime::from_nanos(1'500'000'123);
+  event.layer = Layer::Host;
+  event.node = "vp-test";
+  event.node_addr = 0x0a000001;
+  event.detail = "dst=10.0.0.2";
+  event.wire = std::move(wire);
+  return event;
+}
+
+TEST(FlightRecorder, DisarmedIsInert) {
+  FlightRecorder recorder;
+  EXPECT_FALSE(recorder.armed());
+  EXPECT_EQ(recorder.begin_flight(false), 0u);
+  recorder.record(1, SpanEvent::ProbeSent, SimTime::zero(), Layer::Host, "n", 0, "d");
+  recorder.record_here(SpanEvent::Timeout, SimTime::zero(), Layer::App, "n", 0, "d");
+  EXPECT_EQ(recorder.size(), 0u);
+  EXPECT_FALSE(recorder.take_pending().has_value());
+}
+
+TEST(FlightRecorder, FlightLifecycleAndOriginGating) {
+  FlightRecorder recorder;
+  recorder.arm(64);
+  recorder.set_trace(7);
+  recorder.set_probe(2);
+  recorder.set_seq(1);
+
+  const auto flight = recorder.begin_flight(/*retransmit=*/true);
+  EXPECT_EQ(flight, 1u);
+  const auto pending = recorder.take_pending();
+  ASSERT_TRUE(pending.has_value());
+  EXPECT_EQ(pending->flight, flight);
+  EXPECT_TRUE(pending->retransmit);
+  EXPECT_FALSE(pending->is_reply);
+  EXPECT_FALSE(recorder.take_pending().has_value());  // consumed
+
+  recorder.set_flight_origin(flight, 42);
+  EXPECT_TRUE(recorder.flight_origin_is(flight, 42));
+  EXPECT_FALSE(recorder.flight_origin_is(flight, 43));
+  EXPECT_FALSE(recorder.flight_origin_is(999, 42));  // unknown flight
+
+  recorder.record(flight, SpanEvent::ProbeSent, SimTime::from_nanos(10), Layer::Host,
+                  "vp", 1, "detail", {0x45, 0x00});
+  const auto events = recorder.collect_since(0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].key, (SpanKey{7, 2, 1}));  // context captured at begin_flight
+  EXPECT_EQ(events[0].wire.size(), 2u);
+
+  // Replies inherit the request's flight and carry no retransmit flag.
+  recorder.stage_reply(flight);
+  const auto reply = recorder.take_pending();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->is_reply);
+  EXPECT_EQ(reply->flight, flight);
+}
+
+TEST(FlightRecorder, UnknownFlightAndStaleStragglersAreIgnored) {
+  FlightRecorder recorder;
+  recorder.arm(8);
+  recorder.set_trace(0);
+  const auto flight = recorder.begin_flight(false);
+  recorder.set_trace(1);  // trace boundary clears the flight table
+  recorder.record(flight, SpanEvent::HopForward, SimTime::zero(), Layer::Router, "r", 0,
+                  "ttl=3");
+  EXPECT_EQ(recorder.size(), 0u);
+  // And flight ids restart per trace, keeping worker sequences aligned.
+  EXPECT_EQ(recorder.begin_flight(false), 1u);
+}
+
+TEST(FlightRecorder, TimestampsAreEpochRelative) {
+  FlightRecorder recorder;
+  recorder.arm(8);
+  // A shard whose clock already advanced to 5s starts a new trace epoch:
+  // recorded times must be offsets from the epoch, not absolute.
+  recorder.set_trace(4, SimTime::from_nanos(5'000'000'000));
+  recorder.begin_flight(false);
+  recorder.record(1, SpanEvent::ProbeSent, SimTime::from_nanos(5'000'000'250),
+                  Layer::Host, "vp", 0, "d");
+  const auto events = recorder.collect_since(0);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].time.count_nanos(), 250);
+}
+
+TEST(FlightRecorder, RingDropsOldestAndCursorsSurviveEviction) {
+  FlightRecorder recorder;
+  recorder.arm(4);
+  recorder.set_trace(0);
+  recorder.begin_flight(false);
+  for (int i = 0; i < 6; ++i) {
+    recorder.record(1, SpanEvent::HopForward, SimTime::from_nanos(i), Layer::Router,
+                    "r", 0, std::to_string(i));
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.dropped_events(), 2u);
+  EXPECT_EQ(recorder.cursor(), 6u);
+
+  // collect_since(0) returns what survives: the newest four. The end of a
+  // packet's story outlives overflow.
+  const auto survivors = recorder.collect_since(0);
+  ASSERT_EQ(survivors.size(), 4u);
+  EXPECT_EQ(survivors.front().detail, "2");
+  EXPECT_EQ(survivors.back().detail, "5");
+
+  // A mark taken mid-stream still slices correctly after eviction.
+  const auto tail = recorder.collect_since(5);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].detail, "5");
+  EXPECT_TRUE(recorder.collect_since(6).empty());
+}
+
+TEST(FlightExport, PcapngFramesAreWellFormed) {
+  std::vector<FlightEvent> events;
+  events.push_back(sample_event(0, SpanEvent::ProbeSent, {0x45, 0x00, 0x00, 0x14}));
+  events.push_back(sample_event(0, SpanEvent::Timeout, {}));  // no wire: skipped
+  events.push_back(sample_event(1, SpanEvent::PolicyDrop, {0x45, 0x00, 0x00, 0x1c}));
+
+  std::ostringstream os;
+  const auto packets = write_pcapng(os, events);
+  EXPECT_EQ(packets, 2u);
+  const auto bytes = os.str();
+  // Section Header Block: type 0x0a0d0d0a then the little-endian byte-order
+  // magic 0x1a2b3c4d.
+  ASSERT_GE(bytes.size(), 12u);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[0]), 0x0a);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[1]), 0x0d);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[2]), 0x0d);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[3]), 0x0a);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[8]), 0x4d);
+  EXPECT_EQ(static_cast<std::uint8_t>(bytes[11]), 0x1a);
+  // The per-packet comment names the span and the emitting node.
+  EXPECT_NE(bytes.find("trace=3 probe=0 seq=0 event=probe-sent"), std::string::npos);
+  EXPECT_NE(bytes.find("node=vp-test"), std::string::npos);
+
+  // Deterministic: the same events encode to the same bytes.
+  std::ostringstream again;
+  write_pcapng(again, events);
+  EXPECT_EQ(bytes, again.str());
+}
+
+TEST(FlightExport, ChromeTraceJsonCoversWirelessEvents) {
+  std::vector<FlightEvent> events;
+  events.push_back(sample_event(0, SpanEvent::ProbeSent, {0x45}));
+  events.push_back(sample_event(0, SpanEvent::Timeout, {}));
+
+  const auto json = to_chrome_trace_json(events);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"probe-sent\""), std::string::npos);
+  // Timeouts have no packet but still appear on the timeline.
+  EXPECT_NE(json.find("\"timeout\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+  // Exact-nanosecond timestamps: 1500000123 ns = 1500000.123 us.
+  EXPECT_NE(json.find("1500000.123"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnprobe::obs

@@ -1,0 +1,57 @@
+// Prometheus text-format label escaping: label values containing
+// backslashes, double quotes, or newlines must come out as \\, \", and \n
+// per the exposition format -- a hostile node or cause name must never be
+// able to break a sample line in two or smuggle in an extra label.
+#include <gtest/gtest.h>
+
+#include "ecnprobe/obs/export.hpp"
+#include "ecnprobe/obs/metrics.hpp"
+
+namespace ecnprobe::obs {
+namespace {
+
+TEST(PrometheusEscape, HostileLabelValuesAreEscaped) {
+  MetricsRegistry registry;
+  registry.counter("drops_total", {{"node", "fw\\9"}}, "test")->inc();
+  registry.counter("drops_total", {{"node", "evil\"quote"}}, "test")->inc(2);
+  registry.counter("drops_total", {{"node", "line\nbreak"}}, "test")->inc(3);
+
+  const auto text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("node=\"fw\\\\9\""), std::string::npos) << text;
+  EXPECT_NE(text.find("node=\"evil\\\"quote\""), std::string::npos) << text;
+  EXPECT_NE(text.find("node=\"line\\nbreak\""), std::string::npos) << text;
+}
+
+TEST(PrometheusEscape, NoRawNewlineInsideAnySample) {
+  MetricsRegistry registry;
+  registry.counter("drops_total", {{"cause", "a\nb\nc"}}, "test")->inc();
+  const auto text = to_prometheus(registry.snapshot());
+
+  // Every line that is not a comment must be a complete sample: a newline
+  // that survived unescaped inside a label value would leave a line with an
+  // unbalanced brace.
+  std::size_t start = 0;
+  while (start < text.size()) {
+    auto end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const auto line = text.substr(start, end - start);
+    if (!line.empty() && line[0] != '#') {
+      const auto open = line.find('{');
+      if (open != std::string::npos) {
+        EXPECT_NE(line.find('}', open), std::string::npos)
+            << "sample line split by raw newline: " << line;
+      }
+    }
+    start = end + 1;
+  }
+}
+
+TEST(PrometheusEscape, CleanValuesPassThroughUnchanged) {
+  MetricsRegistry registry;
+  registry.counter("hits_total", {{"vantage", "EC2 Tok"}}, "test")->inc(7);
+  const auto text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("hits_total{vantage=\"EC2 Tok\"} 7"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace ecnprobe::obs

@@ -1,14 +1,16 @@
 // The ecnprobe command-line tool: run the study's stages individually and
 // pipe results between them as CSV/pcap.
 //
-//   ecnprobe discover   [--scale F] [--seed N] [--rounds R]
-//   ecnprobe campaign   [--scale F] [--seed N] [--traces N] [--workers N] [--out FILE]
-//                       [--metrics-out FILE] [--faults SPEC] [--checkpoint FILE]
-//                       [--resume FILE] [--halt-after N]
-//   ecnprobe analyze    <traces.csv>
-//   ecnprobe traceroute [--scale F] [--seed N] [--vantage NAME] [--count N]
-//   ecnprobe pcap       [--scale F] [--seed N] [--out FILE]
-//   ecnprobe report     [--scale F] [--seed N] [--out FILE]
+//   ecnprobe discover      [--scale F] [--seed N] [--rounds R]
+//   ecnprobe campaign      [--scale F] [--seed N] [--traces N] [--workers N] [--out FILE]
+//                          [--metrics-out FILE] [--faults SPEC] [--checkpoint FILE]
+//                          [--resume FILE] [--halt-after N] [--record PREFIX]
+//   ecnprobe analyze       <traces.csv>
+//   ecnprobe traceroute    [--scale F] [--seed N] [--vantage NAME] [--count N]
+//   ecnprobe pcap          [--scale F] [--seed N] [--out FILE]
+//   ecnprobe report        [--scale F] [--seed N] [--out FILE]
+//   ecnprobe trace-autopsy --trace N [--server ADDR] [--scale F] [--seed N]
+//                          [--faults SPEC] [--resume FILE]
 //
 // Option parsing is strict: unknown flags, missing values, and malformed
 // numbers ("--workers banana", negative trace counts) exit non-zero with
@@ -30,15 +32,18 @@
 #include "ecnprobe/chaos/fault_plan.hpp"
 #include "ecnprobe/measure/journal.hpp"
 
+#include "ecnprobe/analysis/autopsy.hpp"
 #include "ecnprobe/analysis/differential.hpp"
 #include "ecnprobe/analysis/hops.hpp"
 #include "ecnprobe/analysis/geosummary.hpp"
 #include "ecnprobe/analysis/markdown_report.hpp"
 #include "ecnprobe/analysis/reachability.hpp"
 #include "ecnprobe/analysis/report.hpp"
+#include "ecnprobe/measure/campaign.hpp"
 #include "ecnprobe/measure/probe.hpp"
 #include "ecnprobe/netsim/pcap.hpp"
 #include "ecnprobe/obs/export.hpp"
+#include "ecnprobe/obs/flight_export.hpp"
 #include "ecnprobe/scenario/world.hpp"
 #include "ecnprobe/wire/dissect.hpp"
 
@@ -61,6 +66,9 @@ struct Options {
   std::string faults = "none";
   std::string checkpoint;  ///< journal path (--checkpoint or --resume)
   bool resume = false;     ///< --resume: the journal must already exist
+  std::string record;      ///< flight-recorder output prefix (--record)
+  int trace = -1;          ///< trace-autopsy: campaign trace index
+  std::string server;      ///< trace-autopsy: restrict to this server address
 };
 
 bool parse_int_arg(const char* s, int* out) {
@@ -149,6 +157,15 @@ bool parse(int argc, char** argv, int first, Options* options) {
       if ((v = need()) == nullptr) return false;
       options->checkpoint = v;
       options->resume = true;
+    } else if (arg == "--record") {
+      if ((v = need()) == nullptr) return false;
+      options->record = v;
+    } else if (arg == "--trace") {
+      if ((v = need()) == nullptr) return false;
+      if (!parse_int_arg(v, &options->trace) || options->trace < 0) return bad(v);
+    } else if (arg == "--server") {
+      if ((v = need()) == nullptr) return false;
+      options->server = v;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "ecnprobe: unknown option '%s'\n", arg.c_str());
       return false;
@@ -166,6 +183,29 @@ scenario::WorldParams params_for(const Options& options) {
   auto params = scenario::WorldParams::paper().scaled(options.scale);
   params.seed = options.seed;
   return params;
+}
+
+/// The campaign plan both `campaign` and `trace-autopsy` use, so the trace
+/// indices the autopsy re-runs line up with the campaign's own.
+measure::CampaignPlan plan_for(const Options& options) {
+  auto plan = measure::CampaignPlan::paper_layout(
+      std::max(1, static_cast<int>(9 * options.scale)),
+      std::max(1, static_cast<int>(12 * options.scale)),
+      std::max(1, static_cast<int>(14 * options.scale)));
+  if (options.traces > 0) {
+    // Uniform override: N traces spread over the 13 vantage points.
+    plan = measure::CampaignPlan{};
+    const auto& names = measure::paper_vantage_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const int share = options.traces / static_cast<int>(names.size()) +
+                        (static_cast<int>(i) <
+                                 options.traces % static_cast<int>(names.size())
+                             ? 1
+                             : 0);
+      if (share > 0) plan.entries.push_back({names[i], i < 4 ? 1 : 2, share});
+    }
+  }
+  return plan;
 }
 
 int cmd_discover(const Options& options) {
@@ -189,23 +229,8 @@ int cmd_campaign(const Options& options) {
     return 2;
   }
   params.faults = *faults;
-  auto plan = measure::CampaignPlan::paper_layout(
-      std::max(1, static_cast<int>(9 * options.scale)),
-      std::max(1, static_cast<int>(12 * options.scale)),
-      std::max(1, static_cast<int>(14 * options.scale)));
-  if (options.traces > 0) {
-    // Uniform override: N traces spread over the 13 vantage points.
-    plan = measure::CampaignPlan{};
-    const auto& names = measure::paper_vantage_names();
-    for (std::size_t i = 0; i < names.size(); ++i) {
-      const int share = options.traces / static_cast<int>(names.size()) +
-                        (static_cast<int>(i) <
-                                 options.traces % static_cast<int>(names.size())
-                             ? 1
-                             : 0);
-      if (share > 0) plan.entries.push_back({names[i], i < 4 ? 1 : 2, share});
-    }
-  }
+  if (!options.record.empty()) params.flight_recorder_capacity = 1 << 16;
+  const auto plan = plan_for(options);
   std::fprintf(stderr, "running %d traces x %d servers (%d worker%s, faults: %s)...\n",
                plan.total_traces(), params.server_count, options.workers,
                options.workers == 1 ? "" : "s", params.faults.name.c_str());
@@ -245,6 +270,7 @@ int cmd_campaign(const Options& options) {
   obs::ObsSnapshot campaign_obs;
   obs::MetricsSnapshot runtime;
   bool have_runtime = false;
+  std::vector<obs::FlightEvent> flights;
   if (options.workers > 1) {
     measure::ParallelCampaign::Options exec;
     exec.workers = options.workers;
@@ -280,6 +306,7 @@ int cmd_campaign(const Options& options) {
     campaign_obs = campaign.metrics();
     runtime = campaign.runtime_metrics();
     have_runtime = true;
+    flights = campaign.flight_events();
   } else {
     scenario::World world(params);
     int completed = 0;
@@ -297,6 +324,16 @@ int cmd_campaign(const Options& options) {
                    failure.vantage.c_str(), failure.message.c_str());
     }
     campaign_obs = world.campaign_obs();
+    flights = world.campaign_flights();
+  }
+  if (!options.record.empty()) {
+    if (!obs::write_flight_files(options.record, flights)) {
+      std::fprintf(stderr, "cannot write %s.pcapng / %s.trace.json\n",
+                   options.record.c_str(), options.record.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "recorded %zu flight events -> %s.pcapng, %s.trace.json\n",
+                 flights.size(), options.record.c_str(), options.record.c_str());
   }
   if (options.out.empty()) {
     measure::write_traces_csv(std::cout, traces);
@@ -315,6 +352,88 @@ int cmd_campaign(const Options& options) {
     }
     std::fprintf(stderr, "wrote %s (+ Prometheus sibling)\n", options.metrics_out.c_str());
   }
+  return 0;
+}
+
+int cmd_trace_autopsy(const Options& options) {
+  if (options.trace < 0) {
+    std::fprintf(stderr, "ecnprobe: trace-autopsy requires --trace N\n");
+    return 2;
+  }
+  auto params = params_for(options);
+  const auto faults = chaos::FaultPlan::parse(options.faults);
+  if (!faults) {
+    std::fprintf(stderr, "ecnprobe: %s\n", faults.error().message.c_str());
+    return 2;
+  }
+  params.faults = *faults;
+  params.flight_recorder_capacity = 1 << 16;
+  const auto plan = plan_for(options);
+  const auto schedule = measure::expand_schedule(plan);
+  if (static_cast<std::size_t>(options.trace) >= schedule.size()) {
+    std::fprintf(stderr, "ecnprobe: --trace %d out of range (campaign has %zu traces)\n",
+                 options.trace, schedule.size());
+    return 2;
+  }
+  // Optional journal cross-check: with --resume FILE the journal metadata
+  // must match this invocation's plan/faults/seed, so the autopsy is
+  // guaranteed to replay the same campaign the journal came from.
+  if (!options.checkpoint.empty()) {
+    if (!std::ifstream(options.checkpoint).is_open()) {
+      std::fprintf(stderr, "ecnprobe: no journal at %s\n", options.checkpoint.c_str());
+      return 1;
+    }
+    measure::CampaignJournal journal;
+    measure::JournalMeta meta;
+    meta.plan = measure::plan_fingerprint(plan);
+    meta.faults = params.faults.fingerprint();
+    meta.seed = params.seed;
+    meta.total_traces = plan.total_traces();
+    meta.server_count = params.server_count;
+    std::string error;
+    if (!journal.open(options.checkpoint, meta, &error)) {
+      std::fprintf(stderr, "ecnprobe: %s\n", error.c_str());
+      return 1;
+    }
+    if (journal.entries().count(options.trace) != 0) {
+      std::fprintf(stderr, "trace %d is journaled as completed; reconstructing it by "
+                   "deterministic re-run\n", options.trace);
+    }
+  }
+
+  // Re-run exactly the requested trace. Per-trace epoch hermeticity makes
+  // the trace a pure function of (params, batch, index), so this replays
+  // the campaign's trace bit-for-bit -- now with the recorder armed.
+  const auto& planned = schedule[static_cast<std::size_t>(options.trace)];
+  scenario::World world(params);
+  try {
+    world.begin_trace_epoch(planned.vantage, planned.batch, options.trace);
+    auto& vantage = world.vantage(planned.vantage);
+    vantage.capture().clear();
+    measure::TraceRunner runner(vantage, world.server_addresses(), {});
+    bool done = false;
+    runner.run(planned.batch, options.trace, [&](measure::Trace) { done = true; });
+    world.sim().run();
+    if (!done) {
+      std::fprintf(stderr, "ecnprobe: trace %d stalled\n", options.trace);
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    // Same path the campaign executor takes: quarantine, then render
+    // whatever the recorder saw before the fault fired.
+    world.sim().clear_pending();
+    world.quarantine_trace(planned.vantage);
+    std::fprintf(stderr, "trace %d (%s) quarantined: %s\n", options.trace,
+                 planned.vantage.c_str(), e.what());
+  }
+
+  analysis::AutopsyRequest request;
+  request.trace = options.trace;
+  request.server = options.server;
+  const auto report = analysis::render_trace_autopsy(
+      world.collect_flight_slice(), world.collect_obs_delta().ledger, world.ip2as(),
+      request);
+  std::fputs(report.c_str(), stdout);
   return 0;
 }
 
@@ -446,6 +565,8 @@ int usage() {
                "  traceroute  ECN traceroute listings             [--scale --seed --vantage --count]\n"
                "  pcap        probe one server, dump pcap+dissection [--scale --seed --vantage --out]\n"
                "  report      full campaign -> Markdown report      [--scale --seed --out]\n"
+               "  trace-autopsy  causal chain for one campaign trace  [--trace N --server ADDR --faults --resume FILE]\n"
+               "campaign recording: --record PREFIX writes PREFIX.pcapng + PREFIX.trace.json\n"
                "fault profiles: %s (tunable, e.g. 'wan-chaos,corrupt-prob=0.05,poison=7')\n",
                profiles.c_str());
   return 2;
@@ -464,5 +585,6 @@ int main(int argc, char** argv) {
   if (command == "traceroute") return cmd_traceroute(options);
   if (command == "pcap") return cmd_pcap(options);
   if (command == "report") return cmd_report(options);
+  if (command == "trace-autopsy") return cmd_trace_autopsy(options);
   return usage();
 }
