@@ -9,6 +9,7 @@
 //   $ ./ntp_pool_study --faults wan-chaos --checkpoint run.journal
 //   $ ./ntp_pool_study --resume run.journal         # continue a killed run
 //   $ ./ntp_pool_study --record flight              # flight.pcapng + flight.trace.json
+//   $ ./ntp_pool_study --faults blackhole-heavy --sched backoff,breaker-failures=3
 //
 // --workers=N runs the campaign through the sharded parallel executor
 // (one isolated world clone per worker); the merged results -- and the
@@ -35,6 +36,7 @@
 #include "ecnprobe/obs/export.hpp"
 #include "ecnprobe/obs/flight_export.hpp"
 #include "ecnprobe/scenario/world.hpp"
+#include "ecnprobe/sched/policy.hpp"
 
 int main(int argc, char** argv) {
   using namespace ecnprobe;
@@ -44,6 +46,7 @@ int main(int argc, char** argv) {
   bool resume = false;
   std::string metrics_out;
   std::string faults_spec = "none";
+  std::string sched_spec = "paper";
   std::string checkpoint;
   std::string record;
   for (int i = 1; i < argc; ++i) {
@@ -55,6 +58,8 @@ int main(int argc, char** argv) {
     else if (arg == "--metrics-out") metrics_out = next_value();
     else if (arg.rfind("--faults=", 0) == 0) faults_spec = arg.substr(9);
     else if (arg == "--faults") faults_spec = next_value();
+    else if (arg.rfind("--sched=", 0) == 0) sched_spec = arg.substr(8);
+    else if (arg == "--sched") sched_spec = next_value();
     else if (arg.rfind("--checkpoint=", 0) == 0) checkpoint = arg.substr(13);
     else if (arg == "--checkpoint") checkpoint = next_value();
     else if (arg.rfind("--resume=", 0) == 0) { checkpoint = arg.substr(9); resume = true; }
@@ -74,6 +79,16 @@ int main(int argc, char** argv) {
     return 2;
   }
   params.faults = *faults;
+  const auto sched = sched::SupervisorConfig::parse(sched_spec);
+  if (!sched) {
+    std::fprintf(stderr, "ntp_pool_study: %s\n", sched.error().message.c_str());
+    return 2;
+  }
+  measure::ProbeOptions probe;
+  probe.sched = *sched;
+  if (!probe.sched.is_paper_default() && probe.sched.seed == 0) {
+    probe.sched.seed = params.seed;
+  }
   if (!record.empty()) params.flight_recorder_capacity = 1 << 16;
   std::printf("== ECN-with-UDP measurement study (scale %.2f: %d servers) ==\n\n",
               scale, params.server_count);
@@ -133,6 +148,7 @@ int main(int argc, char** argv) {
   if (workers > 1) {
     measure::ParallelCampaign::Options exec;
     exec.workers = workers;
+    exec.probe = probe;
     exec.halt_after_traces =
         halt_after > 0 ? halt_after : params.faults.crash_after_traces;
     measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
@@ -144,7 +160,7 @@ int main(int argc, char** argv) {
     have_runtime = true;
     flights = campaign.flight_events();
   } else {
-    traces = world.run_campaign(plan, {}, nullptr, journal_ptr, halt_after, &failures);
+    traces = world.run_campaign(plan, probe, nullptr, journal_ptr, halt_after, &failures);
     campaign_obs = world.campaign_obs();
     flights = world.campaign_flights();
   }

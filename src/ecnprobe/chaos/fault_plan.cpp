@@ -70,6 +70,13 @@ bool profile(const std::string& name, FaultPlan* plan) {
     plan->route_flap_period_ms = 250.0;
     return true;
   }
+  if (name == "blackhole-heavy") {
+    // Over a third of the pool never answers anything: without circuit
+    // breakers every dead server costs the full probe sequence in
+    // timeouts, with them the supervisor routes around the corpses.
+    plan->blackhole_server_fraction = 0.35;
+    return true;
+  }
   return false;
 }
 
@@ -77,7 +84,8 @@ bool profile(const std::string& name, FaultPlan* plan) {
 
 bool FaultPlan::enabled() const {
   return chaos_links > 0 || icmp_blackhole_routers > 0 || quote_truncate_links > 0 ||
-         route_flap_links > 0 || flaky_server_fraction > 0.0 || !poison_traces.empty() ||
+         route_flap_links > 0 || flaky_server_fraction > 0.0 ||
+         blackhole_server_fraction > 0.0 || !poison_traces.empty() ||
          crash_after_traces > 0;
 }
 
@@ -101,6 +109,7 @@ std::string FaultPlan::serialize() const {
   num("flaky-server-fraction", flaky_server_fraction);
   num("short-reply-prob", short_reply_prob);
   num("malformed-reply-prob", malformed_reply_prob);
+  num("blackhole-server-fraction", blackhole_server_fraction);
   out += ",poison=";
   bool first = true;
   for (const int idx : poison_traces) {
@@ -172,6 +181,7 @@ util::Expected<FaultPlan> FaultPlan::parse(const std::string& spec) {
       else if (key == "flaky-server-fraction") plan.flaky_server_fraction = d;
       else if (key == "short-reply-prob") plan.short_reply_prob = d;
       else if (key == "malformed-reply-prob") plan.malformed_reply_prob = d;
+      else if (key == "blackhole-server-fraction") plan.blackhole_server_fraction = d;
       else return bad("unknown fault key '" + key + "'");
     }
   }
@@ -179,7 +189,8 @@ util::Expected<FaultPlan> FaultPlan::parse(const std::string& spec) {
 }
 
 std::vector<std::string> FaultPlan::profile_names() {
-  return {"none", "wan-chaos", "icmp-degraded", "flaky-servers", "route-flap"};
+  return {"none",       "wan-chaos", "icmp-degraded",
+          "flaky-servers", "route-flap", "blackhole-heavy"};
 }
 
 }  // namespace ecnprobe::chaos

@@ -56,6 +56,11 @@ struct FaultPlan {
   double short_reply_prob = 0.0;
   double malformed_reply_prob = 0.0;
 
+  // Blackholed servers: a deterministic fraction of the pool is dead for
+  // the whole campaign (NTP silent, web down) -- the stress case for the
+  // sched layer's circuit breakers and watchdog.
+  double blackhole_server_fraction = 0.0;
+
   // Harness-level faults.
   std::set<int> poison_traces;   ///< trace indices whose epoch setup throws
   int crash_after_traces = 0;    ///< >0: stop (simulated crash) after N live traces

@@ -1,6 +1,7 @@
 #include "ecnprobe/measure/journal.hpp"
 
 #include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <sstream>
@@ -178,6 +179,11 @@ bool CampaignJournal::open(const std::string& path, const JournalMeta& meta,
   entries_.clear();
   const std::string expected_header = header_line(meta);
 
+  // Sweep any temp file a crash mid-rotate() left behind. The rename in
+  // rotate() is the commit point: until it happens the real journal is
+  // complete and authoritative, so the temp is garbage by definition.
+  std::remove((path + ".tmp").c_str());
+
   std::ifstream in(path);
   if (in.is_open()) {
     std::string line;
@@ -268,6 +274,48 @@ bool CampaignJournal::append(const Trace& trace, const obs::ObsSnapshot& delta) 
   out_ << record_line(trace.index, trace, delta) << '\n' << std::flush;
   entries_[trace.index] = Entry{trace, delta};
   return out_.good();
+}
+
+bool CampaignJournal::rotate(std::string* error) {
+  if (!out_.is_open()) {
+    if (error != nullptr) *error = "journal not open";
+    return false;
+  }
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream tmp_out(tmp, std::ios::trunc);
+    if (!tmp_out.is_open()) {
+      if (error != nullptr) *error = "cannot create rotation temp " + tmp;
+      return false;
+    }
+    tmp_out << header_line(meta_) << '\n';
+    for (const auto& [index, entry] : entries_) {
+      tmp_out << record_line(index, entry.trace, entry.delta) << '\n';
+    }
+    tmp_out.flush();
+    if (!tmp_out.good()) {
+      if (error != nullptr) *error = "short write rotating journal to " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  // The commit point. rename(2) is atomic within a filesystem: a reader
+  // (or a crash) sees either the old journal or the new one, whole.
+  out_.close();
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    if (error != nullptr) {
+      *error = "cannot rename " + tmp + " over " + path_ + ": " + std::strerror(errno);
+    }
+    std::remove(tmp.c_str());
+    out_.open(path_, std::ios::app);  // keep the original journal appendable
+    return false;
+  }
+  out_.open(path_, std::ios::app);
+  if (!out_.is_open()) {
+    if (error != nullptr) *error = "cannot reopen rotated journal " + path_;
+    return false;
+  }
+  return true;
 }
 
 }  // namespace ecnprobe::measure

@@ -50,7 +50,13 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
     }
     Vantage* vantage = it->second;
     vantage->capture().clear();
-    TraceRunner runner(*vantage, worker.servers, options_.probe);
+    ProbeOptions probe = options_.probe;
+    if (probe.sched.breaker.enabled) {
+      // Group resolution must consult this worker's own world clone; a
+      // resolver captured from the coordinating world would race it.
+      if (auto groups = worker.shard->breaker_group()) probe.breaker_group = std::move(groups);
+    }
+    TraceRunner runner(*vantage, worker.servers, probe);
     std::unique_ptr<Trace> result;
     runner.run(planned.batch, index,
                [&result](Trace trace) { result = std::make_unique<Trace>(std::move(trace)); });

@@ -71,6 +71,11 @@ public:
     (void)batch;
     (void)index;
   }
+
+  /// Circuit-breaker group resolver bound to THIS shard's world (each
+  /// worker's clone owns a private ip2as map, so the resolver must not
+  /// outlive or cross shards). Null = use whatever ProbeOptions carries.
+  virtual sched::GroupResolver breaker_group() { return {}; }
 };
 
 class ParallelCampaign {

@@ -1,14 +1,36 @@
 #include "ecnprobe/measure/probe.hpp"
 
 #include <memory>
+#include <stdexcept>
 
 #include "ecnprobe/obs/ledger.hpp"
 
 namespace ecnprobe::measure {
 
+void ProbeOptions::validate() const {
+  if (udp_attempts <= 0) {
+    throw std::invalid_argument("ProbeOptions: udp_attempts must be >= 1");
+  }
+  if (udp_timeout.count_nanos() <= 0) {
+    throw std::invalid_argument("ProbeOptions: udp_timeout must be positive");
+  }
+  if (http_deadline.count_nanos() <= 0) {
+    throw std::invalid_argument("ProbeOptions: http_deadline must be positive");
+  }
+  if (inter_test_gap.count_nanos() < 0) {
+    throw std::invalid_argument("ProbeOptions: inter_test_gap must not be negative");
+  }
+  sched.validate();
+}
+
 namespace {
 
 // Sequential four-step probe of one server. Self-owning via shared_ptr.
+//
+// With a supervisor attached, each step passes through three gates before
+// launch: the server's group breaker (once, before step 0), the per-server
+// breaker, and the pacer. A null supervisor -- the paper-default config --
+// takes exactly the legacy code path.
 struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
   Vantage& vantage;
   wire::Ipv4Address server;
@@ -16,10 +38,15 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
   std::function<void(const ServerResult&)> handler;
   ServerResult result;
   int span_base = 0;  ///< flight-recorder probe index of step 0
+  sched::TraceSupervisor* supervisor = nullptr;  ///< null = paper default
+  std::shared_ptr<sched::TraceSupervisor> owned_supervisor;  ///< standalone probes
+  netsim::EventHandle watchdog;
+  bool finished = false;  ///< set once: completion, skip, or watchdog cancel
 
   ServerProbe(Vantage& v, wire::Ipv4Address s, ProbeOptions o,
               std::function<void(const ServerResult&)> cb, int base)
-      : vantage(v), server(s), options(o), handler(std::move(cb)), span_base(base) {
+      : vantage(v), server(s), options(std::move(o)), handler(std::move(cb)),
+        span_base(base) {
     result.server = s;
   }
 
@@ -33,11 +60,16 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
     recorder.set_seq(0);
   }
 
-  ntp::NtpQueryOptions udp_options(wire::Ecn ecn) const {
+  ntp::NtpQueryOptions udp_options(wire::Ecn ecn, int step) const {
     ntp::NtpQueryOptions q;
     q.ecn = ecn;
     q.max_attempts = options.udp_attempts;
     q.timeout = options.udp_timeout;
+    if (supervisor != nullptr && supervisor->adaptive_retry()) {
+      q.timeout_schedule = supervisor->retry_schedule(server, step);
+      q.max_attempts = static_cast<int>(q.timeout_schedule.size());
+      q.hedge_delay = supervisor->config().retry.hedge_delay;
+    }
     return q;
   }
 
@@ -78,6 +110,10 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
       o.ledger.record_drop(obs::Layer::Measure, obs::DropCause::ProbeTimeout,
                            server.to_string());
     }
+    if (supervisor != nullptr) {
+      supervisor->on_step_result(server, r.success);
+      if (supervisor->adaptive_retry()) supervisor->count_attempts(test, r.attempts);
+    }
   }
 
   void record_tcp(const char* test, const http::HttpGetResult& r) {
@@ -96,59 +132,151 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
                                vantage.name(), 0, std::string("test=") + test);
       }
     }
+    if (supervisor != nullptr) supervisor->on_step_result(server, r.connected);
+  }
+
+  bool any_step_succeeded() const {
+    return result.udp_plain.reachable || result.udp_ect0.reachable ||
+           result.tcp_plain.connected || result.tcp_ecn.connected;
   }
 
   void start() {
-    auto self = shared_from_this();
-    // Step 1: NTP request in a not-ECT marked UDP packet.
-    set_span(0);
-    vantage.ntp().query(server, udp_options(wire::Ecn::NotEct),
-                        [self](const ntp::NtpQueryResult& r) {
-                          self->record_udp("udp-plain", r);
-                          self->result.udp_plain = to_outcome(r);
-                          self->after_gap([self]() { self->step_udp_ect(); });
-                        });
+    if (supervisor != nullptr) {
+      arm_watchdog();
+      if (!supervisor->allow_server(server)) {
+        // The server's AS group tripped its breaker: skip the whole
+        // four-step sequence. Every skipped probe step gets a circuit-open
+        // attribution so the loss autopsy still accounts for it; the
+        // server does NOT count towards probe_servers_total (it was never
+        // probed) and does not feed the breaker (only real outcomes do).
+        for (int step = 0; step < 4; ++step) supervisor->record_skip(server, "group");
+        finished = true;
+        watchdog.cancel();
+        if (handler) handler(result);
+        return;
+      }
+    }
+    run_step(0);
   }
 
-  void step_udp_ect() {
-    auto self = shared_from_this();
-    // Step 2: the same request in an ECT(0) marked packet.
-    set_span(1);
-    vantage.ntp().query(server, udp_options(wire::Ecn::Ect0),
-                        [self](const ntp::NtpQueryResult& r) {
-                          self->record_udp("udp-ect0", r);
-                          self->result.udp_ect0 = to_outcome(r);
-                          self->after_gap([self]() { self->step_tcp_plain(); });
-                        });
+  /// Gate + launch for step `step`; steps >= 4 mean the sequence is done.
+  void run_step(int step) {
+    if (finished) return;
+    if (step >= 4) {
+      complete();
+      return;
+    }
+    if (supervisor != nullptr) {
+      if (!supervisor->allow_step(server)) {
+        // Per-server breaker open: the step is recorded as failed without
+        // sending anything, attributed circuit-open. No breaker feedback
+        // (a skip is not evidence) and no probe_*_total counters (nothing
+        // was probed). The next step follows immediately.
+        supervisor->record_skip(server, "server");
+        run_step(step + 1);
+        return;
+      }
+      const auto now = vantage.host().network().sim().now();
+      const auto launch = supervisor->pace(now, server);
+      if (launch > now) {
+        auto self = shared_from_this();
+        vantage.host().network().sim().schedule(
+            launch - now, [self, step]() { self->launch_step(step); });
+        return;
+      }
+    }
+    launch_step(step);
   }
 
-  void step_tcp_plain() {
+  void launch_step(int step) {
+    if (finished) return;
     auto self = shared_from_this();
-    // Step 3: HTTP GET without attempting to negotiate ECN.
-    set_span(2);
-    vantage.http().get(server, /*want_ecn=*/false,
-                       [self](const http::HttpGetResult& r) {
-                         self->record_tcp("tcp-plain", r);
-                         self->result.tcp_plain = to_outcome(r);
-                         self->after_gap([self]() { self->step_tcp_ecn(); });
-                       },
-                       wire::kHttpPort, options.http_deadline);
+    set_span(step);
+    switch (step) {
+      case 0:
+        // Step 1: NTP request in a not-ECT marked UDP packet.
+        vantage.ntp().query(server, udp_options(wire::Ecn::NotEct, 0),
+                            [self](const ntp::NtpQueryResult& r) {
+                              if (self->finished) return;
+                              self->record_udp("udp-plain", r);
+                              self->result.udp_plain = to_outcome(r);
+                              self->after_gap([self]() { self->run_step(1); });
+                            });
+        break;
+      case 1:
+        // Step 2: the same request in an ECT(0) marked packet.
+        vantage.ntp().query(server, udp_options(wire::Ecn::Ect0, 1),
+                            [self](const ntp::NtpQueryResult& r) {
+                              if (self->finished) return;
+                              self->record_udp("udp-ect0", r);
+                              self->result.udp_ect0 = to_outcome(r);
+                              self->after_gap([self]() { self->run_step(2); });
+                            });
+        break;
+      case 2:
+        // Step 3: HTTP GET without attempting to negotiate ECN.
+        vantage.http().get(server, /*want_ecn=*/false,
+                           [self](const http::HttpGetResult& r) {
+                             if (self->finished) return;
+                             self->record_tcp("tcp-plain", r);
+                             self->result.tcp_plain = to_outcome(r);
+                             self->after_gap([self]() { self->run_step(3); });
+                           },
+                           wire::kHttpPort, options.http_deadline);
+        break;
+      default:
+        // Step 4: HTTP GET with an ECN-setup SYN.
+        vantage.http().get(server, /*want_ecn=*/true,
+                           [self](const http::HttpGetResult& r) {
+                             if (self->finished) return;
+                             self->record_tcp("tcp-ecn", r);
+                             self->result.tcp_ecn = to_outcome(r);
+                             self->run_step(4);
+                           },
+                           wire::kHttpPort, options.http_deadline);
+        break;
+    }
   }
 
-  void step_tcp_ecn() {
+  void complete() {
+    finished = true;
+    watchdog.cancel();
+    if (supervisor != nullptr) supervisor->on_server_result(server, any_step_succeeded());
+    vantage.host().network().obs().registry.counter(
+        "probe_servers_total", {{"vantage", vantage.name()}},
+        "servers fully probed, per vantage")->inc();
+    if (handler) handler(result);
+  }
+
+  void arm_watchdog() {
+    const auto deadline = supervisor->config().watchdog.deadline;
+    if (deadline.count_nanos() <= 0) return;
     auto self = shared_from_this();
-    // Step 4: HTTP GET with an ECN-setup SYN.
-    set_span(3);
-    vantage.http().get(server, /*want_ecn=*/true,
-                       [self](const http::HttpGetResult& r) {
-                         self->record_tcp("tcp-ecn", r);
-                         self->result.tcp_ecn = to_outcome(r);
-                         self->vantage.host().network().obs().registry.counter(
-                             "probe_servers_total", {{"vantage", self->vantage.name()}},
-                             "servers fully probed, per vantage")->inc();
-                         if (self->handler) self->handler(self->result);
-                       },
-                       wire::kHttpPort, options.http_deadline);
+    watchdog = vantage.host().network().sim().schedule(
+        deadline, [self]() { self->on_watchdog(); });
+  }
+
+  void on_watchdog() {
+    if (finished) return;
+    // The hard deadline fired mid-sequence: cancel the server. Steps still
+    // pending stay at their default (failed) outcome; callbacks from any
+    // in-flight query find `finished` set and bail, so the stragglers
+    // settle silently at the quiescence barrier. The cancellation is
+    // attributed in the ledger and named in the flight log so trace-autopsy
+    // can show what stalled.
+    finished = true;
+    auto& o = vantage.host().network().obs();
+    o.ledger.record_drop(obs::Layer::Measure, obs::DropCause::WatchdogCancelled,
+                         server.to_string());
+    if (o.recorder.armed()) {
+      o.recorder.record_here(obs::SpanEvent::Timeout,
+                             vantage.host().network().sim().now(), obs::Layer::Measure,
+                             vantage.name(), 0,
+                             "watchdog cancelled server " + server.to_string());
+    }
+    supervisor->count_watchdog_cancel(vantage.name());
+    supervisor->on_server_result(server, any_step_succeeded());
+    if (handler) handler(result);
   }
 };
 
@@ -156,13 +284,24 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
 
 void probe_server(Vantage& vantage, wire::Ipv4Address server, const ProbeOptions& options,
                   std::function<void(const ServerResult&)> handler, int span_base) {
-  std::make_shared<ServerProbe>(vantage, server, options, std::move(handler), span_base)
-      ->start();
+  options.validate();
+  auto probe =
+      std::make_shared<ServerProbe>(vantage, server, options, std::move(handler), span_base);
+  if (!options.sched.is_paper_default()) {
+    // Standalone probes get a private single-trace supervisor (salt 0).
+    probe->owned_supervisor = std::make_shared<sched::TraceSupervisor>(
+        options.sched, vantage.host().network().obs(), options.breaker_group,
+        /*trace_salt=*/0);
+    probe->supervisor = probe->owned_supervisor.get();
+  }
+  probe->start();
 }
 
 TraceRunner::TraceRunner(Vantage& vantage, std::vector<wire::Ipv4Address> servers,
                          ProbeOptions options)
-    : vantage_(vantage), servers_(std::move(servers)), options_(options) {}
+    : vantage_(vantage), servers_(std::move(servers)), options_(std::move(options)) {
+  options_.validate();
+}
 
 void TraceRunner::run(int batch, int index, Handler handler) {
   trace_ = Trace{};
@@ -172,6 +311,14 @@ void TraceRunner::run(int batch, int index, Handler handler) {
   trace_.servers.reserve(servers_.size());
   cursor_ = 0;
   handler_ = std::move(handler);
+  supervisor_.reset();
+  if (!options_.sched.is_paper_default()) {
+    // Trace-scoped: breaker and pacer state restarts cold each trace, so a
+    // sharded executor that picks this trace up reproduces it exactly.
+    supervisor_ = std::make_shared<sched::TraceSupervisor>(
+        options_.sched, vantage_.host().network().obs(), options_.breaker_group,
+        static_cast<std::uint64_t>(index));
+  }
   next_server();
 }
 
@@ -182,13 +329,15 @@ void TraceRunner::next_server() {
   }
   const int span_base = static_cast<int>(cursor_) * 4;
   const auto server = servers_[cursor_++];
-  probe_server(
+  auto probe = std::make_shared<ServerProbe>(
       vantage_, server, options_,
       [this](const ServerResult& result) {
         trace_.servers.push_back(result);
         next_server();
       },
       span_base);
+  probe->supervisor = supervisor_.get();
+  probe->start();
 }
 
 TracerouteRunner::TracerouteRunner(Vantage& vantage,

@@ -6,9 +6,11 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 
 #include "ecnprobe/measure/results.hpp"
 #include "ecnprobe/measure/vantage.hpp"
+#include "ecnprobe/sched/supervisor.hpp"
 
 namespace ecnprobe::measure {
 
@@ -17,6 +19,18 @@ struct ProbeOptions {
   util::SimDuration udp_timeout = util::SimDuration::seconds(1);  ///< ...1 s apart
   util::SimDuration http_deadline = util::SimDuration::seconds(15);
   util::SimDuration inter_test_gap = util::SimDuration::millis(50);
+  /// Probe-lifecycle supervision (retry/backoff, breakers, pacing,
+  /// watchdog). The default is the paper's fixed discipline, for which the
+  /// probe layer bypasses the supervisor entirely -- bit-identical to the
+  /// pre-supervisor code path.
+  sched::SupervisorConfig sched;
+  /// Maps a server to its circuit-breaker group (the scenario layer binds
+  /// ip2as: "AS<n>"). Unset = per-server breakers only.
+  sched::GroupResolver breaker_group;
+
+  /// Throws std::invalid_argument on out-of-range fields (non-positive
+  /// attempt counts or timeouts, invalid supervisor policy).
+  void validate() const;
 };
 
 /// Probes one server all four ways; the handler fires once with the
@@ -43,6 +57,10 @@ private:
   Vantage& vantage_;
   std::vector<wire::Ipv4Address> servers_;
   ProbeOptions options_;
+  /// Fresh per run(): trace-scoped supervisor state (breakers, pacer) never
+  /// spans traces, which is what keeps sharded executors byte-identical.
+  /// Null under the paper-default config.
+  std::shared_ptr<sched::TraceSupervisor> supervisor_;
   Trace trace_;
   std::size_t cursor_ = 0;
   Handler handler_;

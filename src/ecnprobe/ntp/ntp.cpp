@@ -1,5 +1,7 @@
 #include "ecnprobe/ntp/ntp.hpp"
 
+#include <algorithm>
+
 #include "ecnprobe/obs/ledger.hpp"
 #include "ecnprobe/util/log.hpp"
 #include "ecnprobe/util/strings.hpp"
@@ -16,10 +18,19 @@ struct NtpClient::Pending : std::enable_shared_from_this<NtpClient::Pending> {
   std::shared_ptr<netsim::UdpSocket> socket;
   wire::NtpPacket request;
   netsim::EventHandle timer;
+  netsim::EventHandle hedge_timer;
   util::SimTime last_send;
   int attempts = 0;
   bool done = false;
+  bool hedged = false;  ///< this attempt's request was duplicated on the wire
   std::uint32_t last_flight = 0;  ///< flight id of the latest attempt
+
+  util::SimDuration attempt_timeout() const {
+    if (options.timeout_schedule.empty()) return options.timeout;
+    const auto i = std::min(static_cast<std::size_t>(attempts - 1),
+                            options.timeout_schedule.size() - 1);
+    return options.timeout_schedule[i];
+  }
 
   Pending(netsim::Host& h, SimClock c, wire::Ipv4Address s, NtpQueryOptions o, Handler cb)
       : host(h), clock(c), server(s), options(o), handler(std::move(cb)) {}
@@ -34,6 +45,7 @@ struct NtpClient::Pending : std::enable_shared_from_this<NtpClient::Pending> {
 
   void send_attempt() {
     ++attempts;
+    hedged = false;
     last_send = host.network().sim().now();
     // A fresh transmit timestamp per attempt: responses are matched to the
     // attempt that elicited them.
@@ -46,7 +58,29 @@ struct NtpClient::Pending : std::enable_shared_from_this<NtpClient::Pending> {
     }
     socket->send(server, wire::kNtpPort, bytes, options.ecn, options.ttl);
     auto self = shared_from_this();
-    timer = host.network().sim().schedule(options.timeout, [self]() { self->on_timeout(); });
+    const auto timeout = attempt_timeout();
+    timer = host.network().sim().schedule(timeout, [self]() { self->on_timeout(); });
+    // Guarded: the paper-default path (hedge_delay == 0) never schedules,
+    // never touches metrics, and emits identical wire traffic.
+    if (options.hedge_delay.count_nanos() > 0 && options.hedge_delay < timeout) {
+      hedge_timer = host.network().sim().schedule(
+          options.hedge_delay, [self, bytes]() { self->send_hedge(bytes); });
+    }
+  }
+
+  void send_hedge(const std::vector<std::uint8_t>& bytes) {
+    if (done) return;
+    // Same encoded request, second transmission: either copy's response
+    // matches answers(request). The attempt's timer keeps running.
+    hedged = true;
+    auto& recorder = host.network().obs().recorder;
+    if (recorder.armed()) {
+      recorder.set_seq(attempts - 1);
+      last_flight = recorder.begin_flight(/*retransmit=*/true);
+    }
+    socket->send(server, wire::kNtpPort, bytes, options.ecn, options.ttl);
+    host.network().obs().registry.counter(
+        "sched_hedges_total", {}, "hedged duplicate NTP requests sent")->inc();
   }
 
   void on_response(const netsim::UdpDelivery& delivery) {
@@ -56,6 +90,12 @@ struct NtpClient::Pending : std::enable_shared_from_this<NtpClient::Pending> {
     if (!packet || !packet->answers(request)) return;
     done = true;
     timer.cancel();
+    hedge_timer.cancel();
+    if (hedged) {
+      host.network().obs().registry.counter(
+          "sched_hedge_wins_total", {},
+          "responses that arrived after the attempt was hedged")->inc();
+    }
     NtpQueryResult result;
     result.success = true;
     result.attempts = attempts;
@@ -67,6 +107,7 @@ struct NtpClient::Pending : std::enable_shared_from_this<NtpClient::Pending> {
 
   void on_timeout() {
     if (done) return;
+    hedge_timer.cancel();
     if (attempts >= options.max_attempts) {
       done = true;
       auto& recorder = host.network().obs().recorder;

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <vector>
 
 #include "ecnprobe/netsim/host.hpp"
 #include "ecnprobe/wire/ntp.hpp"
@@ -44,6 +45,16 @@ struct NtpQueryOptions {
   int max_attempts = 5;               ///< paper: five requests, then give up
   util::SimDuration timeout = util::SimDuration::seconds(1);
   std::uint8_t ttl = wire::Ipv4Header::kDefaultTtl;
+  /// Per-attempt timeout overrides (sched::build_retry_schedule output):
+  /// attempt i waits timeout_schedule[min(i, size-1)]. Empty (the default,
+  /// and the paper's behaviour) falls back to the fixed `timeout` -- the
+  /// client then takes exactly the legacy code path.
+  std::vector<util::SimDuration> timeout_schedule;
+  /// Hedged duplicate: if an attempt has no response after this long, its
+  /// request is retransmitted once without resetting the attempt's timer
+  /// (tail-loss insurance). Zero (default) disables hedging; enabling it
+  /// records sched_hedges_total / sched_hedge_wins_total.
+  util::SimDuration hedge_delay{};
 };
 
 struct NtpQueryResult {

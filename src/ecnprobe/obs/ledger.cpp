@@ -34,6 +34,8 @@ std::string_view to_string(DropCause cause) {
     case DropCause::ServerOffline: return "server-offline";
     case DropCause::RateLimited: return "rate-limited";
     case DropCause::ProbeTimeout: return "probe-timeout";
+    case DropCause::CircuitOpen: return "circuit-open";
+    case DropCause::WatchdogCancelled: return "watchdog-cancelled";
     case DropCause::IcmpBlackhole: return "icmp-blackhole";
     case DropCause::RouteFlap: return "route-flap";
     case DropCause::TraceQuarantined: return "trace-quarantined";

@@ -53,12 +53,14 @@ enum class DropCause : std::uint8_t {
   RateLimited,
   // Measure
   ProbeTimeout,
+  CircuitOpen,        ///< probe skipped: the destination's breaker was open
+  WatchdogCancelled,  ///< server probe cancelled at the watchdog deadline
   // Chaos (injected faults)
   IcmpBlackhole,     ///< fault plan eating ICMP error traffic at a router
   RouteFlap,         ///< mid-path link in its flap-down window
   TraceQuarantined,  ///< whole trace thrown away by the campaign executor
 };
-inline constexpr std::size_t kDropCauseCount = 21;
+inline constexpr std::size_t kDropCauseCount = 23;
 
 enum class RewriteCause : std::uint8_t {
   Bleached,  ///< ECT/CE codepoint stripped to not-ECT

@@ -562,6 +562,19 @@ void World::before_trace(const std::string& /*vantage*/, int batch, int index) {
     server.ntp_service->set_online(server.online);
     if (server.web) server.web->set_enabled(server.online);
   }
+  // Chaos: blackholed servers are dead for the whole campaign. Membership
+  // re-derives from a fixed fork (identical on every call and every shard);
+  // a plan without the fault makes zero draws here.
+  if (params_.faults.blackhole_server_fraction > 0.0) {
+    util::Rng blackhole_rng = rng_.fork("chaos-blackhole");
+    for (auto& server : servers_) {
+      if (blackhole_rng.bernoulli(params_.faults.blackhole_server_fraction)) {
+        server.online = false;
+        server.ntp_service->set_online(false);
+        if (server.web) server.web->set_enabled(false);
+      }
+    }
+  }
 }
 
 void World::begin_trace_epoch(const std::string& vantage, int batch, int index) {
@@ -611,7 +624,19 @@ std::vector<measure::Trace> World::run_campaign(
     const measure::CampaignPlan& plan, const measure::ProbeOptions& options,
     measure::Campaign::AfterTraceHook after_trace, measure::CampaignJournal* journal,
     int halt_after, std::vector<measure::TraceFailure>* failures) {
-  measure::Campaign campaign(vantage_map(), server_addresses(), options);
+  measure::ProbeOptions probe = options;
+  if (!probe.sched.is_paper_default()) {
+    // Scenario-layer defaults for a supervised campaign: jitter streams key
+    // off the world seed, breaker groups off this world's ip2as map. Both
+    // are pure functions of WorldParams, so the sharded executor (which
+    // applies the same defaults against its worker clones) stays
+    // byte-identical.
+    if (probe.sched.seed == 0) probe.sched.seed = params_.seed;
+    if (probe.sched.breaker.enabled && !probe.breaker_group) {
+      probe.breaker_group = breaker_group_resolver();
+    }
+  }
+  measure::Campaign campaign(vantage_map(), server_addresses(), probe);
   if (after_trace) campaign.set_after_trace(std::move(after_trace));
   campaign_obs_ = {};
   campaign_flights_.clear();
@@ -739,6 +764,13 @@ std::vector<wire::Ipv4Address> World::run_discovery(const std::string& vantage_n
   return out;
 }
 
+sched::GroupResolver World::breaker_group_resolver() {
+  return [this](wire::Ipv4Address addr) -> std::string {
+    const auto asn = internet_->ip2as().lookup(addr);
+    return asn ? util::strf("AS%u", static_cast<unsigned>(*asn)) : "AS-unknown";
+  };
+}
+
 std::vector<wire::Ipv4Address> World::ground_truth_firewalled() const {
   std::vector<wire::Ipv4Address> out;
   for (const auto& server : servers_) {
@@ -763,6 +795,13 @@ std::vector<measure::Trace> run_parallel_campaign(
   measure::ParallelCampaign::Options exec_options;
   exec_options.workers = workers;
   exec_options.probe = options;
+  if (!exec_options.probe.sched.is_paper_default() &&
+      exec_options.probe.sched.seed == 0) {
+    // Mirror of the sequential executor's seed defaulting; the breaker
+    // group resolver is bound per worker shard (each clone owns a private
+    // ip2as map) inside ParallelCampaign.
+    exec_options.probe.sched.seed = params.seed;
+  }
   exec_options.halt_after_traces =
       halt_after > 0 ? halt_after : params.faults.crash_after_traces;
   measure::ParallelCampaign campaign(world_shard_factory(params), exec_options);

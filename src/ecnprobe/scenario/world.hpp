@@ -235,6 +235,12 @@ public:
   std::vector<wire::Ipv4Address> ground_truth_firewalled() const;
   const topology::IpToAsMap& ip2as() const { return internet_->ip2as(); }
 
+  /// Circuit-breaker group resolver over THIS world's ip2as map: "AS<n>",
+  /// or "AS-unknown" for unmapped addresses. The returned closure captures
+  /// `this`; it must not outlive the world (the campaign executors bind it
+  /// per run, the parallel shards per worker clone).
+  sched::GroupResolver breaker_group_resolver();
+
   /// Enables an RFC 3168 AQM (CE-marking) on the access link of server `i`
   /// in the server->vantage direction -- used by the ECN-usability
   /// extension experiment.
@@ -308,6 +314,9 @@ public:
     (void)batch;
     (void)index;
     world_.quarantine_trace(vantage);
+  }
+  sched::GroupResolver breaker_group() override {
+    return world_.breaker_group_resolver();
   }
 
   World& world() { return world_; }

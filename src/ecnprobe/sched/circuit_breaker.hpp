@@ -1,0 +1,76 @@
+// Closed / open / half-open circuit breaker. Pure state machine -- no
+// clock, no RNG -- driven by the probe layer's success/failure reports, so
+// its decisions are a function of the (deterministic) probe outcome
+// sequence alone and shard identically at any worker count.
+//
+//   Closed ──(failure_threshold consecutive failures)──► Open
+//   Open ──(half_open_after skipped requests)──► HalfOpen
+//   HalfOpen ──(trial success)──► Closed
+//   HalfOpen ──(trial failure)──► Open
+#pragma once
+
+#include <functional>
+
+#include "ecnprobe/sched/policy.hpp"
+
+namespace ecnprobe::sched {
+
+class CircuitBreaker {
+public:
+  enum class State : std::uint8_t { Closed, Open, HalfOpen };
+
+  /// Fires on every state change (metrics hook).
+  using Listener = std::function<void(State from, State to)>;
+
+  explicit CircuitBreaker(BreakerPolicy policy, Listener listener = nullptr)
+      : policy_(policy), listener_(std::move(listener)) {}
+
+  /// May the next request proceed? Open swallows the request (counting it
+  /// toward the half-open trial); HalfOpen and Closed let it through.
+  bool allow() {
+    if (state_ != State::Open) return true;
+    if (++skips_ >= policy_.half_open_after) {
+      skips_ = 0;
+      transition(State::HalfOpen);
+      return true;
+    }
+    return false;
+  }
+
+  void on_success() {
+    consecutive_failures_ = 0;
+    if (state_ != State::Closed) transition(State::Closed);
+  }
+
+  void on_failure() {
+    ++consecutive_failures_;
+    if (state_ == State::HalfOpen) {
+      // The trial request failed: straight back to open.
+      transition(State::Open);
+      skips_ = 0;
+    } else if (state_ == State::Closed &&
+               consecutive_failures_ >= policy_.failure_threshold) {
+      transition(State::Open);
+      skips_ = 0;
+    }
+  }
+
+  State state() const { return state_; }
+
+private:
+  void transition(State to) {
+    const State from = state_;
+    state_ = to;
+    if (listener_) listener_(from, to);
+  }
+
+  BreakerPolicy policy_;
+  Listener listener_;
+  State state_ = State::Closed;
+  int consecutive_failures_ = 0;
+  int skips_ = 0;
+};
+
+std::string_view to_string(CircuitBreaker::State state);
+
+}  // namespace ecnprobe::sched

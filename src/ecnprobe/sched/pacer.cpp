@@ -1,0 +1,45 @@
+#include "ecnprobe/sched/pacer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ecnprobe::sched {
+
+Pacer::Pacer(const PacerPolicy& policy) {
+  if (policy.enabled && policy.rate_per_sec > 0.0) {
+    // The only floating-point operation the pacer ever performs, done once:
+    // every later decision is integer arithmetic on this interval.
+    interval_ns_ = std::max<std::int64_t>(1, std::llround(1e9 / policy.rate_per_sec));
+    cap_ns_ = interval_ns_ * std::max(1, policy.burst);
+    level_ns_ = cap_ns_;  // bucket starts full: the first burst is free
+  }
+  per_dest_gap_ns_ = policy.per_dest_gap.count_nanos();
+}
+
+util::SimTime Pacer::acquire(util::SimTime now, wire::Ipv4Address dest) {
+  std::int64_t launch_ns = now.count_nanos();
+  if (interval_ns_ > 0) {
+    level_ns_ = std::min(cap_ns_, level_ns_ + (launch_ns - last_refill_ns_));
+    last_refill_ns_ = launch_ns;
+    if (level_ns_ >= interval_ns_) {
+      level_ns_ -= interval_ns_;
+    } else {
+      // Wait until the bucket refills to one token; the token is consumed
+      // exactly at launch, leaving the level at zero.
+      launch_ns += interval_ns_ - level_ns_;
+      level_ns_ = 0;
+      last_refill_ns_ = launch_ns;
+    }
+  }
+  if (per_dest_gap_ns_ > 0) {
+    const auto it = last_send_ns_.find(dest.value());
+    if (it != last_send_ns_.end()) {
+      launch_ns = std::max(launch_ns, it->second + per_dest_gap_ns_);
+    }
+    last_send_ns_[dest.value()] = launch_ns;
+  }
+  last_delayed_ = launch_ns > now.count_nanos();
+  return util::SimTime::from_nanos(launch_ns);
+}
+
+}  // namespace ecnprobe::sched

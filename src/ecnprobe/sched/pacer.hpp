@@ -1,0 +1,39 @@
+// Token-bucket pacer on the simulated clock. All arithmetic is on int64
+// nanoseconds (the token level is stored as "nanoseconds of accumulated
+// credit"), so the launch times it hands out are bit-stable across
+// platforms and worker counts -- no floating-point accumulation ever
+// enters the schedule.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "ecnprobe/sched/policy.hpp"
+#include "ecnprobe/wire/ipv4.hpp"
+
+namespace ecnprobe::sched {
+
+class Pacer {
+public:
+  explicit Pacer(const PacerPolicy& policy);
+
+  /// Earliest launch time >= now for the next probe step to `dest`,
+  /// consuming one token at that time and honouring the per-destination
+  /// gap. Callers must invoke this in non-decreasing `now` order (the
+  /// sequential trace runner does by construction).
+  util::SimTime acquire(util::SimTime now, wire::Ipv4Address dest);
+
+  /// True when the last acquire() had to delay past `now`.
+  bool last_delayed() const { return last_delayed_; }
+
+private:
+  std::int64_t interval_ns_ = 0;  ///< ns per token; 0 = unlimited rate
+  std::int64_t cap_ns_ = 0;      ///< bucket capacity (burst * interval)
+  std::int64_t level_ns_ = 0;    ///< accumulated credit, starts full
+  std::int64_t last_refill_ns_ = 0;
+  std::int64_t per_dest_gap_ns_ = 0;
+  bool last_delayed_ = false;
+  std::map<std::uint32_t, std::int64_t> last_send_ns_;  ///< per-destination
+};
+
+}  // namespace ecnprobe::sched

@@ -1,0 +1,125 @@
+// Probe-lifecycle supervision policies (the deterministic scheduler layer).
+//
+// The paper's probing discipline -- up to five NTP requests one second
+// apart, a 15 s HTTP deadline -- is the *default* policy here, and the
+// default must be invisible: a campaign run with SupervisorConfig::
+// paper_default() takes exactly the pre-supervisor code path, makes zero
+// extra RNG draws, and reproduces the golden campaign artefacts bit for
+// bit. Everything beyond the default (exponential backoff with
+// seed-deterministic jitter, hedged duplicates, circuit breakers, pacing,
+// a per-server watchdog) is opt-in and purely a function of
+// (SupervisorConfig, seed, server, step), so campaigns stay byte-identical
+// sequential vs --workers N.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ecnprobe/util/expected.hpp"
+#include "ecnprobe/util/rng.hpp"
+#include "ecnprobe/util/time.hpp"
+
+namespace ecnprobe::sched {
+
+/// How UDP probe attempts are timed. PaperFixed reproduces Section 3's
+/// schedule verbatim (the probe layer keeps its inline loop); Backoff
+/// builds a per-step timeout schedule via build_retry_schedule().
+struct RetryPolicy {
+  enum class Kind : std::uint8_t { PaperFixed, Backoff };
+
+  Kind kind = Kind::PaperFixed;
+  int max_attempts = 5;
+  util::SimDuration base_timeout = util::SimDuration::seconds(1);
+  /// Backoff only: attempt i nominally waits base * factor^i, capped at
+  /// max_timeout. Must be >= 1.
+  double backoff_factor = 2.0;
+  util::SimDuration max_timeout = util::SimDuration::seconds(8);
+  /// Backoff only: each timeout is scaled by a seed-deterministic factor
+  /// uniform in [1 - jitter, 1 + jitter), then clamped so the schedule
+  /// stays monotone non-decreasing. In [0, 1).
+  double jitter = 0.0;
+  /// Backoff only: attempts whose cumulative timeout would exceed this are
+  /// dropped (zero = unbounded). The schedule always keeps attempt one.
+  util::SimDuration total_budget{};
+  /// Backoff only: after this long without a response, the attempt's
+  /// request is duplicated once on the wire (a hedge against tail loss).
+  /// Zero disables hedging.
+  util::SimDuration hedge_delay{};
+};
+
+/// Per-attempt timeout schedule: a pure function of (policy, rng). The
+/// sequence is monotone non-decreasing, every entry lies within
+/// [base*(1-jitter), max_timeout*(1+jitter)], and the sum never exceeds
+/// total_budget (when set). PaperFixed makes no RNG draws at all.
+std::vector<util::SimDuration> build_retry_schedule(const RetryPolicy& policy,
+                                                    util::Rng& rng);
+
+/// Circuit-breaker thresholds, shared by the per-server breakers (counting
+/// consecutive failed probe steps within one server's four-step sequence)
+/// and the per-AS group breakers (counting consecutive fully-dead servers).
+struct BreakerPolicy {
+  bool enabled = false;
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 3;
+  /// Skips in the open state before one trial probe is let through
+  /// (half-open). A successful trial closes the breaker; a failure
+  /// re-opens it.
+  int half_open_after = 4;
+};
+
+/// Global token-bucket pacing of probe-step launches on the sim clock,
+/// plus an optional per-destination minimum gap. Integer-nanosecond
+/// arithmetic throughout: no floating-point accumulation, so the pacing
+/// decisions are bit-stable at any worker count.
+struct PacerPolicy {
+  bool enabled = false;
+  double rate_per_sec = 0.0;  ///< steady-state probe steps per sim-second
+  int burst = 1;              ///< bucket depth, in steps
+  util::SimDuration per_dest_gap{};  ///< min spacing between sends to one server
+};
+
+/// Hard per-server-probe deadline. A server whose four-step sequence is
+/// still unfinished after `deadline` is cancelled: its remaining steps are
+/// recorded as failed, the loss is attributed (watchdog-cancelled) in the
+/// drop ledger, and a flight-recorder span names the stall for
+/// trace-autopsy. Zero disables the watchdog.
+struct WatchdogPolicy {
+  util::SimDuration deadline{};
+};
+
+struct SupervisorConfig {
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+  PacerPolicy pacer;
+  WatchdogPolicy watchdog;
+  /// Base seed for the jitter streams. The scenario layer defaults it to
+  /// the world seed; each trace supervisor further salts it with the trace
+  /// index, each schedule with (server, step).
+  std::uint64_t seed = 0;
+
+  /// The paper's fixed discipline; the probe layer bypasses the supervisor
+  /// entirely for it.
+  static SupervisorConfig paper_default() { return {}; }
+
+  /// True when nothing here would change the inline probe loop's
+  /// behaviour -- the byte-identity contract hinges on this predicate.
+  bool is_paper_default() const;
+
+  /// Throws std::invalid_argument with a precise message on any
+  /// out-of-range field.
+  void validate() const;
+
+  /// Parses "paper" / "backoff" optionally followed by ,key=value
+  /// overrides, e.g. "backoff,base-ms=500,factor=2,jitter=0.1,
+  /// breaker-failures=3,pace-rate=50,watchdog-ms=30000". The parsed
+  /// config is validated. Key list in docs/robustness.md.
+  static util::Expected<SupervisorConfig> parse(const std::string& spec);
+
+  /// Canonical key=value rendering: fixed order, disabled subsystems
+  /// omitted, so parse(serialize()) round-trips to an equal config and
+  /// equal configs serialise to equal strings.
+  std::string serialize() const;
+};
+
+}  // namespace ecnprobe::sched

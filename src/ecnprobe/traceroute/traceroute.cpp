@@ -1,11 +1,27 @@
 #include "ecnprobe/traceroute/traceroute.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "ecnprobe/util/strings.hpp"
 #include "ecnprobe/wire/udp.hpp"
 
 namespace ecnprobe::traceroute {
+
+void TracerouteOptions::validate() const {
+  if (max_ttl < 1 || max_ttl > 255) {
+    throw std::invalid_argument("TracerouteOptions: max_ttl must be in [1, 255]");
+  }
+  if (probes_per_hop <= 0) {
+    throw std::invalid_argument("TracerouteOptions: probes_per_hop must be >= 1");
+  }
+  if (timeout.count_nanos() <= 0) {
+    throw std::invalid_argument("TracerouteOptions: timeout must be positive");
+  }
+  if (stop_after_silent <= 0) {
+    throw std::invalid_argument("TracerouteOptions: stop_after_silent must be >= 1");
+  }
+}
 
 int PathRecord::responding_hops() const {
   return static_cast<int>(
@@ -36,6 +52,7 @@ Tracerouter::~Tracerouter() { host_.clear_protocol_handler(wire::IpProto::Icmp);
 
 void Tracerouter::trace(wire::Ipv4Address destination, const TracerouteOptions& options,
                         Handler handler) {
+  options.validate();
   auto trace = std::make_shared<Trace>();
   trace->destination = destination;
   trace->options = options;

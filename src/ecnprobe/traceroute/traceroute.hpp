@@ -22,6 +22,10 @@ struct TracerouteOptions {
   util::SimDuration timeout = util::SimDuration::seconds(1);
   int stop_after_silent = 6;  ///< consecutive silent hops before giving up
   std::uint16_t base_dst_port = 33434;  ///< classic traceroute port range
+
+  /// Throws std::invalid_argument on out-of-range fields; Tracerouter::trace
+  /// validates every options instance it is handed.
+  void validate() const;
 };
 
 struct HopRecord {

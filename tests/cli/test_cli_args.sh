@@ -55,6 +55,28 @@ must_fail "negative seed" campaign --seed -1
 must_fail "trailing garbage in int" campaign --traces 3x
 must_fail "unexpected positional" analyze a.csv b.csv
 
+# Probe-supervision flags are strict too: out-of-range retry/pace/breaker/
+# watchdog values must die at argument parsing with a usage message.
+must_fail "unknown retry policy" campaign --retry-policy sometimes
+must_fail "non-numeric retry max" campaign --retry-max banana
+must_fail "zero retry max" campaign --retry-max 0
+must_fail "zero retry base" campaign --retry-base-ms 0
+must_fail "negative retry base" campaign --retry-base-ms -100
+must_fail "retry factor below one" campaign --retry-factor 0.5
+must_fail "retry jitter at one" campaign --retry-jitter 1.0
+must_fail "negative retry jitter" campaign --retry-jitter -0.1
+must_fail "negative retry budget" campaign --retry-budget-ms -1
+must_fail "negative hedge delay" campaign --retry-hedge-ms -5
+must_fail "hedge without backoff" campaign --retry-policy paper --retry-hedge-ms 100
+must_fail "zero pace rate" campaign --pace-rate 0
+must_fail "non-numeric pace rate" campaign --pace-rate fast
+must_fail "zero pace burst" campaign --pace-burst 0
+must_fail "negative pace gap" campaign --pace-dest-gap-ms -2
+must_fail "zero breaker failures" campaign --breaker-failures 0
+must_fail "zero breaker half-open" campaign --breaker-half-open 0
+must_fail "zero watchdog deadline" campaign --watchdog-ms 0
+must_fail "missing supervision value" campaign --retry-base-ms
+
 # Errors detected past argument parsing report their own message (no usage
 # text): bad fault specs and resuming a journal that does not exist.
 must_fail_plain() {
@@ -79,6 +101,12 @@ must_pass "faulted campaign with checkpoint" campaign --scale 0.02 --traces 2 \
   --faults none,poison=1 --checkpoint "$TMP/run.journal" --out "$TMP/t2.csv"
 must_pass "resume of that checkpoint" campaign --scale 0.02 --traces 2 \
   --faults none,poison=1 --resume "$TMP/run.journal" --out "$TMP/t3.csv"
+must_pass "fully supervised campaign" campaign --scale 0.02 --traces 1 \
+  --retry-policy backoff --retry-max 4 --retry-base-ms 500 --retry-factor 2 \
+  --retry-jitter 0.2 --retry-budget-ms 8000 --retry-hedge-ms 250 \
+  --breaker-failures 2 --breaker-half-open 3 \
+  --pace-rate 200 --pace-burst 2 --pace-dest-gap-ms 5 --watchdog-ms 20000 \
+  --out "$TMP/t4.csv"
 
 if [ "$fails" -ne 0 ]; then
   echo "$fails CLI argument checks failed"

@@ -1,0 +1,202 @@
+// The probe-lifecycle supervisor through the full world: the paper-fixed
+// default must reproduce the committed golden campaign artefacts byte for
+// byte, a fully-armed supervisor (backoff + jitter + hedging + breakers +
+// pacer + watchdog) must stay byte-identical sequential vs --workers 8,
+// breakers must measurably shorten a blackhole-heavy campaign with every
+// skipped probe attributed, and the watchdog must cancel stalled server
+// probes with attribution.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "ecnprobe/measure/results.hpp"
+#include "ecnprobe/obs/export.hpp"
+#include "ecnprobe/scenario/world.hpp"
+
+namespace ecnprobe::scenario {
+namespace {
+
+std::string traces_csv(const std::vector<measure::Trace>& traces) {
+  std::ostringstream os;
+  measure::write_traces_csv(os, traces);
+  return os.str();
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+WorldParams blackhole_params(std::uint64_t seed = 51) {
+  auto params = WorldParams::small(seed);
+  params.server_count = 18;
+  const auto faults = chaos::FaultPlan::parse("blackhole-heavy");
+  EXPECT_TRUE(faults);
+  params.faults = *faults;
+  return params;
+}
+
+measure::ProbeOptions armed_supervisor() {
+  measure::ProbeOptions probe;
+  auto& sched = probe.sched;
+  sched.retry.kind = sched::RetryPolicy::Kind::Backoff;
+  sched.retry.max_attempts = 4;
+  sched.retry.base_timeout = util::SimDuration::millis(600);
+  sched.retry.backoff_factor = 2.0;
+  sched.retry.max_timeout = util::SimDuration::seconds(3);
+  sched.retry.jitter = 0.25;
+  sched.retry.total_budget = util::SimDuration::seconds(6);
+  sched.retry.hedge_delay = util::SimDuration::millis(250);
+  sched.breaker.enabled = true;
+  sched.breaker.failure_threshold = 2;
+  sched.breaker.half_open_after = 3;
+  sched.pacer.enabled = true;
+  sched.pacer.rate_per_sec = 400.0;
+  sched.pacer.burst = 2;
+  sched.pacer.per_dest_gap = util::SimDuration::millis(1);
+  sched.watchdog.deadline = util::SimDuration::seconds(20);
+  return probe;
+}
+
+TEST(WorldSched, PaperDefaultMatchesGoldenArtifacts) {
+  // Exactly the pre-supervisor seed campaign: WorldParams::small(42) and
+  // this plan produced the committed golden files from the unmodified
+  // tree. If this test fails the default policy is no longer invisible.
+  // Intentional output changes regenerate via ECNPROBE_UPDATE_GOLDEN=1.
+  World world(WorldParams::small(42));
+  measure::CampaignPlan plan;
+  plan.entries.push_back({"UGla wired", 1, 2});
+  plan.entries.push_back({"McQuistin home", 1, 1});
+  plan.entries.push_back({"EC2 Tok", 2, 2});
+  const auto traces = world.run_campaign(plan);
+  const std::string csv = traces_csv(traces);
+  const std::string json = obs::to_json(world.campaign_obs());
+
+  const std::string dir(ECNPROBE_GOLDEN_DIR);
+  if (std::getenv("ECNPROBE_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream(dir + "/campaign_default.csv", std::ios::binary) << csv;
+    std::ofstream(dir + "/campaign_default.json", std::ios::binary) << json;
+    GTEST_SKIP() << "golden campaign artefacts regenerated";
+  }
+  const std::string golden_csv = read_file(dir + "/campaign_default.csv");
+  const std::string golden_json = read_file(dir + "/campaign_default.json");
+  ASSERT_FALSE(golden_csv.empty()) << "missing golden campaign_default.csv";
+  ASSERT_FALSE(golden_json.empty()) << "missing golden campaign_default.json";
+  EXPECT_TRUE(csv == golden_csv) << "campaign CSV drifted from the golden bytes";
+  EXPECT_TRUE(json == golden_json) << "campaign obs JSON drifted from the golden bytes";
+  // The paper default also creates no supervisor metric families.
+  EXPECT_EQ(json.find("sched_"), std::string::npos);
+}
+
+TEST(WorldSched, ArmedSupervisorShardsByteIdentically) {
+  // Every supervisor feature at once, on a blackhole-heavy world so the
+  // breakers, hedges, and watchdog all actually fire -- then the sequential
+  // run and the sharded executor must still agree byte for byte.
+  const auto params = blackhole_params();
+  const auto probe = armed_supervisor();
+  measure::CampaignPlan plan;
+  plan.entries.push_back({"UGla wired", 1, 2});
+  plan.entries.push_back({"Perkins home", 1, 1});
+  plan.entries.push_back({"EC2 Vir", 2, 2});
+
+  World sequential(params);
+  const auto reference = sequential.run_campaign(plan, probe);
+  const std::string reference_csv = traces_csv(reference);
+  const std::string reference_json = obs::to_json(sequential.campaign_obs());
+
+  // The supervisor was genuinely exercised, not idle.
+  EXPECT_NE(reference_json.find("sched_retry_attempts_total"), std::string::npos);
+  EXPECT_NE(reference_json.find("sched_breaker_transitions_total"), std::string::npos);
+  EXPECT_NE(reference_json.find("sched_hedges_total"), std::string::npos);
+  EXPECT_GT(sequential.campaign_obs().ledger.drops_for_cause("circuit-open"), 0u);
+
+  for (const int workers : {1, 2, 8}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    obs::ObsSnapshot metrics;
+    const auto traces =
+        run_parallel_campaign(params, plan, probe, workers, nullptr, &metrics);
+    EXPECT_TRUE(traces_csv(traces) == reference_csv);
+    EXPECT_TRUE(obs::to_json(metrics) == reference_json);
+  }
+}
+
+TEST(WorldSched, BreakersRouteAroundBlackholedServers) {
+  // Enough servers that the deterministic savings from skipped probes
+  // dominate: skipping sends also shifts the epoch RNG stream, so a few
+  // probes elsewhere in the trace can flip outcome (a flipped timeout
+  // costs ~5 sim-s); at this scale the breakers win on every seed.
+  auto params = blackhole_params(77);
+  params.server_count = 48;
+  measure::CampaignPlan plan;
+  plan.entries.push_back({"UGla wired", 1, 1});
+
+  World plain(params);
+  plain.run_campaign(plan);
+  const auto plain_now = plain.sim().now();
+  const auto plain_events = plain.sim().events_processed();
+  EXPECT_EQ(plain.campaign_obs().ledger.drops_for_cause("circuit-open"), 0u);
+
+  measure::ProbeOptions probe;
+  probe.sched.breaker.enabled = true;
+  probe.sched.breaker.failure_threshold = 2;
+  probe.sched.breaker.half_open_after = 4;
+  World breakered(params);
+  const auto breakered_traces = breakered.run_campaign(plan, probe);
+
+  // Routing around the corpses finishes the campaign in less simulated
+  // time AND less simulator work.
+  EXPECT_LT(breakered.sim().now(), plain_now);
+  EXPECT_LT(breakered.sim().events_processed(), plain_events);
+
+  // Every skipped probe is attributed: the circuit-open ledger count is
+  // exactly the sched_breaker_skips_total sum, and it is not zero.
+  const auto& obs = breakered.campaign_obs();
+  const auto skipped = obs.ledger.drops_for_cause("circuit-open");
+  EXPECT_GT(skipped, 0u);
+  std::uint64_t counted = 0;
+  const auto family = obs.metrics.families.find("sched_breaker_skips_total");
+  ASSERT_NE(family, obs.metrics.families.end());
+  for (const auto& [labels, sample] : family->second.samples) counted += sample.counter;
+  EXPECT_EQ(counted, skipped);
+
+  // Same plan, same params, same config: the breakered run is itself
+  // reproducible.
+  World again(params);
+  const auto replay = again.run_campaign(plan, probe);
+  EXPECT_TRUE(traces_csv(replay) == traces_csv(breakered_traces));
+}
+
+TEST(WorldSched, WatchdogCancelsStalledServerProbes) {
+  const auto params = blackhole_params(91);
+  measure::CampaignPlan plan;
+  plan.entries.push_back({"UGla wired", 1, 1});
+
+  measure::ProbeOptions probe;
+  probe.sched.watchdog.deadline = util::SimDuration::seconds(8);
+  World world(params);
+  const auto traces = world.run_campaign(plan, probe);
+  ASSERT_EQ(traces.size(), 1u);
+  // Cancelled servers still report a (failed) result row; nothing vanishes.
+  EXPECT_EQ(traces[0].servers.size(), static_cast<std::size_t>(params.server_count));
+
+  const auto& obs = world.campaign_obs();
+  const auto cancelled = obs.ledger.drops_for_cause("watchdog-cancelled");
+  EXPECT_GT(cancelled, 0u);
+  const std::string json = obs::to_json(obs);
+  EXPECT_NE(json.find("sched_watchdog_cancellations_total"), std::string::npos);
+
+  // A watchdog-cancelled campaign still shards byte-identically.
+  obs::ObsSnapshot metrics;
+  const auto sharded = run_parallel_campaign(params, plan, probe, 8, nullptr, &metrics);
+  EXPECT_TRUE(traces_csv(sharded) == traces_csv(traces));
+  EXPECT_TRUE(obs::to_json(metrics) == json);
+}
+
+}  // namespace
+}  // namespace ecnprobe::scenario

@@ -1,0 +1,91 @@
+// The breaker state machine, transition by transition. No clock, no RNG:
+// the full behaviour is a function of the allow/success/failure call
+// sequence, which is what makes breaker decisions shard-stable.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ecnprobe/sched/circuit_breaker.hpp"
+
+namespace ecnprobe::sched {
+namespace {
+
+BreakerPolicy policy(int failures, int half_open_after) {
+  BreakerPolicy p;
+  p.enabled = true;
+  p.failure_threshold = failures;
+  p.half_open_after = half_open_after;
+  return p;
+}
+
+std::string transition(CircuitBreaker::State from, CircuitBreaker::State to) {
+  return std::string(to_string(from)) + "->" + std::string(to_string(to));
+}
+
+TEST(CircuitBreaker, StaysClosedBelowThreshold) {
+  CircuitBreaker breaker(policy(3, 2));
+  breaker.on_failure();
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(breaker.allow());
+  breaker.on_success();  // resets the consecutive count
+  breaker.on_failure();
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+}
+
+TEST(CircuitBreaker, OpensOnConsecutiveFailuresAndSkips) {
+  std::vector<std::string> log;
+  CircuitBreaker breaker(policy(3, 4), [&](auto from, auto to) {
+    log.push_back(transition(from, to));
+  });
+  for (int i = 0; i < 3; ++i) breaker.on_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  ASSERT_EQ(log, std::vector<std::string>{"closed->open"});
+  // Open swallows requests until the half-open trial is due.
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_TRUE(breaker.allow());  // 4th request: the trial
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::HalfOpen);
+  EXPECT_EQ(log.back(), "open->half-open");
+}
+
+TEST(CircuitBreaker, HalfOpenTrialSuccessCloses) {
+  std::vector<std::string> log;
+  CircuitBreaker breaker(policy(1, 1), [&](auto from, auto to) {
+    log.push_back(transition(from, to));
+  });
+  breaker.on_failure();
+  EXPECT_TRUE(breaker.allow());  // immediately half-open with half_open_after=1
+  breaker.on_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Closed);
+  EXPECT_EQ(log, (std::vector<std::string>{"closed->open", "open->half-open",
+                                           "half-open->closed"}));
+  // Fully recovered: the failure count restarts from zero.
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(CircuitBreaker, HalfOpenTrialFailureReopens) {
+  CircuitBreaker breaker(policy(2, 2));
+  breaker.on_failure();
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_TRUE(breaker.allow());  // trial
+  breaker.on_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::Open);
+  // The skip count restarted: another full wait before the next trial.
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(CircuitBreaker, StateNames) {
+  EXPECT_EQ(to_string(CircuitBreaker::State::Closed), "closed");
+  EXPECT_EQ(to_string(CircuitBreaker::State::Open), "open");
+  EXPECT_EQ(to_string(CircuitBreaker::State::HalfOpen), "half-open");
+}
+
+}  // namespace
+}  // namespace ecnprobe::sched

@@ -1,0 +1,78 @@
+// Property test over the backoff schedule builder: 10,000 random seeds
+// and policies, three invariants that must hold for every one of them.
+//
+//   1. monotone: the schedule never shrinks between attempts;
+//   2. bounded: every entry lies within [base*(1-jitter), max*(1+jitter)]
+//      (the monotonicity clamp can only raise an entry toward a value that
+//      itself satisfied the upper bound, so the bound survives clamping);
+//   3. budgeted: when a total budget is set, the schedule's sum fits it --
+//      except the guaranteed first attempt, which survives any budget.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "ecnprobe/sched/policy.hpp"
+
+namespace ecnprobe::sched {
+namespace {
+
+TEST(RetryScheduleProperty, TenThousandSeedsHoldAllInvariants) {
+  util::Rng meta(0xECCE5EED);
+  int budgeted_runs = 0;
+  for (int trial = 0; trial < 10'000; ++trial) {
+    RetryPolicy policy;
+    policy.kind = RetryPolicy::Kind::Backoff;
+    policy.max_attempts = static_cast<int>(meta.uniform_int(1, 8));
+    policy.base_timeout =
+        util::SimDuration::millis(meta.uniform_int(50, 2'000));
+    policy.backoff_factor = meta.uniform(1.0, 3.0);
+    policy.max_timeout =
+        policy.base_timeout + util::SimDuration::millis(meta.uniform_int(0, 10'000));
+    policy.jitter = meta.bernoulli(0.7) ? meta.uniform(0.0, 0.9) : 0.0;
+    const bool budgeted = meta.bernoulli(0.5);
+    if (budgeted) {
+      policy.total_budget =
+          policy.base_timeout + util::SimDuration::millis(meta.uniform_int(0, 20'000));
+      ++budgeted_runs;
+    }
+
+    const std::uint64_t seed = meta.next_u64();
+    util::Rng rng(seed);
+    const auto schedule = build_retry_schedule(policy, rng);
+
+    ASSERT_FALSE(schedule.empty()) << "trial " << trial << " seed " << seed;
+    ASSERT_LE(schedule.size(), static_cast<std::size_t>(policy.max_attempts));
+
+    const double lo = static_cast<double>(policy.base_timeout.count_nanos()) *
+                      (1.0 - policy.jitter);
+    const double hi = static_cast<double>(policy.max_timeout.count_nanos()) *
+                      (1.0 + policy.jitter);
+    std::int64_t prev_ns = 0;
+    std::int64_t sum_ns = 0;
+    for (std::size_t i = 0; i < schedule.size(); ++i) {
+      const std::int64_t t_ns = schedule[i].count_nanos();
+      EXPECT_GE(t_ns, prev_ns) << "not monotone at attempt " << i << ", trial "
+                               << trial << " seed " << seed;
+      // +/-1ns of slack for the double->int64 truncation in the builder.
+      EXPECT_GE(static_cast<double>(t_ns), lo - 1.0)
+          << "below jitter floor at attempt " << i << ", trial " << trial;
+      EXPECT_LE(static_cast<double>(t_ns), hi + 1.0)
+          << "above jitter ceiling at attempt " << i << ", trial " << trial;
+      prev_ns = t_ns;
+      sum_ns += t_ns;
+    }
+    if (policy.total_budget.count_nanos() > 0 && schedule.size() > 1) {
+      EXPECT_LE(sum_ns, policy.total_budget.count_nanos())
+          << "budget exceeded, trial " << trial << " seed " << seed;
+    }
+
+    // Same seed, same schedule: the builder is a pure function.
+    util::Rng replay(seed);
+    EXPECT_EQ(build_retry_schedule(policy, replay), schedule);
+  }
+  // The generator must actually exercise the budget branch.
+  EXPECT_GT(budgeted_runs, 3'000);
+}
+
+}  // namespace
+}  // namespace ecnprobe::sched

@@ -1,0 +1,107 @@
+// Export snapshot for the supervisor's metric families: drive a
+// TraceSupervisor until every sched_* family exists, then pin how the
+// JSON and Prometheus encoders render them -- including label values
+// hostile to both formats (quotes, backslashes, newlines), which reach
+// the exporters through vantage names.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "ecnprobe/obs/export.hpp"
+#include "ecnprobe/sched/supervisor.hpp"
+
+namespace ecnprobe::sched {
+namespace {
+
+const wire::Ipv4Address kDead(0x0a000001);
+const wire::Ipv4Address kAlive(0x0a000002);
+
+SupervisorConfig exercised_config() {
+  SupervisorConfig config;
+  config.retry.kind = RetryPolicy::Kind::Backoff;
+  config.breaker.enabled = true;
+  config.breaker.failure_threshold = 1;
+  config.breaker.half_open_after = 2;
+  config.pacer.enabled = true;
+  config.pacer.rate_per_sec = 10.0;  // 100ms interval, burst 1
+  return config;
+}
+
+TEST(SchedMetricsExport, EveryFamilyRendersInJsonAndPrometheus) {
+  obs::Observability obs;
+  // Group names flow into label values verbatim; use one that attacks
+  // both encoders at once.
+  TraceSupervisor supervisor(
+      exercised_config(), obs,
+      [](wire::Ipv4Address) { return std::string("AS\"ev\\il\"\n7"); });
+
+  supervisor.count_attempts("udp-plain", 3);
+  supervisor.count_attempts("udp-ect0", 1);
+  supervisor.on_step_result(kDead, false);   // trips the server breaker
+  EXPECT_FALSE(supervisor.allow_step(kDead));
+  supervisor.record_skip(kDead, "server");
+  supervisor.on_server_result(kDead, false);  // trips the hostile group
+  EXPECT_FALSE(supervisor.allow_server(kAlive));
+  supervisor.record_skip(kAlive, "group");
+  supervisor.pace(util::SimTime::zero(), kDead);
+  supervisor.pace(util::SimTime::zero(), kDead);  // bucket empty: delayed
+  // A vantage name that attacks both encoders at once: quote, backslash,
+  // and newline all flow into the label value verbatim.
+  supervisor.count_watchdog_cancel("EC2 \"ev\\il\"\n7");
+
+  const auto snapshot = obs.registry.snapshot();
+  const std::string json = obs::to_json(snapshot);
+  const std::string prom = obs::to_prometheus(snapshot);
+
+  for (const char* family :
+       {"sched_retry_attempts_total", "sched_breaker_transitions_total",
+        "sched_breaker_skips_total", "sched_pacer_delays_total",
+        "sched_pacer_wait_ms", "sched_pacer_queue_depth",
+        "sched_watchdog_cancellations_total"}) {
+    EXPECT_NE(json.find(family), std::string::npos) << "json missing " << family;
+    EXPECT_NE(prom.find(family), std::string::npos) << "prom missing " << family;
+  }
+
+  // Exact sample lines, escaping included.
+  EXPECT_NE(prom.find("sched_retry_attempts_total{attempts=\"3\",test=\"udp-plain\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("sched_breaker_skips_total{scope=\"server\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("sched_breaker_transitions_total{scope=\"server\",to=\"open\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("sched_watchdog_cancellations_total"
+                      "{vantage=\"EC2 \\\"ev\\\\il\\\"\\n7\"} 1"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("sched_pacer_wait_ms_bucket{le=\"100\"} 1"), std::string::npos)
+      << prom;
+
+  // The hostile vantage label: quote, backslash, and newline all escaped
+  // in both formats, never raw; the group breaker (whose name stays an
+  // internal key, not a label) still renders its scoped transition.
+  EXPECT_NE(prom.find("scope=\"group\",to=\"open\""), std::string::npos) << prom;
+  EXPECT_NE(json.find("EC2 \\\"ev\\\\il\\\"\\n7"), std::string::npos) << json;
+  EXPECT_EQ(json.find('\n'), std::string::npos) << "raw newline leaked into JSON";
+
+  // Determinism: encoding the same snapshot twice yields the same bytes.
+  EXPECT_EQ(obs::to_json(snapshot), json);
+  EXPECT_EQ(obs::to_prometheus(snapshot), prom);
+}
+
+TEST(SchedMetricsExport, PaperDefaultCreatesNoSchedFamilies) {
+  obs::Observability obs;
+  TraceSupervisor supervisor(SupervisorConfig::paper_default(), obs, nullptr);
+  EXPECT_TRUE(supervisor.allow_server(kDead));
+  EXPECT_TRUE(supervisor.allow_step(kDead));
+  supervisor.on_step_result(kDead, false);
+  supervisor.on_server_result(kDead, false);
+  EXPECT_EQ(supervisor.pace(util::SimTime::zero(), kDead), util::SimTime::zero());
+  const std::string json = obs::to_json(obs.registry.snapshot());
+  EXPECT_EQ(json.find("sched_"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace ecnprobe::sched

@@ -42,6 +42,7 @@
 #include "ecnprobe/measure/campaign.hpp"
 #include "ecnprobe/measure/probe.hpp"
 #include "ecnprobe/netsim/pcap.hpp"
+#include "ecnprobe/sched/policy.hpp"
 #include "ecnprobe/obs/export.hpp"
 #include "ecnprobe/obs/flight_export.hpp"
 #include "ecnprobe/scenario/world.hpp"
@@ -69,6 +70,10 @@ struct Options {
   std::string record;      ///< flight-recorder output prefix (--record)
   int trace = -1;          ///< trace-autopsy: campaign trace index
   std::string server;      ///< trace-autopsy: restrict to this server address
+  /// Probe-lifecycle supervision (--retry-*, --pace-*, --breaker-*,
+  /// --watchdog-ms). Defaults to the paper-fixed discipline; the seed is
+  /// left 0 so the scenario layer keys the jitter streams off --seed.
+  ecnprobe::sched::SupervisorConfig sched;
 };
 
 bool parse_int_arg(const char* s, int* out) {
@@ -166,6 +171,83 @@ bool parse(int argc, char** argv, int first, Options* options) {
     } else if (arg == "--server") {
       if ((v = need()) == nullptr) return false;
       options->server = v;
+    } else if (arg == "--retry-policy") {
+      if ((v = need()) == nullptr) return false;
+      if (std::string(v) == "paper") {
+        options->sched.retry.kind = sched::RetryPolicy::Kind::PaperFixed;
+      } else if (std::string(v) == "backoff") {
+        options->sched.retry.kind = sched::RetryPolicy::Kind::Backoff;
+      } else {
+        return bad(v);
+      }
+    } else if (arg == "--retry-max") {
+      if ((v = need()) == nullptr) return false;
+      int n = 0;
+      if (!parse_int_arg(v, &n) || n < 1) return bad(v);
+      options->sched.retry.max_attempts = n;
+    } else if (arg == "--retry-base-ms") {
+      if ((v = need()) == nullptr) return false;
+      double d = 0;
+      if (!parse_double_arg(v, &d) || d <= 0.0) return bad(v);
+      options->sched.retry.base_timeout = util::SimDuration::from_seconds(d / 1e3);
+    } else if (arg == "--retry-factor") {
+      if ((v = need()) == nullptr) return false;
+      double d = 0;
+      if (!parse_double_arg(v, &d) || d < 1.0) return bad(v);
+      options->sched.retry.backoff_factor = d;
+    } else if (arg == "--retry-max-timeout-ms") {
+      if ((v = need()) == nullptr) return false;
+      double d = 0;
+      if (!parse_double_arg(v, &d) || d <= 0.0) return bad(v);
+      options->sched.retry.max_timeout = util::SimDuration::from_seconds(d / 1e3);
+    } else if (arg == "--retry-jitter") {
+      if ((v = need()) == nullptr) return false;
+      double d = 0;
+      if (!parse_double_arg(v, &d) || d < 0.0 || d >= 1.0) return bad(v);
+      options->sched.retry.jitter = d;
+    } else if (arg == "--retry-budget-ms") {
+      if ((v = need()) == nullptr) return false;
+      double d = 0;
+      if (!parse_double_arg(v, &d) || d < 0.0) return bad(v);
+      options->sched.retry.total_budget = util::SimDuration::from_seconds(d / 1e3);
+    } else if (arg == "--retry-hedge-ms") {
+      if ((v = need()) == nullptr) return false;
+      double d = 0;
+      if (!parse_double_arg(v, &d) || d < 0.0) return bad(v);
+      options->sched.retry.hedge_delay = util::SimDuration::from_seconds(d / 1e3);
+    } else if (arg == "--pace-rate") {
+      if ((v = need()) == nullptr) return false;
+      double d = 0;
+      if (!parse_double_arg(v, &d) || d <= 0.0) return bad(v);
+      options->sched.pacer.enabled = true;
+      options->sched.pacer.rate_per_sec = d;
+    } else if (arg == "--pace-burst") {
+      if ((v = need()) == nullptr) return false;
+      int n = 0;
+      if (!parse_int_arg(v, &n) || n < 1) return bad(v);
+      options->sched.pacer.burst = n;
+    } else if (arg == "--pace-dest-gap-ms") {
+      if ((v = need()) == nullptr) return false;
+      double d = 0;
+      if (!parse_double_arg(v, &d) || d < 0.0) return bad(v);
+      options->sched.pacer.per_dest_gap = util::SimDuration::from_seconds(d / 1e3);
+    } else if (arg == "--breaker-failures") {
+      if ((v = need()) == nullptr) return false;
+      int n = 0;
+      if (!parse_int_arg(v, &n) || n < 1) return bad(v);
+      options->sched.breaker.enabled = true;
+      options->sched.breaker.failure_threshold = n;
+    } else if (arg == "--breaker-half-open") {
+      if ((v = need()) == nullptr) return false;
+      int n = 0;
+      if (!parse_int_arg(v, &n) || n < 1) return bad(v);
+      options->sched.breaker.enabled = true;
+      options->sched.breaker.half_open_after = n;
+    } else if (arg == "--watchdog-ms") {
+      if ((v = need()) == nullptr) return false;
+      double d = 0;
+      if (!parse_double_arg(v, &d) || d <= 0.0) return bad(v);
+      options->sched.watchdog.deadline = util::SimDuration::from_seconds(d / 1e3);
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "ecnprobe: unknown option '%s'\n", arg.c_str());
       return false;
@@ -175,6 +257,14 @@ bool parse(int argc, char** argv, int first, Options* options) {
       std::fprintf(stderr, "ecnprobe: unexpected argument '%s'\n", arg.c_str());
       return false;
     }
+  }
+  try {
+    // Cross-field supervisor checks (max-timeout under base, hedging
+    // without backoff, budget below one attempt, ...).
+    options->sched.validate();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "ecnprobe: %s\n", e.what());
+    return false;
   }
   return true;
 }
@@ -271,9 +361,15 @@ int cmd_campaign(const Options& options) {
   obs::MetricsSnapshot runtime;
   bool have_runtime = false;
   std::vector<obs::FlightEvent> flights;
+  measure::ProbeOptions probe;
+  probe.sched = options.sched;
   if (options.workers > 1) {
     measure::ParallelCampaign::Options exec;
     exec.workers = options.workers;
+    exec.probe = probe;
+    if (!exec.probe.sched.is_paper_default() && exec.probe.sched.seed == 0) {
+      exec.probe.sched.seed = params.seed;
+    }
     exec.halt_after_traces = options.halt_after > 0 ? options.halt_after
                                                     : params.faults.crash_after_traces;
     measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
@@ -312,7 +408,7 @@ int cmd_campaign(const Options& options) {
     int completed = 0;
     std::vector<measure::TraceFailure> failures;
     traces = world.run_campaign(
-        plan, {},
+        plan, probe,
         [&](const std::string&, int, int) {
           ++completed;
           if (tty) std::fprintf(stderr, "\r  %d/%d traces   ", completed, total);
@@ -410,7 +506,15 @@ int cmd_trace_autopsy(const Options& options) {
     world.begin_trace_epoch(planned.vantage, planned.batch, options.trace);
     auto& vantage = world.vantage(planned.vantage);
     vantage.capture().clear();
-    measure::TraceRunner runner(vantage, world.server_addresses(), {});
+    // Mirror the campaign executors' supervisor defaults so an autopsy of a
+    // supervised campaign replays the trace bit for bit.
+    measure::ProbeOptions probe;
+    probe.sched = options.sched;
+    if (!probe.sched.is_paper_default()) {
+      if (probe.sched.seed == 0) probe.sched.seed = params.seed;
+      if (probe.sched.breaker.enabled) probe.breaker_group = world.breaker_group_resolver();
+    }
+    measure::TraceRunner runner(vantage, world.server_addresses(), probe);
     bool done = false;
     runner.run(planned.batch, options.trace, [&](measure::Trace) { done = true; });
     world.sim().run();
@@ -567,6 +671,11 @@ int usage() {
                "  report      full campaign -> Markdown report      [--scale --seed --out]\n"
                "  trace-autopsy  causal chain for one campaign trace  [--trace N --server ADDR --faults --resume FILE]\n"
                "campaign recording: --record PREFIX writes PREFIX.pcapng + PREFIX.trace.json\n"
+               "probe supervision (campaign/trace-autopsy):\n"
+               "  --retry-policy paper|backoff --retry-max N --retry-base-ms D --retry-factor D\n"
+               "  --retry-max-timeout-ms D --retry-jitter D --retry-budget-ms D --retry-hedge-ms D\n"
+               "  --breaker-failures N --breaker-half-open N\n"
+               "  --pace-rate D --pace-burst N --pace-dest-gap-ms D --watchdog-ms D\n"
                "fault profiles: %s (tunable, e.g. 'wan-chaos,corrupt-prob=0.05,poison=7')\n",
                profiles.c_str());
   return 2;
