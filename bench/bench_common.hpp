@@ -18,10 +18,11 @@ struct BenchConfig {
   double scale = 1.0;     ///< world + campaign scale (1.0 = paper scale)
   std::uint64_t seed = 42;
   std::string csv_path;   ///< optional raw-results dump
+  std::string bench_json; ///< optional machine-readable metrics output
 };
 
-/// Parses --scale=F --seed=N --csv=PATH; ECNPROBE_SCALE env overrides the
-/// default scale (used to shrink CI runs).
+/// Parses --scale=F --seed=N --csv=PATH --bench-json=PATH; ECNPROBE_SCALE
+/// env overrides the default scale (used to shrink CI runs).
 inline BenchConfig parse_args(int argc, char** argv) {
   BenchConfig config;
   if (const char* env = std::getenv("ECNPROBE_SCALE")) config.scale = std::atof(env);
@@ -31,14 +32,93 @@ inline BenchConfig parse_args(int argc, char** argv) {
     else if (arg.rfind("--seed=", 0) == 0)
       config.seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 7));
     else if (arg.rfind("--csv=", 0) == 0) config.csv_path = arg.substr(6);
+    else if (arg.rfind("--bench-json=", 0) == 0) config.bench_json = arg.substr(13);
     else if (arg == "--help" || arg == "-h") {
-      std::printf("usage: %s [--scale=F] [--seed=N] [--csv=PATH]\n", argv[0]);
+      std::printf("usage: %s [--scale=F] [--seed=N] [--csv=PATH] [--bench-json=PATH]\n",
+                  argv[0]);
       std::exit(0);
     }
   }
   if (config.scale <= 0.0 || config.scale > 1.0) config.scale = 1.0;
   return config;
 }
+
+/// Extracts `--bench-json=PATH` from argv and removes it, so the remaining
+/// arguments can be handed to a strict parser (google-benchmark's
+/// Initialize rejects flags it does not know). Returns "" when absent.
+inline std::string take_bench_json_arg(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      path = arg.substr(13);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Accumulates named metrics and writes the BENCH_*.json format consumed by
+/// scripts/check_bench_json.py. Schema (stable field order, one metric per
+/// line, so diffs against the committed baselines stay readable):
+///
+///   {
+///     "bench": "<name>",
+///     "schema": 1,
+///     "metrics": [
+///       {"name": "...", "value": 1.5, "unit": "...", "guarded": true},
+///       ...
+///     ]
+///   }
+///
+/// `guarded` marks metrics that are machine-independent (ratios, byte
+/// counts, event counts): CI fails when a guarded metric regresses by more
+/// than 20% against the committed baseline. Raw wall-clock throughput is
+/// recorded but unguarded -- it varies with the host.
+class BenchJson {
+public:
+  explicit BenchJson(std::string bench_name) : bench_(std::move(bench_name)) {}
+
+  void add(const std::string& name, double value, const std::string& unit,
+           bool guarded = false) {
+    metrics_.push_back({name, value, unit, guarded});
+  }
+
+  bool write(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n  \"metrics\": [\n",
+                 bench_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const auto& m = metrics_[i];
+      std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
+                      "\"guarded\": %s}%s\n",
+                   m.name.c_str(), m.value, m.unit.c_str(),
+                   m.guarded ? "true" : "false",
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("bench metrics written to %s\n", path.c_str());
+    return true;
+  }
+
+private:
+  struct Metric {
+    std::string name;
+    double value;
+    std::string unit;
+    bool guarded;
+  };
+  std::string bench_;
+  std::vector<Metric> metrics_;
+};
 
 inline scenario::WorldParams world_params(const BenchConfig& config) {
   auto params = scenario::WorldParams::paper().scaled(config.scale);

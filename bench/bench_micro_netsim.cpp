@@ -1,8 +1,19 @@
 // Micro-benchmarks of the simulation engine: event throughput, end-to-end
 // datagram forwarding, policy overhead, and full four-way probe cost --
 // the numbers that size a paper-scale campaign run.
+//
+// Two modes:
+//   bench_micro_netsim [google-benchmark flags]   interactive tables
+//   bench_micro_netsim --bench-json=PATH          BENCH_netsim.json metrics,
+//     including the calendar-vs-heap scheduler comparison the performance
+//     trajectory is pinned on (docs/performance.md).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "bench_common.hpp"
 #include "ecnprobe/measure/probe.hpp"
 #include "ecnprobe/netsim/host.hpp"
 #include "ecnprobe/netsim/network.hpp"
@@ -121,4 +132,121 @@ void BM_WorldBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_WorldBuild)->Arg(5)->Arg(20)->Unit(benchmark::kMillisecond);
 
+// -- --bench-json mode --------------------------------------------------------
+
+/// Steady-state timer throughput through one scheduling path, at the event
+/// population a sharded paper-scale campaign sustains (hundreds of
+/// thousands of concurrent timers at the 100us..50ms pacing/link/retry
+/// timescales). `legacy` selects the seed's hot path -- the binary heap
+/// with a heap-allocated cancellation control block per event (schedule());
+/// otherwise the overhauled path runs: calendar queue + the allocation-free
+/// post() fast path packet delivery uses. Returns events/second.
+double timer_events_per_sec(bool legacy, std::uint64_t budget) {
+  netsim::Simulator sim(legacy ? netsim::SchedulerKind::LegacyHeap
+                               : netsim::SchedulerKind::Calendar);
+
+  util::Rng rng(7);
+  std::vector<util::SimDuration> delays;
+  for (int i = 0; i < 1024; ++i) {
+    delays.push_back(util::SimDuration::nanos(
+        100'000 + static_cast<std::int64_t>(rng.next_below(49'900'000))));
+  }
+
+  // Self-rescheduling timer state shared by reference: the per-event
+  // closure is one pointer, so it rides the schedulers' inline storage on
+  // both paths and the comparison isolates the scheduling machinery itself.
+  struct TickState {
+    netsim::Simulator& sim;
+    const std::vector<util::SimDuration>& delays;
+    std::uint64_t remaining;
+    std::uint64_t cursor = 0;
+    bool legacy;
+    void fire() {
+      if (remaining == 0) return;
+      --remaining;
+      const auto delay = delays[cursor++ & 1023];
+      if (legacy) {
+        (void)sim.schedule(delay, [this] { fire(); });
+      } else {
+        sim.post(delay, [this] { fire(); });
+      }
+    }
+  };
+  TickState tick{sim, delays, budget, 0, legacy};
+  // ~50k concurrent timers is what one campaign shard sustains mid-trace;
+  // the calendar's edge peaks here (2x+) and narrows past ~500k pending,
+  // where the 200-byte events outgrow the cache (docs/performance.md).
+  constexpr int kTimers = 50'000;
+  for (int i = 0; i < kTimers; ++i) {
+    const auto delay = delays[static_cast<std::size_t>(i) & 1023];
+    if (legacy) {
+      (void)sim.schedule(delay, [&tick] { tick.fire(); });
+    } else {
+      sim.post(delay, [&tick] { tick.fire(); });
+    }
+  }
+
+  const bench::Stopwatch timer;
+  sim.run();
+  const double seconds = timer.seconds();
+  return seconds > 0.0 ? static_cast<double>(sim.events_processed()) / seconds : 0.0;
+}
+
+/// Full four-way probes through the small calibrated world; returns
+/// {probes/sec, sim events per probe}. The event count is a pure function
+/// of the seed -- machine-independent, so it is a guarded metric.
+std::pair<double, double> probe_throughput(int probes) {
+  auto params = scenario::WorldParams::small(77);
+  params.server_count = 16;
+  params.offline_prob = 0.0;
+  scenario::World world(params);
+  auto& vantage = world.vantage("UGla wired");
+  const auto servers = world.server_addresses();
+  const std::uint64_t events_before = world.sim().events_processed();
+  const bench::Stopwatch timer;
+  for (int i = 0; i < probes; ++i) {
+    measure::probe_server(vantage, servers[static_cast<std::size_t>(i) % servers.size()],
+                          measure::ProbeOptions{}, [](const measure::ServerResult&) {});
+    world.sim().run();
+  }
+  const double seconds = timer.seconds();
+  const auto events = world.sim().events_processed() - events_before;
+  return {seconds > 0.0 ? probes / seconds : 0.0,
+          static_cast<double>(events) / probes};
+}
+
+int run_bench_json(const std::string& path) {
+  constexpr std::uint64_t kBudget = 1'000'000;
+  // Best-of-three: these ratios gate CI, so squeeze scheduler noise out.
+  double overhauled = 0.0, legacy = 0.0;
+  for (int rep = 0; rep < 3; ++rep) {
+    overhauled = std::max(overhauled, timer_events_per_sec(/*legacy=*/false, kBudget));
+    legacy = std::max(legacy, timer_events_per_sec(/*legacy=*/true, kBudget));
+  }
+  const auto [probes_per_sec, events_per_probe] = probe_throughput(400);
+
+  bench::BenchJson json("netsim");
+  json.add("sim_events_per_sec_calendar", overhauled, "events/s");
+  json.add("sim_events_per_sec_legacy", legacy, "events/s");
+  json.add("calendar_vs_legacy_speedup", legacy > 0.0 ? overhauled / legacy : 0.0,
+           "x", /*guarded=*/true);
+  json.add("probes_per_sec", probes_per_sec, "probes/s");
+  json.add("sim_events_per_probe", events_per_probe, "events",
+           /*guarded=*/true);
+  std::printf("calendar+post %.3g ev/s, legacy heap+schedule %.3g ev/s, "
+              "speedup %.2fx\n",
+              overhauled, legacy, legacy > 0.0 ? overhauled / legacy : 0.0);
+  return json.write(path) ? 0 : 1;
+}
+
 }  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = ecnprobe::bench::take_bench_json_arg(&argc, argv);
+  if (!json_path.empty()) return run_bench_json(json_path);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

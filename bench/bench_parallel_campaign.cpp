@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
   std::printf("%8s %10s %9s %8s %12s %12s\n", "workers", "seconds", "speedup",
               "util", "csv", "metrics");
   bool all_identical = true;
+  double best_speedup = 1.0;
+  double best_parallel_seconds = serial_seconds;
   for (int workers = 1; workers <= max_workers; workers *= 2) {
     measure::ParallelCampaign::Options exec;
     exec.workers = workers;
@@ -92,6 +94,10 @@ int main(int argc, char** argv) {
         campaign.failures().empty() && csv.str() == serial_csv.str();
     const bool metrics_identical = obs::to_json(campaign.metrics()) == serial_metrics;
     all_identical = all_identical && csv_identical && metrics_identical;
+    if (serial_seconds / seconds > best_speedup) {
+      best_speedup = serial_seconds / seconds;
+      best_parallel_seconds = seconds;
+    }
     std::printf("%8d %9.2fs %8.2fx %7.0f%% %12s %12s\n", workers, seconds,
                 serial_seconds / seconds, 100.0 * utilization,
                 csv_identical ? "identical" : "DIVERGED",
@@ -108,5 +114,25 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("\nall worker counts byte-identical to the sequential baseline\n");
+
+  if (!config.bench_json.empty()) {
+    const double probes =
+        static_cast<double>(plan.total_traces()) * params.server_count;
+    bench::BenchJson json("parallel_campaign");
+    json.add("sequential_probes_per_sec",
+             serial_seconds > 0.0 ? probes / serial_seconds : 0.0, "probes/s");
+    json.add("sequential_sim_events_per_sec",
+             serial_seconds > 0.0
+                 ? static_cast<double>(world.sim().events_processed()) / serial_seconds
+                 : 0.0,
+             "events/s");
+    json.add("best_parallel_probes_per_sec",
+             best_parallel_seconds > 0.0 ? probes / best_parallel_seconds : 0.0,
+             "probes/s");
+    json.add("best_parallel_speedup", best_speedup, "x");
+    json.add("all_worker_counts_identical", all_identical ? 1.0 : 0.0, "bool",
+             /*guarded=*/true);
+    if (!json.write(config.bench_json)) return 1;
+  }
   return 0;
 }

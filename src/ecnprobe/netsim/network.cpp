@@ -41,21 +41,20 @@ obs::RewriteCause rewrite_cause_for(wire::Ecn after) {
 /// recorder is armed AND the datagram carries a flight stamp, so the
 /// common case costs one bool test.
 void record_flight_drop(obs::FlightRecorder& rec, Simulator& sim, const Node& node,
-                        obs::Layer layer, const wire::Datagram& dgram,
-                        std::string detail) {
+                        obs::Layer layer, wire::Datagram& dgram, std::string detail) {
   if (!rec.armed() || dgram.flight == 0) return;
   rec.record(dgram.flight, obs::SpanEvent::PolicyDrop, sim.now(), layer, node.name(),
-             node.address().value(), std::move(detail), dgram.encode());
+             node.address().value(), std::move(detail), dgram.wire_view());
 }
 
 void record_flight_rewrite(obs::FlightRecorder& rec, Simulator& sim, const Node& node,
-                           const wire::Datagram& dgram, wire::Ecn before) {
+                           wire::Datagram& dgram, wire::Ecn before) {
   if (!rec.armed() || dgram.flight == 0) return;
   rec.record(dgram.flight, obs::SpanEvent::EcnRewritten, sim.now(), obs::Layer::Policy,
              node.name(), node.address().value(),
              util::strf("%s->%s", std::string(wire::to_string(before)).c_str(),
                         std::string(wire::to_string(dgram.ip.ecn)).c_str()),
-             dgram.encode());
+             dgram.wire_view());
 }
 }  // namespace
 
@@ -186,7 +185,9 @@ void Network::transmit(NodeId from, int egress_if, wire::Datagram dgram) {
   const NodeId to = iface.peer;
   const int ingress_if = iface.peer_if;
   auto deliver = [this, to, ingress_if](SimDuration after, wire::Datagram packet) {
-    sim_.schedule(after, [this, to, ingress_if, d = std::move(packet)]() mutable {
+    // post(): fire-and-forget, so the delivery hot path allocates no
+    // cancellation control block and the closure stays inline in the event.
+    sim_.post(after, [this, to, ingress_if, d = std::move(packet)]() mutable {
       Interface& rx = interface(to, ingress_if);
       for (auto& policy : rx.ingress_policies) {
         const wire::Ecn before = d.ip.ecn;

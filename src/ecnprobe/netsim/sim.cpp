@@ -21,20 +21,6 @@ void Simulator::assert_owner() {
   }
 }
 
-EventHandle Simulator::schedule(SimDuration delay, std::function<void()> fn) {
-  if (delay < SimDuration{}) delay = SimDuration{};
-  return schedule_at(now_ + delay, std::move(fn));
-}
-
-EventHandle Simulator::schedule_at(SimTime when, std::function<void()> fn) {
-  assert_owner();
-  if (when < now_) when = now_;
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(fn), cancelled, now_});
-  ++live_;
-  return EventHandle{std::move(cancelled)};
-}
-
 void Simulator::schedule_when_idle(std::function<void()> fn) {
   assert_owner();
   idle_.push_back(std::move(fn));
@@ -42,17 +28,14 @@ void Simulator::schedule_when_idle(std::function<void()> fn) {
 
 bool Simulator::fire_next() {
   while (!queue_.empty()) {
-    // priority_queue::top is const; the event is copied out, which is cheap
-    // relative to simulated work and keeps the queue invariant simple.
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) {
+    SimEvent ev = queue_.pop();
+    if (ev.cancelled && *ev.cancelled) {
       --live_;  // reap an event cancelled via its handle
       continue;
     }
     --live_;
     now_ = ev.when;
-    *ev.cancelled = true;  // marks "fired" so EventHandle::pending() is false
+    if (ev.cancelled) *ev.cancelled = true;  // "fired": EventHandle::pending() is false
     if (events_counter_ != nullptr) events_counter_->inc();
     if (lag_histogram_ != nullptr) {
       lag_histogram_->observe((ev.when - ev.scheduled_at).to_millis());
@@ -84,7 +67,7 @@ std::size_t Simulator::run(std::size_t limit) {
 std::size_t Simulator::run_until(SimTime until) {
   assert_owner();
   std::size_t fired = 0;
-  while (!queue_.empty() && queue_.top().when <= until) {
+  while (!queue_.empty() && queue_.min_when() <= until) {
     if (fire_next()) ++fired;
   }
   if (now_ < until) now_ = until;
@@ -93,7 +76,7 @@ std::size_t Simulator::run_until(SimTime until) {
 
 void Simulator::clear_pending() {
   assert_owner();
-  while (!queue_.empty()) queue_.pop();
+  queue_.clear();
   idle_.clear();
   live_ = 0;
 }

@@ -1,18 +1,26 @@
 // Discrete-event simulation engine. A single-threaded event queue with
-// deterministic FIFO tie-breaking: two events scheduled for the same instant
-// fire in scheduling order, so a campaign replays identically for a given
-// seed.
+// deterministic FIFO tie-breaking: the ordering key is explicitly
+// (timestamp, insertion sequence number), so two events scheduled for the
+// same nanosecond fire in scheduling order and a campaign replays
+// identically for a given seed -- on either scheduler backend.
+//
+// The backend is a calendar queue by default (see event_queue.hpp); the
+// pre-calendar binary heap stays selectable via SchedulerKind::LegacyHeap or
+// ECNPROBE_SCHEDULER=heap for differential testing. Both produce the same
+// event order bit for bit because they share the same total order.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "ecnprobe/netsim/event_queue.hpp"
 #include "ecnprobe/obs/metrics.hpp"
+#include "ecnprobe/util/function.hpp"
 #include "ecnprobe/util/time.hpp"
 
 namespace ecnprobe::netsim {
@@ -37,15 +45,42 @@ private:
 
 class Simulator {
 public:
-  Simulator() = default;
+  explicit Simulator(SchedulerKind kind = scheduler_kind_from_env()) : queue_(kind) {}
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
   SimTime now() const { return now_; }
+  SchedulerKind scheduler_kind() const { return queue_.kind(); }
 
   /// Schedules `fn` to run at `now() + delay` (delays clamp to zero).
-  EventHandle schedule(SimDuration delay, std::function<void()> fn);
-  EventHandle schedule_at(SimTime when, std::function<void()> fn);
+  template <typename F>
+  EventHandle schedule(SimDuration delay, F&& fn) {
+    if (delay < SimDuration{}) delay = SimDuration{};
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+
+  template <typename F>
+  EventHandle schedule_at(SimTime when, F&& fn) {
+    assert_owner();
+    if (when < now_) when = now_;
+    auto cancelled = std::make_shared<bool>(false);
+    queue_.push(SimEvent{when, next_seq_++, util::UniqueFunction(std::forward<F>(fn)),
+                         cancelled, now_});
+    ++live_;
+    return EventHandle{std::move(cancelled)};
+  }
+
+  /// Fire-and-forget scheduling for the packet-delivery hot path: no handle,
+  /// so no per-event cancellation control block is allocated. Ordering is
+  /// identical to schedule() -- posts draw from the same sequence counter.
+  template <typename F>
+  void post(SimDuration delay, F&& fn) {
+    assert_owner();
+    if (delay < SimDuration{}) delay = SimDuration{};
+    queue_.push(SimEvent{now_ + delay, next_seq_++, util::UniqueFunction(std::forward<F>(fn)),
+                         nullptr, now_});
+    ++live_;
+  }
 
   /// Runs `fn` the next time the event queue drains (all live events fired,
   /// no time attached). run() processes idle callbacks one at a time, so a
@@ -60,7 +95,11 @@ public:
   std::size_t run(std::size_t limit = SIZE_MAX);
 
   /// Runs events with a timestamp <= `until`. Time advances to `until` even
-  /// if the queue drains early.
+  /// if the queue drains early. Note the historical edge this preserves: the
+  /// timestamp check looks at the earliest *queued* entry including
+  /// already-cancelled ones, and firing then skips past cancelled entries --
+  /// so a cancelled event at <= `until` can pull in one live event beyond
+  /// `until`. Both schedulers reproduce this exactly.
   std::size_t run_until(SimTime until);
 
   /// Discards every pending event and idle callback without firing them.
@@ -81,24 +120,10 @@ public:
   }
 
 private:
-  struct Event {
-    SimTime when;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    std::shared_ptr<bool> cancelled;
-    SimTime scheduled_at;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
-    }
-  };
-
   bool fire_next();
   void assert_owner();
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  EventQueue queue_;
   std::deque<std::function<void()>> idle_;
   SimTime now_;
   std::uint64_t next_seq_ = 0;

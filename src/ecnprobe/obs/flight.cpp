@@ -25,6 +25,7 @@ void FlightRecorder::disarm() {
   armed_ = false;
   capacity_ = 0;
   flights_.clear();
+  flight_arena_.reset();
   pending_.reset();
   ring_.clear();
   base_ = 0;
@@ -38,8 +39,10 @@ void FlightRecorder::set_trace(int trace, util::SimTime epoch_base) {
   epoch_base_ = epoch_base;
   // The simulator is quiescent at trace boundaries: no packet from the old
   // trace is still in flight, so the table can restart. Restarting the id
-  // counter keeps every worker's per-trace flight sequence identical.
+  // counter keeps every worker's per-trace flight sequence identical. The
+  // map must be cleared *before* the arena rewind poisons its nodes.
   flights_.clear();
+  flight_arena_.reset();
   pending_.reset();
   next_flight_ = 1;
 }
@@ -89,6 +92,13 @@ void FlightRecorder::record(std::uint32_t flight, SpanEvent type, util::SimTime 
   event.detail = std::move(detail);
   event.wire = std::move(wire);
   push(std::move(event));
+}
+
+void FlightRecorder::record(std::uint32_t flight, SpanEvent type, util::SimTime time,
+                            Layer layer, std::string_view node, std::uint32_t node_addr,
+                            std::string detail, std::span<const std::uint8_t> wire) {
+  record(flight, type, time, layer, node, node_addr, std::move(detail),
+         std::vector<std::uint8_t>(wire.begin(), wire.end()));
 }
 
 void FlightRecorder::record_here(SpanEvent type, util::SimTime time, Layer layer,

@@ -23,11 +23,13 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "ecnprobe/obs/layer.hpp"
+#include "ecnprobe/util/arena.hpp"
 #include "ecnprobe/util/time.hpp"
 
 namespace ecnprobe::obs {
@@ -138,6 +140,13 @@ public:
               std::string_view node, std::uint32_t node_addr, std::string detail,
               std::vector<std::uint8_t> wire = {});
 
+  /// Span overload for datapath taps feeding Datagram::wire_view(): the
+  /// datagram serialises once into its pooled cache and every tap copies
+  /// from it, instead of each tap running a full encode.
+  void record(std::uint32_t flight, SpanEvent type, util::SimTime time, Layer layer,
+              std::string_view node, std::uint32_t node_addr, std::string detail,
+              std::span<const std::uint8_t> wire);
+
   /// Records an event keyed by the current context -- for probe-level
   /// outcomes (timeouts) that have no packet to hang the event on.
   void record_here(SpanEvent type, util::SimTime time, Layer layer,
@@ -164,6 +173,12 @@ private:
     SpanKey key;
     std::uint32_t origin_node = 0xffffffff;
   };
+  /// Flight-table nodes come from an arena rewound at each trace boundary:
+  /// a campaign of a million traces churns the table constantly, and the
+  /// arena caps that at zero heap traffic once the first trace warmed it.
+  using FlightMap =
+      std::map<std::uint32_t, FlightEntry, std::less<std::uint32_t>,
+               util::ArenaAllocator<std::pair<const std::uint32_t, FlightEntry>>>;
 
   void push(FlightEvent event);
 
@@ -174,7 +189,9 @@ private:
   int seq_ = 0;
   std::uint32_t next_flight_ = 1;
   util::SimTime epoch_base_;  ///< recorded times are offsets from this
-  std::map<std::uint32_t, FlightEntry> flights_;
+  util::Arena flight_arena_;  ///< declared before flights_: backs its nodes
+  FlightMap flights_{
+      util::ArenaAllocator<std::pair<const std::uint32_t, FlightEntry>>(flight_arena_)};
   std::optional<PendingSend> pending_;
   std::deque<FlightEvent> ring_;
   std::size_t base_ = 0;  ///< global index of ring_.front()

@@ -20,6 +20,17 @@ std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
   return checksum_finish(checksum_accumulate(data));
 }
 
+std::uint16_t checksum_update(std::uint16_t check, std::uint16_t old_word,
+                              std::uint16_t new_word) {
+  // HC' = ~fold(~HC + ~m + m')   (RFC 1624 eqn 3)
+  std::uint32_t acc = static_cast<std::uint32_t>(~check & 0xffff);
+  acc += static_cast<std::uint32_t>(~old_word & 0xffff);
+  acc += new_word;
+  acc = (acc & 0xffff) + (acc >> 16);
+  acc = (acc & 0xffff) + (acc >> 16);
+  return static_cast<std::uint16_t>(~acc & 0xffff);
+}
+
 std::uint32_t pseudo_header_sum(std::uint32_t src_addr, std::uint32_t dst_addr,
                                 std::uint8_t protocol, std::uint16_t transport_len) {
   std::uint32_t acc = 0;

@@ -143,6 +143,26 @@ TEST(Simulator, ClearPendingDropsEventsAndIdleCallbacks) {
   EXPECT_FALSE(fired);
 }
 
+TEST(Simulator, SameNanosecondTieBreakIsSubmissionOrderOnBothSchedulers) {
+  // The total event order is (when, seq) with seq assigned at submission.
+  // schedule() and post() draw from the same counter, so events landing on
+  // the same nanosecond fire in exact submission order regardless of how
+  // they were submitted -- and regardless of the scheduler backend.
+  for (const auto kind : {SchedulerKind::Calendar, SchedulerKind::LegacyHeap}) {
+    Simulator sim(kind);
+    std::vector<int> order;
+    sim.schedule(5_ms, [&] { order.push_back(0); });
+    sim.post(5_ms, [&] { order.push_back(1); });
+    sim.schedule(5_ms, [&] { order.push_back(2); });
+    sim.post(5_ms, [&] { order.push_back(3); });
+    // An earlier event submitted later still fires first (time dominates).
+    sim.schedule(1_ms, [&] { order.push_back(4); });
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{4, 0, 1, 2, 3}))
+        << "kind=" << static_cast<int>(kind);
+  }
+}
+
 TEST(Simulator, SecondThreadUseThrows) {
   // Each ParallelCampaign worker owns its simulator outright; the ownership
   // assertion turns an accidental cross-thread share into a loud failure
