@@ -1,0 +1,116 @@
+// Budgeted-telemetry bench: sketch/histogram fold throughput, and the
+// memory contract the sketched mode exists for -- campaign telemetry
+// state stays O(servers) (fixed sketches + budget-capped directory) while
+// the trace count grows 10x. The guarded metrics are deterministic
+// (byte/event counts and bound checks), so CI can gate them against
+// BENCH_telemetry.json without caring how fast the runner is.
+//
+//   ./bench_telemetry [--scale=F] [--seed=N] [--bench-json=PATH]
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_common.hpp"
+#include "ecnprobe/obs/telemetry.hpp"
+
+namespace {
+
+using namespace ecnprobe;
+
+obs::TelemetryConfig bench_config(std::uint64_t seed) {
+  obs::TelemetryConfig config;
+  config.mode = obs::TelemetryMode::Sketched;
+  config.epsilon = 0.001;
+  config.delta = 0.01;
+  config.sample_every = 64;
+  return config.resolved(seed);
+}
+
+// Replays a synthetic campaign's drop stream through the recorder ->
+// aggregate fold path: `traces` traces, each dropping at `servers`
+// distinct nodes -- the exact shape that made the un-sketched label maps
+// O(servers x traces). Returns the aggregate for inspection.
+obs::TelemetryAggregate fold_campaign(const obs::TelemetryConfig& config, int traces,
+                                      int servers) {
+  obs::TelemetryAggregate aggregate(config);
+  obs::TelemetryRecorder recorder;
+  recorder.arm(config);
+  for (int trace = 0; trace < traces; ++trace) {
+    recorder.begin_trace(trace);
+    for (int s = 0; s < servers; ++s) {
+      recorder.on_drop("policy", s % 3 == 0 ? "ect-udp-filter" : "probe-timeout",
+                       "10." + std::to_string(s / 250) + "." +
+                           std::to_string(s / 50 % 5) + "." + std::to_string(s % 50));
+      recorder.observe_rtt(util::SimDuration::from_seconds(
+          0.001 * static_cast<double>(1 + (trace * 31 + s) % 400)));
+    }
+    aggregate.fold(recorder.collect_delta());
+  }
+  return aggregate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto config = bench::parse_args(argc, argv);
+  const auto params = bench::world_params(config);
+  bench::print_header("budgeted telemetry (sketched mode)", config, params);
+
+  const auto telemetry = bench_config(config.seed);
+  const int servers = params.server_count;
+
+  // -- fold throughput (wall-clock, unguarded) -----------------------------
+  constexpr int kThroughputTraces = 200;
+  bench::Stopwatch fold_clock;
+  const auto base = fold_campaign(telemetry, kThroughputTraces, servers);
+  const double fold_seconds = fold_clock.seconds();
+  const double events = static_cast<double>(base.counts().total());
+  std::printf("  fold: %d traces x %d servers -> %.0f sketch updates in %.3fs "
+              "(%.2fM updates/s)\n",
+              kThroughputTraces, servers, events, fold_seconds,
+              events / fold_seconds / 1e6);
+
+  // -- memory flatness: 10x the traces, same telemetry footprint -----------
+  const auto big = fold_campaign(telemetry, 10 * kThroughputTraces, servers);
+  const double base_bytes = static_cast<double>(base.memory_bytes());
+  const double big_bytes = static_cast<double>(big.memory_bytes());
+  // Fixed sketches dominate; the tracked-key directory is bounded by the
+  // budget, so 10x traces must not grow telemetry by more than 5%.
+  const bool flat = big_bytes <= base_bytes * 1.05;
+  std::printf("  memory: %.0f bytes @ %d traces, %.0f bytes @ %d traces (flat: %s)\n",
+              base_bytes, kThroughputTraces, big_bytes, 10 * kThroughputTraces,
+              flat ? "yes" : "NO");
+
+  // -- error contract on the replayed stream -------------------------------
+  // Exact truth for the per-cause keys is knowable in closed form here.
+  std::map<std::string, std::uint64_t> truth;
+  for (int trace = 0; trace < kThroughputTraces; ++trace) {
+    for (int s = 0; s < servers; ++s) {
+      truth[s % 3 == 0 ? "cause:policy/ect-udp-filter" : "cause:policy/probe-timeout"]++;
+    }
+  }
+  bool bounds_hold = true;
+  for (const auto& [key, count] : truth) {
+    const auto estimate = base.estimate(key);
+    if (estimate < count || estimate > count + base.error_bound()) bounds_hold = false;
+  }
+  std::printf("  bounds: exact <= estimate <= exact + %llu on the cause keys (%s)\n",
+              static_cast<unsigned long long>(base.error_bound()),
+              bounds_hold ? "hold" : "VIOLATED");
+  std::printf("  budget: %zu used / %zu peak, %llu keys tracked, %llu untracked\n",
+              big.budget().used(), big.budget().peak(),
+              static_cast<unsigned long long>(big.tracked_keys().size()),
+              static_cast<unsigned long long>(big.untracked_keys()));
+
+  if (!config.bench_json.empty()) {
+    bench::BenchJson json("telemetry");
+    json.add("fold_updates_per_sec", events / fold_seconds, "updates/s", false);
+    json.add("sketch_memory_bytes", base_bytes, "bytes", true);
+    json.add("memory_flat_at_10x_traces", flat ? 1.0 : 0.0, "bool", true);
+    json.add("error_bounds_hold", bounds_hold ? 1.0 : 0.0, "bool", true);
+    json.add("rtt_samples", static_cast<double>(base.rtt().count()), "events", true);
+    if (!json.write(config.bench_json)) return 1;
+  }
+  return bounds_hold && flat ? 0 : 1;
+}

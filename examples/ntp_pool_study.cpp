@@ -10,6 +10,7 @@
 //   $ ./ntp_pool_study --resume run.journal         # continue a killed run
 //   $ ./ntp_pool_study --record flight              # flight.pcapng + flight.trace.json
 //   $ ./ntp_pool_study --faults blackhole-heavy --sched backoff,breaker-failures=3
+//   $ ./ntp_pool_study 1.0 --telemetry sketched      # O(servers) telemetry memory
 //
 // --workers=N runs the campaign through the sharded parallel executor
 // (one isolated world clone per worker); the merged results -- and the
@@ -49,6 +50,7 @@ int main(int argc, char** argv) {
   std::string sched_spec = "paper";
   std::string checkpoint;
   std::string record;
+  std::string telemetry_spec = "exact";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -68,6 +70,8 @@ int main(int argc, char** argv) {
     else if (arg == "--halt-after") halt_after = std::atoi(next_value());
     else if (arg.rfind("--record=", 0) == 0) record = arg.substr(9);
     else if (arg == "--record") record = next_value();
+    else if (arg.rfind("--telemetry=", 0) == 0) telemetry_spec = arg.substr(12);
+    else if (arg == "--telemetry") telemetry_spec = next_value();
     else scale = std::atof(arg.c_str());
   }
   if (workers < 1) workers = 1;
@@ -84,6 +88,12 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ntp_pool_study: %s\n", sched.error().message.c_str());
     return 2;
   }
+  const auto telemetry_config = obs::TelemetryConfig::parse(telemetry_spec);
+  if (!telemetry_config) {
+    std::fprintf(stderr, "ntp_pool_study: %s\n", telemetry_config.error().message.c_str());
+    return 2;
+  }
+  params.telemetry = *telemetry_config;
   measure::ProbeOptions probe;
   probe.sched = *sched;
   if (!probe.sched.is_paper_default() && probe.sched.seed == 0) {
@@ -142,6 +152,7 @@ int main(int argc, char** argv) {
   obs::ObsSnapshot campaign_obs;
   obs::MetricsSnapshot runtime_metrics;
   bool have_runtime = false;
+  obs::TelemetryAggregate telemetry;
   std::vector<measure::Trace> traces;
   std::vector<measure::TraceFailure> failures;
   std::vector<obs::FlightEvent> flights;
@@ -149,6 +160,7 @@ int main(int argc, char** argv) {
     measure::ParallelCampaign::Options exec;
     exec.workers = workers;
     exec.probe = probe;
+    exec.telemetry = params.telemetry.resolved(params.seed);
     exec.halt_after_traces =
         halt_after > 0 ? halt_after : params.faults.crash_after_traces;
     measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
@@ -158,10 +170,12 @@ int main(int argc, char** argv) {
     campaign_obs = campaign.metrics();
     runtime_metrics = campaign.runtime_metrics();
     have_runtime = true;
+    telemetry = campaign.telemetry();
     flights = campaign.flight_events();
   } else {
     traces = world.run_campaign(plan, probe, nullptr, journal_ptr, halt_after, &failures);
     campaign_obs = world.campaign_obs();
+    telemetry = world.campaign_telemetry();
     flights = world.campaign_flights();
   }
   if (!record.empty()) {
@@ -206,6 +220,10 @@ int main(int argc, char** argv) {
   // unreachable" -- every failed probe above has an attributed cause here.
   const auto autopsy = obs::render_loss_autopsy(campaign_obs.ledger);
   if (!autopsy.empty()) std::printf("%s\n", autopsy.c_str());
+  if (telemetry.active()) {
+    const auto sketched = obs::render_sketched_summary(telemetry);
+    if (!sketched.empty()) std::printf("%s\n", sketched.c_str());
+  }
 
   // -- Section 4.2: traceroutes ---------------------------------------------
   std::printf("[3/4] running ECN traceroutes from all vantages...\n");
@@ -220,7 +238,8 @@ int main(int argc, char** argv) {
 
   if (!metrics_out.empty()) {
     if (!obs::write_metrics_files(metrics_out, campaign_obs,
-                                  have_runtime ? &runtime_metrics : nullptr)) {
+                                  have_runtime ? &runtime_metrics : nullptr,
+                                  telemetry.active() ? &telemetry : nullptr)) {
       std::fprintf(stderr, "cannot write %s\n", metrics_out.c_str());
       return 1;
     }

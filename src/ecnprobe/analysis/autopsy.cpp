@@ -157,4 +157,50 @@ std::string render_trace_autopsy(const std::vector<obs::FlightEvent>& events,
   return os.str();
 }
 
+std::string render_sketched_autopsy(const obs::TelemetryDelta& delta,
+                                    const obs::TelemetryConfig& config,
+                                    const AutopsyRequest& request) {
+  std::ostringstream os;
+  os << "trace " << request.trace << " autopsy (sketched telemetry)\n";
+  os << "  per-packet flight records were sampled out (sample-every="
+     << config.sample_every << "; this trace folds into the campaign sketch).\n"
+     << "  Re-run with --telemetry=exact for the full causal chain. Exact\n"
+     << "  per-trace cause totals from the telemetry delta:\n";
+
+  // The delta keys its exact counts "kind:label/cause"; bucket them back
+  // into the four attribution views.
+  std::map<std::string, std::map<std::string, std::uint64_t>> kinds;
+  for (const auto& [key, count] : delta.counts) {
+    const auto colon = key.find(':');
+    if (colon == std::string::npos) continue;
+    kinds[key.substr(0, colon)][key.substr(colon + 1)] += count;
+  }
+  const auto emit = [&os](const std::map<std::string, std::uint64_t>& rows,
+                          const char* title) {
+    if (rows.empty()) return;
+    os << "\n  " << title << ":\n";
+    for (const auto& [label, count] : rows) {
+      os << "    " << label << " = " << count << "\n";
+    }
+  };
+  emit(kinds["cause"], "drops by layer/cause");
+  emit(kinds["hop"], "drops by hop/cause");
+  emit(kinds["as"], "drops by AS/cause");
+  emit(kinds["rewrite"], "ECN rewrites by layer/cause");
+  if (delta.counts.empty()) os << "\n  no drops or rewrites recorded\n";
+
+  if (delta.rtt_count > 0) {
+    os << "\n  rtt: " << delta.rtt_count << " samples, mean "
+       << util::strf("%.3f", static_cast<double>(delta.rtt_sum_nanos) /
+                                 static_cast<double>(delta.rtt_count) / 1e6)
+       << "ms\n";
+  }
+  if (!request.server.empty()) {
+    os << "\n  (note: --server " << request.server
+       << " filtering applies to per-packet records only; the totals above"
+          " cover the whole trace)\n";
+  }
+  return os.str();
+}
+
 }  // namespace ecnprobe::analysis

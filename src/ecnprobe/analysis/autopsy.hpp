@@ -11,6 +11,7 @@
 
 #include "ecnprobe/obs/flight.hpp"
 #include "ecnprobe/obs/ledger.hpp"
+#include "ecnprobe/obs/telemetry.hpp"
 #include "ecnprobe/topology/ip2as.hpp"
 #include "ecnprobe/wire/ipv4.hpp"
 
@@ -34,5 +35,14 @@ std::string render_trace_autopsy(const std::vector<obs::FlightEvent>& events,
                                  const obs::LedgerSnapshot& ledger,
                                  const topology::IpToAsMap& ip2as,
                                  const AutopsyRequest& request);
+
+/// Fallback report for a trace whose per-packet flight records were sampled
+/// out by sketched telemetry (head-based sampling keeps exact records for
+/// every Nth trace only). Renders the trace's telemetry delta -- drop causes,
+/// per-hop and per-AS attributions, rewrites, RTT totals -- so the autopsy
+/// degrades to an exact per-trace cause summary instead of an empty report.
+std::string render_sketched_autopsy(const obs::TelemetryDelta& delta,
+                                    const obs::TelemetryConfig& config,
+                                    const AutopsyRequest& request);
 
 }  // namespace ecnprobe::analysis

@@ -22,10 +22,46 @@ ParallelCampaign::ParallelCampaign(ShardFactory factory, Options options)
   if (options_.workers < 1) options_.workers = 1;
 }
 
+void ParallelCampaign::commit_delta(int index, PendingDelta delta) {
+  std::lock_guard<std::mutex> lock(merge_mutex_);
+  pending_.emplace(index, std::move(delta));
+  // Fold the contiguous ready prefix and release it. Claims are strictly
+  // increasing, so at most ~workers deltas wait here at any moment; the
+  // campaign totals themselves live in fixed-size structures (metric sums,
+  // sketches), never in per-trace retained snapshots.
+  for (auto it = pending_.find(next_merge_); it != pending_.end();
+       it = pending_.find(next_merge_)) {
+    auto& ready = it->second;
+    merged_metrics_.metrics.merge(ready.obs.metrics);
+    merged_metrics_.ledger.merge(ready.obs.ledger);
+    telemetry_.fold(ready.obs.telemetry);
+    flight_events_.insert(flight_events_.end(),
+                          std::make_move_iterator(ready.events.begin()),
+                          std::make_move_iterator(ready.events.end()));
+    pending_.erase(it);
+    ++next_merge_;
+  }
+}
+
+void ParallelCampaign::flush_pending() {
+  // Holes in the index space (halt_after_traces abandons claimed indices,
+  // journal prefill can start above zero) stall the prefix walk; once the
+  // pool is idle no more commits arrive, so fold the stragglers in index
+  // order -- std::map iteration is already ascending.
+  std::lock_guard<std::mutex> lock(merge_mutex_);
+  for (auto& [index, ready] : pending_) {
+    merged_metrics_.metrics.merge(ready.obs.metrics);
+    merged_metrics_.ledger.merge(ready.obs.ledger);
+    telemetry_.fold(ready.obs.telemetry);
+    flight_events_.insert(flight_events_.end(),
+                          std::make_move_iterator(ready.events.begin()),
+                          std::make_move_iterator(ready.events.end()));
+  }
+  pending_.clear();
+}
+
 void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& schedule,
-                               int index, std::vector<std::unique_ptr<Trace>>& slots,
-                               std::vector<obs::ObsSnapshot>& metric_slots,
-                               std::vector<std::vector<obs::FlightEvent>>& event_slots) {
+                               int index, std::vector<std::unique_ptr<Trace>>& slots) {
   if (slots[static_cast<std::size_t>(index)]) {
     // A filled slot means this trace was already replayed from the journal;
     // running it again would merge its metrics delta twice.
@@ -62,18 +98,19 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
                [&result](Trace trace) { result = std::make_unique<Trace>(std::move(trace)); });
     worker.shard->sim().run();
     if (!result) throw std::runtime_error("ParallelCampaign: trace stalled");
-    // Distinct slot per trace index: no lock needed for the writes. The
-    // metrics delta is collected after full quiescence, so straggler events
+    // The delta is collected after full quiescence, so straggler events
     // (TIME_WAIT timers, late responses) land in this trace's delta -- the
     // same attribution the sequential campaign's epoch boundaries produce.
-    metric_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_metrics();
-    event_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_events();
+    PendingDelta delta;
+    delta.obs = worker.shard->collect_trace_metrics();
+    delta.events = worker.shard->collect_trace_events();
     if (journal_ != nullptr) {
       // Write-ahead: the trace is durable before it counts as complete.
       std::lock_guard<std::mutex> lock(journal_mutex_);
-      journal_->append(*result, metric_slots[static_cast<std::size_t>(index)]);
+      journal_->append(*result, delta.obs);
     }
     slots[static_cast<std::size_t>(index)] = std::move(result);
+    commit_delta(index, std::move(delta));
     completed_.fetch_add(1, std::memory_order_relaxed);
     runtime_.counter("campaign_completed_total", {{"vantage", planned.vantage}},
                      "traces finished, per vantage")->inc();
@@ -86,8 +123,10 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
     // partial delta (including that attribution) still merges in plan order
     // -- so the failed trace shows up in the report, not as a silent hole.
     worker.shard->quarantine_trace(planned.vantage, planned.batch, index);
-    metric_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_metrics();
-    event_slots[static_cast<std::size_t>(index)] = worker.shard->collect_trace_events();
+    PendingDelta delta;
+    delta.obs = worker.shard->collect_trace_metrics();
+    delta.events = worker.shard->collect_trace_events();
+    commit_delta(index, std::move(delta));
     runtime_.counter("campaign_failed_total", {{"vantage", planned.vantage}},
                      "traces that threw, per vantage")->inc();
     std::lock_guard<std::mutex> lock(failures_mutex_);
@@ -132,18 +171,25 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
   total_.store(static_cast<int>(schedule.size()), std::memory_order_relaxed);
   merged_metrics_ = {};
   flight_events_.clear();
+  telemetry_ = options_.telemetry.sketched()
+                   ? obs::TelemetryAggregate(options_.telemetry.resolved(options_.telemetry.seed))
+                   : obs::TelemetryAggregate{};
+  {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    pending_.clear();
+    next_merge_ = 0;
+  }
 
   std::vector<std::unique_ptr<Trace>> slots(schedule.size());
-  std::vector<obs::ObsSnapshot> metric_slots(schedule.size());
-  std::vector<std::vector<obs::FlightEvent>> event_slots(schedule.size());
   if (journal_ != nullptr) {
     // Checkpoint replay: journaled traces prefill their slots and count as
-    // completed; the claim loop below skips them.
+    // completed; the claim loop below skips them. Their deltas enter the
+    // same streaming merger as live traces, so fold order stays plan order.
     int prefilled = 0;
     for (const auto& [index, entry] : journal_->entries()) {
       if (index < 0 || static_cast<std::size_t>(index) >= schedule.size()) continue;
       slots[static_cast<std::size_t>(index)] = std::make_unique<Trace>(entry.trace);
-      metric_slots[static_cast<std::size_t>(index)] = entry.delta;
+      commit_delta(index, PendingDelta{entry.delta, {}});
       ++prefilled;
     }
     completed_.store(prefilled, std::memory_order_relaxed);
@@ -186,8 +232,7 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
             break;
           }
           const auto started = std::chrono::steady_clock::now();
-          run_one(worker, schedule, static_cast<int>(index), slots, metric_slots,
-                  event_slots);
+          run_one(worker, schedule, static_cast<int>(index), slots);
           const auto elapsed = std::chrono::duration_cast<std::chrono::microseconds>(
               std::chrono::steady_clock::now() - started);
           worker.busy_micros->inc(static_cast<std::uint64_t>(elapsed.count()));
@@ -201,24 +246,18 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
   std::sort(failures_.begin(), failures_.end(),
             [](const TraceFailure& a, const TraceFailure& b) { return a.index < b.index; });
 
-  // Merge back into plan order; failed traces leave no hole and no
-  // duplicate -- their slot is simply empty. Metric deltas merge in the
-  // same order: commutative integer sums folded deterministically, so the
-  // totals are byte-identical to the sequential campaign's.
+  // Deltas were folded in plan order by the streaming merger as traces
+  // finished (commutative integer sums + order-pinned sketch folds), so
+  // the totals are byte-identical to the sequential campaign's at any
+  // worker count; only halt-induced holes remain parked.
+  flush_pending();
+
+  // Merge results back into plan order; failed traces leave no hole and no
+  // duplicate -- their slot is simply empty.
   std::vector<Trace> merged;
   merged.reserve(slots.size());
   for (auto& slot : slots) {
     if (slot) merged.push_back(std::move(*slot));
-  }
-  for (const auto& delta : metric_slots) {
-    merged_metrics_.merge(delta);
-  }
-  // Flight events concatenate in plan order too: within a trace the shard
-  // recorded them in sim-event order, across traces plan order matches the
-  // sequential executor's commit order -- hence byte-identical exports.
-  for (auto& events : event_slots) {
-    flight_events_.insert(flight_events_.end(), std::make_move_iterator(events.begin()),
-                          std::make_move_iterator(events.end()));
   }
   return merged;
 }

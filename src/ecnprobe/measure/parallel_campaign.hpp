@@ -31,6 +31,7 @@
 #include "ecnprobe/measure/probe.hpp"
 #include "ecnprobe/obs/ledger.hpp"
 #include "ecnprobe/obs/metrics.hpp"
+#include "ecnprobe/obs/telemetry.hpp"
 
 namespace ecnprobe::measure {
 
@@ -94,6 +95,11 @@ public:
     /// been claimed across all workers (journal replays don't count).
     /// 0 = run the whole plan.
     int halt_after_traces = 0;
+    /// Sketched-telemetry config for the campaign-level aggregate. Must be
+    /// pre-resolved (seed filled in) identically to the config the shards'
+    /// worlds arm, or the fold would hash into different sketch cells --
+    /// scenario::run_parallel_campaign does this from WorldParams.
+    obs::TelemetryConfig telemetry;
   };
 
   /// See measure::TraceFailure; kept as a nested alias for callers that
@@ -143,6 +149,12 @@ public:
   /// recorders. Valid after run() returns.
   const std::vector<obs::FlightEvent>& flight_events() const { return flight_events_; }
 
+  /// Campaign telemetry aggregate folded from the per-trace deltas in plan
+  /// order -- byte-identical to the sequential World's campaign_telemetry()
+  /// regardless of worker count. Inactive unless Options::telemetry is
+  /// sketched. Valid after run() returns.
+  const obs::TelemetryAggregate& telemetry() const { return telemetry_; }
+
   /// Executor-runtime metrics (worker utilization, in-flight gauges).
   /// Timing-dependent, hence deliberately separate from the deterministic
   /// campaign metrics().
@@ -150,10 +162,27 @@ public:
 
 private:
   struct Worker;
+
+  /// One finished trace's observability, parked until every lower-index
+  /// trace has been folded. Holding deltas instead of per-trace campaign
+  /// snapshots is what bounds executor memory: the pending window is at
+  /// most ~workers deep (claims are strictly increasing), so campaign
+  /// telemetry stays O(sketch) rather than O(traces x labels).
+  struct PendingDelta {
+    obs::ObsSnapshot obs;
+    std::vector<obs::FlightEvent> events;
+  };
+
   void run_one(Worker& worker, const std::vector<PlannedTrace>& schedule, int index,
-               std::vector<std::unique_ptr<Trace>>& slots,
-               std::vector<obs::ObsSnapshot>& metric_slots,
-               std::vector<std::vector<obs::FlightEvent>>& event_slots);
+               std::vector<std::unique_ptr<Trace>>& slots);
+
+  /// Parks `delta` for trace `index`, then folds the contiguous ready
+  /// prefix into the campaign snapshot/telemetry/flight log in plan order.
+  /// Thread-safe; each index must be committed exactly once.
+  void commit_delta(int index, PendingDelta delta);
+  /// Folds any still-parked deltas (holes from halt_after_traces leave the
+  /// prefix short) in index order. Call only after the pool is idle.
+  void flush_pending();
 
   ShardFactory factory_;
   Options options_;
@@ -165,7 +194,11 @@ private:
   std::vector<TraceFailure> failures_;
   std::atomic<int> completed_{0};
   std::atomic<int> total_{0};
+  std::mutex merge_mutex_;
+  std::map<int, PendingDelta> pending_;
+  int next_merge_ = 0;
   obs::ObsSnapshot merged_metrics_;
+  obs::TelemetryAggregate telemetry_;
   std::vector<obs::FlightEvent> flight_events_;
   obs::MetricsRegistry runtime_;
 };

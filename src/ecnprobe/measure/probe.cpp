@@ -109,6 +109,10 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
     if (!r.success) {
       o.ledger.record_drop(obs::Layer::Measure, obs::DropCause::ProbeTimeout,
                            server.to_string());
+    } else if (o.telemetry.armed()) {
+      // Sketched mode folds every successful probe RTT into the log-bucketed
+      // histogram; exact mode keeps the registry untouched (byte-compat).
+      o.telemetry.observe_rtt(r.rtt);
     }
     if (supervisor != nullptr) {
       supervisor->on_step_result(server, r.success);

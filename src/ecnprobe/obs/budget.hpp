@@ -1,0 +1,64 @@
+// Telemetry budget accountant: a byte-denominated allowance for the
+// variable-size parts of sketched telemetry (the tracked-key directory,
+// exemplar records). The fixed-size sketches are charged once at arm
+// time; everything that grows with observed cardinality must ask
+// try_charge() first and is refused -- counted, not silently dropped --
+// once the budget is spent. The accountant's own numbers (used, peak,
+// admitted, rejected) are exported as self-metrics so a refused campaign
+// is visible in the report rather than just missing rows.
+//
+// Deterministic by construction: charges happen in plan order during
+// aggregate folding, so the admit/reject sequence is identical at any
+// worker count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ecnprobe::obs {
+
+class TelemetryBudget {
+ public:
+  TelemetryBudget() = default;
+  explicit TelemetryBudget(std::size_t cap_bytes) : cap_(cap_bytes) {}
+
+  std::size_t cap() const { return cap_; }
+  std::size_t used() const { return used_; }
+  std::size_t peak() const { return peak_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t rejected() const { return rejected_; }
+
+  // Admit a variable-size allocation. False (and counted as a rejection)
+  // when it would push usage past the cap.
+  bool try_charge(std::size_t bytes) {
+    if (cap_ != 0 && used_ + bytes > cap_) {
+      ++rejected_;
+      return false;
+    }
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+    ++admitted_;
+    return true;
+  }
+
+  // Record a mandatory fixed allocation (the sketches themselves); never
+  // refused, but counted toward used/peak so the report shows the whole
+  // footprint.
+  void charge_fixed(std::size_t bytes) {
+    used_ += bytes;
+    if (used_ > peak_) peak_ = used_;
+  }
+
+  void release(std::size_t bytes) { used_ = bytes > used_ ? 0 : used_ - bytes; }
+
+  void clear() { *this = TelemetryBudget{cap_}; }
+
+ private:
+  std::size_t cap_ = 0;  // 0 = unlimited
+  std::size_t used_ = 0;
+  std::size_t peak_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+}  // namespace ecnprobe::obs

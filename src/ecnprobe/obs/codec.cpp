@@ -137,6 +137,27 @@ std::string encode_obs(const ObsSnapshot& snapshot) {
     append("R " + escape_token(key.first) + " " + escape_token(key.second) + " " +
            std::to_string(n));
   }
+  // Telemetry records are emitted only when present, so exact-mode
+  // encodings (empty delta) are byte-identical to the pre-telemetry
+  // format -- old journals decode unchanged.
+  for (const auto& [key, n] : snapshot.telemetry.counts) {
+    append("T " + escape_token(key) + " " + std::to_string(n));
+  }
+  for (const auto& [bucket, n] : snapshot.telemetry.rtt_buckets) {
+    append("L " + std::to_string(bucket) + " " + std::to_string(n));
+  }
+  if (snapshot.telemetry.rtt_count != 0 || snapshot.telemetry.rtt_sum_nanos != 0) {
+    append("Q " + std::to_string(snapshot.telemetry.rtt_count) + " " +
+           std::to_string(snapshot.telemetry.rtt_sum_nanos));
+  }
+  if (snapshot.telemetry.folded_records != 0 || snapshot.telemetry.sampled_exact != 0) {
+    append("F " + std::to_string(snapshot.telemetry.folded_records) + " " +
+           std::to_string(snapshot.telemetry.sampled_exact));
+  }
+  for (const auto& exemplar : snapshot.telemetry.exemplars) {
+    append("E " + std::to_string(exemplar.trace) + " " + escape_token(exemplar.layer) +
+           " " + escape_token(exemplar.cause) + " " + escape_token(exemplar.node));
+  }
   return out;
 }
 
@@ -227,6 +248,58 @@ util::Expected<ObsSnapshot> decode_obs(std::string_view text) {
       if (!layer || !cause) return bad(where + ": bad escape in ledger record");
       auto& table = tag == "D" ? out.ledger.drops : out.ledger.rewrites;
       table[{*layer, *cause}] += n;
+    } else if (tag == "T") {
+      std::string key_tok, n_tok;
+      std::uint64_t n = 0;
+      if (!line.take(&key_tok) || !line.take(&n_tok) || !parse_u64(n_tok, &n) ||
+          !line.done()) {
+        return bad(where + ": bad telemetry count record");
+      }
+      auto key = unescape_token(key_tok);
+      if (!key) return bad(where + ": bad escape in telemetry count");
+      out.telemetry.counts[*key] += n;
+    } else if (tag == "L") {
+      std::string bucket_tok, n_tok;
+      std::int64_t bucket = 0;
+      std::uint64_t n = 0;
+      if (!line.take(&bucket_tok) || !parse_i64(bucket_tok, &bucket) ||
+          bucket < 0 || bucket > (std::int64_t{1} << 30) || !line.take(&n_tok) ||
+          !parse_u64(n_tok, &n) || !line.done()) {
+        return bad(where + ": bad telemetry rtt bucket record");
+      }
+      out.telemetry.rtt_buckets[static_cast<std::int32_t>(bucket)] += n;
+    } else if (tag == "Q") {
+      std::string count_tok, sum_tok;
+      if (!line.take(&count_tok) || !parse_u64(count_tok, &out.telemetry.rtt_count) ||
+          !line.take(&sum_tok) || !parse_i64(sum_tok, &out.telemetry.rtt_sum_nanos) ||
+          !line.done()) {
+        return bad(where + ": bad telemetry rtt totals record");
+      }
+    } else if (tag == "F") {
+      std::string folded_tok, sampled_tok;
+      if (!line.take(&folded_tok) ||
+          !parse_u64(folded_tok, &out.telemetry.folded_records) ||
+          !line.take(&sampled_tok) ||
+          !parse_u64(sampled_tok, &out.telemetry.sampled_exact) || !line.done()) {
+        return bad(where + ": bad telemetry fold record");
+      }
+    } else if (tag == "E") {
+      std::string trace_tok, layer_tok, cause_tok, node_tok;
+      std::int64_t trace = 0;
+      if (!line.take(&trace_tok) || !parse_i64(trace_tok, &trace) ||
+          !line.take(&layer_tok) || !line.take(&cause_tok) || !line.take(&node_tok) ||
+          !line.done()) {
+        return bad(where + ": bad telemetry exemplar record");
+      }
+      auto layer = unescape_token(layer_tok);
+      auto cause = unescape_token(cause_tok);
+      auto node = unescape_token(node_tok);
+      if (!layer || !cause || !node) {
+        return bad(where + ": bad escape in telemetry exemplar");
+      }
+      out.telemetry.exemplars.push_back(TelemetryExemplar{
+          static_cast<int>(trace), std::move(*layer), std::move(*cause),
+          std::move(*node)});
     } else {
       return bad(where + ": unknown record tag '" + tag + "'");
     }

@@ -13,6 +13,15 @@
 //   S <nlabels> <k> <v>... <counter> <gauge> <count> <sum_milli> <nbuckets> <buckets...>
 //   D <layer> <cause> <n>                            -- ledger drop total
 //   R <layer> <cause> <n>                            -- ledger rewrite total
+//   T <key> <n>                                      -- telemetry keyed count
+//   L <bucket> <n>                                   -- telemetry rtt bucket
+//   Q <rtt_count> <rtt_sum_nanos>                    -- telemetry rtt totals
+//   F <folded_records> <sampled_exact>               -- telemetry fold flags
+//   E <trace> <layer> <cause> <node>                 -- telemetry exemplar
+//
+// Telemetry records only appear for sketched-mode deltas; an exact-mode
+// snapshot encodes to the same bytes as before the telemetry layer
+// existed, so old journals stay readable and exact journals byte-stable.
 //
 // An S line belongs to the most recent M line. Free-form fields (family,
 // help, label keys/values) are percent-escaped so they can never contain

@@ -115,6 +115,26 @@ void sample_to_json(std::string& out, const FamilySnapshot& family,
   }
 }
 
+/// Splits a telemetry composite key "<kind>:<label>/<cause>" at the first
+/// ':' and the last '/'. Layer/node/AS labels never contain '/', causes
+/// never contain ':', so the split is unambiguous.
+struct ParsedTelemetryKey {
+  std::string_view kind;
+  std::string_view label;
+  std::string_view cause;
+};
+
+bool parse_telemetry_key(std::string_view key, ParsedTelemetryKey* out) {
+  const auto colon = key.find(':');
+  if (colon == std::string_view::npos) return false;
+  const auto slash = key.rfind('/');
+  if (slash == std::string_view::npos || slash <= colon) return false;
+  out->kind = key.substr(0, colon);
+  out->label = key.substr(colon + 1, slash - colon - 1);
+  out->cause = key.substr(slash + 1);
+  return true;
+}
+
 }  // namespace
 
 std::string to_json(const MetricsSnapshot& snapshot) {
@@ -198,18 +218,203 @@ std::string to_prometheus(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+LedgerSnapshot estimated_ledger(const TelemetryAggregate& telemetry) {
+  LedgerSnapshot out;
+  if (!telemetry.active()) return out;
+  for (const auto& key : telemetry.tracked_keys()) {
+    ParsedTelemetryKey parsed;
+    if (!parse_telemetry_key(key, &parsed)) continue;
+    if (parsed.kind == "cause") {
+      out.drops[{std::string(parsed.label), std::string(parsed.cause)}] =
+          telemetry.estimate(key);
+    } else if (parsed.kind == "rewrite") {
+      out.rewrites[{std::string(parsed.label), std::string(parsed.cause)}] =
+          telemetry.estimate(key);
+    }
+  }
+  return out;
+}
+
+std::string to_json(const TelemetryAggregate& telemetry) {
+  if (!telemetry.active()) return "null";
+  const auto& config = telemetry.config();
+  const auto& rtt = telemetry.rtt();
+  const auto& budget = telemetry.budget();
+  std::string out = "{";
+  out += util::strf(
+      "\"mode\":\"sketched\",\"epsilon\":%g,\"delta\":%g,\"alpha\":%g,"
+      "\"sample_every\":%d,\"seed\":%" PRIu64 ",\"stream_total\":%" PRIu64
+      ",\"error_bound\":%" PRIu64,
+      config.epsilon, config.delta, config.alpha, config.sample_every,
+      config.seed, telemetry.counts().total(), telemetry.error_bound());
+  out += util::strf(
+      ",\"traces\":{\"folded\":%" PRIu64 ",\"sampled_exact\":%" PRIu64
+      ",\"folded_records\":%" PRIu64 "}",
+      telemetry.traces_folded(), telemetry.sampled_exact_traces(),
+      telemetry.folded_records());
+  out += util::strf(
+      ",\"budget\":{\"cap_bytes\":%zu,\"used_bytes\":%zu,\"peak_bytes\":%zu"
+      ",\"admitted\":%" PRIu64 ",\"rejected\":%" PRIu64
+      ",\"untracked_keys\":%" PRIu64 "}",
+      budget.cap(), budget.used(), budget.peak(), budget.admitted(),
+      budget.rejected(), telemetry.untracked_keys());
+  out += ",\"counts\":{";
+  bool first = true;
+  for (const auto& key : telemetry.tracked_keys()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + json_escape(key) +
+           util::strf("\":%" PRIu64, telemetry.estimate(key));
+  }
+  out += "}";
+  out += util::strf(
+      ",\"rtt\":{\"count\":%" PRIu64 ",\"sum_nanos\":%" PRId64
+      ",\"relative_error\":%g,\"p50_nanos\":%" PRId64 ",\"p90_nanos\":%" PRId64
+      ",\"p99_nanos\":%" PRId64 ",\"buckets\":{",
+      rtt.count(), rtt.sum(), rtt.relative_error(), rtt.quantile(0.50),
+      rtt.quantile(0.90), rtt.quantile(0.99));
+  first = true;
+  for (const auto& [bucket, n] : rtt.buckets()) {
+    if (!first) out += ",";
+    first = false;
+    out += util::strf("\"%d\":%" PRIu64, bucket, n);
+  }
+  out += "}}";
+  out += ",\"exemplars\":[";
+  first = true;
+  for (const auto& exemplar : telemetry.exemplars()) {
+    if (!first) out += ",";
+    first = false;
+    out += util::strf("{\"trace\":%d,\"layer\":\"%s\",\"cause\":\"%s\","
+                      "\"node\":\"%s\"}",
+                      exemplar.trace, json_escape(exemplar.layer).c_str(),
+                      json_escape(exemplar.cause).c_str(),
+                      json_escape(exemplar.node).c_str());
+  }
+  out += "]}";
+  return out;
+}
+
+std::string to_prometheus(const TelemetryAggregate& telemetry) {
+  if (!telemetry.active()) return "";
+  const auto& config = telemetry.config();
+  std::string out;
+  // The error contract, machine-greppable: every family below is an
+  // estimate, never an exact counter.
+  out += util::strf(
+      "# ecnprobe_telemetry mode=sketched epsilon=%g delta=%g alpha=%g "
+      "sample_every=%d\n",
+      config.epsilon, config.delta, config.alpha, config.sample_every);
+  out += util::strf(
+      "# ecnprobe_telemetry estimates never undercount and overcount by at "
+      "most %" PRIu64 " (= ceil(epsilon * %" PRIu64
+      ") stream total) with per-key confidence %g\n",
+      telemetry.error_bound(), telemetry.counts().total(),
+      1.0 - config.delta);
+
+  struct Family {
+    std::string_view kind;        // composite-key prefix
+    std::string_view name;        // exported family name
+    std::string_view label_key;   // prometheus label for the parsed label
+    std::string_view help;
+  };
+  static constexpr Family kFamilies[] = {
+      {"cause", "ecnprobe_telemetry_drops_estimate_total", "layer",
+       "estimated packets discarded, by layer and cause (count-min sketch)"},
+      {"rewrite", "ecnprobe_telemetry_rewrites_estimate_total", "layer",
+       "estimated in-flight ECN rewrites, by layer and cause"},
+      {"hop", "ecnprobe_telemetry_hop_drops_estimate_total", "node",
+       "estimated drops per hop/server node and cause"},
+      {"as", "ecnprobe_telemetry_as_drops_estimate_total", "as",
+       "estimated drops per origin AS and cause"},
+  };
+  for (const auto& family : kFamilies) {
+    bool any = false;
+    for (const auto& key : telemetry.tracked_keys()) {
+      ParsedTelemetryKey parsed;
+      if (!parse_telemetry_key(key, &parsed) || parsed.kind != family.kind) {
+        continue;
+      }
+      if (!any) {
+        out += "# HELP " + std::string(family.name) + " " +
+               std::string(family.help) + "\n";
+        out += "# TYPE " + std::string(family.name) + " counter\n";
+        any = true;
+      }
+      LabelSet labels{{std::string(family.label_key), std::string(parsed.label)},
+                      {"cause", std::string(parsed.cause)},
+                      {"estimate", "true"}};
+      out += std::string(family.name) + labels_to_prometheus(labels) +
+             util::strf(" %" PRIu64 "\n", telemetry.estimate(key));
+    }
+  }
+
+  const auto& rtt = telemetry.rtt();
+  if (rtt.count() > 0) {
+    out += "# HELP ecnprobe_telemetry_rtt_nanos probe RTT distribution "
+           "(log-bucketed, relative error " +
+           util::strf("%g", rtt.relative_error()) + ")\n";
+    out += "# TYPE ecnprobe_telemetry_rtt_nanos histogram\n";
+    std::uint64_t cumulative = 0;
+    for (const auto& [bucket, n] : rtt.buckets()) {
+      cumulative += n;
+      LabelSet labels{{"estimate", "true"},
+                      {"le", util::strf("%" PRId64, LogHistogram::bucket_upper(
+                                                        bucket, rtt.subbits()))}};
+      out += "ecnprobe_telemetry_rtt_nanos_bucket" +
+             labels_to_prometheus(labels) +
+             util::strf(" %" PRIu64 "\n", cumulative);
+    }
+    LabelSet est{{"estimate", "true"}};
+    out += "ecnprobe_telemetry_rtt_nanos_sum" + labels_to_prometheus(est) +
+           util::strf(" %" PRId64 "\n", rtt.sum());
+    out += "ecnprobe_telemetry_rtt_nanos_count" + labels_to_prometheus(est) +
+           util::strf(" %" PRIu64 "\n", rtt.count());
+  }
+
+  const auto& budget = telemetry.budget();
+  out += "# HELP ecnprobe_telemetry_budget_bytes telemetry budget accountant "
+         "state\n";
+  out += "# TYPE ecnprobe_telemetry_budget_bytes gauge\n";
+  const std::pair<const char*, std::size_t> gauges[] = {
+      {"cap", budget.cap()}, {"used", budget.used()}, {"peak", budget.peak()}};
+  for (const auto& [kind, value] : gauges) {
+    out += "ecnprobe_telemetry_budget_bytes" +
+           labels_to_prometheus(LabelSet{{"kind", kind}}) +
+           util::strf(" %zu\n", value);
+  }
+  out += "# HELP ecnprobe_telemetry_traces_total traces folded into the "
+         "sketches, by sampling outcome\n";
+  out += "# TYPE ecnprobe_telemetry_traces_total counter\n";
+  out += "ecnprobe_telemetry_traces_total" +
+         labels_to_prometheus(LabelSet{{"sampling", "folded"}}) +
+         util::strf(" %" PRIu64 "\n",
+                    telemetry.traces_folded() - telemetry.sampled_exact_traces());
+  out += "ecnprobe_telemetry_traces_total" +
+         labels_to_prometheus(LabelSet{{"sampling", "exact"}}) +
+         util::strf(" %" PRIu64 "\n", telemetry.sampled_exact_traces());
+  return out;
+}
+
 std::string render_metrics_report_json(const ObsSnapshot& campaign,
-                                       const MetricsSnapshot* runtime) {
+                                       const MetricsSnapshot* runtime,
+                                       const TelemetryAggregate* telemetry) {
   std::string out = "{\"campaign\":" + to_json(campaign) + ",\"runtime\":";
   out += runtime != nullptr ? to_json(*runtime) : "null";
+  // Exact-mode documents omit the key entirely so they stay byte-identical
+  // to the pre-telemetry format (golden-pinned).
+  if (telemetry != nullptr && telemetry->active()) {
+    out += ",\"telemetry\":" + to_json(*telemetry);
+  }
   return out + "}\n";
 }
 
 bool write_metrics_files(const std::string& path, const ObsSnapshot& campaign,
-                         const MetricsSnapshot* runtime) {
+                         const MetricsSnapshot* runtime,
+                         const TelemetryAggregate* telemetry) {
   std::ofstream json_os(path);
   if (!json_os) return false;
-  json_os << render_metrics_report_json(campaign, runtime);
+  json_os << render_metrics_report_json(campaign, runtime, telemetry);
 
   std::string prom_path = path;
   const auto dot = prom_path.rfind('.');
@@ -223,6 +428,9 @@ bool write_metrics_files(const std::string& path, const ObsSnapshot& campaign,
   std::ofstream prom_os(prom_path);
   if (!prom_os) return false;
   prom_os << to_prometheus(combined);
+  if (telemetry != nullptr && telemetry->active()) {
+    prom_os << to_prometheus(*telemetry);
+  }
   return json_os.good() && prom_os.good();
 }
 
@@ -278,6 +486,45 @@ std::string render_loss_autopsy(const LedgerSnapshot& ledger) {
     }
     os << "\n";
   }
+  return os.str();
+}
+
+std::string render_sketched_summary(const TelemetryAggregate& telemetry) {
+  if (!telemetry.active()) return "";
+  const auto& config = telemetry.config();
+  std::ostringstream os;
+  os << util::strf(
+      "Telemetry (sketched): %" PRIu64 " traces folded (%" PRIu64
+      " kept exact, sample-every=%d), %" PRIu64
+      " drop records live only in the sketches.\n",
+      telemetry.traces_folded(), telemetry.sampled_exact_traces(),
+      config.sample_every, telemetry.folded_records());
+  os << util::strf(
+      "Estimates never undercount; overcount <= %" PRIu64
+      " per key (eps=%g of %" PRIu64 " events, confidence %g).\n",
+      telemetry.error_bound(), config.epsilon, telemetry.counts().total(),
+      1.0 - config.delta);
+  const auto ledger = estimated_ledger(telemetry);
+  const auto table = render_loss_autopsy(ledger);
+  if (!table.empty()) {
+    os << "Estimated " << table;  // "Estimated Loss autopsy (drops by ...)"
+  }
+  const auto& rtt = telemetry.rtt();
+  if (rtt.count() > 0) {
+    os << util::strf(
+        "rtt: n=%" PRIu64 " p50=%.3fms p90=%.3fms p99=%.3fms "
+        "(relative error <= %g)\n",
+        rtt.count(), static_cast<double>(rtt.quantile(0.50)) / 1e6,
+        static_cast<double>(rtt.quantile(0.90)) / 1e6,
+        static_cast<double>(rtt.quantile(0.99)) / 1e6, rtt.relative_error());
+  }
+  const auto& budget = telemetry.budget();
+  os << util::strf("budget: %zu/%zu bytes (peak %zu), %" PRIu64
+                   " charges admitted, %" PRIu64 " rejected, %" PRIu64
+                   " keys untracked\n",
+                   budget.used(), budget.cap(), budget.peak(),
+                   budget.admitted(), budget.rejected(),
+                   telemetry.untracked_keys());
   return os.str();
 }
 

@@ -12,6 +12,7 @@
 
 #include "ecnprobe/obs/ledger.hpp"
 #include "ecnprobe/obs/metrics.hpp"
+#include "ecnprobe/obs/telemetry.hpp"
 
 namespace ecnprobe::obs {
 
@@ -28,22 +29,49 @@ std::string to_json(const ObsSnapshot& snapshot);
 /// expand to _bucket{le=...}/_sum/_count as usual.
 std::string to_prometheus(const MetricsSnapshot& snapshot);
 
+/// JSON object for the sketched-telemetry aggregate: config + error
+/// bounds, budget self-metrics, keyed estimates, rtt quantiles,
+/// exemplars. "null" when the aggregate is inactive (exact mode).
+std::string to_json(const TelemetryAggregate& telemetry);
+
+/// Prometheus exposition of the sketch-backed families. Every sample
+/// carries an `estimate="true"` label, and the block opens with comment
+/// lines stating the epsilon/delta/alpha error contract, so a scraper
+/// can never mistake an estimate for a truth counter. Empty string when
+/// inactive.
+std::string to_prometheus(const TelemetryAggregate& telemetry);
+
+/// The drop/rewrite cause totals reconstructed from the sketch, shaped
+/// like a LedgerSnapshot so the autopsy/report tables can render them.
+/// Each value is an estimate: true <= value <= true + error_bound().
+LedgerSnapshot estimated_ledger(const TelemetryAggregate& telemetry);
+
 /// The full --metrics-out JSON document:
 ///   {"campaign": <ObsSnapshot>, "runtime": <MetricsSnapshot>}
-/// The campaign section is deterministic under --workers N; the runtime
-/// section (worker utilization, progress gauges) is wall-clock dependent
-/// and excluded from equality checks. `runtime` may be null.
+/// plus a "telemetry" member when a sketched aggregate is active. The
+/// campaign and telemetry sections are deterministic under --workers N;
+/// the runtime section (worker utilization, progress gauges) is
+/// wall-clock dependent and excluded from equality checks. `runtime` and
+/// `telemetry` may be null; exact-mode documents are byte-identical to
+/// the pre-telemetry format.
 std::string render_metrics_report_json(const ObsSnapshot& campaign,
-                                       const MetricsSnapshot* runtime);
+                                       const MetricsSnapshot* runtime,
+                                       const TelemetryAggregate* telemetry = nullptr);
 
 /// Writes the JSON report to `path` and the Prometheus exposition of the
 /// same data to a sibling file (path with its extension replaced by
 /// ".prom"). Returns false if either file cannot be written.
 bool write_metrics_files(const std::string& path, const ObsSnapshot& campaign,
-                         const MetricsSnapshot* runtime);
+                         const MetricsSnapshot* runtime,
+                         const TelemetryAggregate* telemetry = nullptr);
 
 /// Drops-by-cause x layer table with row/column totals, plus a rewrite
 /// summary line. Empty string when the ledger recorded nothing.
 std::string render_loss_autopsy(const LedgerSnapshot& ledger);
+
+/// Human-readable summary of a sketched campaign: the estimated loss
+/// table (flagged as estimates with the overcount bound), rtt quantiles,
+/// sampling and budget accounting. Empty string when inactive.
+std::string render_sketched_summary(const TelemetryAggregate& telemetry);
 
 }  // namespace ecnprobe::obs

@@ -17,12 +17,15 @@ std::string_view to_string(SpanEvent event) {
 }
 
 void FlightRecorder::arm(std::size_t capacity) {
-  armed_ = capacity > 0;
+  enabled_ = capacity > 0;
+  armed_ = enabled_ && !suppressed_;
   capacity_ = capacity;
 }
 
 void FlightRecorder::disarm() {
   armed_ = false;
+  enabled_ = false;
+  suppressed_ = false;
   capacity_ = 0;
   flights_.clear();
   flight_arena_.reset();

@@ -101,6 +101,17 @@ public:
   /// ran before this one (a parallel shard only ages by its own share) and
   /// would break byte-identical sequential-vs-sharded recordings.
   void set_trace(int trace, util::SimTime epoch_base = util::SimTime::zero());
+
+  /// Head-based telemetry sampling: an armed recorder on an unsampled
+  /// trace records nothing (the trace's story lives in the sketches
+  /// instead). Folded into the same `armed_` bool the hot path already
+  /// tests, so suppression adds no per-packet cost. World sets this right
+  /// after set_trace(); exact mode always passes true.
+  void set_trace_sampled(bool sampled) {
+    suppressed_ = !sampled;
+    armed_ = enabled_ && !suppressed_;
+  }
+
   void set_probe(int probe) { probe_ = probe; }
   void set_seq(int seq) { seq_ = seq; }
   SpanKey context() const { return {trace_, probe_, seq_}; }
@@ -182,7 +193,9 @@ private:
 
   void push(FlightEvent event);
 
-  bool armed_ = false;
+  bool armed_ = false;       ///< enabled_ && !suppressed_: the hot-path test
+  bool enabled_ = false;     ///< arm() was called with capacity > 0
+  bool suppressed_ = false;  ///< current trace sampled out of exact recording
   std::size_t capacity_ = 0;
   int trace_ = -1;
   int probe_ = -1;

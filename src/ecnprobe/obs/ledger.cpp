@@ -80,7 +80,29 @@ void LedgerSnapshot::merge(const LedgerSnapshot& other) {
 
 // -- DropLedger --------------------------------------------------------------
 
+void DropLedger::begin_trace(int index) {
+  trace_ = index;
+  if (telemetry_ != nullptr && telemetry_->armed()) {
+    // Sketched mode: the previous trace's records have been folded into
+    // the campaign aggregate already; dropping them here keeps a worker's
+    // ledger bounded by one trace instead of the whole campaign.
+    drops_.clear();
+    rewrites_.clear();
+  }
+}
+
 void DropLedger::record_drop(Layer layer, DropCause cause, std::string node) {
+  if (telemetry_ != nullptr && telemetry_->armed()) {
+    telemetry_->on_drop(to_string(layer), to_string(cause), node);
+    // Unsampled traces live only in the sketches (plus a reservoir
+    // exemplar kept by the recorder); sampled traces keep the exact row
+    // for autopsies but skip the registry mirror -- in sketched mode the
+    // estimates replace `ecn_drops_total`, and mirroring a biased subset
+    // would misread as a truth counter.
+    if (!telemetry_->trace_sampled_exact()) return;
+    drops_.push_back(DropRecord{trace_, layer, cause, std::move(node)});
+    return;
+  }
   const auto li = static_cast<std::size_t>(layer);
   const auto ci = static_cast<std::size_t>(cause);
   Counter*& mirror = drop_counters_[li][ci];
@@ -95,6 +117,12 @@ void DropLedger::record_drop(Layer layer, DropCause cause, std::string node) {
 }
 
 void DropLedger::record_rewrite(Layer layer, RewriteCause cause, std::string node) {
+  if (telemetry_ != nullptr && telemetry_->armed()) {
+    telemetry_->on_rewrite(to_string(layer), to_string(cause));
+    if (!telemetry_->trace_sampled_exact()) return;
+    rewrites_.push_back(RewriteRecord{trace_, layer, cause, std::move(node)});
+    return;
+  }
   const auto li = static_cast<std::size_t>(layer);
   const auto ci = static_cast<std::size_t>(cause);
   Counter*& mirror = rewrite_counters_[li][ci];

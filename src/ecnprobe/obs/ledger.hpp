@@ -24,6 +24,7 @@
 #include "ecnprobe/obs/flight.hpp"
 #include "ecnprobe/obs/layer.hpp"
 #include "ecnprobe/obs/metrics.hpp"
+#include "ecnprobe/obs/telemetry.hpp"
 
 namespace ecnprobe::obs {
 
@@ -107,6 +108,17 @@ public:
   void set_trace(int index) { trace_ = index; }
   int trace() const { return trace_; }
 
+  /// Trace-epoch entry point: stamps the index and, when sketched
+  /// telemetry is armed, releases the previous trace's record vectors so
+  /// a worker's ledger stays O(one trace), not O(campaign). Call BEFORE
+  /// the world snapshots its obs baseline.
+  void begin_trace(int index);
+
+  /// Sketched-mode wiring: when set and armed, records are forwarded to
+  /// the telemetry recorder; only exactly-sampled traces keep ledger rows
+  /// and registry mirror counters.
+  void set_telemetry(TelemetryRecorder* telemetry) { telemetry_ = telemetry; }
+
   void record_drop(Layer layer, DropCause cause, std::string node);
   void record_rewrite(Layer layer, RewriteCause cause, std::string node);
 
@@ -121,6 +133,7 @@ public:
 
 private:
   MetricsRegistry* registry_;
+  TelemetryRecorder* telemetry_ = nullptr;
   int trace_ = -1;
   std::vector<DropRecord> drops_;
   std::vector<RewriteRecord> rewrites_;
@@ -135,7 +148,7 @@ private:
 /// Network) falls back to the process-wide instance. The recorder ships
 /// disarmed: until World arms it, every datapath touch is one bool test.
 struct Observability {
-  Observability() : ledger(&registry) {}
+  Observability() : ledger(&registry) { ledger.set_telemetry(&telemetry); }
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
 
@@ -144,17 +157,21 @@ struct Observability {
   MetricsRegistry registry;
   DropLedger ledger;
   FlightRecorder recorder;
+  TelemetryRecorder telemetry;  ///< disarmed in exact mode: one bool test
 };
 
 /// Everything one campaign produced: the metrics delta plus the ledger
-/// slice, both deterministic under sharding.
+/// slice plus the (empty in exact mode) telemetry delta, all
+/// deterministic under sharding.
 struct ObsSnapshot {
   MetricsSnapshot metrics;
   LedgerSnapshot ledger;
+  TelemetryDelta telemetry;
 
   void merge(const ObsSnapshot& other) {
     metrics.merge(other.metrics);
     ledger.merge(other.ledger);
+    telemetry.merge(other.telemetry);
   }
 };
 

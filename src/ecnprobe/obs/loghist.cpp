@@ -1,0 +1,109 @@
+#include "ecnprobe/obs/loghist.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ecnprobe::obs {
+
+LogHistogram::LogHistogram(double alpha) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("LogHistogram: alpha must be in (0, 1]");
+  }
+  // Smallest subbits with 2^-subbits <= alpha. Multiplying a double by a
+  // power of two is exact, so this loop is deterministic everywhere.
+  int sb = 1;
+  while (sb < 12 && static_cast<double>(std::int64_t{1} << sb) * alpha < 1.0) {
+    ++sb;
+  }
+  subbits_ = sb;
+}
+
+double LogHistogram::relative_error() const {
+  if (subbits_ == 0) return 0.0;
+  return 1.0 / static_cast<double>(std::int64_t{1} << subbits_);
+}
+
+std::int32_t LogHistogram::bucket_index(std::int64_t value, int subbits) {
+  if (value <= 0) return 0;
+  const std::int64_t unit = std::int64_t{1} << subbits;
+  if (value < unit) return static_cast<std::int32_t>(value);
+  const auto v = static_cast<std::uint64_t>(value);
+  const int exponent =
+      static_cast<int>(std::bit_width(v)) - 1;  // floor(log2(v)) >= subbits
+  const int shift = exponent - subbits;
+  // Top (subbits + 1) bits of v, minus the implicit leading bit, give the
+  // sub-bucket in [0, 2^subbits).
+  const auto sub = static_cast<std::int64_t>(v >> shift) - unit;
+  return static_cast<std::int32_t>(
+      (static_cast<std::int64_t>(exponent - subbits + 1) << subbits) + sub);
+}
+
+std::int64_t LogHistogram::bucket_upper(std::int32_t index, int subbits) {
+  if (index < 0) return 0;
+  const std::int64_t unit = std::int64_t{1} << subbits;
+  if (index < unit) return index;  // exact unit buckets
+  const std::int64_t group = index >> subbits;   // exponent - subbits + 1
+  const std::int64_t sub = index & (unit - 1);
+  const std::int64_t scale = std::int64_t{1} << (group - 1);
+  return (unit + sub + 1) * scale - 1;
+}
+
+void LogHistogram::observe(std::int64_t value) {
+  if (subbits_ == 0) return;
+  if (value < 0) value = 0;
+  ++buckets_[bucket_index(value, subbits_)];
+  ++count_;
+  sum_ += value;
+}
+
+void LogHistogram::add_bucket(std::int32_t index, std::uint64_t n) {
+  if (subbits_ == 0 || n == 0) return;
+  buckets_[index] += n;
+  count_ += n;
+}
+
+void LogHistogram::add_sum(std::int64_t sum) { sum_ += sum; }
+
+void LogHistogram::merge(const LogHistogram& other) {
+  if (other.subbits_ == 0) return;
+  if (subbits_ == 0) {
+    *this = other;
+    return;
+  }
+  if (subbits_ != other.subbits_) {
+    throw std::invalid_argument("LogHistogram::merge: subbits mismatch");
+  }
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+std::int64_t LogHistogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // rank in [1, count]: smallest bucket whose cumulative count reaches it.
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_));
+  if (rank == 0) rank = 1;
+  if (rank > count_) rank = count_;
+  std::uint64_t seen = 0;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= rank) return bucket_upper(index, subbits_);
+  }
+  return bucket_upper(buckets_.rbegin()->first, subbits_);
+}
+
+std::size_t LogHistogram::memory_bytes() const {
+  // Conservative per-node estimate for the sparse map.
+  return sizeof(*this) + buckets_.size() * (sizeof(std::int32_t) +
+                                            sizeof(std::uint64_t) + 48);
+}
+
+void LogHistogram::clear() {
+  buckets_.clear();
+  count_ = 0;
+  sum_ = 0;
+}
+
+}  // namespace ecnprobe::obs

@@ -1,0 +1,72 @@
+// Log-bucketed histogram for latency distributions (RTT, queue delay):
+// DDSketch-style relative-error quantiles with pure-integer bucket
+// indexing, so the bucket layout is a deterministic function of the
+// value alone -- no std::log, no libm, no platform drift.
+//
+// Layout (HDR-histogram style): values below 2^subbits land in exact
+// unit buckets; above that, each power-of-two range splits into
+// 2^subbits sub-buckets, so every bucket's width is at most
+// 2^-subbits of its lower edge. Choosing subbits = ceil(log2(1/alpha))
+// makes the relative quantile error <= 2^-subbits <= alpha.
+//
+// Storage is a sparse ordered map: a campaign's RTT spread touches a few
+// dozen buckets regardless of sample count, so memory is O(distinct
+// buckets), not O(samples). merge() is bucket-wise integer addition --
+// commutative -- so plan-order folding is byte-identical at any worker
+// count.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+
+namespace ecnprobe::obs {
+
+class LogHistogram {
+ public:
+  // An inert histogram (subbits 0): observe/merge are no-ops.
+  LogHistogram() = default;
+
+  // alpha: target relative error in (0, 1]. Throws std::invalid_argument
+  // otherwise. subbits is clamped to [1, 12].
+  explicit LogHistogram(double alpha);
+
+  bool active() const { return subbits_ != 0; }
+  int subbits() const { return subbits_; }
+  // The realised bound 2^-subbits (<= the requested alpha).
+  double relative_error() const;
+
+  // Pure-integer bucket mapping, exposed for codecs and tests. Values
+  // <= 0 land in bucket 0.
+  static std::int32_t bucket_index(std::int64_t value, int subbits);
+  // Inclusive upper edge of a bucket: the largest value mapping to it.
+  static std::int64_t bucket_upper(std::int32_t index, int subbits);
+
+  void observe(std::int64_t value);
+  // Fold a pre-bucketed count (from a per-trace delta); adds to count().
+  void add_bucket(std::int32_t index, std::uint64_t n);
+  // Fold a pre-accumulated sum alongside add_bucket calls.
+  void add_sum(std::int64_t sum);
+
+  // Throws std::invalid_argument on subbits mismatch.
+  void merge(const LogHistogram& other);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t sum() const { return sum_; }
+  // Upper edge of the bucket containing the q-quantile (q in [0, 1]);
+  // within relative_error() of the true quantile. Zero when empty.
+  std::int64_t quantile(double q) const;
+  const std::map<std::int32_t, std::uint64_t>& buckets() const {
+    return buckets_;
+  }
+  std::size_t memory_bytes() const;
+  void clear();
+
+ private:
+  int subbits_ = 0;
+  std::uint64_t count_ = 0;
+  std::int64_t sum_ = 0;
+  std::map<std::int32_t, std::uint64_t> buckets_;
+};
+
+}  // namespace ecnprobe::obs

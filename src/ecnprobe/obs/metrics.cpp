@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace ecnprobe::obs {
 
@@ -69,6 +70,15 @@ void MetricsSnapshot::merge(const MetricsSnapshot& other) {
   for (const auto& [name, fam] : other.families) {
     auto [it, inserted] = families.try_emplace(name, fam);
     if (inserted) continue;
+    // Histograms from registries that disagree on the bucket layout would
+    // add bucket vectors element-wise into nonsense; fail loudly instead.
+    if (!it->second.bounds.empty() && !fam.bounds.empty() &&
+        it->second.bounds != fam.bounds) {
+      throw std::invalid_argument(
+          "MetricsSnapshot::merge: histogram '" + name +
+          "' has mismatched bucket bounds across registries");
+    }
+    if (it->second.bounds.empty()) it->second.bounds = fam.bounds;
     for (const auto& [labels, value] : fam.samples) {
       auto [sit, fresh] = it->second.samples.try_emplace(labels, value);
       if (!fresh) sit->second.add(value);

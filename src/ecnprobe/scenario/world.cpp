@@ -147,6 +147,19 @@ World::World(WorldParams params)
   build_dns();
   place_middleboxes();
   install_faults();
+  if (params_.telemetry.sketched()) {
+    // Resolve the sketch seed against the world seed so the estimators are
+    // pure functions of (config, seed, trace) -- every worker clone and
+    // the campaign-level aggregate derive the identical hash functions.
+    obs_.telemetry.arm(params_.telemetry.resolved(params_.seed));
+    obs_.telemetry.set_as_labeler([this](const std::string& node) {
+      const auto address = wire::Ipv4Address::parse(node);
+      if (!address) return std::string();  // vantage/router names: no AS key
+      const auto asn = internet_->ip2as().lookup(*address);
+      return asn ? util::strf("AS%u", static_cast<unsigned>(*asn))
+                 : std::string("AS-unknown");
+    });
+  }
 }
 
 World::~World() = default;
@@ -578,11 +591,16 @@ void World::before_trace(const std::string& /*vantage*/, int batch, int index) {
 }
 
 void World::begin_trace_epoch(const std::string& vantage, int batch, int index) {
-  // Observability epoch first: everything from here on -- including the
+  // Telemetry epoch before the baseline: begin_trace decides head-based
+  // sampling and (in sketched mode) releases the previous trace's ledger
+  // rows, so the marks below start from the trimmed state.
+  obs_.telemetry.begin_trace(index);
+  obs_.ledger.begin_trace(index);
+  // Observability epoch next: everything from here on -- including the
   // trace-start counter just below -- lands in this trace's delta.
   mark_obs_baseline();
-  obs_.ledger.set_trace(index);
   obs_.recorder.set_trace(index, sim_.now());
+  obs_.recorder.set_trace_sampled(obs_.telemetry.trace_sampled_exact());
   clock_epoch_origin_ns_ = sim_.now().count_nanos();
   obs_.registry.counter("campaign_traces_total", {{"vantage", vantage}},
                         "campaign traces started, per vantage")->inc();
@@ -617,7 +635,14 @@ obs::ObsSnapshot World::collect_obs_delta() const {
   obs::ObsSnapshot delta;
   delta.metrics = obs_.registry.snapshot().delta_since(obs_baseline_);
   delta.ledger = obs_.ledger.aggregate(obs_drop_mark_, obs_rewrite_mark_);
+  delta.telemetry = obs_.telemetry.collect_delta();
   return delta;
+}
+
+void World::fold_campaign_delta(const obs::ObsSnapshot& delta) {
+  campaign_obs_.metrics.merge(delta.metrics);
+  campaign_obs_.ledger.merge(delta.ledger);
+  campaign_telemetry_.fold(delta.telemetry);
 }
 
 std::vector<measure::Trace> World::run_campaign(
@@ -640,6 +665,9 @@ std::vector<measure::Trace> World::run_campaign(
   if (after_trace) campaign.set_after_trace(std::move(after_trace));
   campaign_obs_ = {};
   campaign_flights_.clear();
+  campaign_telemetry_ = obs_.telemetry.armed()
+                            ? obs::TelemetryAggregate(obs_.telemetry.config())
+                            : obs::TelemetryAggregate{};
   // Merge accounting: every trace's obs delta must enter campaign_obs_
   // exactly once -- as a live commit, a journal replay, or a quarantine.
   // The counters make a double merge (e.g. a replayed trace also firing
@@ -659,7 +687,7 @@ std::vector<measure::Trace> World::run_campaign(
   campaign.set_commit([this, journal, &live_merges](const measure::Trace& trace) {
     const auto delta = collect_obs_delta();
     if (journal != nullptr) journal->append(trace, delta);
-    campaign_obs_.merge(delta);
+    fold_campaign_delta(delta);
     auto slice = collect_flight_slice();
     campaign_flights_.insert(campaign_flights_.end(),
                              std::make_move_iterator(slice.begin()),
@@ -674,7 +702,7 @@ std::vector<measure::Trace> World::run_campaign(
           // Replays happen in plan order, interleaved with live commits at
           // the same position, so the merged campaign snapshot is
           // byte-identical to an uninterrupted run's.
-          campaign_obs_.merge(it->second.delta);
+          fold_campaign_delta(it->second.delta);
           ++replayed_merges;
           return it->second.trace;
         });
@@ -686,7 +714,7 @@ std::vector<measure::Trace> World::run_campaign(
     // attribution recorded just now -- still lands in the campaign
     // snapshot: a thrown-away trace is reported, never silently absorbed.
     quarantine_trace(vantage);
-    campaign_obs_.merge(collect_obs_delta());
+    fold_campaign_delta(collect_obs_delta());
     auto slice = collect_flight_slice();
     campaign_flights_.insert(campaign_flights_.end(),
                              std::make_move_iterator(slice.begin()),
@@ -791,7 +819,7 @@ std::vector<measure::Trace> run_parallel_campaign(
     const measure::ProbeOptions& options, int workers,
     std::vector<measure::ParallelCampaign::TraceFailure>* failures,
     obs::ObsSnapshot* metrics_out, measure::CampaignJournal* journal, int halt_after,
-    std::vector<obs::FlightEvent>* events_out) {
+    std::vector<obs::FlightEvent>* events_out, obs::TelemetryAggregate* telemetry_out) {
   measure::ParallelCampaign::Options exec_options;
   exec_options.workers = workers;
   exec_options.probe = options;
@@ -802,6 +830,10 @@ std::vector<measure::Trace> run_parallel_campaign(
     // ip2as map) inside ParallelCampaign.
     exec_options.probe.sched.seed = params.seed;
   }
+  // Same seed resolution the worker worlds apply in their constructors:
+  // the campaign-level aggregate must hash with the identical sketch seed
+  // or folding the workers' deltas would scatter across different cells.
+  exec_options.telemetry = params.telemetry.resolved(params.seed);
   exec_options.halt_after_traces =
       halt_after > 0 ? halt_after : params.faults.crash_after_traces;
   measure::ParallelCampaign campaign(world_shard_factory(params), exec_options);
@@ -812,6 +844,7 @@ std::vector<measure::Trace> run_parallel_campaign(
                      campaign.failures().end());
   }
   if (metrics_out != nullptr) *metrics_out = campaign.metrics();
+  if (telemetry_out != nullptr) *telemetry_out = campaign.telemetry();
   if (events_out != nullptr) {
     events_out->insert(events_out->end(), campaign.flight_events().begin(),
                        campaign.flight_events().end());

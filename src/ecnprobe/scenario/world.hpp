@@ -93,6 +93,16 @@ struct WorldParams {
   /// simulation outcome, only what gets written about it.
   std::size_t flight_recorder_capacity = 0;
 
+  // -- telemetry fidelity ----------------------------------------------------
+  /// Exact (default) keeps the per-packet ledger/recorder pipeline
+  /// byte-identical to always. Sketched folds most traces into
+  /// count-min/log-histogram sketches with declared error bounds, keeping
+  /// exact records only for every sample_every-th trace -- memory becomes
+  /// O(servers), not O(servers x traces). A zero telemetry seed inherits
+  /// `seed` at world construction, so estimators stay pure functions of
+  /// (config, seed, trace).
+  obs::TelemetryConfig telemetry;
+
   /// Paper-scale world (2500 servers, 400 stub ASes). The default.
   static WorldParams paper();
   /// Small world for unit/integration tests (fast to build and probe).
@@ -219,6 +229,20 @@ public:
     return campaign_flights_;
   }
 
+  /// The sketched-telemetry campaign aggregate built by the last
+  /// run_campaign(); inactive in exact mode. Byte-identical to
+  /// ParallelCampaign::telemetry() for the same plan at any worker count.
+  const obs::TelemetryAggregate& campaign_telemetry() const {
+    return campaign_telemetry_;
+  }
+
+  /// Merges one trace's obs delta into the campaign accumulators: metrics
+  /// and ledger into campaign_obs(), the telemetry delta folded into the
+  /// sketch aggregate (NOT accumulated sparsely -- that would rebuild the
+  /// O(keys) map the sketches exist to avoid). Both executors and the
+  /// journal-replay path use this, in plan order.
+  void fold_campaign_delta(const obs::ObsSnapshot& delta);
+
   /// Runs `repetitions` ECN traceroutes from each vantage to every server.
   /// Begins its own epoch ("traceroute-epoch"), so the observations are a
   /// pure function of the world seed, independent of any campaign that ran
@@ -287,6 +311,7 @@ private:
   std::size_t obs_flight_mark_ = 0;
   obs::ObsSnapshot campaign_obs_;
   std::vector<obs::FlightEvent> campaign_flights_;
+  obs::TelemetryAggregate campaign_telemetry_;
 };
 
 /// measure::CampaignShard over a worker-private World built from `params`.
@@ -350,6 +375,7 @@ std::vector<measure::Trace> run_parallel_campaign(
     std::vector<measure::ParallelCampaign::TraceFailure>* failures = nullptr,
     obs::ObsSnapshot* metrics_out = nullptr,
     measure::CampaignJournal* journal = nullptr, int halt_after = 0,
-    std::vector<obs::FlightEvent>* events_out = nullptr);
+    std::vector<obs::FlightEvent>* events_out = nullptr,
+    obs::TelemetryAggregate* telemetry_out = nullptr);
 
 }  // namespace ecnprobe::scenario

@@ -1,0 +1,140 @@
+// LogHistogram contract: pure-integer bucket mapping with bounded
+// relative error, exact unit buckets below 2^subbits, quantiles within
+// the declared error of the true order statistics, and commutative
+// bucket-wise merge.
+#include "ecnprobe/obs/loghist.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "ecnprobe/util/rng.hpp"
+
+namespace ecnprobe::obs {
+namespace {
+
+TEST(LogHistogram, BucketUpperBoundsValueWithinAlpha) {
+  const LogHistogram hist(0.01);
+  const int subbits = hist.subbits();
+  ASSERT_GT(subbits, 0);
+  const double bound = hist.relative_error();
+  EXPECT_LE(bound, 0.01);
+  // Sweep values across 9 decades, including power-of-two edges where
+  // the group arithmetic is easiest to get wrong.
+  util::Rng rng(11);
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = 1; v < (std::int64_t{1} << 40); v *= 3) values.push_back(v);
+  for (int e = 0; e < 40; ++e) {
+    values.push_back((std::int64_t{1} << e) - 1);
+    values.push_back(std::int64_t{1} << e);
+    values.push_back((std::int64_t{1} << e) + 1);
+    values.push_back(static_cast<std::int64_t>(
+        rng.next_below(std::uint64_t{1} << std::min(e + 1, 62))));
+  }
+  for (const auto v : values) {
+    if (v <= 0) continue;
+    const auto index = LogHistogram::bucket_index(v, subbits);
+    const auto upper = LogHistogram::bucket_upper(index, subbits);
+    ASSERT_GE(upper, v) << v;
+    // Inclusive upper edge: v+... must fall in a later bucket.
+    EXPECT_GT(LogHistogram::bucket_index(upper + 1, subbits), index) << v;
+    const double overshoot = static_cast<double>(upper - v);
+    EXPECT_LE(overshoot, bound * static_cast<double>(v) + 1.0) << v;
+  }
+}
+
+TEST(LogHistogram, SmallValuesAreExact) {
+  const LogHistogram hist(0.01);
+  const int subbits = hist.subbits();
+  for (std::int64_t v = 0; v < (std::int64_t{1} << subbits); ++v) {
+    EXPECT_EQ(LogHistogram::bucket_index(v, subbits), static_cast<std::int32_t>(v));
+    EXPECT_EQ(LogHistogram::bucket_upper(static_cast<std::int32_t>(v), subbits), v);
+  }
+}
+
+TEST(LogHistogram, QuantilesTrackTrueOrderStatistics) {
+  LogHistogram hist(0.01);
+  std::vector<std::int64_t> values;
+  util::Rng rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    // Log-uniform-ish RTT spread: 10us .. ~1s in nanoseconds.
+    const auto v = static_cast<std::int64_t>(10000 + rng.next_below(1000000000));
+    values.push_back(v);
+    hist.observe(v);
+  }
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(hist.count(), values.size());
+  for (const double q : {0.5, 0.9, 0.99}) {
+    const auto rank = static_cast<std::size_t>(q * static_cast<double>(values.size() - 1));
+    const double truth = static_cast<double>(values[rank]);
+    const double est = static_cast<double>(hist.quantile(q));
+    // The estimate is a bucket upper edge within relative_error of a value
+    // whose rank is exact, so it may only overshoot by the bucket width
+    // (plus one rank step of the empirical distribution).
+    EXPECT_GE(est, truth * (1.0 - 2.0 * hist.relative_error())) << q;
+    EXPECT_LE(est, truth * (1.0 + 2.0 * hist.relative_error()) + 1.0) << q;
+  }
+  // Monotonic in q.
+  EXPECT_LE(hist.quantile(0.1), hist.quantile(0.5));
+  EXPECT_LE(hist.quantile(0.5), hist.quantile(0.9));
+  EXPECT_LE(hist.quantile(0.9), hist.quantile(1.0));
+}
+
+TEST(LogHistogram, MergeEqualsBulkAndRejectsMismatch) {
+  LogHistogram bulk(0.02);
+  LogHistogram left(0.02);
+  LogHistogram right(0.02);
+  util::Rng rng(5);
+  for (int i = 0; i < 4000; ++i) {
+    const auto v = static_cast<std::int64_t>(1 + rng.next_below(1 << 20));
+    bulk.observe(v);
+    (i % 2 == 0 ? left : right).observe(v);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), bulk.count());
+  EXPECT_EQ(left.sum(), bulk.sum());
+  EXPECT_EQ(left.buckets(), bulk.buckets());
+
+  LogHistogram coarse(0.5);  // different subbits
+  if (coarse.subbits() != bulk.subbits()) {
+    EXPECT_THROW(bulk.merge(coarse), std::invalid_argument);
+  }
+  // Merging an inert histogram is a no-op; merging into inert adopts.
+  LogHistogram inert;
+  bulk.merge(inert);
+  EXPECT_EQ(bulk.count(), 4000u);
+  inert.merge(bulk);
+  EXPECT_EQ(inert.count(), bulk.count());
+}
+
+TEST(LogHistogram, FoldingPreBucketedCountsMatchesObserve) {
+  LogHistogram direct(0.01);
+  LogHistogram folded(0.01);
+  std::int64_t sum = 0;
+  for (const std::int64_t v : {123, 4567, 89012, 3456789, 12}) {
+    direct.observe(v);
+    folded.add_bucket(LogHistogram::bucket_index(v, folded.subbits()), 1);
+    sum += v;
+  }
+  folded.add_sum(sum);
+  EXPECT_EQ(folded.buckets(), direct.buckets());
+  EXPECT_EQ(folded.count(), direct.count());
+  EXPECT_EQ(folded.sum(), direct.sum());
+}
+
+TEST(LogHistogram, RejectsBadAlphaAndHandlesNonPositive) {
+  EXPECT_THROW(LogHistogram(0.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(-1.0), std::invalid_argument);
+  EXPECT_THROW(LogHistogram(1.5), std::invalid_argument);
+  LogHistogram hist(0.01);
+  hist.observe(0);
+  hist.observe(-5);
+  EXPECT_EQ(hist.count(), 2u);
+  EXPECT_EQ(hist.buckets().at(0), 2u);
+}
+
+}  // namespace
+}  // namespace ecnprobe::obs

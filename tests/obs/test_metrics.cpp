@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -156,6 +157,25 @@ TEST(MetricsSnapshot, MergeIsCommutativeOnDisjointAndSharedFamilies) {
   ba.merge(a.snapshot());
   EXPECT_EQ(to_json(ab), to_json(ba));
   EXPECT_EQ(ab.families.at("shared_total").samples.at({}).counter, 7u);
+}
+
+TEST(MetricsSnapshot, MergeRejectsMismatchedHistogramBounds) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.histogram("rtt_ms", {1.0, 10.0, 100.0})->observe(5.0);
+  b.histogram("rtt_ms", {2.0, 20.0})->observe(5.0);
+  auto merged = a.snapshot();
+  // Summing per-bucket counts across different bounds would silently
+  // misalign every bucket; the merge must refuse loudly instead.
+  EXPECT_THROW(merged.merge(b.snapshot()), std::invalid_argument);
+
+  // Same bounds still merge fine, and a bounds-less side adopts the
+  // other's layout (the journal codec can produce header-only families).
+  MetricsRegistry c;
+  c.histogram("rtt_ms", {1.0, 10.0, 100.0})->observe(50.0);
+  auto ok = a.snapshot();
+  ok.merge(c.snapshot());
+  EXPECT_EQ(ok.families.at("rtt_ms").samples.at({}).count, 2u);
 }
 
 }  // namespace

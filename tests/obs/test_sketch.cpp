@@ -1,0 +1,142 @@
+// CountMinSketch property suite: the Cormode-Muthukrishnan contract
+// (never undercount; overcount bounded by epsilon * N with probability
+// >= 1 - delta) checked over a 10k-key synthetic stream, plus the
+// determinism and merge-compatibility guarantees the campaign fold
+// relies on.
+#include "ecnprobe/obs/sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "ecnprobe/util/rng.hpp"
+
+namespace ecnprobe::obs {
+namespace {
+
+// A deterministic skewed stream: key i gets weight (i % 97) + 1, so the
+// stream mixes heavy hitters with a long tail of light keys.
+std::map<std::string, std::uint64_t> synthetic_stream(int keys) {
+  std::map<std::string, std::uint64_t> stream;
+  for (int i = 0; i < keys; ++i) {
+    stream["key-" + std::to_string(i)] = static_cast<std::uint64_t>(i % 97) + 1;
+  }
+  return stream;
+}
+
+TEST(CountMinSketch, NeverUndercountsAndOvercountBoundHolds) {
+  constexpr int kKeys = 10000;
+  const auto stream = synthetic_stream(kKeys);
+  CountMinSketch sketch(0.001, 0.01, 42);
+  std::uint64_t total = 0;
+  for (const auto& [key, weight] : stream) {
+    sketch.add(key, weight);
+    total += weight;
+  }
+  ASSERT_EQ(sketch.total(), total);
+  const std::uint64_t bound = sketch.error_bound();
+  // Spot-check the bound's arithmetic: ceil(epsilon * N).
+  EXPECT_GE(bound * 1000, total);
+
+  int beyond_bound = 0;
+  for (const auto& [key, weight] : stream) {
+    const auto estimate = sketch.estimate(key);
+    // The hard guarantee: row minimums can only overcount.
+    ASSERT_GE(estimate, weight) << key;
+    if (estimate > weight + bound) ++beyond_bound;
+  }
+  // delta = 1% failure probability per key; allow generous slack (5%) so
+  // the test never flakes on an unlucky but legal seed.
+  EXPECT_LE(beyond_bound, kKeys / 20);
+}
+
+TEST(CountMinSketch, NeverAddedKeyUnderReportsNothing) {
+  CountMinSketch sketch(0.01, 0.01, 7);
+  EXPECT_EQ(sketch.estimate("ghost"), 0u);
+  sketch.add("present", 3);
+  // "ghost" may collide and read up to the bound, never below zero truth.
+  EXPECT_LE(sketch.estimate("ghost"), 3u);
+}
+
+TEST(CountMinSketch, MergeEqualsBulkConstruction) {
+  const auto stream = synthetic_stream(2000);
+  CountMinSketch bulk(0.005, 0.05, 99);
+  CountMinSketch left(0.005, 0.05, 99);
+  CountMinSketch right(0.005, 0.05, 99);
+  int i = 0;
+  for (const auto& [key, weight] : stream) {
+    bulk.add(key, weight);
+    ((i++ % 2) == 0 ? left : right).add(key, weight);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.total(), bulk.total());
+  for (const auto& [key, weight] : stream) {
+    EXPECT_EQ(left.estimate(key), bulk.estimate(key)) << key;
+  }
+}
+
+TEST(CountMinSketch, MergeRejectsIncompatibleSketches) {
+  CountMinSketch a(0.01, 0.01, 1);
+  CountMinSketch b(0.01, 0.01, 2);   // same dims, different seed
+  CountMinSketch c(0.02, 0.01, 1);   // different width
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(CountMinSketch, MergeIntoInertAdoptsOther) {
+  CountMinSketch inert;
+  CountMinSketch full(0.01, 0.01, 5);
+  full.add("k", 4);
+  inert.merge(full);
+  EXPECT_TRUE(inert.active());
+  EXPECT_EQ(inert.estimate("k"), 4u);
+  // Inert into inert stays a no-op.
+  CountMinSketch empty;
+  CountMinSketch other;
+  empty.merge(other);
+  EXPECT_FALSE(empty.active());
+}
+
+TEST(CountMinSketch, DeterministicAcrossConstructions) {
+  const auto stream = synthetic_stream(500);
+  CountMinSketch a(0.01, 0.02, 1234);
+  CountMinSketch b(0.01, 0.02, 1234);
+  for (const auto& [key, weight] : stream) {
+    a.add(key, weight);
+    b.add(key, weight);
+  }
+  for (const auto& [key, weight] : stream) {
+    EXPECT_EQ(a.estimate(key), b.estimate(key)) << key;
+  }
+  // A different seed hashes differently but obeys the same bounds.
+  CountMinSketch c(0.01, 0.02, 5678);
+  for (const auto& [key, weight] : stream) c.add(key, weight);
+  for (const auto& [key, weight] : stream) {
+    EXPECT_GE(c.estimate(key), weight) << key;
+  }
+}
+
+TEST(CountMinSketch, RejectsBadParameters) {
+  EXPECT_THROW(CountMinSketch(0.0, 0.01, 1), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(1.5, 0.01, 1), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(0.01, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(0.01, 1.5, 1), std::invalid_argument);
+  // Tiny epsilon would need a table beyond the 64M-cell cap.
+  EXPECT_THROW(CountMinSketch(1e-9, 0.01, 1), std::invalid_argument);
+}
+
+TEST(CountMinSketch, MemoryIsFixedRegardlessOfStream) {
+  CountMinSketch sketch(0.01, 0.01, 3);
+  const auto before = sketch.memory_bytes();
+  util::Rng rng(9);
+  for (int i = 0; i < 50000; ++i) {
+    sketch.add("k" + std::to_string(rng.next_below(100000)));
+  }
+  EXPECT_EQ(sketch.memory_bytes(), before);
+}
+
+}  // namespace
+}  // namespace ecnprobe::obs

@@ -5,6 +5,7 @@
 //   ecnprobe campaign      [--scale F] [--seed N] [--traces N] [--workers N] [--out FILE]
 //                          [--metrics-out FILE] [--faults SPEC] [--checkpoint FILE]
 //                          [--resume FILE] [--halt-after N] [--record PREFIX]
+//                          [--telemetry exact|sketched[,...]]
 //   ecnprobe analyze       <traces.csv>
 //   ecnprobe traceroute    [--scale F] [--seed N] [--vantage NAME] [--count N]
 //   ecnprobe pcap          [--scale F] [--seed N] [--out FILE]
@@ -70,6 +71,10 @@ struct Options {
   std::string record;      ///< flight-recorder output prefix (--record)
   int trace = -1;          ///< trace-autopsy: campaign trace index
   std::string server;      ///< trace-autopsy: restrict to this server address
+  /// Telemetry fidelity knob: "exact" (default, byte-identical to the
+  /// pre-telemetry output) or "sketched[,eps=..,delta=..,alpha=..,
+  /// sample-every=N,reservoir=N,budget-kb=N,seed=N]".
+  std::string telemetry = "exact";
   /// Probe-lifecycle supervision (--retry-*, --pace-*, --breaker-*,
   /// --watchdog-ms). Defaults to the paper-fixed discipline; the seed is
   /// left 0 so the scenario layer keys the jitter streams off --seed.
@@ -165,6 +170,9 @@ bool parse(int argc, char** argv, int first, Options* options) {
     } else if (arg == "--record") {
       if ((v = need()) == nullptr) return false;
       options->record = v;
+    } else if (arg == "--telemetry") {
+      if ((v = need()) == nullptr) return false;
+      options->telemetry = v;
     } else if (arg == "--trace") {
       if ((v = need()) == nullptr) return false;
       if (!parse_int_arg(v, &options->trace) || options->trace < 0) return bad(v);
@@ -275,6 +283,18 @@ scenario::WorldParams params_for(const Options& options) {
   return params;
 }
 
+/// Parses --telemetry into `params`; prints the parse error and returns
+/// false on a malformed spec.
+bool apply_telemetry(const Options& options, scenario::WorldParams* params) {
+  const auto config = obs::TelemetryConfig::parse(options.telemetry);
+  if (!config) {
+    std::fprintf(stderr, "ecnprobe: %s\n", config.error().message.c_str());
+    return false;
+  }
+  params->telemetry = *config;
+  return true;
+}
+
 /// The campaign plan both `campaign` and `trace-autopsy` use, so the trace
 /// indices the autopsy re-runs line up with the campaign's own.
 measure::CampaignPlan plan_for(const Options& options) {
@@ -319,6 +339,7 @@ int cmd_campaign(const Options& options) {
     return 2;
   }
   params.faults = *faults;
+  if (!apply_telemetry(options, &params)) return 2;
   if (!options.record.empty()) params.flight_recorder_capacity = 1 << 16;
   const auto plan = plan_for(options);
   std::fprintf(stderr, "running %d traces x %d servers (%d worker%s, faults: %s)...\n",
@@ -360,6 +381,7 @@ int cmd_campaign(const Options& options) {
   obs::ObsSnapshot campaign_obs;
   obs::MetricsSnapshot runtime;
   bool have_runtime = false;
+  obs::TelemetryAggregate telemetry;
   std::vector<obs::FlightEvent> flights;
   measure::ProbeOptions probe;
   probe.sched = options.sched;
@@ -367,6 +389,7 @@ int cmd_campaign(const Options& options) {
     measure::ParallelCampaign::Options exec;
     exec.workers = options.workers;
     exec.probe = probe;
+    exec.telemetry = params.telemetry.resolved(params.seed);
     if (!exec.probe.sched.is_paper_default() && exec.probe.sched.seed == 0) {
       exec.probe.sched.seed = params.seed;
     }
@@ -402,6 +425,7 @@ int cmd_campaign(const Options& options) {
     campaign_obs = campaign.metrics();
     runtime = campaign.runtime_metrics();
     have_runtime = true;
+    telemetry = campaign.telemetry();
     flights = campaign.flight_events();
   } else {
     scenario::World world(params);
@@ -420,6 +444,7 @@ int cmd_campaign(const Options& options) {
                    failure.vantage.c_str(), failure.message.c_str());
     }
     campaign_obs = world.campaign_obs();
+    telemetry = world.campaign_telemetry();
     flights = world.campaign_flights();
   }
   if (!options.record.empty()) {
@@ -440,9 +465,14 @@ int cmd_campaign(const Options& options) {
   }
   const auto autopsy = obs::render_loss_autopsy(campaign_obs.ledger);
   if (!autopsy.empty()) std::fprintf(stderr, "\n%s", autopsy.c_str());
+  if (telemetry.active()) {
+    const auto summary = obs::render_sketched_summary(telemetry);
+    if (!summary.empty()) std::fprintf(stderr, "\n%s", summary.c_str());
+  }
   if (!options.metrics_out.empty()) {
     if (!obs::write_metrics_files(options.metrics_out, campaign_obs,
-                                  have_runtime ? &runtime : nullptr)) {
+                                  have_runtime ? &runtime : nullptr,
+                                  telemetry.active() ? &telemetry : nullptr)) {
       std::fprintf(stderr, "cannot write %s\n", options.metrics_out.c_str());
       return 1;
     }
@@ -463,6 +493,7 @@ int cmd_trace_autopsy(const Options& options) {
     return 2;
   }
   params.faults = *faults;
+  if (!apply_telemetry(options, &params)) return 2;
   params.flight_recorder_capacity = 1 << 16;
   const auto plan = plan_for(options);
   const auto schedule = measure::expand_schedule(plan);
@@ -534,9 +565,19 @@ int cmd_trace_autopsy(const Options& options) {
   analysis::AutopsyRequest request;
   request.trace = options.trace;
   request.server = options.server;
+  const auto delta = world.collect_obs_delta();
+  // Under sketched telemetry an unsampled trace suppresses its per-packet
+  // flight records (they fold into the campaign sketch instead). Degrade to
+  // the exact per-trace cause summary rather than an empty causal chain.
+  if (params.telemetry.sketched() &&
+      !params.telemetry.resolved(params.seed).keeps_exact_trace(options.trace)) {
+    const auto report = analysis::render_sketched_autopsy(
+        delta.telemetry, params.telemetry.resolved(params.seed), request);
+    std::fputs(report.c_str(), stdout);
+    return 0;
+  }
   const auto report = analysis::render_trace_autopsy(
-      world.collect_flight_slice(), world.collect_obs_delta().ledger, world.ip2as(),
-      request);
+      world.collect_flight_slice(), delta.ledger, world.ip2as(), request);
   std::fputs(report.c_str(), stdout);
   return 0;
 }
@@ -671,6 +712,11 @@ int usage() {
                "  report      full campaign -> Markdown report      [--scale --seed --out]\n"
                "  trace-autopsy  causal chain for one campaign trace  [--trace N --server ADDR --faults --resume FILE]\n"
                "campaign recording: --record PREFIX writes PREFIX.pcapng + PREFIX.trace.json\n"
+               "telemetry fidelity (campaign/trace-autopsy): --telemetry exact (default) |\n"
+               "  sketched[,eps=F,delta=F,alpha=F,sample-every=N,reservoir=N,budget-kb=N,seed=N]\n"
+               "  sketched mode bounds telemetry memory: count-min cause/hop/AS counters\n"
+               "  (overcount <= eps*N w.p. 1-delta), log-bucketed RTT (rel. err alpha),\n"
+               "  exact flight records for every Nth trace only\n"
                "probe supervision (campaign/trace-autopsy):\n"
                "  --retry-policy paper|backoff --retry-max N --retry-base-ms D --retry-factor D\n"
                "  --retry-max-timeout-ms D --retry-jitter D --retry-budget-ms D --retry-hedge-ms D\n"
