@@ -87,14 +87,28 @@ public:
     metrics_.push_back({name, value, unit, guarded});
   }
 
+  /// Attaches a self-profiler report (obs::Profiler::to_json()). Emitted as
+  /// a top-level "unguarded_profile" member -- check_bench_json.py reads
+  /// only "metrics", so the profile is visible in the artifact but can
+  /// never participate in guarded-drift gating (wall-clock timings measure
+  /// the host, not the code).
+  void set_profile_json(std::string profile_json) {
+    profile_json_ = std::move(profile_json);
+  }
+
+  /// Writes the report to `path`; "-" streams it to stdout.
   bool write(const std::string& path) const {
-    std::FILE* f = std::fopen(path.c_str(), "w");
+    const bool to_stdout = path == "-";
+    std::FILE* f = to_stdout ? stdout : std::fopen(path.c_str(), "w");
     if (f == nullptr) {
       std::fprintf(stderr, "cannot write %s\n", path.c_str());
       return false;
     }
-    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n  \"metrics\": [\n",
-                 bench_.c_str());
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"schema\": 1,\n", bench_.c_str());
+    if (!profile_json_.empty()) {
+      std::fprintf(f, "  \"unguarded_profile\": %s,\n", profile_json_.c_str());
+    }
+    std::fprintf(f, "  \"metrics\": [\n");
     for (std::size_t i = 0; i < metrics_.size(); ++i) {
       const auto& m = metrics_[i];
       std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.6g, \"unit\": \"%s\", "
@@ -104,8 +118,12 @@ public:
                    i + 1 < metrics_.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
-    std::fclose(f);
-    std::printf("bench metrics written to %s\n", path.c_str());
+    if (to_stdout) {
+      std::fflush(f);
+    } else {
+      std::fclose(f);
+      std::printf("bench metrics written to %s\n", path.c_str());
+    }
     return true;
   }
 
@@ -117,6 +135,7 @@ private:
     bool guarded;
   };
   std::string bench_;
+  std::string profile_json_;
   std::vector<Metric> metrics_;
 };
 

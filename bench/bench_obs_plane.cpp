@@ -1,0 +1,167 @@
+// Live-plane overhead bench: runs the same parallel campaign twice, once
+// bare and once with the ObsHttpServer up and a loopback client scraping
+// GET /metrics + /progress in a tight loop, and reports the probes/s
+// ratio. The scrape path renders from ParallelCampaign's thread-safe
+// snapshots, so the served run's campaign metrics must stay byte-identical
+// to the unserved run's -- that equality (and the validity of the scraped
+// Prometheus text) are the guarded metrics; the wall-clock overhead ratio
+// is recorded unguarded because it measures the host.
+//
+// Also the reference producer of the "unguarded_profile" bench-json
+// member: the self-profiler is enabled for both phases and its stage
+// report rides along outside the guarded "metrics" array.
+//
+//   bench_obs_plane [--scale=F] [--seed=N] [--bench-json=PATH]
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "ecnprobe/http/obs_server.hpp"
+#include "ecnprobe/measure/parallel_campaign.hpp"
+#include "ecnprobe/obs/export.hpp"
+#include "ecnprobe/obs/profiler.hpp"
+
+namespace {
+
+using namespace ecnprobe;
+
+/// Minimal loopback HTTP GET; returns the whole response (headers + body),
+/// or "" on any socket failure.
+std::string http_get(std::uint16_t port, const char* target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return {};
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return {};
+  }
+  const std::string request = std::string("GET ") + target +
+                              " HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) < 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+measure::ParallelCampaign::Options exec_options() {
+  measure::ParallelCampaign::Options exec;
+  exec.workers = 2;
+  return exec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ecnprobe;
+  const auto config = bench::parse_args(argc, argv);
+  const auto params = bench::world_params(config);
+  const auto plan = bench::campaign_plan(config);
+  bench::print_header("Live observability plane: scrape-path overhead", config, params);
+  std::printf("plan: %d traces, %d servers, 2 workers per phase\n\n",
+              plan.total_traces(), params.server_count);
+
+  obs::Profiler::process().set_enabled(true);
+  const double probes = static_cast<double>(plan.total_traces()) * params.server_count;
+
+  // -- phase 1: bare campaign, nothing listening ----------------------------
+  std::printf("phase 1: unserved baseline...\n");
+  measure::ParallelCampaign bare(scenario::world_shard_factory(params), exec_options());
+  bench::Stopwatch bare_timer;
+  const auto bare_traces = bare.run(plan);
+  const double bare_seconds = bare_timer.seconds();
+  const auto bare_metrics = obs::to_json(bare.metrics());
+  std::printf("  %.2fs, %zu traces\n\n", bare_seconds, bare_traces.size());
+
+  // -- phase 2: same campaign with a hot scrape loop ------------------------
+  std::printf("phase 2: served, loopback client scraping...\n");
+  measure::ParallelCampaign served(scenario::world_shard_factory(params),
+                                   exec_options());
+  http::ObsHttpServer::Providers providers;
+  providers.metrics = [&served] {
+    const auto snap = served.metrics_snapshot();
+    return obs::to_prometheus(snap.metrics) + obs::to_prometheus(snap.timeseries);
+  };
+  providers.progress = [&served] {
+    const auto p = served.progress();
+    return std::string("{\"total\":") + std::to_string(p.total) +
+           ",\"completed\":" + std::to_string(p.completed) + "}";
+  };
+  http::ObsHttpServer server(http::ObsHttpServer::Options{}, std::move(providers));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "cannot start obs server: %s\n", error.c_str());
+    return 1;
+  }
+  std::atomic<bool> scraping{true};
+  std::atomic<std::uint64_t> scrapes{0};
+  std::thread scraper([&] {
+    while (scraping.load(std::memory_order_relaxed)) {
+      if (!http_get(server.port(), "/metrics").empty()) {
+        scrapes.fetch_add(1, std::memory_order_relaxed);
+      }
+      (void)http_get(server.port(), "/progress");
+    }
+  });
+  bench::Stopwatch served_timer;
+  const auto served_traces = served.run(plan);
+  const double served_seconds = served_timer.seconds();
+  scraping.store(false, std::memory_order_relaxed);
+  scraper.join();
+  // Final scrape from the quiesced campaign: the full merged families.
+  const std::string final_scrape = http_get(server.port(), "/metrics");
+  const auto server_stats = server.stats();
+  server.stop();
+  const auto served_metrics = obs::to_json(served.metrics());
+  std::printf("  %.2fs, %zu traces, %llu mid-run scrapes, %llu bytes served\n\n",
+              served_seconds, served_traces.size(),
+              static_cast<unsigned long long>(scrapes.load()),
+              static_cast<unsigned long long>(server_stats.bytes_sent));
+
+  const bool metrics_identical = bare_metrics == served_metrics;
+  const bool prometheus_valid = final_scrape.find("HTTP/1.1 200") == 0 &&
+                                final_scrape.find("# TYPE") != std::string::npos;
+  const double bare_rate = bare_seconds > 0.0 ? probes / bare_seconds : 0.0;
+  const double served_rate = served_seconds > 0.0 ? probes / served_seconds : 0.0;
+  const double overhead_ratio = bare_rate > 0.0 ? served_rate / bare_rate : 0.0;
+  std::printf("campaign metrics: %s\n", metrics_identical ? "identical" : "DIVERGED");
+  std::printf("final /metrics scrape: %s\n",
+              prometheus_valid ? "valid Prometheus text" : "INVALID");
+  std::printf("probes/s: %.0f bare, %.0f served (ratio %.3f)\n", bare_rate,
+              served_rate, overhead_ratio);
+
+  if (!config.bench_json.empty()) {
+    bench::BenchJson json("obs_plane");
+    json.add("bare_probes_per_sec", bare_rate, "probes/s");
+    json.add("served_probes_per_sec", served_rate, "probes/s");
+    json.add("scrape_overhead_ratio", overhead_ratio, "x");
+    json.add("mid_run_scrapes", static_cast<double>(scrapes.load()), "events");
+    json.add("served_metrics_identical", metrics_identical ? 1.0 : 0.0, "bool",
+             /*guarded=*/true);
+    json.add("final_scrape_valid_prometheus", prometheus_valid ? 1.0 : 0.0, "bool",
+             /*guarded=*/true);
+    json.set_profile_json(obs::Profiler::process().to_json());
+    if (!json.write(config.bench_json)) return 1;
+  }
+  if (!metrics_identical || !prometheus_valid) return 1;
+  return 0;
+}

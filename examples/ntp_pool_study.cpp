@@ -11,6 +11,8 @@
 //   $ ./ntp_pool_study --record flight              # flight.pcapng + flight.trace.json
 //   $ ./ntp_pool_study --faults blackhole-heavy --sched backoff,breaker-failures=3
 //   $ ./ntp_pool_study 1.0 --telemetry sketched      # O(servers) telemetry memory
+//   $ ./ntp_pool_study --timeseries 500              # 500 ms sim-time series windows
+//   $ ./ntp_pool_study --serve-obs 9100 --workers=4  # live /metrics /progress /events
 //
 // --workers=N runs the campaign through the sharded parallel executor
 // (one isolated world clone per worker); the merged results -- and the
@@ -23,6 +25,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 
 #include "ecnprobe/analysis/differential.hpp"
@@ -32,6 +35,7 @@
 #include "ecnprobe/analysis/report.hpp"
 #include "ecnprobe/analysis/trend.hpp"
 #include "ecnprobe/chaos/fault_plan.hpp"
+#include "ecnprobe/http/obs_server.hpp"
 #include "ecnprobe/measure/journal.hpp"
 #include "ecnprobe/measure/parallel_campaign.hpp"
 #include "ecnprobe/obs/export.hpp"
@@ -51,6 +55,8 @@ int main(int argc, char** argv) {
   std::string checkpoint;
   std::string record;
   std::string telemetry_spec = "exact";
+  std::string timeseries_spec = "off";
+  int serve_obs = -1;  // --serve-obs PORT: -1 = off, 0 = ephemeral
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next_value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : ""; };
@@ -72,6 +78,10 @@ int main(int argc, char** argv) {
     else if (arg == "--record") record = next_value();
     else if (arg.rfind("--telemetry=", 0) == 0) telemetry_spec = arg.substr(12);
     else if (arg == "--telemetry") telemetry_spec = next_value();
+    else if (arg.rfind("--timeseries=", 0) == 0) timeseries_spec = arg.substr(13);
+    else if (arg == "--timeseries") timeseries_spec = next_value();
+    else if (arg.rfind("--serve-obs=", 0) == 0) serve_obs = std::atoi(arg.c_str() + 12);
+    else if (arg == "--serve-obs") serve_obs = std::atoi(next_value());
     else scale = std::atof(arg.c_str());
   }
   if (workers < 1) workers = 1;
@@ -94,6 +104,13 @@ int main(int argc, char** argv) {
     return 2;
   }
   params.telemetry = *telemetry_config;
+  const auto timeseries_config = obs::TimeSeriesConfig::parse(timeseries_spec);
+  if (!timeseries_config) {
+    std::fprintf(stderr, "ntp_pool_study: %s\n",
+                 timeseries_config.error().message.c_str());
+    return 2;
+  }
+  params.timeseries = *timeseries_config;
   measure::ProbeOptions probe;
   probe.sched = *sched;
   if (!probe.sched.is_paper_default() && probe.sched.seed == 0) {
@@ -156,7 +173,9 @@ int main(int argc, char** argv) {
   std::vector<measure::Trace> traces;
   std::vector<measure::TraceFailure> failures;
   std::vector<obs::FlightEvent> flights;
-  if (workers > 1) {
+  // The live plane serves from ParallelCampaign's thread-safe snapshots,
+  // so --serve-obs routes through the sharded executor even at one worker.
+  if (workers > 1 || serve_obs >= 0) {
     measure::ParallelCampaign::Options exec;
     exec.workers = workers;
     exec.probe = probe;
@@ -165,6 +184,32 @@ int main(int argc, char** argv) {
         halt_after > 0 ? halt_after : params.faults.crash_after_traces;
     measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
     if (journal_ptr != nullptr) campaign.set_journal(journal_ptr);
+    std::unique_ptr<http::ObsHttpServer> obs_server;
+    if (serve_obs >= 0) {
+      http::ObsHttpServer::Options server_options;
+      server_options.port = static_cast<std::uint16_t>(serve_obs);
+      http::ObsHttpServer::Providers providers;
+      providers.metrics = [&campaign] {
+        const auto snap = campaign.metrics_snapshot();
+        return obs::to_prometheus(snap.metrics) + obs::to_prometheus(snap.timeseries);
+      };
+      providers.progress = [&campaign] {
+        const auto p = campaign.progress();
+        return std::string("{\"total\":") + std::to_string(p.total) +
+               ",\"completed\":" + std::to_string(p.completed) +
+               ",\"failed\":" + std::to_string(p.failed) +
+               ",\"in_flight\":" + std::to_string(p.in_flight) + "}";
+      };
+      obs_server =
+          std::make_unique<http::ObsHttpServer>(server_options, std::move(providers));
+      std::string error;
+      if (!obs_server->start(&error)) {
+        std::fprintf(stderr, "ntp_pool_study: --serve-obs: %s\n", error.c_str());
+        return 1;
+      }
+      std::printf("      live obs plane: http://127.0.0.1:%u  (/metrics /progress /events)\n",
+                  static_cast<unsigned>(obs_server->port()));
+    }
     traces = campaign.run(plan);
     failures = campaign.failures();
     campaign_obs = campaign.metrics();

@@ -35,7 +35,11 @@ struct HttpServerService::Session : std::enable_shared_from_this<Session> {
     if (!parser.complete()) return;
     responded = true;
     ++service->stats_.requests_served;
-    if (conn->ecn_negotiated()) ++service->stats_.ecn_connections;
+    if (service->requests_counter_ != nullptr) service->requests_counter_->inc();
+    if (conn->ecn_negotiated()) {
+      ++service->stats_.ecn_connections;
+      if (service->ecn_counter_ != nullptr) service->ecn_counter_->inc();
+    }
 
     wire::HttpResponse response;
     response.status = service->config_.status;
@@ -45,7 +49,12 @@ struct HttpServerService::Session : std::enable_shared_from_this<Session> {
       response.headers["Location"] = service->config_.location;
     }
     response.body = service->config_.body;
-    conn->send(response.serialize());
+    const std::string bytes_out = response.serialize();
+    service->stats_.bytes_sent += bytes_out.size();
+    if (service->bytes_counter_ != nullptr) {
+      service->bytes_counter_->inc(bytes_out.size());
+    }
+    conn->send(bytes_out);
     conn->close();
   }
 };
@@ -59,8 +68,26 @@ HttpServerService::HttpServerService(tcp::TcpStack& stack, Config config,
 void HttpServerService::install_listener() {
   stack_.listen(port_, [this](std::shared_ptr<tcp::TcpConnection> conn) {
     ++stats_.connections;
+    if (connections_counter_ != nullptr) connections_counter_->inc();
     std::make_shared<Session>(std::move(conn), this)->start();
   });
+}
+
+void HttpServerService::set_metrics(obs::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    connections_counter_ = requests_counter_ = ecn_counter_ = bytes_counter_ =
+        nullptr;
+    return;
+  }
+  connections_counter_ = registry->counter(
+      "http_connections_total", {}, "TCP connections accepted by pool web servers");
+  requests_counter_ = registry->counter(
+      "http_requests_total", {}, "HTTP requests answered by pool web servers");
+  ecn_counter_ = registry->counter(
+      "http_ecn_connections_total", {},
+      "accepted connections that negotiated ECN");
+  bytes_counter_ = registry->counter(
+      "http_bytes_sent_total", {}, "HTTP response bytes handed to TCP");
 }
 
 void HttpServerService::set_enabled(bool enabled) {

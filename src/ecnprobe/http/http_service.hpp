@@ -12,6 +12,7 @@
 #include <optional>
 #include <string>
 
+#include "ecnprobe/obs/metrics.hpp"
 #include "ecnprobe/tcp/tcp.hpp"
 #include "ecnprobe/wire/http.hpp"
 
@@ -40,8 +41,16 @@ public:
     std::uint64_t connections = 0;
     std::uint64_t requests_served = 0;
     std::uint64_t ecn_connections = 0;  ///< connections that negotiated ECN
+    std::uint64_t bytes_sent = 0;       ///< response bytes handed to TCP
   };
   const Stats& stats() const { return stats_; }
+
+  /// Mirrors the stats into `http_*` counter families so the serving
+  /// plane observes itself in the campaign metrics. All services in a
+  /// world share the same registry, so the families aggregate across the
+  /// server pool. Simulated traffic is deterministic, so the mirrored
+  /// counters stay inside the determinism contract.
+  void set_metrics(obs::MetricsRegistry* registry);
 
 private:
   struct Session;
@@ -52,6 +61,10 @@ private:
   std::uint16_t port_;
   bool enabled_ = true;
   Stats stats_;
+  obs::Counter* connections_counter_ = nullptr;
+  obs::Counter* requests_counter_ = nullptr;
+  obs::Counter* ecn_counter_ = nullptr;
+  obs::Counter* bytes_counter_ = nullptr;
 };
 
 struct HttpGetResult {

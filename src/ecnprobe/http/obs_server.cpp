@@ -1,0 +1,217 @@
+#include "ecnprobe/http/obs_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ecnprobe/obs/event_stream.hpp"
+#include "ecnprobe/wire/http.hpp"
+
+namespace ecnprobe::http {
+
+namespace {
+
+std::string http_response(int status, const char* reason,
+                          const char* content_type, const std::string& body) {
+  wire::HttpResponse response;
+  response.status = status;
+  response.reason = reason;
+  response.version = "HTTP/1.1";
+  response.headers["Content-Type"] = content_type;
+  response.headers["Content-Length"] = std::to_string(body.size());
+  response.headers["Connection"] = "close";
+  response.body = body;
+  return response.serialize();
+}
+
+}  // namespace
+
+ObsHttpServer::ObsHttpServer(Options options, Providers providers)
+    : options_(std::move(options)), providers_(std::move(providers)) {}
+
+ObsHttpServer::~ObsHttpServer() { stop(); }
+
+bool ObsHttpServer::start(std::string* error) {
+  auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return false;
+  };
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    errno = EINVAL;
+    return fail("inet_pton " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return fail("bind port " + std::to_string(options_.port));
+  }
+  if (::listen(listen_fd_, 16) != 0) return fail("listen");
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  stop_.store(false);
+  obs::EventStream::process().set_enabled(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  running_ = true;
+  return true;
+}
+
+void ObsHttpServer::stop() {
+  if (!running_) return;
+  stop_.store(true);
+  // Nudge blocked SSE pollers and recv()s: shut the sockets down so the
+  // per-client threads observe EOF/error and exit promptly.
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    for (const int fd : client_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    threads.swap(client_threads_);
+  }
+  for (auto& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  obs::EventStream::process().set_enabled(false);
+  running_ = false;
+}
+
+void ObsHttpServer::accept_loop() {
+  while (!stop_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 100);
+    if (ready <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    sessions_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    if (stop_.load()) {
+      ::close(fd);
+      break;
+    }
+    client_fds_.push_back(fd);
+    client_threads_.emplace_back([this, fd] { handle_client(fd); });
+  }
+}
+
+bool ObsHttpServer::send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+#ifdef MSG_NOSIGNAL
+                             MSG_NOSIGNAL
+#else
+                             0
+#endif
+    );
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+    bytes_sent_.fetch_add(static_cast<std::uint64_t>(n),
+                          std::memory_order_relaxed);
+  }
+  return true;
+}
+
+void ObsHttpServer::serve_events(int fd) {
+  std::string head =
+      "HTTP/1.1 200 OK\r\n"
+      "Content-Type: text/event-stream\r\n"
+      "Cache-Control: no-cache\r\n"
+      "Connection: close\r\n\r\n";
+  if (!send_all(fd, head)) return;
+  auto& stream = obs::EventStream::process();
+  std::uint64_t last_id = 0;
+  auto idle_since = std::chrono::steady_clock::now();
+  while (!stop_.load()) {
+    // Poll in short slices so stop() is honoured within ~250 ms even on
+    // a silent stream; keep-alive comments go out on the configured
+    // cadence so proxies and clients can tell the stream is live.
+    const auto events =
+        stream.poll_after(last_id, std::chrono::milliseconds(250));
+    if (!events.empty()) {
+      std::string frame;
+      for (const auto& event : events) {
+        frame += "id: " + std::to_string(event.id) + "\n";
+        frame += "event: " + event.kind + "\n";
+        frame += "data: " + event.text + "\n\n";
+        last_id = event.id;
+      }
+      if (!send_all(fd, frame)) return;
+      idle_since = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (std::chrono::steady_clock::now() - idle_since >= options_.keepalive) {
+      if (!send_all(fd, ": keep-alive\n\n")) return;
+      idle_since = std::chrono::steady_clock::now();
+    }
+  }
+}
+
+void ObsHttpServer::handle_client(int fd) {
+  // A scraper that never finishes its request must not pin the thread.
+  timeval timeout{5, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  wire::HttpParser parser(wire::HttpParser::Kind::Request);
+  char buf[4096];
+  while (!parser.complete() && !parser.failed() && !stop_.load()) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+  }
+  if (parser.complete()) {
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const std::string& target = parser.request().target;
+    if (target == "/metrics") {
+      const std::string body = providers_.metrics ? providers_.metrics() : "";
+      send_all(fd, http_response(200, "OK", "text/plain; version=0.0.4", body));
+    } else if (target == "/progress") {
+      const std::string body =
+          providers_.progress ? providers_.progress() : "{}";
+      send_all(fd, http_response(200, "OK", "application/json", body));
+    } else if (target == "/events") {
+      serve_events(fd);
+    } else {
+      send_all(fd, http_response(404, "Not Found", "text/plain",
+                                 "unknown endpoint\n"));
+    }
+  }
+  {
+    // Deregister before close: a recycled fd number must not be
+    // shutdown() by a later stop().
+    std::lock_guard<std::mutex> lock(clients_mutex_);
+    std::erase(client_fds_, fd);
+  }
+  ::close(fd);
+}
+
+ObsHttpServer::Stats ObsHttpServer::stats() const {
+  Stats stats;
+  stats.sessions = sessions_.load(std::memory_order_relaxed);
+  stats.requests = requests_.load(std::memory_order_relaxed);
+  stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace ecnprobe::http

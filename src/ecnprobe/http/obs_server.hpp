@@ -1,0 +1,94 @@
+// The live observability plane: a small real (POSIX-socket) HTTP server
+// that makes a running campaign scrapable. Not to be confused with
+// HttpServerService, which is a *simulated* server inside the world --
+// this one binds an actual TCP port on the machine running the campaign.
+//
+// Read-only by construction: every endpoint renders from thread-safe
+// snapshot providers (ParallelCampaign::progress(), the streaming
+// merger's metrics snapshot) or from the process event stream, so
+// serving never touches worker-owned state.
+//
+//   GET /metrics   Prometheus text exposition of the campaign-so-far
+//   GET /progress  JSON snapshot of campaign progress
+//   GET /events    text/event-stream of window rollovers, quarantines,
+//                  breaker trips, and checkpoint appends (SSE framing:
+//                  id:/event:/data:, ": keep-alive" comments while idle)
+//
+// Determinism boundary: nothing in the campaign reads back anything this
+// server produces; mid-run scrapes observe prefix-merged totals that
+// reconcile with (are <= ) the final --metrics-out export.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ecnprobe::http {
+
+class ObsHttpServer {
+ public:
+  struct Options {
+    std::string bind_address = "127.0.0.1";
+    std::uint16_t port = 0;  ///< 0 = ephemeral; see port() after start()
+    /// Idle interval between SSE keep-alive comments.
+    std::chrono::milliseconds keepalive{10000};
+  };
+
+  /// Snapshot providers, called per request from server threads; they
+  /// must be safe to invoke while campaign workers run.
+  struct Providers {
+    std::function<std::string()> metrics;   ///< Prometheus text
+    std::function<std::string()> progress;  ///< JSON object
+  };
+
+  /// Self-observation counters (satellite of the live plane): the
+  /// serving path counts its own sessions, requests, and bytes.
+  struct Stats {
+    std::uint64_t sessions = 0;
+    std::uint64_t requests = 0;
+    std::uint64_t bytes_sent = 0;
+  };
+
+  ObsHttpServer(Options options, Providers providers);
+  ~ObsHttpServer();
+  ObsHttpServer(const ObsHttpServer&) = delete;
+  ObsHttpServer& operator=(const ObsHttpServer&) = delete;
+
+  /// Binds and starts the accept loop. On failure fills *error and
+  /// returns false.
+  bool start(std::string* error);
+  void stop();
+  bool running() const { return running_; }
+
+  /// The bound port (resolves ephemeral port 0 requests).
+  std::uint16_t port() const { return port_; }
+
+  Stats stats() const;
+
+ private:
+  void accept_loop();
+  void handle_client(int fd);
+  bool send_all(int fd, const std::string& data);
+  void serve_events(int fd);
+
+  Options options_;
+  Providers providers_;
+  std::uint16_t port_ = 0;
+  int listen_fd_ = -1;
+  bool running_ = false;
+  std::atomic<bool> stop_{false};
+  std::thread accept_thread_;
+  std::mutex clients_mutex_;
+  std::vector<int> client_fds_;
+  std::vector<std::thread> client_threads_;
+  std::atomic<std::uint64_t> sessions_{0};
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> bytes_sent_{0};
+};
+
+}  // namespace ecnprobe::http

@@ -4,6 +4,9 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "ecnprobe/obs/event_stream.hpp"
+#include "ecnprobe/obs/profiler.hpp"
+#include "ecnprobe/util/arena.hpp"
 #include "ecnprobe/util/thread_pool.hpp"
 
 namespace ecnprobe::measure {
@@ -34,6 +37,7 @@ void ParallelCampaign::commit_delta(int index, PendingDelta delta) {
     auto& ready = it->second;
     merged_metrics_.metrics.merge(ready.obs.metrics);
     merged_metrics_.ledger.merge(ready.obs.ledger);
+    merged_metrics_.timeseries.merge(ready.obs.timeseries);
     telemetry_.fold(ready.obs.telemetry);
     flight_events_.insert(flight_events_.end(),
                           std::make_move_iterator(ready.events.begin()),
@@ -52,6 +56,7 @@ void ParallelCampaign::flush_pending() {
   for (auto& [index, ready] : pending_) {
     merged_metrics_.metrics.merge(ready.obs.metrics);
     merged_metrics_.ledger.merge(ready.obs.ledger);
+    merged_metrics_.timeseries.merge(ready.obs.timeseries);
     telemetry_.fold(ready.obs.telemetry);
     flight_events_.insert(flight_events_.end(),
                           std::make_move_iterator(ready.events.begin()),
@@ -75,7 +80,10 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
                      "traces currently executing, per vantage");
   in_flight->add(1);
   try {
-    worker.shard->begin_trace(planned.vantage, planned.batch, index);
+    {
+      obs::Profiler::Scope plan_scope("plan");
+      worker.shard->begin_trace(planned.vantage, planned.batch, index);
+    }
     if (observer_) {
       std::lock_guard<std::mutex> lock(observer_mutex_);
       observer_(planned.vantage, planned.batch, index);
@@ -94,9 +102,23 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
     }
     TraceRunner runner(*vantage, worker.servers, probe);
     std::unique_ptr<Trace> result;
-    runner.run(planned.batch, index,
-               [&result](Trace trace) { result = std::make_unique<Trace>(std::move(trace)); });
-    worker.shard->sim().run();
+    {
+      obs::Profiler::Scope probe_scope("probe");
+      runner.run(planned.batch, index,
+                 [&result](Trace trace) { result = std::make_unique<Trace>(std::move(trace)); });
+      worker.shard->sim().run();
+    }
+    auto& profiler = obs::Profiler::process();
+    if (profiler.enabled()) {
+      profiler.gauge_max("sim_queue_depth_high_water",
+                         static_cast<std::int64_t>(
+                             worker.shard->sim().events_high_water()));
+      const auto& pool = util::BufferPool::this_thread();
+      profiler.gauge_max("buffer_pool_outstanding_high_water",
+                         static_cast<std::int64_t>(pool.outstanding_high_water()));
+      profiler.gauge_max("buffer_pool_free_high_water",
+                         static_cast<std::int64_t>(pool.free_count()));
+    }
     if (!result) throw std::runtime_error("ParallelCampaign: trace stalled");
     // The delta is collected after full quiescence, so straggler events
     // (TIME_WAIT timers, late responses) land in this trace's delta -- the
@@ -106,11 +128,20 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
     delta.events = worker.shard->collect_trace_events();
     if (journal_ != nullptr) {
       // Write-ahead: the trace is durable before it counts as complete.
+      obs::Profiler::Scope journal_scope("journal");
       std::lock_guard<std::mutex> lock(journal_mutex_);
       journal_->append(*result, delta.obs);
+      auto& stream = obs::EventStream::process();
+      if (stream.enabled()) {
+        stream.emit("checkpoint", "trace=" + std::to_string(index) +
+                                      " vantage=" + planned.vantage);
+      }
     }
     slots[static_cast<std::size_t>(index)] = std::move(result);
-    commit_delta(index, std::move(delta));
+    {
+      obs::Profiler::Scope merge_scope("merge");
+      commit_delta(index, std::move(delta));
+    }
     completed_.fetch_add(1, std::memory_order_relaxed);
     runtime_.counter("campaign_completed_total", {{"vantage", planned.vantage}},
                      "traces finished, per vantage")->inc();
@@ -123,6 +154,12 @@ void ParallelCampaign::run_one(Worker& worker, const std::vector<PlannedTrace>& 
     // partial delta (including that attribution) still merges in plan order
     // -- so the failed trace shows up in the report, not as a silent hole.
     worker.shard->quarantine_trace(planned.vantage, planned.batch, index);
+    auto& stream = obs::EventStream::process();
+    if (stream.enabled()) {
+      stream.emit("quarantine", "trace=" + std::to_string(index) +
+                                    " vantage=" + planned.vantage +
+                                    " error=" + e.what());
+    }
     PendingDelta delta;
     delta.obs = worker.shard->collect_trace_metrics();
     delta.events = worker.shard->collect_trace_events();

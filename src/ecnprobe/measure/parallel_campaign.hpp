@@ -143,6 +143,16 @@ public:
   /// regardless of worker count. Valid after run() returns.
   const obs::ObsSnapshot& metrics() const { return merged_metrics_; }
 
+  /// Point-in-time copy of the merged campaign snapshot, safe to call
+  /// from any thread while run() executes (the live /metrics endpoint's
+  /// data source). Mid-run it holds the contiguous plan-order prefix of
+  /// folded traces, so every counter is <= its final value and the
+  /// mid-run scrape reconciles with the final --metrics-out export.
+  obs::ObsSnapshot metrics_snapshot() const {
+    std::lock_guard<std::mutex> lock(merge_mutex_);
+    return merged_metrics_;
+  }
+
   /// Flight-recorder events merged from the per-trace shard slices in plan
   /// order -- byte-identical to the sequential World's campaign_flights()
   /// regardless of worker count. Empty unless the shards armed their
@@ -194,7 +204,7 @@ private:
   std::vector<TraceFailure> failures_;
   std::atomic<int> completed_{0};
   std::atomic<int> total_{0};
-  std::mutex merge_mutex_;
+  mutable std::mutex merge_mutex_;
   std::map<int, PendingDelta> pending_;
   int next_merge_ = 0;
   obs::ObsSnapshot merged_metrics_;

@@ -114,6 +114,10 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
       // histogram; exact mode keeps the registry untouched (byte-compat).
       o.telemetry.observe_rtt(r.rtt);
     }
+    if (o.timeseries.armed()) {
+      o.timeseries.on_probe(test, r.success ? "ok" : "timeout");
+      if (r.success) o.timeseries.observe_rtt(r.rtt);
+    }
     if (supervisor != nullptr) {
       supervisor->on_step_result(server, r.success);
       if (supervisor->adaptive_retry()) supervisor->count_attempts(test, r.attempts);
@@ -135,6 +139,9 @@ struct ServerProbe : std::enable_shared_from_this<ServerProbe> {
                                vantage.host().network().sim().now(), obs::Layer::Measure,
                                vantage.name(), 0, std::string("test=") + test);
       }
+    }
+    if (o.timeseries.armed()) {
+      o.timeseries.on_probe(test, r.connected ? "ok" : "failed");
     }
     if (supervisor != nullptr) supervisor->on_step_result(server, r.connected);
   }

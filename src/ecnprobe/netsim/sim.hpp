@@ -67,6 +67,7 @@ public:
     queue_.push(SimEvent{when, next_seq_++, util::UniqueFunction(std::forward<F>(fn)),
                          cancelled, now_});
     ++live_;
+    if (live_ > live_high_water_) live_high_water_ = live_;
     return EventHandle{std::move(cancelled)};
   }
 
@@ -80,6 +81,7 @@ public:
     queue_.push(SimEvent{now_ + delay, next_seq_++, util::UniqueFunction(std::forward<F>(fn)),
                          nullptr, now_});
     ++live_;
+    if (live_ > live_high_water_) live_high_water_ = live_;
   }
 
   /// Runs `fn` the next time the event queue drains (all live events fired,
@@ -109,6 +111,9 @@ public:
 
   std::size_t events_processed() const { return processed_; }
   std::size_t events_pending() const { return live_; }
+  /// Deepest the live-event queue has ever been: the self-profiler's
+  /// scheduler pressure gauge. One branch on the schedule path.
+  std::size_t events_high_water() const { return live_high_water_; }
   std::size_t idle_callbacks_pending() const { return idle_.size(); }
 
   /// Event-loop instrumentation: a fired-events counter and a histogram of
@@ -129,6 +134,7 @@ private:
   std::uint64_t next_seq_ = 0;
   std::size_t processed_ = 0;
   std::size_t live_ = 0;  ///< queued events not yet cancelled
+  std::size_t live_high_water_ = 0;
   obs::Counter* events_counter_ = nullptr;
   obs::Histogram* lag_histogram_ = nullptr;
 

@@ -158,6 +158,27 @@ std::string encode_obs(const ObsSnapshot& snapshot) {
     append("E " + std::to_string(exemplar.trace) + " " + escape_token(exemplar.layer) +
            " " + escape_token(exemplar.cause) + " " + escape_token(exemplar.node));
   }
+  // Time-series records follow the same only-when-present rule, so a
+  // campaign without --timeseries journals the exact pre-series bytes.
+  if (!snapshot.timeseries.empty()) {
+    append("Z " + std::to_string(snapshot.timeseries.window_nanos) + " " +
+           std::to_string(snapshot.timeseries.rtt_subbits));
+    for (const auto& [index, window] : snapshot.timeseries.windows) {
+      for (const auto& [key, n] : window.counts) {
+        append("W " + std::to_string(index) + " " + escape_token(key) + " " +
+               std::to_string(n));
+      }
+      for (const auto& [bucket, n] : window.rtt_buckets) {
+        append("X " + std::to_string(index) + " " + std::to_string(bucket) +
+               " " + std::to_string(n));
+      }
+      if (window.rtt_count != 0 || window.rtt_sum_nanos != 0) {
+        append("Y " + std::to_string(index) + " " +
+               std::to_string(window.rtt_count) + " " +
+               std::to_string(window.rtt_sum_nanos));
+      }
+    }
+  }
   return out;
 }
 
@@ -300,6 +321,58 @@ util::Expected<ObsSnapshot> decode_obs(std::string_view text) {
       out.telemetry.exemplars.push_back(TelemetryExemplar{
           static_cast<int>(trace), std::move(*layer), std::move(*cause),
           std::move(*node)});
+    } else if (tag == "Z") {
+      std::string width_tok, subbits_tok;
+      std::int64_t subbits = 0;
+      if (!line.take(&width_tok) ||
+          !parse_i64(width_tok, &out.timeseries.window_nanos) ||
+          out.timeseries.window_nanos < 1 || !line.take(&subbits_tok) ||
+          !parse_i64(subbits_tok, &subbits) || subbits < 0 || subbits > 64 ||
+          !line.done()) {
+        return bad(where + ": bad timeseries config record");
+      }
+      out.timeseries.rtt_subbits = static_cast<int>(subbits);
+    } else if (tag == "W") {
+      std::string index_tok, key_tok, n_tok;
+      std::int64_t index = 0;
+      std::uint64_t n = 0;
+      if (!line.take(&index_tok) || !parse_i64(index_tok, &index) || index < 0 ||
+          index > (std::int64_t{1} << 30) || !line.take(&key_tok) ||
+          !line.take(&n_tok) || !parse_u64(n_tok, &n) || !line.done()) {
+        return bad(where + ": bad timeseries count record");
+      }
+      auto key = unescape_token(key_tok);
+      if (!key) return bad(where + ": bad escape in timeseries count");
+      out.timeseries.windows[static_cast<std::int32_t>(index)].counts[*key] += n;
+    } else if (tag == "X") {
+      std::string index_tok, bucket_tok, n_tok;
+      std::int64_t index = 0, bucket = 0;
+      std::uint64_t n = 0;
+      if (!line.take(&index_tok) || !parse_i64(index_tok, &index) || index < 0 ||
+          index > (std::int64_t{1} << 30) || !line.take(&bucket_tok) ||
+          !parse_i64(bucket_tok, &bucket) || bucket < 0 ||
+          bucket > (std::int64_t{1} << 30) || !line.take(&n_tok) ||
+          !parse_u64(n_tok, &n) || !line.done()) {
+        return bad(where + ": bad timeseries rtt bucket record");
+      }
+      out.timeseries.windows[static_cast<std::int32_t>(index)]
+          .rtt_buckets[static_cast<std::int32_t>(bucket)] += n;
+    } else if (tag == "Y") {
+      std::string index_tok, count_tok, sum_tok;
+      std::int64_t index = 0;
+      if (!line.take(&index_tok) || !parse_i64(index_tok, &index) || index < 0 ||
+          index > (std::int64_t{1} << 30)) {
+        return bad(where + ": bad timeseries rtt totals record");
+      }
+      auto& window = out.timeseries.windows[static_cast<std::int32_t>(index)];
+      std::uint64_t count = 0;
+      std::int64_t sum = 0;
+      if (!line.take(&count_tok) || !parse_u64(count_tok, &count) ||
+          !line.take(&sum_tok) || !parse_i64(sum_tok, &sum) || !line.done()) {
+        return bad(where + ": bad timeseries rtt totals record");
+      }
+      window.rtt_count += count;
+      window.rtt_sum_nanos += sum;
     } else {
       return bad(where + ": unknown record tag '" + tag + "'");
     }

@@ -18,10 +18,15 @@
 //   Q <rtt_count> <rtt_sum_nanos>                    -- telemetry rtt totals
 //   F <folded_records> <sampled_exact>               -- telemetry fold flags
 //   E <trace> <layer> <cause> <node>                 -- telemetry exemplar
+//   Z <window_nanos> <rtt_subbits>                   -- timeseries config echo
+//   W <window> <key> <n>                             -- timeseries keyed count
+//   X <window> <bucket> <n>                          -- timeseries rtt bucket
+//   Y <window> <rtt_count> <rtt_sum_nanos>           -- timeseries rtt totals
 //
-// Telemetry records only appear for sketched-mode deltas; an exact-mode
-// snapshot encodes to the same bytes as before the telemetry layer
-// existed, so old journals stay readable and exact journals byte-stable.
+// Telemetry and timeseries records only appear when their layer is armed;
+// a snapshot without them encodes to the same bytes as before those
+// layers existed, so old journals stay readable and exact journals
+// byte-stable.
 //
 // An S line belongs to the most recent M line. Free-form fields (family,
 // help, label keys/values) are percent-escaped so they can never contain

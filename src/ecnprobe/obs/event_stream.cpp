@@ -1,0 +1,47 @@
+#include "ecnprobe/obs/event_stream.hpp"
+
+namespace ecnprobe::obs {
+
+EventStream& EventStream::process() {
+  static EventStream stream;
+  return stream;
+}
+
+void EventStream::emit(std::string kind, std::string text) {
+  if (!enabled()) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ObsEvent event;
+    event.id = next_id_++;
+    event.kind = std::move(kind);
+    event.text = std::move(text);
+    events_.push_back(std::move(event));
+    while (events_.size() > kCapacity) events_.pop_front();
+  }
+  cv_.notify_all();
+}
+
+std::vector<ObsEvent> EventStream::poll_after(std::uint64_t after_id,
+                                              std::chrono::milliseconds wait) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait_for(lock, wait, [&] {
+    return !events_.empty() && events_.back().id > after_id;
+  });
+  std::vector<ObsEvent> out;
+  for (const auto& event : events_) {
+    if (event.id > after_id) out.push_back(event);
+  }
+  return out;
+}
+
+std::uint64_t EventStream::last_id() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_ - 1;
+}
+
+void EventStream::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  events_.clear();
+}
+
+}  // namespace ecnprobe::obs

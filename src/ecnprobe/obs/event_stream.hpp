@@ -1,0 +1,65 @@
+// Process-wide observability event stream feeding the live plane's SSE
+// endpoint: window rollovers, trace quarantines, circuit-breaker trips,
+// checkpoint appends. Strictly observational -- nothing in the
+// determinism contract reads it back -- and disabled by default, so the
+// hot paths pay one relaxed atomic load until a live server turns it on.
+//
+// Bounded: the newest kCapacity events are retained; a slow SSE consumer
+// skips ahead rather than exerting backpressure on campaign workers.
+// Event ids are process-monotonic, which is what gives the SSE stream
+// its ordering and resume (Last-Event-ID style) semantics.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ecnprobe::obs {
+
+struct ObsEvent {
+  std::uint64_t id = 0;
+  std::string kind;  ///< "window" | "quarantine" | "breaker" | "checkpoint"
+  std::string text;
+
+  bool operator==(const ObsEvent&) const = default;
+};
+
+class EventStream {
+ public:
+  static constexpr std::size_t kCapacity = 1024;
+
+  static EventStream& process();
+
+  /// Emitters gate on this before building event strings, so a campaign
+  /// without a live server never pays for formatting.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Appends an event (dropping the oldest past capacity) and wakes
+  /// pollers. No-op while disabled.
+  void emit(std::string kind, std::string text);
+
+  /// Events with id > after_id, blocking up to `wait` for the first one.
+  /// Returns an empty vector on timeout.
+  std::vector<ObsEvent> poll_after(std::uint64_t after_id,
+                                   std::chrono::milliseconds wait);
+
+  std::uint64_t last_id() const;
+  void clear();
+
+ private:
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<ObsEvent> events_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace ecnprobe::obs

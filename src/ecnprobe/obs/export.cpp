@@ -178,8 +178,92 @@ std::string to_json(const LedgerSnapshot& ledger) {
 }
 
 std::string to_json(const ObsSnapshot& snapshot) {
-  return "{\"metrics\":" + to_json(snapshot.metrics) +
-         ",\"drop_ledger\":" + to_json(snapshot.ledger) + "}";
+  std::string out = "{\"metrics\":" + to_json(snapshot.metrics) +
+                    ",\"drop_ledger\":" + to_json(snapshot.ledger);
+  // Omitted when empty so documents without --timeseries stay
+  // byte-identical to the pre-series format (CI diffs these bytes).
+  if (!snapshot.timeseries.empty()) {
+    out += ",\"timeseries\":" + to_json(snapshot.timeseries);
+  }
+  return out + "}";
+}
+
+std::string to_json(const TimeSeriesDelta& series) {
+  if (series.empty()) return "null";
+  std::string out = util::strf("{\"window_nanos\":%" PRId64
+                               ",\"rtt_subbits\":%d,\"windows\":{",
+                               series.window_nanos, series.rtt_subbits);
+  bool first_window = true;
+  for (const auto& [index, window] : series.windows) {
+    if (!first_window) out += ",";
+    first_window = false;
+    out += util::strf("\"%d\":{\"counts\":{", index);
+    bool first = true;
+    for (const auto& [key, n] : window.counts) {
+      if (!first) out += ",";
+      first = false;
+      out += "\"" + json_escape(key) + util::strf("\":%" PRIu64, n);
+    }
+    out += util::strf("},\"rtt\":{\"count\":%" PRIu64 ",\"sum_nanos\":%" PRId64
+                      ",\"buckets\":{",
+                      window.rtt_count, window.rtt_sum_nanos);
+    first = true;
+    for (const auto& [bucket, n] : window.rtt_buckets) {
+      if (!first) out += ",";
+      first = false;
+      out += util::strf("\"%d\":%" PRIu64, bucket, n);
+    }
+    out += "}}}";
+  }
+  return out + "}}";
+}
+
+std::string to_prometheus(const TimeSeriesDelta& series) {
+  if (series.empty()) return "";
+  std::string out;
+  out += util::strf(
+      "# ecnprobe_timeseries sim-time windows, window_nanos=%" PRId64
+      " rtt_subbits=%d\n",
+      series.window_nanos, series.rtt_subbits);
+  out += "# HELP ecnprobe_timeseries_events_total probe/drop/rewrite events "
+         "per sim-time window\n";
+  out += "# TYPE ecnprobe_timeseries_events_total counter\n";
+  for (const auto& [index, window] : series.windows) {
+    const std::string window_label = util::strf("%d", index);
+    for (const auto& [key, n] : window.counts) {
+      LabelSet labels{{"event", key}, {"window", window_label}};
+      out += "ecnprobe_timeseries_events_total" + labels_to_prometheus(labels) +
+             util::strf(" %" PRIu64 "\n", n);
+    }
+  }
+  bool any_rtt = false;
+  for (const auto& [index, window] : series.windows) {
+    if (window.rtt_count == 0) continue;
+    if (!any_rtt) {
+      out += "# HELP ecnprobe_timeseries_rtt_nanos probe RTT distribution per "
+             "sim-time window (log-bucketed)\n";
+      out += "# TYPE ecnprobe_timeseries_rtt_nanos histogram\n";
+      any_rtt = true;
+    }
+    const std::string window_label = util::strf("%d", index);
+    std::uint64_t cumulative = 0;
+    for (const auto& [bucket, n] : window.rtt_buckets) {
+      cumulative += n;
+      LabelSet labels{{"le", util::strf("%" PRId64,
+                                        LogHistogram::bucket_upper(
+                                            bucket, series.rtt_subbits))},
+                      {"window", window_label}};
+      out += "ecnprobe_timeseries_rtt_nanos_bucket" +
+             labels_to_prometheus(labels) +
+             util::strf(" %" PRIu64 "\n", cumulative);
+    }
+    LabelSet labels{{"window", window_label}};
+    out += "ecnprobe_timeseries_rtt_nanos_sum" + labels_to_prometheus(labels) +
+           util::strf(" %" PRId64 "\n", window.rtt_sum_nanos);
+    out += "ecnprobe_timeseries_rtt_nanos_count" + labels_to_prometheus(labels) +
+           util::strf(" %" PRIu64 "\n", window.rtt_count);
+  }
+  return out;
 }
 
 std::string to_prometheus(const MetricsSnapshot& snapshot) {
@@ -412,6 +496,14 @@ std::string render_metrics_report_json(const ObsSnapshot& campaign,
 bool write_metrics_files(const std::string& path, const ObsSnapshot& campaign,
                          const MetricsSnapshot* runtime,
                          const TelemetryAggregate* telemetry) {
+  if (path == "-") {
+    // Stream the JSON report to stdout; there is no sensible sibling
+    // path for the Prometheus exposition, so it is skipped.
+    std::fputs(render_metrics_report_json(campaign, runtime, telemetry).c_str(),
+               stdout);
+    std::fflush(stdout);
+    return true;
+  }
   std::ofstream json_os(path);
   if (!json_os) return false;
   json_os << render_metrics_report_json(campaign, runtime, telemetry);
@@ -431,6 +523,7 @@ bool write_metrics_files(const std::string& path, const ObsSnapshot& campaign,
   if (telemetry != nullptr && telemetry->active()) {
     prom_os << to_prometheus(*telemetry);
   }
+  prom_os << to_prometheus(campaign.timeseries);
   return json_os.good() && prom_os.good();
 }
 

@@ -22,8 +22,19 @@ std::string to_json(const MetricsSnapshot& snapshot);
 /// JSON object with drops/rewrites keyed "layer/cause" -> count.
 std::string to_json(const LedgerSnapshot& ledger);
 
-/// JSON object {"metrics": ..., "drop_ledger": ...}.
+/// JSON object {"metrics": ..., "drop_ledger": ...}, plus a
+/// "timeseries" member when the sim-time-series layer recorded anything
+/// (omitted otherwise so pre-series documents stay byte-identical).
 std::string to_json(const ObsSnapshot& snapshot);
+
+/// JSON object {"window_nanos": ..., "rtt_subbits": ..., "windows": {...}}
+/// for the deterministic sim-time series. "null" when empty.
+std::string to_json(const TimeSeriesDelta& series);
+
+/// Prometheus exposition of the sim-time series: per-window event
+/// counters (`window` label carries the sim-time window index) and a
+/// per-window RTT histogram. Empty string when the series is empty.
+std::string to_prometheus(const TimeSeriesDelta& series);
 
 /// Prometheus text exposition (HELP/TYPE + samples). Histogram samples
 /// expand to _bucket{le=...}/_sum/_count as usual.
@@ -60,7 +71,9 @@ std::string render_metrics_report_json(const ObsSnapshot& campaign,
 
 /// Writes the JSON report to `path` and the Prometheus exposition of the
 /// same data to a sibling file (path with its extension replaced by
-/// ".prom"). Returns false if either file cannot be written.
+/// ".prom"). `path == "-"` streams the JSON report to stdout and skips
+/// the Prometheus sibling. Returns false if either file cannot be
+/// written.
 bool write_metrics_files(const std::string& path, const ObsSnapshot& campaign,
                          const MetricsSnapshot* runtime,
                          const TelemetryAggregate* telemetry = nullptr);

@@ -92,6 +92,11 @@ void DropLedger::begin_trace(int index) {
 }
 
 void DropLedger::record_drop(Layer layer, DropCause cause, std::string node) {
+  if (timeseries_ != nullptr && timeseries_->armed()) {
+    // Series count every drop regardless of the telemetry sampling
+    // decision; the window index is sim-time, so this stays deterministic.
+    timeseries_->on_drop(to_string(layer), to_string(cause));
+  }
   if (telemetry_ != nullptr && telemetry_->armed()) {
     telemetry_->on_drop(to_string(layer), to_string(cause), node);
     // Unsampled traces live only in the sketches (plus a reservoir
@@ -117,6 +122,9 @@ void DropLedger::record_drop(Layer layer, DropCause cause, std::string node) {
 }
 
 void DropLedger::record_rewrite(Layer layer, RewriteCause cause, std::string node) {
+  if (timeseries_ != nullptr && timeseries_->armed()) {
+    timeseries_->on_rewrite(to_string(layer), to_string(cause));
+  }
   if (telemetry_ != nullptr && telemetry_->armed()) {
     telemetry_->on_rewrite(to_string(layer), to_string(cause));
     if (!telemetry_->trace_sampled_exact()) return;

@@ -25,6 +25,7 @@
 #include "ecnprobe/obs/layer.hpp"
 #include "ecnprobe/obs/metrics.hpp"
 #include "ecnprobe/obs/telemetry.hpp"
+#include "ecnprobe/obs/timeseries.hpp"
 
 namespace ecnprobe::obs {
 
@@ -119,6 +120,13 @@ public:
   /// and registry mirror counters.
   void set_telemetry(TelemetryRecorder* telemetry) { telemetry_ = telemetry; }
 
+  /// Sim-time-series wiring: when set and armed, every record is also
+  /// bucketed into the current sim-time window (independent of the
+  /// telemetry sampling decision -- series count everything).
+  void set_timeseries(TimeSeriesRecorder* timeseries) {
+    timeseries_ = timeseries;
+  }
+
   void record_drop(Layer layer, DropCause cause, std::string node);
   void record_rewrite(Layer layer, RewriteCause cause, std::string node);
 
@@ -134,6 +142,7 @@ public:
 private:
   MetricsRegistry* registry_;
   TelemetryRecorder* telemetry_ = nullptr;
+  TimeSeriesRecorder* timeseries_ = nullptr;
   int trace_ = -1;
   std::vector<DropRecord> drops_;
   std::vector<RewriteRecord> rewrites_;
@@ -148,7 +157,10 @@ private:
 /// Network) falls back to the process-wide instance. The recorder ships
 /// disarmed: until World arms it, every datapath touch is one bool test.
 struct Observability {
-  Observability() : ledger(&registry) { ledger.set_telemetry(&telemetry); }
+  Observability() : ledger(&registry) {
+    ledger.set_telemetry(&telemetry);
+    ledger.set_timeseries(&timeseries);
+  }
   Observability(const Observability&) = delete;
   Observability& operator=(const Observability&) = delete;
 
@@ -157,7 +169,8 @@ struct Observability {
   MetricsRegistry registry;
   DropLedger ledger;
   FlightRecorder recorder;
-  TelemetryRecorder telemetry;  ///< disarmed in exact mode: one bool test
+  TelemetryRecorder telemetry;    ///< disarmed in exact mode: one bool test
+  TimeSeriesRecorder timeseries;  ///< disarmed by default: one bool test
 };
 
 /// Everything one campaign produced: the metrics delta plus the ledger
@@ -167,11 +180,13 @@ struct ObsSnapshot {
   MetricsSnapshot metrics;
   LedgerSnapshot ledger;
   TelemetryDelta telemetry;
+  TimeSeriesDelta timeseries;
 
   void merge(const ObsSnapshot& other) {
     metrics.merge(other.metrics);
     ledger.merge(other.ledger);
     telemetry.merge(other.telemetry);
+    timeseries.merge(other.timeseries);
   }
 };
 

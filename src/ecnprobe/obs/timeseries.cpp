@@ -1,0 +1,197 @@
+#include "ecnprobe/obs/timeseries.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "ecnprobe/obs/event_stream.hpp"
+#include "ecnprobe/util/strings.hpp"
+
+namespace ecnprobe::obs {
+
+namespace {
+
+util::Error bad(const std::string& what) {
+  return util::make_error("timeseries", what);
+}
+
+bool parse_double_strict(const std::string& tok, double* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (end != tok.c_str() + tok.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int_strict(const std::string& tok, int* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(tok.c_str(), &end, 10);
+  if (errno != 0 || end != tok.c_str() + tok.size() || v < -(1l << 30) ||
+      v > (1l << 30)) {
+    return false;
+  }
+  *out = static_cast<int>(v);
+  return true;
+}
+
+}  // namespace
+
+std::string TimeSeriesConfig::summary() const {
+  if (!enabled) return "off";
+  return util::strf("window-ms=%lld alpha=%g max-windows=%d",
+                    static_cast<long long>(window_nanos / 1'000'000), alpha,
+                    max_windows);
+}
+
+util::Expected<TimeSeriesConfig> TimeSeriesConfig::parse(
+    const std::string& spec) {
+  TimeSeriesConfig config;
+  const std::string trimmed{util::trim(spec)};
+  if (trimmed.empty()) return bad("empty timeseries spec");
+  if (trimmed == "off") return config;
+  config.enabled = true;
+  // A bare number is shorthand for the window width in sim-milliseconds.
+  int n = 0;
+  if (parse_int_strict(trimmed, &n)) {
+    if (n < 1) return bad("window width must be >= 1 ms");
+    config.window_nanos = static_cast<std::int64_t>(n) * 1'000'000;
+    return config;
+  }
+  for (const auto& raw : util::split(trimmed, ',')) {
+    const std::string part{util::trim(raw)};
+    const auto eq = part.find('=');
+    if (eq == std::string::npos) {
+      return bad("expected key=value, got '" + part + "'");
+    }
+    const std::string key = part.substr(0, eq);
+    const std::string value = part.substr(eq + 1);
+    double d = 0;
+    if (key == "window-ms") {
+      if (!parse_int_strict(value, &n) || n < 1) {
+        return bad("window-ms must be >= 1, got '" + value + "'");
+      }
+      config.window_nanos = static_cast<std::int64_t>(n) * 1'000'000;
+    } else if (key == "alpha") {
+      if (!parse_double_strict(value, &d) || d <= 0.0 || d > 1.0) {
+        return bad("alpha must be in (0, 1], got '" + value + "'");
+      }
+      config.alpha = d;
+    } else if (key == "max-windows") {
+      if (!parse_int_strict(value, &n) || n < 1) {
+        return bad("max-windows must be >= 1, got '" + value + "'");
+      }
+      config.max_windows = n;
+    } else {
+      return bad("unknown timeseries key '" + key + "'");
+    }
+  }
+  return config;
+}
+
+bool TimeSeriesWindow::empty() const {
+  return counts.empty() && rtt_buckets.empty() && rtt_count == 0 &&
+         rtt_sum_nanos == 0;
+}
+
+void TimeSeriesWindow::merge(const TimeSeriesWindow& other) {
+  for (const auto& [key, n] : other.counts) counts[key] += n;
+  for (const auto& [bucket, n] : other.rtt_buckets) rtt_buckets[bucket] += n;
+  rtt_count += other.rtt_count;
+  rtt_sum_nanos += other.rtt_sum_nanos;
+}
+
+void TimeSeriesDelta::merge(const TimeSeriesDelta& other) {
+  if (other.empty()) return;
+  if (empty()) {
+    *this = other;
+    return;
+  }
+  if (window_nanos != other.window_nanos ||
+      rtt_subbits != other.rtt_subbits) {
+    throw std::invalid_argument(
+        "TimeSeriesDelta::merge: mismatched window/subbits config");
+  }
+  for (const auto& [index, window] : other.windows) {
+    windows[index].merge(window);
+  }
+}
+
+void TimeSeriesRecorder::arm(const TimeSeriesConfig& config) {
+  armed_ = config.enabled;
+  config_ = config;
+  // Same subbits derivation as the telemetry RTT histogram, so a window's
+  // buckets line up with the campaign-wide quantile sketch.
+  rtt_subbits_ = config.enabled ? LogHistogram(config.alpha).subbits() : 0;
+  current_.clear();
+  current_.window_nanos = config.enabled ? config.window_nanos : 0;
+  current_.rtt_subbits = rtt_subbits_;
+}
+
+void TimeSeriesRecorder::disarm() {
+  armed_ = false;
+  current_ = TimeSeriesDelta{};
+}
+
+void TimeSeriesRecorder::begin_trace(int trace) {
+  if (!armed_) return;
+  trace_ = trace;
+  origin_nanos_ = clock_ ? clock_() : 0;
+  last_window_ = 0;
+  current_.clear();
+}
+
+TimeSeriesWindow& TimeSeriesRecorder::window_now() {
+  std::int64_t index = 0;
+  if (clock_) {
+    const std::int64_t elapsed = clock_() - origin_nanos_;
+    if (elapsed > 0) index = elapsed / config_.window_nanos;
+  }
+  if (index >= config_.max_windows) index = config_.max_windows - 1;
+  const auto window = static_cast<std::int32_t>(index);
+  if (window > last_window_) {
+    last_window_ = window;
+    // Observation-only: the SSE stream hears about rollovers, nothing in
+    // the determinism contract does.
+    auto& stream = EventStream::process();
+    if (stream.enabled()) {
+      stream.emit("window", util::strf("trace=%d window=%d", trace_,
+                                       static_cast<int>(window)));
+    }
+  }
+  return current_.windows[window];
+}
+
+void TimeSeriesRecorder::on_probe(std::string_view test,
+                                  std::string_view outcome) {
+  if (!armed_) return;
+  auto& window = window_now();
+  ++window.counts["probe:" + std::string(test) + "/" + std::string(outcome)];
+}
+
+void TimeSeriesRecorder::on_drop(std::string_view layer,
+                                 std::string_view cause) {
+  if (!armed_) return;
+  auto& window = window_now();
+  ++window.counts["drop:" + std::string(layer) + "/" + std::string(cause)];
+}
+
+void TimeSeriesRecorder::on_rewrite(std::string_view layer,
+                                    std::string_view cause) {
+  if (!armed_) return;
+  auto& window = window_now();
+  ++window.counts["rewrite:" + std::string(layer) + "/" + std::string(cause)];
+}
+
+void TimeSeriesRecorder::observe_rtt(util::SimDuration rtt) {
+  if (!armed_) return;
+  auto& window = window_now();
+  const std::int64_t nanos = rtt.count_nanos();
+  ++window.rtt_buckets[LogHistogram::bucket_index(nanos, rtt_subbits_)];
+  ++window.rtt_count;
+  window.rtt_sum_nanos += nanos;
+}
+
+}  // namespace ecnprobe::obs

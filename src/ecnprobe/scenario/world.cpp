@@ -160,6 +160,14 @@ World::World(WorldParams params)
                  : std::string("AS-unknown");
     });
   }
+  if (params_.timeseries.enabled) {
+    // The recorder reads sim time through this callback and subtracts the
+    // origin captured at begin_trace(), so window indices are epoch-
+    // relative: a pure function of the trace, never of how much sim time
+    // earlier traces consumed on this particular world instance.
+    obs_.timeseries.set_clock([this] { return sim_.now().count_nanos(); });
+    obs_.timeseries.arm(params_.timeseries);
+  }
 }
 
 World::~World() = default;
@@ -231,6 +239,10 @@ void World::build_pool() {
         server.web =
             std::make_unique<http::HttpServerService>(*server.tcp_stack,
                                                       http::HttpServerService::Config{});
+        // Simulated HTTP traffic lands in this world's registry as http_*
+        // counters -- deterministic like everything else in the registry,
+        // so the families survive the sequential-vs-parallel equality gate.
+        server.web->set_metrics(&obs_.registry);
       }
 
       if (region != geo::Region::Unknown) {
@@ -595,6 +607,7 @@ void World::begin_trace_epoch(const std::string& vantage, int batch, int index) 
   // sampling and (in sketched mode) releases the previous trace's ledger
   // rows, so the marks below start from the trimmed state.
   obs_.telemetry.begin_trace(index);
+  obs_.timeseries.begin_trace(index);
   obs_.ledger.begin_trace(index);
   // Observability epoch next: everything from here on -- including the
   // trace-start counter just below -- lands in this trace's delta.
@@ -636,12 +649,14 @@ obs::ObsSnapshot World::collect_obs_delta() const {
   delta.metrics = obs_.registry.snapshot().delta_since(obs_baseline_);
   delta.ledger = obs_.ledger.aggregate(obs_drop_mark_, obs_rewrite_mark_);
   delta.telemetry = obs_.telemetry.collect_delta();
+  delta.timeseries = obs_.timeseries.collect_delta();
   return delta;
 }
 
 void World::fold_campaign_delta(const obs::ObsSnapshot& delta) {
   campaign_obs_.metrics.merge(delta.metrics);
   campaign_obs_.ledger.merge(delta.ledger);
+  campaign_obs_.timeseries.merge(delta.timeseries);
   campaign_telemetry_.fold(delta.telemetry);
 }
 

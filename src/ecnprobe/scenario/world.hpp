@@ -103,6 +103,14 @@ struct WorldParams {
   /// (config, seed, trace).
   obs::TelemetryConfig telemetry;
 
+  // -- deterministic time series ---------------------------------------------
+  /// Sim-time series config. When enabled, per-trace counters and RTT
+  /// buckets are snapshotted into fixed-width sim-time windows, epoch-
+  /// relative per trace, and folded in plan order -- the series is part of
+  /// the campaign obs snapshot and therefore byte-identical sequential vs
+  /// any worker count. Disabled by default (one bool test per event).
+  obs::TimeSeriesConfig timeseries;
+
   /// Paper-scale world (2500 servers, 400 stub ASes). The default.
   static WorldParams paper();
   /// Small world for unit/integration tests (fast to build and probe).

@@ -1,5 +1,6 @@
 #include "ecnprobe/sched/supervisor.hpp"
 
+#include "ecnprobe/obs/event_stream.hpp"
 #include "ecnprobe/util/strings.hpp"
 
 namespace ecnprobe::sched {
@@ -26,12 +27,21 @@ CircuitBreaker::Listener TraceSupervisor::transition_listener(const char* scope)
   // Every state change lands in sched_breaker_transitions_total{scope,to}.
   // The listener only fires when breakers are enabled, so the default
   // config never creates these families.
-  return [this, scope](CircuitBreaker::State /*from*/, CircuitBreaker::State to) {
+  return [this, scope](CircuitBreaker::State from, CircuitBreaker::State to) {
     obs_.registry
         .counter("sched_breaker_transitions_total",
                  {{"scope", scope}, {"to", std::string(to_string(to))}},
                  "circuit breaker state transitions, by scope and target state")
         ->inc();
+    // Live plane: breaker trips flow to the SSE stream. Observation-only
+    // and gated, so unserved campaigns pay one atomic load.
+    auto& stream = obs::EventStream::process();
+    if (stream.enabled()) {
+      stream.emit("breaker",
+                  util::strf("scope=%s %s -> %s", scope,
+                             std::string(to_string(from)).c_str(),
+                             std::string(to_string(to)).c_str()));
+    }
   };
 }
 

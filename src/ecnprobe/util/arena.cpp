@@ -18,6 +18,9 @@ void* Arena::allocate(std::size_t size, std::size_t align) {
       unpoison_range(p, size);
       offset_ = aligned + size;
       bytes_allocated_ += size;
+      if (bytes_allocated_ > allocated_high_water_) {
+        allocated_high_water_ = bytes_allocated_;
+      }
       return p;
     }
     // The rest of this block is too small; move on (it stays poisoned).
@@ -41,6 +44,9 @@ void* Arena::allocate(std::size_t size, std::size_t align) {
   unpoison_range(p, size);
   offset_ = aligned + size;
   bytes_allocated_ += size;
+  if (bytes_allocated_ > allocated_high_water_) {
+    allocated_high_water_ = bytes_allocated_;
+  }
   return p;
 }
 
@@ -60,6 +66,7 @@ void Arena::release() {
   offset_ = 0;
   bytes_allocated_ = 0;
   bytes_reserved_ = 0;
+  allocated_high_water_ = 0;
 }
 
 void Arena::poison_block(const Block& block) {

@@ -80,6 +80,9 @@ public:
   // -- statistics (steady-state verification hooks) -------------------------
   std::size_t bytes_allocated() const { return bytes_allocated_; }  ///< since reset
   std::size_t bytes_reserved() const { return bytes_reserved_; }    ///< heap footprint
+  /// Largest bytes_allocated() ever observed (survives reset()); the
+  /// self-profiler's arena pressure gauge.
+  std::size_t bytes_allocated_high_water() const { return allocated_high_water_; }
   std::size_t block_count() const { return blocks_.size(); }
   /// Heap allocations ever made by this arena; a flat value across resets
   /// is the "zero heap allocations after warm-up" property tests pin.
@@ -101,6 +104,7 @@ private:
   std::size_t offset_ = 0;   ///< bump offset within blocks_[current_]
   std::size_t bytes_allocated_ = 0;
   std::size_t bytes_reserved_ = 0;
+  std::size_t allocated_high_water_ = 0;
   std::uint64_t heap_allocations_ = 0;
   std::uint64_t resets_ = 0;
 };
@@ -149,6 +153,10 @@ public:
 
   std::vector<std::uint8_t> acquire() {
     ++acquires_;
+    ++outstanding_;
+    if (outstanding_ > outstanding_high_water_) {
+      outstanding_high_water_ = outstanding_;
+    }
     if (free_.empty()) return {};
     ++hits_;
     std::vector<std::uint8_t> out = std::move(free_.back());
@@ -158,6 +166,7 @@ public:
   }
 
   void release(std::vector<std::uint8_t>&& buf) {
+    if (outstanding_ > 0) --outstanding_;
     if (buf.capacity() == 0 || free_.size() >= kMaxFreeList) return;
     free_.push_back(std::move(buf));
   }
@@ -169,12 +178,18 @@ public:
   std::size_t free_count() const { return free_.size(); }
   std::uint64_t acquires() const { return acquires_; }
   std::uint64_t hits() const { return hits_; }  ///< acquires served without malloc
+  /// Buffers currently on loan, and the most ever on loan at once (the
+  /// self-profiler's buffer pressure gauge).
+  std::size_t outstanding() const { return outstanding_; }
+  std::size_t outstanding_high_water() const { return outstanding_high_water_; }
 
 private:
   static constexpr std::size_t kMaxFreeList = 256;
   std::vector<std::vector<std::uint8_t>> free_;
   std::uint64_t acquires_ = 0;
   std::uint64_t hits_ = 0;
+  std::size_t outstanding_ = 0;
+  std::size_t outstanding_high_water_ = 0;
 };
 
 /// A byte buffer borrowed from the thread-local BufferPool for its whole

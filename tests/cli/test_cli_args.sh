@@ -77,6 +77,12 @@ must_fail "zero breaker half-open" campaign --breaker-half-open 0
 must_fail "zero watchdog deadline" campaign --watchdog-ms 0
 must_fail "missing supervision value" campaign --retry-base-ms
 
+# Live-plane flags: the port must be a bare integer in [0, 65535].
+must_fail "non-numeric serve-obs port" campaign --serve-obs banana
+must_fail "out-of-range serve-obs port" campaign --serve-obs 70000
+must_fail "negative serve-obs port" campaign --serve-obs -1
+must_fail "missing serve-obs value" campaign --serve-obs
+
 # Errors detected past argument parsing report their own message (no usage
 # text): bad fault specs and resuming a journal that does not exist.
 must_fail_plain() {
@@ -95,12 +101,38 @@ must_fail_plain "bad fault override" campaign --scale 0.02 --traces 1 \
   --faults none,corrupt-prob=x
 must_fail_plain "--resume missing journal" campaign --scale 0.02 --traces 1 \
   --resume "$TMP/absent.journal"
+must_fail_plain "bad timeseries spec" campaign --scale 0.02 --traces 1 \
+  --timeseries banana
+must_fail_plain "zero timeseries window" campaign --scale 0.02 --traces 1 \
+  --timeseries window-ms=0
 
 must_pass "plain campaign" campaign --scale 0.02 --traces 1 --out "$TMP/t.csv"
 must_pass "faulted campaign with checkpoint" campaign --scale 0.02 --traces 2 \
   --faults none,poison=1 --checkpoint "$TMP/run.journal" --out "$TMP/t2.csv"
 must_pass "resume of that checkpoint" campaign --scale 0.02 --traces 2 \
   --faults none,poison=1 --resume "$TMP/run.journal" --out "$TMP/t3.csv"
+must_pass "timeseries campaign" campaign --scale 0.02 --traces 1 \
+  --timeseries 250 --out "$TMP/t5.csv"
+
+# --metrics-out - streams the metrics JSON to stdout (and only the JSON:
+# progress chatter stays on stderr), so it must parse as a JSON object.
+out=$("$BIN" campaign --scale 0.02 --traces 1 --timeseries 250 \
+  --out "$TMP/t6.csv" --metrics-out - 2>/dev/null)
+case $out in
+  '{'*'}')
+    if printf '%s' "$out" | grep -q '"timeseries"'; then
+      echo "ok: --metrics-out - streams JSON with timeseries to stdout"
+    else
+      echo "FAIL: --metrics-out - JSON lacks timeseries section: $out"
+      fails=$((fails + 1))
+    fi
+    ;;
+  *)
+    echo "FAIL: --metrics-out - did not print a JSON object on stdout: $out"
+    fails=$((fails + 1))
+    ;;
+esac
+
 must_pass "fully supervised campaign" campaign --scale 0.02 --traces 1 \
   --retry-policy backoff --retry-max 4 --retry-base-ms 500 --retry-factor 2 \
   --retry-jitter 0.2 --retry-budget-ms 8000 --retry-hedge-ms 250 \

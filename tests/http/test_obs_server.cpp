@@ -1,0 +1,225 @@
+// The live plane's real-socket HTTP server, driven by raw loopback
+// clients: endpoint routing, SSE framing (id/event/data ordering,
+// keep-alive comments, resume-after id monotonicity), disconnect
+// mid-stream, and clean start/stop. Named test_obs_server so the
+// ThreadSanitizer CI job's 'obs' regex covers it -- the server threads,
+// the SSE poller, and the emitting test thread genuinely race here.
+#include "ecnprobe/http/obs_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "ecnprobe/obs/event_stream.hpp"
+
+namespace ecnprobe::http {
+namespace {
+
+int connect_loopback(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+std::string http_get(std::uint16_t port, const char* target) {
+  const int fd = connect_loopback(port);
+  if (fd < 0) return {};
+  const std::string request = std::string("GET ") + target +
+                              " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  if (::send(fd, request.data(), request.size(), 0) < 0) {
+    ::close(fd);
+    return {};
+  }
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+/// Reads from `fd` until `needle` appears in the accumulated text or the
+/// deadline passes; returns everything read.
+std::string read_until(int fd, const std::string& needle,
+                       std::chrono::milliseconds deadline) {
+  std::string text;
+  const auto until = std::chrono::steady_clock::now() + deadline;
+  timeval timeout{0, 200 * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  char buf[4096];
+  while (std::chrono::steady_clock::now() < until &&
+         text.find(needle) == std::string::npos) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) text.append(buf, static_cast<std::size_t>(n));
+    if (n == 0) break;  // peer closed
+  }
+  return text;
+}
+
+class ObsServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::EventStream::process().clear(); }
+  void TearDown() override { obs::EventStream::process().clear(); }
+};
+
+TEST_F(ObsServerTest, ServesMetricsProgressAnd404) {
+  ObsHttpServer::Providers providers;
+  providers.metrics = [] {
+    return std::string("# TYPE t_total counter\nt_total 7\n");
+  };
+  providers.progress = [] { return std::string("{\"completed\":3}"); };
+  ObsHttpServer server(ObsHttpServer::Options{}, std::move(providers));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  ASSERT_NE(server.port(), 0);
+
+  const auto metrics = http_get(server.port(), "/metrics");
+  EXPECT_EQ(metrics.find("HTTP/1.1 200 OK"), 0u) << metrics;
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("t_total 7"), std::string::npos);
+
+  const auto progress = http_get(server.port(), "/progress");
+  EXPECT_EQ(progress.find("HTTP/1.1 200 OK"), 0u);
+  EXPECT_NE(progress.find("application/json"), std::string::npos);
+  EXPECT_NE(progress.find("{\"completed\":3}"), std::string::npos);
+
+  const auto missing = http_get(server.port(), "/nope");
+  EXPECT_EQ(missing.find("HTTP/1.1 404"), 0u);
+
+  const auto stats = server.stats();
+  EXPECT_GE(stats.sessions, 3u);
+  EXPECT_GE(stats.requests, 3u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ObsServerTest, SseFramesArriveInEmissionOrder) {
+  ObsHttpServer server(ObsHttpServer::Options{}, ObsHttpServer::Providers{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string request =
+      "GET /events HTTP/1.1\r\nHost: x\r\nAccept: text/event-stream\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  // Wait for the SSE head before emitting, so no event can slip between
+  // the handshake and the first poll.
+  auto text = read_until(fd, "text/event-stream", std::chrono::milliseconds(2000));
+  ASSERT_NE(text.find("text/event-stream"), std::string::npos) << text;
+
+  auto& stream = obs::EventStream::process();
+  ASSERT_TRUE(stream.enabled());  // start() flips the process gate on
+  stream.emit("window", "trace=0 window=1");
+  stream.emit("quarantine", "trace=3 vantage=EC2-Vir");
+  stream.emit("breaker", "scope=server closed -> open");
+
+  text += read_until(fd, "breaker", std::chrono::milliseconds(2000));
+  const auto window_at = text.find("event: window");
+  const auto quarantine_at = text.find("event: quarantine");
+  const auto breaker_at = text.find("event: breaker");
+  ASSERT_NE(window_at, std::string::npos) << text;
+  ASSERT_NE(quarantine_at, std::string::npos);
+  ASSERT_NE(breaker_at, std::string::npos);
+  EXPECT_LT(window_at, quarantine_at);
+  EXPECT_LT(quarantine_at, breaker_at);
+  EXPECT_NE(text.find("data: trace=0 window=1"), std::string::npos);
+  // Every frame carries its monotonically increasing id line.
+  EXPECT_NE(text.find("id: "), std::string::npos);
+
+  ::close(fd);
+  server.stop();
+}
+
+TEST_F(ObsServerTest, SseKeepAliveCommentsFlowWhileIdle) {
+  ObsHttpServer::Options options;
+  options.keepalive = std::chrono::milliseconds(100);
+  ObsHttpServer server(options, ObsHttpServer::Providers{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string request = "GET /events HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  const auto text =
+      read_until(fd, ": keep-alive", std::chrono::milliseconds(3000));
+  EXPECT_NE(text.find(": keep-alive\n\n"), std::string::npos) << text;
+  ::close(fd);
+  server.stop();
+}
+
+TEST_F(ObsServerTest, ClientDisconnectMidStreamLeavesServerServing) {
+  ObsHttpServer::Options options;
+  options.keepalive = std::chrono::milliseconds(50);
+  ObsHttpServer::Providers providers;
+  providers.metrics = [] { return std::string("ok 1\n"); };
+  ObsHttpServer server(options, std::move(providers));
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Open an SSE stream, read the head, then hang up abruptly while the
+  // server is mid keep-alive cadence.
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string request = "GET /events HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  (void)read_until(fd, ": keep-alive", std::chrono::milliseconds(2000));
+  ::close(fd);
+
+  // The dropped client's thread unwinds on its next send; the server must
+  // keep answering new requests afterwards.
+  auto& stream = obs::EventStream::process();
+  stream.emit("window", "trace=1 window=1");
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  const auto metrics = http_get(server.port(), "/metrics");
+  EXPECT_EQ(metrics.find("HTTP/1.1 200 OK"), 0u) << metrics;
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST_F(ObsServerTest, StopUnblocksOpenSseClients) {
+  ObsHttpServer server(ObsHttpServer::Options{}, ObsHttpServer::Providers{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string request = "GET /events HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  ASSERT_NE(read_until(fd, "text/event-stream", std::chrono::milliseconds(2000))
+                .find("text/event-stream"),
+            std::string::npos);
+
+  // stop() must shut the open stream down and join within bounded time --
+  // read_until sees EOF (empty tail or peer close) instead of hanging.
+  const auto before = std::chrono::steady_clock::now();
+  server.stop();
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+  EXPECT_LT(elapsed, std::chrono::seconds(5));
+  EXPECT_FALSE(obs::EventStream::process().enabled());  // gate off again
+  ::close(fd);
+}
+
+}  // namespace
+}  // namespace ecnprobe::http

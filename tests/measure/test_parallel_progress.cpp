@@ -1,0 +1,153 @@
+// Concurrent-reader safety for the live plane's data sources: the
+// /progress and /metrics endpoints call ParallelCampaign::progress() and
+// metrics_snapshot() from server threads while run() executes on workers.
+// This test hammers both from reader threads for the whole run and asserts
+// the invariants the endpoints rely on: completed is monotone
+// non-decreasing and bounded by total, every snapshot counter is <= its
+// final value (plan-order prefix property), and the final reads reconcile
+// exactly with run()'s results. Runs under the ThreadSanitizer CI job
+// (test binary matches the 'measure' regex), which is the real assertion.
+#include "ecnprobe/measure/parallel_campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ecnprobe/obs/export.hpp"
+#include "ecnprobe/scenario/world.hpp"
+
+namespace ecnprobe::measure {
+namespace {
+
+scenario::WorldParams reader_params() {
+  auto p = scenario::WorldParams::small(91);
+  p.server_count = 16;
+  p.ect_udp_firewalled_servers = 2;
+  p.offline_prob = 0.08;
+  obs::TimeSeriesConfig series;
+  series.enabled = true;
+  series.window_nanos = 500'000'000;
+  p.timeseries = series;
+  return p;
+}
+
+CampaignPlan reader_plan() {
+  CampaignPlan plan;
+  plan.entries.push_back({"Perkins home", 1, 3});
+  plan.entries.push_back({"UGla wired", 1, 3});
+  plan.entries.push_back({"EC2 Vir", 2, 3});
+  plan.entries.push_back({"EC2 Tok", 2, 3});
+  return plan;
+}
+
+TEST(ParallelProgress, ConcurrentReadersSeeMonotoneConsistentSnapshots) {
+  const auto params = reader_params();
+  const auto plan = reader_plan();
+  ParallelCampaign::Options exec;
+  exec.workers = 4;
+  ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
+
+  std::atomic<bool> running{true};
+  std::atomic<bool> violation{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&campaign, &running, &violation, &plan] {
+      int last_completed = 0;
+      while (running.load(std::memory_order_relaxed)) {
+        const auto p = campaign.progress();
+        // Monotone and bounded at every instant. total is 0 until run()
+        // starts, and completed / failed / by-vantage come from counters
+        // updated at slightly different moments, so the live invariants
+        // are one-sided: nothing ever exceeds the plan, nothing ever
+        // goes backwards.
+        if (p.completed < last_completed || p.in_flight < 0 ||
+            (p.total != 0 && p.total != plan.total_traces()) ||
+            (p.total != 0 && p.completed + p.failed > p.total)) {
+          violation.store(true, std::memory_order_relaxed);
+        }
+        int by_vantage = 0;
+        for (const auto& [vantage, n] : p.completed_by_vantage) by_vantage += n;
+        if (by_vantage > plan.total_traces()) {
+          violation.store(true, std::memory_order_relaxed);
+        }
+        last_completed = p.completed;
+
+        // Snapshot while workers fold: must be a self-consistent copy
+        // (TSan validates the locking; the export must never throw).
+        const auto snapshot = campaign.metrics_snapshot();
+        (void)obs::to_json(snapshot);
+        (void)obs::to_prometheus(snapshot.timeseries);
+      }
+    });
+  }
+
+  const auto traces = campaign.run(plan);
+  running.store(false, std::memory_order_relaxed);
+  for (auto& reader : readers) reader.join();
+  EXPECT_FALSE(violation.load());
+
+  // Final reads reconcile exactly with the run's outcome.
+  const auto final_progress = campaign.progress();
+  EXPECT_EQ(final_progress.total, plan.total_traces());
+  EXPECT_EQ(final_progress.completed, static_cast<int>(traces.size()));
+  EXPECT_EQ(final_progress.failed, static_cast<int>(campaign.failures().size()));
+  EXPECT_EQ(final_progress.in_flight, 0);
+  EXPECT_EQ(final_progress.completed + final_progress.failed, final_progress.total);
+
+  // The post-run snapshot equals the merged campaign metrics byte for byte
+  // (the mid-run scrape path and the final export share one data source).
+  EXPECT_EQ(obs::to_json(campaign.metrics_snapshot()), obs::to_json(campaign.metrics()));
+  EXPECT_FALSE(campaign.metrics().timeseries.empty());
+}
+
+TEST(ParallelProgress, SnapshotCountersAreSafePrefixesOfFinalTotals) {
+  const auto params = reader_params();
+  const auto plan = reader_plan();
+  ParallelCampaign::Options exec;
+  exec.workers = 4;
+  ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
+
+  // Collect mid-run snapshots; verify afterwards against the final totals
+  // (comparing inside the loop would race the reference computation).
+  std::atomic<bool> running{true};
+  std::vector<obs::ObsSnapshot> observed;
+  std::thread reader([&campaign, &running, &observed] {
+    while (running.load(std::memory_order_relaxed)) {
+      observed.push_back(campaign.metrics_snapshot());
+    }
+  });
+  campaign.run(plan);
+  running.store(false, std::memory_order_relaxed);
+  reader.join();
+
+  const auto& final_snapshot = campaign.metrics();
+  ASSERT_FALSE(observed.empty());
+  for (const auto& snapshot : observed) {
+    // Plan-order prefix folding: every mid-run counter is <= its final
+    // value, which is what lets a mid-run scrape reconcile with the
+    // final --metrics-out export.
+    for (const auto& [name, family] : snapshot.metrics.families) {
+      const auto family_it = final_snapshot.metrics.families.find(name);
+      ASSERT_NE(family_it, final_snapshot.metrics.families.end()) << name;
+      for (const auto& [labels, sample] : family.samples) {
+        const auto sample_it = family_it->second.samples.find(labels);
+        ASSERT_NE(sample_it, family_it->second.samples.end()) << name;
+        EXPECT_LE(sample.counter, sample_it->second.counter) << name;
+      }
+    }
+    for (const auto& [index, window] : snapshot.timeseries.windows) {
+      const auto window_it = final_snapshot.timeseries.windows.find(index);
+      ASSERT_NE(window_it, final_snapshot.timeseries.windows.end());
+      EXPECT_LE(window.rtt_count, window_it->second.rtt_count);
+    }
+  }
+  // The last snapshot taken after quiescence-by-construction may still
+  // predate the final fold; equality is only guaranteed post-run.
+  EXPECT_EQ(obs::to_json(campaign.metrics_snapshot()), obs::to_json(final_snapshot));
+}
+
+}  // namespace
+}  // namespace ecnprobe::measure

@@ -1,0 +1,126 @@
+// The deterministic sim-time series, end to end through the scenario
+// layer:
+//
+//  * a campaign with --timeseries produces a non-empty series whose window
+//    totals reconcile with the end-of-run counters;
+//  * the series is byte-identical sequentially and under --workers {1,2,8}
+//    (folded per-trace in plan order, epoch-relative windows);
+//  * it is also byte-identical across the calendar and heap event-queue
+//    backends (ECNPROBE_SCHEDULER), like every other campaign output;
+//  * a world without the config stays inert: no series in the snapshot, no
+//    "timeseries" key in the metrics JSON (byte-compat with old exports).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "ecnprobe/measure/campaign.hpp"
+#include "ecnprobe/obs/export.hpp"
+#include "ecnprobe/scenario/world.hpp"
+
+namespace ecnprobe::scenario {
+namespace {
+
+WorldParams series_params(std::uint64_t seed) {
+  auto p = WorldParams::small(seed);
+  p.server_count = 12;
+  p.ect_udp_firewalled_servers = 3;
+  p.offline_prob = 0.1;
+  obs::TimeSeriesConfig config;
+  config.enabled = true;
+  config.window_nanos = 500'000'000;  // 500 ms sim-time windows
+  p.timeseries = config;
+  return p;
+}
+
+measure::CampaignPlan series_plan() {
+  measure::CampaignPlan plan;
+  plan.entries.push_back({"Perkins home", 1, 2});
+  plan.entries.push_back({"UGla wired", 1, 2});
+  plan.entries.push_back({"EC2 Vir", 2, 2});
+  return plan;
+}
+
+TEST(WorldTimeSeries, SeriesReconcilesWithCampaignTotals) {
+  World world(series_params(42));
+  ASSERT_TRUE(world.obs().timeseries.armed());
+  world.run_campaign(series_plan());
+  const auto& series = world.campaign_obs().timeseries;
+  ASSERT_FALSE(series.empty());
+  EXPECT_EQ(series.window_nanos, 500'000'000);
+
+  // Every probe the campaign counted appears in exactly one window, so the
+  // per-window series sums back to the end-of-run counter totals.
+  std::uint64_t series_udp = 0;
+  std::uint64_t series_rtt = 0;
+  for (const auto& [index, window] : series.windows) {
+    for (const auto& [key, n] : window.counts) {
+      if (key.rfind("probe:udp-", 0) == 0) series_udp += n;
+    }
+    series_rtt += window.rtt_count;
+  }
+  std::uint64_t counter_udp = 0;
+  const auto& families = world.campaign_obs().metrics.families;
+  const auto it = families.find("probe_udp_total");
+  ASSERT_NE(it, families.end());
+  for (const auto& [labels, sample] : it->second.samples) {
+    counter_udp += sample.counter;
+  }
+  EXPECT_EQ(series_udp, counter_udp);
+  EXPECT_GT(series_rtt, 0u);
+}
+
+TEST(WorldTimeSeries, ByteIdenticalAcrossWorkerCounts) {
+  for (const std::uint64_t seed : {std::uint64_t{42}, std::uint64_t{7}}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    const auto params = series_params(seed);
+    const auto plan = series_plan();
+
+    World sequential(params);
+    sequential.run_campaign(plan);
+    ASSERT_FALSE(sequential.campaign_obs().timeseries.empty());
+    const auto reference_json = obs::to_json(sequential.campaign_obs());
+    ASSERT_NE(reference_json.find("\"timeseries\""), std::string::npos);
+    const auto reference_prom =
+        obs::to_prometheus(sequential.campaign_obs().timeseries);
+
+    for (const int workers : {1, 2, 8}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      obs::ObsSnapshot metrics;
+      run_parallel_campaign(params, plan, {}, workers, nullptr, &metrics);
+      EXPECT_EQ(metrics.timeseries, sequential.campaign_obs().timeseries);
+      EXPECT_EQ(obs::to_json(metrics), reference_json);
+      EXPECT_EQ(obs::to_prometheus(metrics.timeseries), reference_prom);
+    }
+  }
+}
+
+TEST(WorldTimeSeries, ByteIdenticalAcrossSchedulerBackends) {
+  const auto params = series_params(42);
+  const auto plan = series_plan();
+  std::string json_by_backend[2];
+  const char* backends[2] = {"calendar", "heap"};
+  for (int i = 0; i < 2; ++i) {
+    ::setenv("ECNPROBE_SCHEDULER", backends[i], 1);
+    World world(params);
+    world.run_campaign(plan);
+    json_by_backend[i] = obs::to_json(world.campaign_obs());
+  }
+  ::unsetenv("ECNPROBE_SCHEDULER");
+  ASSERT_NE(json_by_backend[0].find("\"timeseries\""), std::string::npos);
+  EXPECT_EQ(json_by_backend[0], json_by_backend[1]);
+}
+
+TEST(WorldTimeSeries, DisabledSeriesKeepsLegacyExports) {
+  auto params = series_params(42);
+  params.timeseries = obs::TimeSeriesConfig{};  // off (the default)
+  World world(params);
+  EXPECT_FALSE(world.obs().timeseries.armed());
+  world.run_campaign(series_plan());
+  EXPECT_TRUE(world.campaign_obs().timeseries.empty());
+  EXPECT_EQ(obs::to_json(world.campaign_obs()).find("timeseries"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace ecnprobe::scenario

@@ -27,6 +27,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <string>
 #include <thread>
 
@@ -42,10 +43,12 @@
 #include "ecnprobe/analysis/report.hpp"
 #include "ecnprobe/measure/campaign.hpp"
 #include "ecnprobe/measure/probe.hpp"
+#include "ecnprobe/http/obs_server.hpp"
 #include "ecnprobe/netsim/pcap.hpp"
 #include "ecnprobe/sched/policy.hpp"
 #include "ecnprobe/obs/export.hpp"
 #include "ecnprobe/obs/flight_export.hpp"
+#include "ecnprobe/obs/profiler.hpp"
 #include "ecnprobe/scenario/world.hpp"
 #include "ecnprobe/wire/dissect.hpp"
 
@@ -75,6 +78,14 @@ struct Options {
   /// pre-telemetry output) or "sketched[,eps=..,delta=..,alpha=..,
   /// sample-every=N,reservoir=N,budget-kb=N,seed=N]".
   std::string telemetry = "exact";
+  /// Deterministic sim-time series: "off" (default), a bare window width
+  /// in sim-milliseconds, or "window-ms=N,alpha=F,max-windows=N".
+  std::string timeseries = "off";
+  /// Live observability plane port (--serve-obs): -1 = off, 0 = ephemeral.
+  int serve_obs = -1;
+  /// Wall-clock self-profiler (--profile); outside the determinism
+  /// contract, never touches campaign outputs.
+  bool profile = false;
   /// Probe-lifecycle supervision (--retry-*, --pace-*, --breaker-*,
   /// --watchdog-ms). Defaults to the paper-fixed discipline; the seed is
   /// left 0 so the scenario layer keys the jitter streams off --seed.
@@ -173,6 +184,17 @@ bool parse(int argc, char** argv, int first, Options* options) {
     } else if (arg == "--telemetry") {
       if ((v = need()) == nullptr) return false;
       options->telemetry = v;
+    } else if (arg == "--timeseries") {
+      if ((v = need()) == nullptr) return false;
+      options->timeseries = v;
+    } else if (arg == "--serve-obs") {
+      if ((v = need()) == nullptr) return false;
+      if (!parse_int_arg(v, &options->serve_obs) || options->serve_obs < 0 ||
+          options->serve_obs > 65535) {
+        return bad(v);
+      }
+    } else if (arg == "--profile") {
+      options->profile = true;
     } else if (arg == "--trace") {
       if ((v = need()) == nullptr) return false;
       if (!parse_int_arg(v, &options->trace) || options->trace < 0) return bad(v);
@@ -295,6 +317,45 @@ bool apply_telemetry(const Options& options, scenario::WorldParams* params) {
   return true;
 }
 
+/// Parses --timeseries into `params`; prints the parse error and returns
+/// false on a malformed spec.
+bool apply_timeseries(const Options& options, scenario::WorldParams* params) {
+  const auto config = obs::TimeSeriesConfig::parse(options.timeseries);
+  if (!config) {
+    std::fprintf(stderr, "ecnprobe: %s\n", config.error().message.c_str());
+    return false;
+  }
+  params->timeseries = *config;
+  return true;
+}
+
+/// JSON body for GET /progress. Hand-rolled like every encoder in obs/;
+/// vantage names need escaping (they contain spaces, could contain
+/// quotes).
+std::string progress_json(const measure::ParallelCampaign::Progress& p) {
+  auto escape = [](const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+  std::string json = "{\"total\":" + std::to_string(p.total) +
+                     ",\"completed\":" + std::to_string(p.completed) +
+                     ",\"failed\":" + std::to_string(p.failed) +
+                     ",\"in_flight\":" + std::to_string(p.in_flight) +
+                     ",\"completed_by_vantage\":{";
+  bool first = true;
+  for (const auto& [vantage, count] : p.completed_by_vantage) {
+    if (!first) json.push_back(',');
+    first = false;
+    json += "\"" + escape(vantage) + "\":" + std::to_string(count);
+  }
+  json += "}}";
+  return json;
+}
+
 /// The campaign plan both `campaign` and `trace-autopsy` use, so the trace
 /// indices the autopsy re-runs line up with the campaign's own.
 measure::CampaignPlan plan_for(const Options& options) {
@@ -340,7 +401,9 @@ int cmd_campaign(const Options& options) {
   }
   params.faults = *faults;
   if (!apply_telemetry(options, &params)) return 2;
+  if (!apply_timeseries(options, &params)) return 2;
   if (!options.record.empty()) params.flight_recorder_capacity = 1 << 16;
+  if (options.profile) obs::Profiler::process().set_enabled(true);
   const auto plan = plan_for(options);
   std::fprintf(stderr, "running %d traces x %d servers (%d worker%s, faults: %s)...\n",
                plan.total_traces(), params.server_count, options.workers,
@@ -385,7 +448,10 @@ int cmd_campaign(const Options& options) {
   std::vector<obs::FlightEvent> flights;
   measure::ProbeOptions probe;
   probe.sched = options.sched;
-  if (options.workers > 1) {
+  // The live plane serves from ParallelCampaign's thread-safe snapshots,
+  // so --serve-obs routes through the sharded executor even at one
+  // worker -- the merged outputs are byte-identical either way.
+  if (options.workers > 1 || options.serve_obs >= 0) {
     measure::ParallelCampaign::Options exec;
     exec.workers = options.workers;
     exec.probe = probe;
@@ -397,6 +463,30 @@ int cmd_campaign(const Options& options) {
                                                     : params.faults.crash_after_traces;
     measure::ParallelCampaign campaign(scenario::world_shard_factory(params), exec);
     if (journal_ptr != nullptr) campaign.set_journal(journal_ptr);
+    // Live observability plane: a real HTTP listener rendering from the
+    // executor's thread-safe snapshots. Strictly read-only -- nothing the
+    // campaign computes ever depends on whether (or when) it is scraped.
+    std::unique_ptr<http::ObsHttpServer> obs_server;
+    if (options.serve_obs >= 0) {
+      http::ObsHttpServer::Options server_options;
+      server_options.port = static_cast<std::uint16_t>(options.serve_obs);
+      http::ObsHttpServer::Providers providers;
+      providers.metrics = [&campaign] {
+        const auto snap = campaign.metrics_snapshot();
+        return obs::to_prometheus(snap.metrics) + obs::to_prometheus(snap.timeseries);
+      };
+      providers.progress = [&campaign] { return progress_json(campaign.progress()); };
+      obs_server =
+          std::make_unique<http::ObsHttpServer>(server_options, std::move(providers));
+      std::string error;
+      if (!obs_server->start(&error)) {
+        std::fprintf(stderr, "ecnprobe: --serve-obs: %s\n", error.c_str());
+        return 1;
+      }
+      std::fprintf(stderr,
+                   "live obs plane: http://127.0.0.1:%u  (/metrics /progress /events)\n",
+                   static_cast<unsigned>(obs_server->port()));
+    }
     // Progress line on a monitor thread: progress() is a lock-cheap
     // snapshot of the runtime registry, safe to poll while workers run.
     std::atomic<bool> running{true};
@@ -447,6 +537,10 @@ int cmd_campaign(const Options& options) {
     telemetry = world.campaign_telemetry();
     flights = world.campaign_flights();
   }
+  // Export stage timer; reset() before the profile itself is printed so
+  // the "export" stage includes every file written below.
+  std::optional<obs::Profiler::Scope> export_scope;
+  export_scope.emplace("export");
   if (!options.record.empty()) {
     if (!obs::write_flight_files(options.record, flights)) {
       std::fprintf(stderr, "cannot write %s.pcapng / %s.trace.json\n",
@@ -476,7 +570,26 @@ int cmd_campaign(const Options& options) {
       std::fprintf(stderr, "cannot write %s\n", options.metrics_out.c_str());
       return 1;
     }
-    std::fprintf(stderr, "wrote %s (+ Prometheus sibling)\n", options.metrics_out.c_str());
+    if (options.metrics_out != "-") {
+      std::fprintf(stderr, "wrote %s (+ Prometheus sibling)\n",
+                   options.metrics_out.c_str());
+    }
+  }
+  export_scope.reset();
+  if (options.profile) {
+    auto& profiler = obs::Profiler::process();
+    if (!options.record.empty()) {
+      // Chrome-trace sidecar lands next to the flight recorder's files.
+      const std::string trace_path = options.record + ".profile.json";
+      if (profiler.write_chrome_trace(trace_path)) {
+        std::fprintf(stderr, "wrote %s (chrome trace; load in chrome://tracing)\n",
+                     trace_path.c_str());
+      } else {
+        std::fprintf(stderr, "cannot write %s\n", trace_path.c_str());
+      }
+    }
+    std::fprintf(stderr, "profile (wall-clock, unguarded): %s\n",
+                 profiler.to_json().c_str());
   }
   return 0;
 }
@@ -712,6 +825,14 @@ int usage() {
                "  report      full campaign -> Markdown report      [--scale --seed --out]\n"
                "  trace-autopsy  causal chain for one campaign trace  [--trace N --server ADDR --faults --resume FILE]\n"
                "campaign recording: --record PREFIX writes PREFIX.pcapng + PREFIX.trace.json\n"
+               "live plane (campaign): --serve-obs PORT serves GET /metrics /progress /events\n"
+               "  (SSE) on 127.0.0.1 while the campaign runs (PORT 0 = ephemeral)\n"
+               "time series (campaign): --timeseries off (default) | WINDOW_MS |\n"
+               "  window-ms=N,alpha=F,max-windows=N -- deterministic sim-time series in\n"
+               "  the metrics JSON/Prometheus exports, byte-identical at any --workers\n"
+               "self-profiler (campaign): --profile prints wall-clock stage timings; with\n"
+               "  --record PREFIX also writes PREFIX.profile.json (chrome://tracing)\n"
+               "stdout exports: --metrics-out - streams the metrics JSON to stdout\n"
                "telemetry fidelity (campaign/trace-autopsy): --telemetry exact (default) |\n"
                "  sketched[,eps=F,delta=F,alpha=F,sample-every=N,reservoir=N,budget-kb=N,seed=N]\n"
                "  sketched mode bounds telemetry memory: count-min cause/hop/AS counters\n"
