@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -26,6 +27,21 @@ std::string http_response(int status, const char* reason,
   response.headers["Content-Length"] = std::to_string(body.size());
   response.headers["Connection"] = "close";
   response.body = body;
+  return response.serialize();
+}
+
+std::string render_routed(const ObsHttpServer::Response& routed) {
+  wire::HttpResponse response;
+  response.status = routed.status;
+  response.reason = routed.reason;
+  response.version = "HTTP/1.1";
+  response.headers["Content-Type"] = routed.content_type;
+  response.headers["Content-Length"] = std::to_string(routed.body.size());
+  response.headers["Connection"] = "close";
+  for (const auto& [name, value] : routed.headers) {
+    response.headers[name] = value;
+  }
+  response.body = routed.body;
   return response.serialize();
 }
 
@@ -169,29 +185,86 @@ void ObsHttpServer::serve_events(int fd) {
   }
 }
 
-void ObsHttpServer::handle_client(int fd) {
-  // A scraper that never finishes its request must not pin the thread.
-  timeval timeout{5, 0};
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
-  wire::HttpParser parser(wire::HttpParser::Kind::Request);
+bool ObsHttpServer::read_request(int fd, wire::HttpParser& parser) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.read_deadline;
+  std::size_t pre_head_bytes = 0;
   char buf[4096];
-  while (!parser.complete() && !parser.failed() && !stop_.load()) {
+  while (!parser.complete() && !stop_.load()) {
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      rejected_timeout_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, http_response(408, "Request Timeout", "text/plain",
+                                 "request not completed within deadline\n"));
+      return false;
+    }
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    // Short poll slices keep stop() responsive even against a client
+    // dripping one byte per deadline (the classic slowloris shape).
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(
+        &pfd, 1,
+        static_cast<int>(std::min<long long>(remaining.count() + 1, 250)));
+    if (ready < 0) return false;
+    if (ready == 0) continue;
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    parser.feed(std::string_view(buf, static_cast<std::size_t>(n)));
+    if (n <= 0) return false;
+    if (!parser.head_complete()) {
+      pre_head_bytes += static_cast<std::size_t>(n);
+    }
+    if (!parser.feed(std::string_view(buf, static_cast<std::size_t>(n)))) {
+      send_all(fd, http_response(400, "Bad Request", "text/plain",
+                                 parser.error() + "\n"));
+      return false;
+    }
+    if (!parser.head_complete() &&
+        pre_head_bytes > options_.max_header_bytes) {
+      rejected_oversized_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, http_response(431, "Request Header Fields Too Large",
+                                 "text/plain", "request head over limit\n"));
+      return false;
+    }
+    if (parser.head_complete() &&
+        parser.body_needed() > options_.max_body_bytes) {
+      rejected_oversized_.fetch_add(1, std::memory_order_relaxed);
+      send_all(fd, http_response(413, "Content Too Large", "text/plain",
+                                 "request body over limit\n"));
+      return false;
+    }
   }
-  if (parser.complete()) {
+  return parser.complete();
+}
+
+void ObsHttpServer::handle_client(int fd) {
+  wire::HttpParser parser(wire::HttpParser::Kind::Request);
+  if (read_request(fd, parser)) {
     requests_.fetch_add(1, std::memory_order_relaxed);
-    const std::string& target = parser.request().target;
-    if (target == "/metrics") {
-      const std::string body = providers_.metrics ? providers_.metrics() : "";
+    const wire::HttpRequest& request = parser.request();
+    const std::string& target = request.target;
+    const bool is_get = request.method == "GET";
+    if (is_get && target == "/metrics") {
+      std::string body = providers_.metrics ? providers_.metrics() : "";
+      // The live plane reports its own event-ring losses so a scraper
+      // can tell "no events" apart from "events evicted unread".
+      body +=
+          "# HELP ecnprobe_obs_events_dropped_total Events evicted from the "
+          "bounded event ring before delivery.\n"
+          "# TYPE ecnprobe_obs_events_dropped_total counter\n"
+          "ecnprobe_obs_events_dropped_total " +
+          std::to_string(obs::EventStream::process().dropped()) + "\n";
       send_all(fd, http_response(200, "OK", "text/plain; version=0.0.4", body));
-    } else if (target == "/progress") {
+    } else if (is_get && target == "/progress") {
       const std::string body =
           providers_.progress ? providers_.progress() : "{}";
       send_all(fd, http_response(200, "OK", "application/json", body));
-    } else if (target == "/events") {
+    } else if (is_get && target == "/events") {
       serve_events(fd);
+    } else if (handler_) {
+      send_all(fd, render_routed(handler_(request)));
+    } else if (!is_get) {
+      send_all(fd, http_response(405, "Method Not Allowed", "text/plain",
+                                 "only GET is served\n"));
     } else {
       send_all(fd, http_response(404, "Not Found", "text/plain",
                                  "unknown endpoint\n"));
@@ -211,6 +284,9 @@ ObsHttpServer::Stats ObsHttpServer::stats() const {
   stats.sessions = sessions_.load(std::memory_order_relaxed);
   stats.requests = requests_.load(std::memory_order_relaxed);
   stats.bytes_sent = bytes_sent_.load(std::memory_order_relaxed);
+  stats.rejected_timeout = rejected_timeout_.load(std::memory_order_relaxed);
+  stats.rejected_oversized =
+      rejected_oversized_.load(std::memory_order_relaxed);
   return stats;
 }
 

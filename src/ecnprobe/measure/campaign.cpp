@@ -1,5 +1,6 @@
 #include "ecnprobe/measure/campaign.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace ecnprobe::measure {
@@ -34,6 +35,27 @@ CampaignPlan CampaignPlan::paper_layout(int home_batch1, int home_batch2, int ec
     plan.entries.push_back({names[i], 2, ec2_traces});
   }
   return plan;
+}
+
+CampaignPlan CampaignPlan::for_scale(double scale, int traces_override) {
+  if (traces_override > 0) {
+    // Uniform override: N traces spread over the 13 vantage points, the
+    // first four (home/campus) in batch 1, the EC2 regions in batch 2.
+    CampaignPlan plan;
+    const auto& names = paper_vantage_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      const int share =
+          traces_override / static_cast<int>(names.size()) +
+          (static_cast<int>(i) < traces_override % static_cast<int>(names.size())
+               ? 1
+               : 0);
+      if (share > 0) plan.entries.push_back({names[i], i < 4 ? 1 : 2, share});
+    }
+    return plan;
+  }
+  return paper_layout(std::max(1, static_cast<int>(9 * scale)),
+                      std::max(1, static_cast<int>(12 * scale)),
+                      std::max(1, static_cast<int>(14 * scale)));
 }
 
 std::vector<PlannedTrace> expand_schedule(const CampaignPlan& plan) {
@@ -118,9 +140,11 @@ void Campaign::start_trace() {
       return;
     }
   }
-  if (halt_after_ > 0 && live_started_ >= halt_after_) {
-    // Simulated crash: abandon the rest of the schedule and finish with
-    // what completed. A later --resume run replays those and runs the rest.
+  if ((halt_after_ > 0 && live_started_ >= halt_after_) ||
+      (halt_check_ && halt_check_())) {
+    // Simulated crash or external cancel: abandon the rest of the schedule
+    // and finish with what completed. A later --resume run replays those
+    // and runs the rest.
     cursor_ = schedule_.size();
     next_trace();
     return;

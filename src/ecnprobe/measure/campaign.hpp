@@ -41,6 +41,15 @@ struct CampaignPlan {
   /// 210 with the defaults.
   static CampaignPlan paper_layout(int home_batch1 = 9, int home_batch2 = 12,
                                    int ec2_traces = 14);
+
+  /// The scaled layout every front end shares: the paper's per-vantage
+  /// counts multiplied by `scale` (floored at 1 each), or -- when
+  /// `traces_override` > 0 -- exactly that many traces spread uniformly
+  /// over the 13 vantages. The CLI's campaign/trace-autopsy/report
+  /// commands and the ecnprobed daemon all build plans through here, so a
+  /// daemon campaign and a batch CLI run with the same (scale, traces)
+  /// spec execute -- and number -- identical traces.
+  static CampaignPlan for_scale(double scale, int traces_override = 0);
 };
 
 /// Names of the paper's 13 vantage points, in Figure 2's order.
@@ -99,6 +108,14 @@ public:
   /// Simulated crash: stop claiming new live traces once `n` have started
   /// (replays don't count) and finish with whatever completed. 0 = never.
   void set_halt_after(int n) { halt_after_ = n; }
+  /// External cancel, consulted before each live trace starts (replays
+  /// still run). Returning true abandons the rest of the schedule the
+  /// same way halt_after does -- committed traces stay durable, a resume
+  /// run finishes the plan. The check runs on the campaign thread; the
+  /// callable may read a flag set from elsewhere (a signal handler's
+  /// sig_atomic_t, a daemon's atomic).
+  using HaltCheck = std::function<bool()>;
+  void set_halt_check(HaltCheck check) { halt_check_ = std::move(check); }
 
   /// Traces that threw and were quarantined instead of aborting the run.
   const std::vector<TraceFailure>& failures() const { return failures_; }
@@ -126,6 +143,7 @@ private:
   ReplayHook replay_;
   QuarantineHook quarantine_;
   int halt_after_ = 0;
+  HaltCheck halt_check_;
   int live_started_ = 0;
 
   std::vector<PlannedTrace> schedule_;

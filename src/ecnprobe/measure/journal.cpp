@@ -218,9 +218,11 @@ bool CampaignJournal::open(const std::string& path, const JournalMeta& meta,
       if (!cur.take(&checksum_tok) || !cur.take(&payload_tok) || cur.next != cur.toks.size()) {
         return fail("malformed record");
       }
-      std::uint64_t want = 0;
-      if (!parse_u64_tok(checksum_tok, &want, 16)) return fail("bad checksum field");
-      if (util::fnv1a64(payload_tok) != want) {
+      // Compare against the canonical rendering, not the parsed value: a
+      // case-flipped or re-padded hex token parses to the same number but
+      // is not a byte the writer ever produced, so it still means the
+      // line was altered after it was written.
+      if (checksum_tok != hex64(util::fnv1a64(payload_tok))) {
         return fail("checksum mismatch (corrupt entry for trace " + std::to_string(index) +
                     "; refusing to replay it)");
       }

@@ -256,6 +256,12 @@ std::vector<Trace> ParallelCampaign::run(const CampaignPlan& plan) {
           return;
         }
         for (;;) {
+          if (halt_requested_.load(std::memory_order_relaxed)) {
+            // External cancel (watchdog / drain): same contract as the
+            // simulated crash below -- stop claiming, keep what was
+            // journaled, let a resume run finish the plan.
+            break;
+          }
           const std::size_t index = next.fetch_add(1, std::memory_order_relaxed);
           if (index >= schedule.size()) break;
           if (slots[index]) continue;  // replayed from the journal

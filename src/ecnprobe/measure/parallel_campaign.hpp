@@ -110,6 +110,16 @@ public:
 
   void set_observer(ObserverHook hook) { observer_ = std::move(hook); }
 
+  /// Cooperative cancel, callable from any thread (a watchdog, a signal
+  /// handler's drain path, a daemon shutdown): workers stop claiming new
+  /// traces and run() returns once in-flight traces finish. Already-
+  /// journaled work is untouched, so a later resume completes the plan
+  /// byte-identically. Sticky for the lifetime of this executor.
+  void request_halt() { halt_requested_.store(true, std::memory_order_relaxed); }
+  bool halt_requested() const {
+    return halt_requested_.load(std::memory_order_relaxed);
+  }
+
   /// Attaches a write-ahead journal. Traces already in it are replayed
   /// (result + metrics delta taken from disk, counted as completed, never
   /// re-run); every live trace is appended and flushed before its result
@@ -204,6 +214,7 @@ private:
   std::vector<TraceFailure> failures_;
   std::atomic<int> completed_{0};
   std::atomic<int> total_{0};
+  std::atomic<bool> halt_requested_{false};
   mutable std::mutex merge_mutex_;
   std::map<int, PendingDelta> pending_;
   int next_merge_ = 0;

@@ -16,7 +16,10 @@ void EventStream::emit(std::string kind, std::string text) {
     event.kind = std::move(kind);
     event.text = std::move(text);
     events_.push_back(std::move(event));
-    while (events_.size() > kCapacity) events_.pop_front();
+    while (events_.size() > kCapacity) {
+      events_.pop_front();
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
   cv_.notify_all();
 }
@@ -42,6 +45,7 @@ std::uint64_t EventStream::last_id() const {
 void EventStream::clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace ecnprobe::obs

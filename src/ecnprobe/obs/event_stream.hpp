@@ -52,10 +52,21 @@ class EventStream {
                                    std::chrono::milliseconds wait);
 
   std::uint64_t last_id() const;
+
+  /// Events evicted from the ring because a consumer fell more than
+  /// kCapacity behind. Exported as ecnprobe_obs_events_dropped_total on
+  /// the live plane's /metrics so an SSE consumer can detect a gap in
+  /// the id sequence instead of silently missing events. Monotonic until
+  /// clear().
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
   void clear();
 
  private:
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<ObsEvent> events_;

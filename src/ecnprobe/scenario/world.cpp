@@ -663,7 +663,8 @@ void World::fold_campaign_delta(const obs::ObsSnapshot& delta) {
 std::vector<measure::Trace> World::run_campaign(
     const measure::CampaignPlan& plan, const measure::ProbeOptions& options,
     measure::Campaign::AfterTraceHook after_trace, measure::CampaignJournal* journal,
-    int halt_after, std::vector<measure::TraceFailure>* failures) {
+    int halt_after, std::vector<measure::TraceFailure>* failures,
+    measure::Campaign::HaltCheck halt_check) {
   measure::ProbeOptions probe = options;
   if (!probe.sched.is_paper_default()) {
     // Scenario-layer defaults for a supervised campaign: jitter streams key
@@ -738,6 +739,7 @@ std::vector<measure::Trace> World::run_campaign(
   });
   const int crash_after = halt_after > 0 ? halt_after : params_.faults.crash_after_traces;
   if (crash_after > 0) campaign.set_halt_after(crash_after);
+  if (halt_check) campaign.set_halt_check(std::move(halt_check));
   std::vector<measure::Trace> results;
   bool done = false;
   campaign.run(plan, [&](std::vector<measure::Trace> traces) {

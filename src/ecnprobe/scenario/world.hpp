@@ -201,11 +201,15 @@ public:
   /// quiescence barrier. `halt_after` > 0 simulates a crash after that many
   /// live traces (0 falls back to faults.crash_after_traces). Quarantined
   /// traces land in `failures` when given.
+  /// `halt_check` (optional) is consulted before each live trace; returning
+  /// true abandons the rest of the schedule like halt_after does (the
+  /// CLI's signal-drain path and the daemon's cancel ride this).
   std::vector<measure::Trace> run_campaign(
       const measure::CampaignPlan& plan, const measure::ProbeOptions& options = {},
       measure::Campaign::AfterTraceHook after_trace = nullptr,
       measure::CampaignJournal* journal = nullptr, int halt_after = 0,
-      std::vector<measure::TraceFailure>* failures = nullptr);
+      std::vector<measure::TraceFailure>* failures = nullptr,
+      measure::Campaign::HaltCheck halt_check = nullptr);
 
   /// Drop-ledger attribution for a trace this world had to throw away:
   /// records Measure/TraceQuarantined against the vantage. Used by both

@@ -16,8 +16,13 @@ bool CaseInsensitiveLess::operator()(const std::string& a, const std::string& b)
 
 std::string HttpRequest::serialize() const {
   std::string out = method + " " + target + " " + version + "\r\n";
-  for (const auto& [name, value] : headers) out += name + ": " + value + "\r\n";
+  HttpHeaders h = headers;
+  if (!body.empty() && !h.contains("Content-Length")) {
+    h["Content-Length"] = std::to_string(body.size());
+  }
+  for (const auto& [name, value] : h) out += name + ": " + value + "\r\n";
   out += "\r\n";
+  out += body;
   return out;
 }
 
@@ -62,14 +67,13 @@ void HttpParser::try_parse() {
     }
     buffer_.erase(0, end + 4);
     head_done_ = true;
-    if (kind_ == Kind::Request) {
-      complete_ = true;  // GET has no body in this subset
-      return;
-    }
-    const auto it = response_.headers.find("Content-Length");
-    if (it == response_.headers.end()) {
-      // No length: HTTP/1.0 body runs to connection close; we treat the head
-      // as the completion point (the probe only needs the status line).
+    const HttpHeaders& headers =
+        kind_ == Kind::Request ? request_.headers : response_.headers;
+    const auto it = headers.find("Content-Length");
+    if (it == headers.end()) {
+      // No length. A request without one has no body in this subset; a
+      // response's HTTP/1.0 body runs to connection close and we treat the
+      // head as the completion point (the probe only needs the status line).
       complete_ = true;
       return;
     }
@@ -82,9 +86,10 @@ void HttpParser::try_parse() {
     }
     body_needed_ = static_cast<std::size_t>(len);
   }
-  if (kind_ == Kind::Response && head_done_ && !complete_) {
+  if (head_done_ && !complete_) {
     if (buffer_.size() >= body_needed_) {
-      response_.body = buffer_.substr(0, body_needed_);
+      std::string& body = kind_ == Kind::Request ? request_.body : response_.body;
+      body = buffer_.substr(0, body_needed_);
       complete_ = true;
     }
   }

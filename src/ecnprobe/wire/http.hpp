@@ -28,6 +28,9 @@ struct HttpRequest {
   std::string target = "/";
   std::string version = "HTTP/1.0";
   HttpHeaders headers;
+  /// Request body (POSTed documents). Serialized only when non-empty, so
+  /// the body-less probe requests encode byte-identically to always.
+  std::string body;
 
   std::string serialize() const;
 };
@@ -58,6 +61,13 @@ public:
   bool complete() const { return complete_; }
   bool failed() const { return failed_; }
   const std::string& error() const { return error_; }
+
+  /// True once the request/status line and headers have parsed; lets a
+  /// server enforce a header-size cap distinct from the body cap.
+  bool head_complete() const { return head_done_; }
+  /// Declared Content-Length once head_complete(); 0 when absent. Lets a
+  /// server refuse an oversized body before buffering any of it.
+  std::size_t body_needed() const { return body_needed_; }
 
   /// Valid only when complete() and the corresponding kind.
   const HttpRequest& request() const { return request_; }

@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# The daemon's crash-resume contract, end to end with real processes:
+#   1. start ecnprobed, admit two campaigns (different tenants/seeds),
+#   2. scrape per-campaign metrics mid-run,
+#   3. SIGKILL the daemon while both campaigns are in flight,
+#   4. restart on the same state dir -- both campaigns resume from their
+#      journals and run to completion,
+#   5. SIGTERM-drain the restarted daemon cleanly,
+#   6. require the final CSV + metrics artifacts to be byte-identical to
+#      uninterrupted batch-CLI runs of the same specs.
+set -u
+
+ECND="$1"
+CLI="$2"
+DIR="$(mktemp -d)"
+STATE="$DIR/state"
+DPID=""
+trap '[ -n "$DPID" ] && kill -9 "$DPID" 2>/dev/null; rm -rf "$DIR"' EXIT
+
+fail() { echo "test_daemon_kill: $1" >&2; exit 1; }
+
+start_daemon() {  # $1: port-file path, $2: log path
+  "$ECND" serve --state-dir "$STATE" --port 0 --port-file "$1" \
+    --concurrency 2 --queue 8 --max-workers 2 >"$2" 2>&1 &
+  DPID=$!
+  for _ in $(seq 1 100); do
+    [ -s "$1" ] && return 0
+    kill -0 "$DPID" 2>/dev/null || fail "daemon died at startup: $(cat "$2")"
+    sleep 0.1
+  done
+  fail "daemon never wrote its port file"
+}
+
+ctl() { "$ECND" ctl "$@"; }
+
+start_daemon "$DIR/port1" "$DIR/daemon1.log"
+PORT=$(cat "$DIR/port1")
+BASE="http://127.0.0.1:$PORT"
+
+ctl post "$BASE/campaigns" \
+  --body '{"tenant":"alpha","scale":0.05,"traces":60,"seed":5,"workers":2}' \
+  >"$DIR/admit1" || fail "admission of c1 failed: $(cat "$DIR/admit1")"
+grep -q '"id":"c1"' "$DIR/admit1" || fail "unexpected admit response: $(cat "$DIR/admit1")"
+ctl post "$BASE/campaigns" \
+  --body '{"tenant":"beta","scale":0.05,"traces":60,"seed":9,"workers":2}' \
+  >"$DIR/admit2" || fail "admission of c2 failed"
+grep -q '"id":"c2"' "$DIR/admit2" || fail "unexpected admit response: $(cat "$DIR/admit2")"
+
+# Let both campaigns make real progress, then scrape them mid-run.
+sleep 0.6
+ctl get "$BASE/campaigns/c1/metrics" >"$DIR/mid1" || fail "mid-run scrape of c1 failed"
+ctl get "$BASE/campaigns" >"$DIR/list" || fail "campaign list failed"
+ctl get "$BASE/metrics" | grep -q "ecnprobed_admitted_total 2" \
+  || fail "daemon /metrics missing admission counter"
+
+# The crash: no warning, no checkpoint call, both campaigns in flight.
+kill -9 "$DPID"
+wait "$DPID" 2>/dev/null
+DPID=""
+
+start_daemon "$DIR/port2" "$DIR/daemon2.log"
+PORT=$(cat "$DIR/port2")
+BASE="http://127.0.0.1:$PORT"
+
+# Both campaigns resume from their journals and finish.
+for id in c1 c2; do
+  DONE=""
+  for _ in $(seq 1 600); do
+    if ctl get "$BASE/campaigns/$id" | grep -q '"state":"done"'; then
+      DONE=1
+      break
+    fi
+    sleep 0.2
+  done
+  [ -n "$DONE" ] || fail "$id did not finish after restart: $(ctl get "$BASE/campaigns/$id")"
+done
+
+# Graceful drain of the restarted daemon.
+kill -TERM "$DPID"
+wait "$DPID"
+CODE=$?
+DPID=""
+[ "$CODE" -eq 0 ] || fail "drain exited $CODE: $(cat "$DIR/daemon2.log")"
+
+# Byte-identity vs the uninterrupted batch CLI (sequential, so the metrics
+# JSON has the same runtime:null shape the daemon exports).
+"$CLI" campaign --scale 0.05 --traces 60 --seed 5 --workers 1 \
+  --out "$DIR/ref1.csv" --metrics-out "$DIR/ref1.json" 2>/dev/null \
+  || fail "reference run 1 failed"
+"$CLI" campaign --scale 0.05 --traces 60 --seed 9 --workers 1 \
+  --out "$DIR/ref2.csv" --metrics-out "$DIR/ref2.json" 2>/dev/null \
+  || fail "reference run 2 failed"
+
+cmp -s "$STATE/c1.csv" "$DIR/ref1.csv" || fail "c1 CSV differs from batch CLI"
+cmp -s "$STATE/c2.csv" "$DIR/ref2.csv" || fail "c2 CSV differs from batch CLI"
+cmp -s "$STATE/c1.metrics.json" "$DIR/ref1.json" || fail "c1 metrics JSON differs"
+cmp -s "$STATE/c2.metrics.json" "$DIR/ref2.json" || fail "c2 metrics JSON differs"
+cmp -s "$STATE/c1.metrics.prom" "$DIR/ref1.prom" || fail "c1 metrics .prom differs"
+cmp -s "$STATE/c2.metrics.prom" "$DIR/ref2.prom" || fail "c2 metrics .prom differs"
+
+echo "ok: SIGKILL + restart resumed both campaigns byte-identically, drain clean"

@@ -221,5 +221,168 @@ TEST_F(ObsServerTest, StopUnblocksOpenSseClients) {
   ::close(fd);
 }
 
+TEST_F(ObsServerTest, SlowClientShedWith408) {
+  ObsHttpServer::Options options;
+  options.read_deadline = std::chrono::milliseconds(200);
+  ObsHttpServer server(options, ObsHttpServer::Providers{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  // Slowloris: open a connection, dribble half a request line, then stall.
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string partial = "GET /metr";
+  ASSERT_GT(::send(fd, partial.data(), partial.size(), 0), 0);
+  const auto response = read_until(fd, "\r\n\r\n", std::chrono::milliseconds(3000));
+  EXPECT_EQ(response.find("HTTP/1.1 408"), 0u) << response;
+  ::close(fd);
+  EXPECT_GE(server.stats().rejected_timeout, 1u);
+
+  // The deadline sheds one slow client, not the listener.
+  const auto metrics = http_get(server.port(), "/progress");
+  EXPECT_EQ(metrics.find("HTTP/1.1 200"), 0u) << metrics;
+  server.stop();
+}
+
+TEST_F(ObsServerTest, OversizedHeaderShedWith431) {
+  ObsHttpServer::Options options;
+  options.max_header_bytes = 1024;
+  ObsHttpServer server(options, ObsHttpServer::Providers{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  // A header section that never terminates: 4 KiB of padding with no
+  // blank line, so the head cannot complete before the cap trips.
+  std::string request = "GET /metrics HTTP/1.1\r\nX-Pad: ";
+  request.append(4096, 'a');
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  const auto response = read_until(fd, "\r\n\r\n", std::chrono::milliseconds(3000));
+  EXPECT_EQ(response.find("HTTP/1.1 431"), 0u) << response;
+  ::close(fd);
+  EXPECT_GE(server.stats().rejected_oversized, 1u);
+  server.stop();
+}
+
+TEST_F(ObsServerTest, OversizedBodyShedWith413) {
+  ObsHttpServer::Options options;
+  options.max_body_bytes = 64;
+  ObsHttpServer server(options, ObsHttpServer::Providers{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  // The declared length alone must trigger the refusal -- the server
+  // must not buffer toward a 100 KB body hoping it stays small.
+  const std::string request =
+      "POST /campaigns HTTP/1.1\r\nHost: x\r\nContent-Length: 100000\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  const auto response = read_until(fd, "\r\n\r\n", std::chrono::milliseconds(3000));
+  EXPECT_EQ(response.find("HTTP/1.1 413"), 0u) << response;
+  ::close(fd);
+  EXPECT_GE(server.stats().rejected_oversized, 1u);
+  server.stop();
+}
+
+TEST_F(ObsServerTest, MalformedRequestShedWith400) {
+  ObsHttpServer server(ObsHttpServer::Options{}, ObsHttpServer::Providers{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string junk = "NOT A REQUEST\r\n\r\n";
+  ASSERT_GT(::send(fd, junk.data(), junk.size(), 0), 0);
+  const auto response = read_until(fd, "\r\n\r\n", std::chrono::milliseconds(3000));
+  EXPECT_EQ(response.find("HTTP/1.1 400"), 0u) << response;
+  ::close(fd);
+  server.stop();
+}
+
+TEST_F(ObsServerTest, HandlerRoutesPostsAndExtraHeaders) {
+  ObsHttpServer server(ObsHttpServer::Options{}, ObsHttpServer::Providers{});
+  server.set_handler([](const wire::HttpRequest& request) {
+    ObsHttpServer::Response response;
+    if (request.method == "POST" && request.target == "/campaigns") {
+      response.status = 429;
+      response.reason = "Too Many Requests";
+      response.body = "{\"error\":\"full\"}";
+      response.content_type = "application/json";
+      response.headers.push_back({"Retry-After", "2"});
+      // Echo the body length so the test proves the body reached us.
+      response.headers.push_back(
+          {"X-Body-Bytes", std::to_string(request.body.size())});
+      return response;
+    }
+    response.status = 404;
+    response.reason = "Not Found";
+    return response;
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string body = "{\"scale\":0.05}";
+  const std::string request =
+      "POST /campaigns HTTP/1.1\r\nHost: x\r\nConnection: close\r\n"
+      "Content-Length: " + std::to_string(body.size()) + "\r\n\r\n" + body;
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(response.find("HTTP/1.1 429"), 0u) << response;
+  EXPECT_NE(response.find("Retry-After: 2"), std::string::npos) << response;
+  EXPECT_NE(response.find("X-Body-Bytes: " + std::to_string(body.size())),
+            std::string::npos)
+      << response;
+  EXPECT_NE(response.find("{\"error\":\"full\"}"), std::string::npos);
+  server.stop();
+}
+
+TEST_F(ObsServerTest, PostWithoutHandlerIs405) {
+  ObsHttpServer server(ObsHttpServer::Options{}, ObsHttpServer::Providers{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const int fd = connect_loopback(server.port());
+  ASSERT_GE(fd, 0);
+  const std::string request =
+      "POST /metrics HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_GT(::send(fd, request.data(), request.size(), 0), 0);
+  const auto response = read_until(fd, "\r\n\r\n", std::chrono::milliseconds(3000));
+  EXPECT_EQ(response.find("HTTP/1.1 405"), 0u) << response;
+  ::close(fd);
+  server.stop();
+}
+
+TEST_F(ObsServerTest, MetricsExportObsEventsDroppedTotal) {
+  ObsHttpServer server(ObsHttpServer::Options{}, ObsHttpServer::Providers{});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto& stream = obs::EventStream::process();
+  ASSERT_TRUE(stream.enabled());
+  // Overflow the bounded ring by exactly 5 events with no consumer.
+  for (int i = 0; i < static_cast<int>(obs::EventStream::kCapacity) + 5; ++i) {
+    stream.emit("window", "n=" + std::to_string(i));
+  }
+  EXPECT_EQ(stream.dropped(), 5u);
+
+  const auto metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("# TYPE ecnprobe_obs_events_dropped_total counter"),
+            std::string::npos)
+      << metrics;
+  EXPECT_NE(metrics.find("ecnprobe_obs_events_dropped_total 5"),
+            std::string::npos)
+      << metrics;
+  server.stop();
+}
+
 }  // namespace
 }  // namespace ecnprobe::http

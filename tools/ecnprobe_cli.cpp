@@ -21,6 +21,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -357,27 +358,21 @@ std::string progress_json(const measure::ParallelCampaign::Progress& p) {
 }
 
 /// The campaign plan both `campaign` and `trace-autopsy` use, so the trace
-/// indices the autopsy re-runs line up with the campaign's own.
+/// indices the autopsy re-runs line up with the campaign's own. Shared
+/// with the ecnprobed daemon via CampaignPlan::for_scale, so a daemon
+/// campaign with the same spec executes identical traces.
 measure::CampaignPlan plan_for(const Options& options) {
-  auto plan = measure::CampaignPlan::paper_layout(
-      std::max(1, static_cast<int>(9 * options.scale)),
-      std::max(1, static_cast<int>(12 * options.scale)),
-      std::max(1, static_cast<int>(14 * options.scale)));
-  if (options.traces > 0) {
-    // Uniform override: N traces spread over the 13 vantage points.
-    plan = measure::CampaignPlan{};
-    const auto& names = measure::paper_vantage_names();
-    for (std::size_t i = 0; i < names.size(); ++i) {
-      const int share = options.traces / static_cast<int>(names.size()) +
-                        (static_cast<int>(i) <
-                                 options.traces % static_cast<int>(names.size())
-                             ? 1
-                             : 0);
-      if (share > 0) plan.entries.push_back({names[i], i < 4 ? 1 : 2, share});
-    }
-  }
-  return plan;
+  return measure::CampaignPlan::for_scale(options.scale, options.traces);
 }
+
+/// Set by the SIGINT/SIGTERM handler when a checkpointed campaign should
+/// drain: both executors consult it before starting each live trace, so
+/// every started trace still reaches its write-ahead journal append and
+/// the process exits with a resumable checkpoint instead of dying
+/// mid-trace.
+volatile std::sig_atomic_t g_drain_signal = 0;
+
+void on_drain_signal(int signo) { g_drain_signal = signo; }
 
 int cmd_discover(const Options& options) {
   scenario::World world(params_for(options));
@@ -434,6 +429,12 @@ int cmd_campaign(const Options& options) {
       std::fprintf(stderr, "resuming: %zu of %d traces already journaled\n",
                    journal.entries().size(), plan.total_traces());
     }
+    // With a journal active, SIGINT/SIGTERM drain instead of kill: stop
+    // claiming new traces, let in-flight ones reach their write-ahead
+    // append, exit 3 with a resumable checkpoint on disk.
+    g_drain_signal = 0;
+    std::signal(SIGINT, on_drain_signal);
+    std::signal(SIGTERM, on_drain_signal);
   }
 
   // Sequential and sharded paths produce byte-identical CSVs and campaign
@@ -490,6 +491,20 @@ int cmd_campaign(const Options& options) {
     // Progress line on a monitor thread: progress() is a lock-cheap
     // snapshot of the runtime registry, safe to poll while workers run.
     std::atomic<bool> running{true};
+    // Signal-to-halt bridge: request_halt() is not async-signal-safe to
+    // call from the handler itself, so a watcher thread polls the flag.
+    std::thread drain_watcher;
+    if (journal_ptr != nullptr) {
+      drain_watcher = std::thread([&campaign, &running] {
+        while (running.load(std::memory_order_relaxed)) {
+          if (g_drain_signal != 0) {
+            campaign.request_halt();
+            break;
+          }
+          std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+      });
+    }
     std::thread monitor;
     if (tty) {
       monitor = std::thread([&] {
@@ -503,6 +518,7 @@ int cmd_campaign(const Options& options) {
     }
     traces = campaign.run(plan);
     running.store(false, std::memory_order_relaxed);
+    if (drain_watcher.joinable()) drain_watcher.join();
     if (monitor.joinable()) {
       monitor.join();
       std::fprintf(stderr, "\r  %d/%d traces done%*s\n", campaign.traces_completed(),
@@ -527,7 +543,10 @@ int cmd_campaign(const Options& options) {
           ++completed;
           if (tty) std::fprintf(stderr, "\r  %d/%d traces   ", completed, total);
         },
-        journal_ptr, options.halt_after, &failures);
+        journal_ptr, options.halt_after, &failures,
+        journal_ptr != nullptr
+            ? measure::Campaign::HaltCheck([] { return g_drain_signal != 0; })
+            : measure::Campaign::HaltCheck{});
     if (tty && completed > 0) std::fprintf(stderr, "\r  %d/%d traces done   \n", completed, total);
     for (const auto& failure : failures) {
       std::fprintf(stderr, "trace %d (%s) quarantined: %s\n", failure.index,
@@ -536,6 +555,17 @@ int cmd_campaign(const Options& options) {
     campaign_obs = world.campaign_obs();
     telemetry = world.campaign_telemetry();
     flights = world.campaign_flights();
+  }
+  if (journal_ptr != nullptr && g_drain_signal != 0) {
+    // Drained on a signal: the journal holds every trace that started.
+    // Skip the partial exports -- the resume run produces the real ones.
+    std::fprintf(stderr,
+                 "interrupted (signal %d): %zu of %d traces checkpointed in %s; "
+                 "finish with --resume %s\n",
+                 static_cast<int>(g_drain_signal), journal.entries().size(),
+                 plan.total_traces(), options.checkpoint.c_str(),
+                 options.checkpoint.c_str());
+    return 3;
   }
   // Export stage timer; reset() before the profile itself is printed so
   // the "export" stage includes every file written below.
@@ -757,10 +787,7 @@ int cmd_traceroute(const Options& options) {
 
 int cmd_report(const Options& options) {
   scenario::World world(params_for(options));
-  auto plan = measure::CampaignPlan::paper_layout(
-      std::max(1, static_cast<int>(9 * options.scale)),
-      std::max(1, static_cast<int>(12 * options.scale)),
-      std::max(1, static_cast<int>(14 * options.scale)));
+  auto plan = measure::CampaignPlan::for_scale(options.scale);
   std::fprintf(stderr, "running %d traces x %d servers...\n", plan.total_traces(),
                world.params().server_count);
   analysis::ReportInputs inputs;
